@@ -1,0 +1,167 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the simulated substrate. Each experiment has a
+// subcommand; "all" runs the full battery.
+//
+// Usage:
+//
+//	experiments [-quick] [-full] <fig3|fig4|fig8|fig10|fig11|fig12|fig13|fig14|fig15|fig16|table5|correctness|all>
+//
+// -quick shrinks the sweep grids (for smoke runs); -full enables the
+// paper-scale Fig. 15 study (>250 combinations per platform).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink sweep grids for a fast run")
+	full := flag.Bool("full", false, "run the paper-scale Fig. 15 study")
+	csvDir := flag.String("csv", "", "also write raw data as CSV files into this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: experiments [-quick] [-full] <experiment>\n\nexperiments:\n")
+		for _, n := range names() {
+			fmt.Fprintf(os.Stderr, "  %s\n", n)
+		}
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	if name == "all" {
+		for _, n := range names() {
+			fmt.Printf("==== %s ====\n", n)
+			if err := run(n, *quick, *full, *csvDir); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", n, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err := run(name, *quick, *full, *csvDir); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+func names() []string {
+	return []string{
+		"correctness", "fig3", "fig4", "fig8", "fig10", "fig11",
+		"fig12", "fig13", "fig14", "fig15", "fig16", "table5",
+	}
+}
+
+// writeCSV writes one experiment's raw data when -csv is set.
+func writeCSV(dir, name string, fn func(w *os.File) error) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(name string, quick, full bool, csvDir string) error {
+	switch name {
+	case "fig3":
+		r, err := expt.Fig3()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		return writeCSV(csvDir, "fig3", func(w *os.File) error { return expt.WriteFig3CSV(w, r) })
+	case "fig4":
+		rows, err := expt.Fig4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(expt.FormatFig4(rows))
+	case "fig8":
+		series := expt.Fig8()
+		fmt.Println(expt.FormatFig8(series))
+		return writeCSV(csvDir, "fig8", func(w *os.File) error { return expt.WriteFig8CSV(w, series) })
+	case "fig10":
+		groups, cases, err := expt.Fig10(quick)
+		if err != nil {
+			return err
+		}
+		fmt.Println(expt.FormatFig10(groups))
+		return writeCSV(csvDir, "fig10", func(w *os.File) error { return expt.WriteOperatorCSV(w, cases) })
+	case "fig11":
+		cases, err := expt.Fig11(quick)
+		if err != nil {
+			return err
+		}
+		fmt.Println(expt.FormatFig11(cases))
+		return writeCSV(csvDir, "fig11", func(w *os.File) error { return expt.WriteOperatorCSV(w, cases) })
+	case "fig12":
+		limit := 512
+		if quick {
+			limit = 96
+		}
+		results, err := expt.Fig12(limit)
+		if err != nil {
+			return err
+		}
+		fmt.Println(expt.FormatFig12(results))
+		return writeCSV(csvDir, "fig12", func(w *os.File) error { return expt.WriteFig12CSV(w, results) })
+	case "fig13":
+		panels, err := expt.Fig13(quick)
+		if err != nil {
+			return err
+		}
+		fmt.Println(expt.FormatFig13(panels))
+		return writeCSV(csvDir, "fig13", func(w *os.File) error { return expt.WriteFig13CSV(w, panels) })
+	case "fig14":
+		cases, err := expt.Fig14()
+		if err != nil {
+			return err
+		}
+		fmt.Println(expt.FormatFig14(cases))
+	case "fig15":
+		results, err := expt.Fig15(full)
+		if err != nil {
+			return err
+		}
+		fmt.Println(expt.FormatFig15(results))
+		return writeCSV(csvDir, "fig15", func(w *os.File) error { return expt.WriteFig15CSV(w, results) })
+	case "fig16":
+		cases, err := expt.Fig16()
+		if err != nil {
+			return err
+		}
+		fmt.Println(expt.FormatFig16(cases))
+		return writeCSV(csvDir, "fig16", func(w *os.File) error { return expt.WriteOperatorCSV(w, cases) })
+	case "table5":
+		rows, err := expt.Table5()
+		if err != nil {
+			return err
+		}
+		fmt.Println(expt.FormatTable5(rows))
+	case "correctness":
+		cases, err := expt.Correctness(10)
+		if err != nil {
+			return err
+		}
+		fmt.Println(expt.FormatCorrectness(cases))
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+// Command tune runs the offline profiling and the online predictive search
+// for one GEMM size (Alg. 1), optionally validating the choice against the
+// exhaustive-search oracle.
+//
+// Example:
+//
+//	tune -platform a800 -gpus 4 -prim RS -m 8192 -n 8192 -k 4096 -validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/tuner"
+)
+
+func main() {
+	var (
+		platName = flag.String("platform", "4090", "hardware profile: 4090, a800, ascend")
+		gpus     = flag.Int("gpus", 4, "parallel group size")
+		primName = flag.String("prim", "AR", "primitive: AR, RS, A2A")
+		m        = flag.Int("m", 4096, "GEMM M")
+		n        = flag.Int("n", 8192, "GEMM N")
+		k        = flag.Int("k", 8192, "GEMM K")
+		imb      = flag.Float64("imbalance", 0, "A2A load imbalance factor")
+		limit    = flag.Int("limit", 512, "candidate limit")
+		validate = flag.Bool("validate", false, "compare against the exhaustive-search oracle")
+	)
+	flag.Parse()
+
+	plat, err := hw.ByName(*platName)
+	fatal(err)
+	var prim hw.Primitive
+	switch *primName {
+	case "AR":
+		prim = hw.AllReduce
+	case "RS":
+		prim = hw.ReduceScatter
+	case "A2A":
+		prim = hw.AllToAll
+	default:
+		fatal(fmt.Errorf("unknown primitive %q", *primName))
+	}
+	shape := gemm.Shape{M: *m, N: *n, K: *k}
+
+	fmt.Printf("offline stage: sampling %s bandwidth curve on %d x %s...\n", prim, *gpus, plat.Name)
+	curve := tuner.SampleBandwidthCurve(plat, *gpus, prim, nil)
+	fmt.Printf("  %d samples\n", curve.Len())
+
+	pred, err := tuner.NewPredictor(plat, shape, gemm.Config{}, curve, *imb)
+	fatal(err)
+	fmt.Printf("online stage: %v, T=%d waves of %d tiles, GEMM %v\n",
+		shape, pred.Waves, pred.WaveSize, pred.GEMMTime)
+
+	cands := tuner.Candidates(pred.Waves, tuner.DefaultS1, tuner.DefaultSP, *limit)
+	fmt.Printf("  %d candidates after pruning (|G1|<=%d, |GP|<=%d)\n",
+		len(cands), tuner.DefaultS1, tuner.DefaultSP)
+
+	res, err := tuner.PredictiveSearch(pred, cands)
+	fatal(err)
+	fmt.Printf("  predicted optimum: %v at %v\n", res.Partition, res.Latency)
+
+	if *validate {
+		opts := core.Options{Plat: plat, NGPUs: *gpus, Shape: shape, Prim: prim, Imbalance: *imb}
+		oracle, err := tuner.ExhaustiveSearch(opts, cands)
+		fatal(err)
+		run := opts
+		run.Partition = res.Partition
+		actual, err := core.Run(run)
+		fatal(err)
+		fmt.Printf("  exhaustive optimum: %v at %v\n", oracle.Partition, oracle.Latency)
+		fmt.Printf("  searched partition measures %v -> %.2f%% of optimal\n",
+			actual.Latency, 100*float64(oracle.Latency)/float64(actual.Latency))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tune:", err)
+		os.Exit(1)
+	}
+}

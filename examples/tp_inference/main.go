@@ -1,0 +1,69 @@
+// tp_inference overlaps the two GEMM+AllReduce operators of one Llama3-70B
+// tensor-parallel decoder layer (attention output projection and MLP down
+// projection) on a simulated 8x A800 node, using the Alg. 1 predictive
+// tuner, and reports the per-operator and per-layer gains — a slice of the
+// paper's Fig. 12 LLM-inference experiment.
+//
+//	go run ./examples/tp_inference
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/tuner"
+	"repro/internal/workload"
+)
+
+func main() {
+	plat := hw.A800NVLink()
+	model := workload.Llama3_70BInference(8, 16384)
+	fmt.Printf("%s (%s) on %s\n\n", model.Name, model.Setting, plat.Name)
+
+	tn := tuner.NewTuner(plat, model.NGPUs, hw.AllReduce)
+	tn.CandidateLimit = 256
+
+	var layerBase, layerOverlap float64
+	for _, op := range model.Ops {
+		if op.Kind != workload.GEMMComm {
+			continue
+		}
+		base, err := baselines.NonOverlap(baselines.Options{
+			Plat: plat, NGPUs: model.NGPUs, Shape: op.Shape, Prim: op.Prim,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		part, err := tn.Tune(op.Shape, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Run(core.Options{
+			Plat: plat, NGPUs: model.NGPUs, Shape: op.Shape, Prim: op.Prim, Partition: part,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %v\n", op.Name, op.Shape)
+		fmt.Printf("  tuned partition %v over %d waves\n", part, res.Waves)
+		fmt.Printf("  non-overlap %v -> overlap %v (%.2fx)\n\n", base, res.Latency, res.Speedup(base))
+		layerBase += float64(base)
+		layerOverlap += float64(res.Latency)
+	}
+	fmt.Printf("GEMM+AR pairs per layer: %.2fx combined speedup\n", layerBase/layerOverlap)
+
+	e2e, err := workload.EndToEnd(model, plat, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("full layer (incl. attention, QKV, MLP up, norms): %.3fx end-to-end\n", e2e.Speedup)
+
+	// The nearest-neighbor cache handles unseen decode shapes at runtime.
+	if part, ok := tn.Lookup(gemm.Shape{M: 16384, N: 8192, K: 1024}); ok {
+		fmt.Printf("nearest-neighbor partition for an unseen shape: %v\n", part)
+	}
+}

@@ -1,0 +1,93 @@
+// tuner_search walks the Algorithm 1 pipeline end to end: offline bandwidth
+// sampling, design-space generation with |G1|/|GP| pruning, latency
+// prediction per candidate, and validation of the predictive choice against
+// the exhaustive-search oracle (the paper's claim C2: >99% of optimal).
+//
+//	go run ./examples/tuner_search
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/tuner"
+)
+
+func main() {
+	plat := hw.RTX4090PCIe()
+	const nGPUs = 4
+	shape := gemm.Shape{M: 4096, N: 8192, K: 8192}
+
+	fmt.Println("offline stage: sampling the AllReduce bandwidth curve...")
+	curve := tuner.SampleBandwidthCurve(plat, nGPUs, hw.AllReduce, nil)
+	fmt.Printf("  %d (size, latency) samples\n\n", curve.Len())
+
+	pred, err := tuner.NewPredictor(plat, shape, gemm.Config{}, curve, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("online stage: %v -> %d waves of %d tiles, profiled GEMM %v\n",
+		shape, pred.Waves, pred.WaveSize, pred.GEMMTime)
+
+	cands := tuner.Candidates(pred.Waves, tuner.DefaultS1, tuner.DefaultSP, 256)
+	fmt.Printf("  %d pruned candidates (full space would be 2^%d)\n\n", len(cands), pred.Waves-1)
+
+	// Predict every candidate, show the best and worst five.
+	type scored struct {
+		part gemm.Partition
+		t    sim.Time
+	}
+	var all []scored
+	for _, c := range cands {
+		t, err := pred.Predict(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		all = append(all, scored{c, t})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].t < all[j].t })
+	fmt.Println("best predicted partitions:")
+	for _, s := range all[:min(5, len(all))] {
+		fmt.Printf("  %-24v %v\n", s.part, s.t)
+	}
+	fmt.Println("worst predicted partitions:")
+	for _, s := range all[max(0, len(all)-3):] {
+		fmt.Printf("  %-24v %v\n", s.part, s.t)
+	}
+
+	// Validate against the oracle.
+	opts := core.Options{Plat: plat, NGPUs: nGPUs, Shape: shape, Prim: hw.AllReduce}
+	oracle, err := tuner.ExhaustiveSearch(opts, cands)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := opts
+	run.Partition = all[0].part
+	actual, err := core.Run(run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npredictive choice %v measures %v\n", all[0].part, actual.Latency)
+	fmt.Printf("exhaustive optimum %v measures %v\n", oracle.Partition, oracle.Latency)
+	fmt.Printf("predictive search achieves %.2f%% of the oracle\n",
+		100*float64(oracle.Latency)/float64(actual.Latency))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

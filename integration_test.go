@@ -1,0 +1,183 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+	"repro/internal/tuner"
+)
+
+// TestFullPipeline drives the complete user journey across all three
+// primitives: offline profile, predictive tuning, an overlapped functional
+// run, exact output verification, and timeline inspection — the same steps
+// cmd/flashoverlap and the examples take, compressed into one test.
+func TestFullPipeline(t *testing.T) {
+	plat := hw.RTX4090PCIe()
+	plat.GPU.SMs = 12
+	plat.CommSMs = 3
+	// Slow the compute throughput so the tiny functional GEMM still takes
+	// long enough for communication to overlap with it (at full speed a
+	// 32x48x9 GEMM finishes inside the kernel-launch latency).
+	plat.GPU.FP16TFLOPS = 0.001
+	const n = 4
+	shape := gemm.Shape{M: 32, N: 48, K: 9}
+	cfg := gemm.Config{TileM: 8, TileN: 8, Swizzle: 2} // 4x6 = 24 tiles
+
+	for _, prim := range []hw.Primitive{hw.AllReduce, hw.ReduceScatter, hw.AllToAll} {
+		prim := prim
+		t.Run(prim.String(), func(t *testing.T) {
+			// Offline + online tuning against the shrunken platform.
+			tn := tuner.NewTuner(plat, n, prim)
+			tn.CandidateLimit = 64
+			part, err := tn.Tune(shape, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			opts := core.Options{
+				Plat: plat, NGPUs: n, Shape: shape, Cfg: cfg, Prim: prim,
+				Partition:  nil, // wave count differs under cfg; re-derive below
+				Functional: true, Trace: true, Seed: 42,
+			}
+			// The tuned partition was derived for the default config;
+			// validate it transfers only when wave counts agree,
+			// otherwise fall back to per-wave (the runner default).
+			plan, err := gemm.NewPlan(shape, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if part.TotalWaves() == plan.Waves(plat.GPU.SMs-plat.CommSMs) {
+				opts.Partition = part
+			}
+			if prim == hw.AllToAll {
+				opts.Routing = make([][]int, n)
+				for i := range opts.Routing {
+					opts.Routing[i] = make([]int, shape.M)
+					for r := range opts.Routing[i] {
+						opts.Routing[i][r] = (r + 2*i) % n
+					}
+				}
+			}
+			res, err := core.Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Exact functional verification against references.
+			sum := tensor.New(shape.M, shape.N)
+			fulls := make([]*tensor.Matrix, n)
+			for d := 0; d < n; d++ {
+				c := tensor.New(shape.M, shape.N)
+				gemm.ComputeReference(c, res.InputA(d), res.InputB(d), nil)
+				fulls[d] = c
+				sum.AddInPlace(c)
+			}
+			switch prim {
+			case hw.AllReduce:
+				for d := 0; d < n; d++ {
+					if !res.AROutput(d).Equal(sum) {
+						t.Fatalf("device %d AllReduce output differs", d)
+					}
+				}
+			case hw.ReduceScatter:
+				sl := res.RSLayout()
+				for d := 0; d < n; d++ {
+					local := res.RSLocal(d)
+					for lr := 0; lr < local.Rows; lr++ {
+						gr := sl.GlobalRowOf(d, lr)
+						for c := 0; c < local.Cols; c++ {
+							if local.At(lr, c) != sum.At(gr, c) {
+								t.Fatalf("device %d RS row %d wrong", d, lr)
+							}
+						}
+					}
+				}
+			case hw.AllToAll:
+				ex := res.A2AExchangeLayout()
+				for d := 0; d < n; d++ {
+					if !res.A2AOutput(d).Equal(ex.ReferenceOutput(d, fulls)) {
+						t.Fatalf("device %d A2A output differs", d)
+					}
+				}
+			}
+
+			// The timeline must show genuine overlap on every device.
+			tl := trace.FromSpans(res.Trace)
+			for d := 0; d < n; d++ {
+				if tl.OverlapTime(d, "compute", "comm") <= 0 {
+					t.Fatalf("device %d shows no compute/comm overlap", d)
+				}
+			}
+			if !strings.Contains(tl.Render(40), "=") {
+				t.Fatal("rendered timeline missing communication lanes")
+			}
+		})
+	}
+}
+
+// TestPipelineBeatsBaselineAtScale closes the loop at realistic scale:
+// tuned FlashOverlap must beat the sequential baseline and respect the
+// theoretical bound on every built-in platform.
+func TestPipelineBeatsBaselineAtScale(t *testing.T) {
+	shape := gemm.Shape{M: 4096, N: 8192, K: 8192}
+	for _, plat := range []hw.Platform{hw.RTX4090PCIe(), hw.A800NVLink(), hw.Ascend910B(), hw.H100NVLink()} {
+		plat := plat
+		t.Run(plat.Name, func(t *testing.T) {
+			tn := tuner.NewTuner(plat, 2, hw.AllReduce)
+			tn.CandidateLimit = 128
+			part, err := tn.Tune(shape, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := core.Options{Plat: plat, NGPUs: 2, Shape: shape, Prim: hw.AllReduce, Partition: part}
+			res, err := core.Run(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := baselines.NonOverlap(baselines.Options{Plat: plat, NGPUs: 2, Shape: shape, Prim: hw.AllReduce})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound, err := core.TheoreticalBound(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Latency >= base {
+				t.Fatalf("tuned overlap (%v) did not beat serial (%v)", res.Latency, base)
+			}
+			if res.Latency < bound {
+				t.Fatalf("overlap (%v) beat the theoretical bound (%v)", res.Latency, bound)
+			}
+		})
+	}
+}
+
+// TestExperimentFormattersNonEmpty guards the cmd/experiments surface: every
+// formatter returns substantial text (a smoke test for the figure plumbing
+// that the per-package tests don't cover end to end).
+func TestExperimentFormattersNonEmpty(t *testing.T) {
+	r3, err := expt.Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows4, err := expt.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, out := range map[string]string{
+		"fig3": r3.Format(),
+		"fig4": expt.FormatFig4(rows4),
+		"fig8": expt.FormatFig8(expt.Fig8()),
+	} {
+		if len(out) < 100 {
+			t.Errorf("%s: formatter output suspiciously short (%d bytes)", name, len(out))
+		}
+	}
+}

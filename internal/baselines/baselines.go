@@ -1,0 +1,292 @@
+// Package baselines models the comparison systems of §6.1.3 on the same
+// simulated substrate FlashOverlap runs on:
+//
+//   - NonOverlap: sequential cuBLAS GEMM then one NCCL collective — the
+//     normalization baseline of every figure;
+//   - Decomposition: the decomposition-based method (VanillaDecomposition,
+//     and Async-TP's variant): the GEMM is split along M into chunks, each
+//     chunk's collective is issued after its chunk GEMM. It suffers the
+//     paper's two structural costs — fragmented communication (small
+//     messages ride the bandwidth cliff) and fragmented computation
+//     (per-kernel launches, partial-wave quantization, SM contention with
+//     in-flight collectives);
+//   - Fusion: the fusion-based method (FLUX, cuBLASMp): tile-wise overlap
+//     inside one custom kernel. It needs P2P access, pays an instruction
+//     overhead in the main loop, but saves the epilogue round-trip of C
+//     through HBM — which is why it wins at small K (Fig. 11).
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/gemm"
+	"repro/internal/gpu"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Options configures one baseline execution; the fields mirror core.Options
+// so experiment grids can drive both from one spec.
+type Options struct {
+	Plat  hw.Platform
+	NGPUs int
+	Shape gemm.Shape
+	Cfg   gemm.Config
+	Prim  hw.Primitive
+	// Chunks is the decomposition granularity along M; 0 picks the
+	// conventional default of 4.
+	Chunks int
+	// Imbalance scales AllToAll payloads like core.Options.Imbalance.
+	Imbalance float64
+}
+
+func (o *Options) normalize() (*gemm.Plan, error) {
+	if err := o.Plat.Validate(); err != nil {
+		return nil, err
+	}
+	if o.NGPUs < 2 {
+		return nil, fmt.Errorf("baselines: need >= 2 GPUs, got %d", o.NGPUs)
+	}
+	if o.Cfg == (gemm.Config{}) {
+		o.Cfg = gemm.DefaultConfig(o.Shape)
+	}
+	if o.Chunks == 0 {
+		o.Chunks = 4
+	}
+	if o.Chunks < 1 {
+		return nil, fmt.Errorf("baselines: invalid chunk count %d", o.Chunks)
+	}
+	switch o.Prim {
+	case hw.AllReduce, hw.ReduceScatter, hw.AllToAll:
+	default:
+		return nil, fmt.Errorf("baselines: unsupported primitive %v", o.Prim)
+	}
+	return gemm.NewPlan(o.Shape, o.Cfg)
+}
+
+func (o *Options) totalBytes(plan *gemm.Plan) float64 {
+	b := float64(plan.Shape.OutputBytes())
+	if o.Prim == hw.AllToAll && o.Imbalance > 1 {
+		b *= o.Imbalance
+	}
+	return b
+}
+
+// NonOverlap runs the sequential baseline on the DES: one full-SM GEMM
+// kernel, then one collective over the whole output.
+func NonOverlap(o Options) (sim.Time, error) {
+	plan, err := o.normalize()
+	if err != nil {
+		return 0, err
+	}
+	cluster := gpu.NewCluster(o.Plat, o.NGPUs)
+	com := comm.New(cluster)
+	cm := gemm.NewCostModel(o.Plat.GPU)
+
+	sigs := make([]*gpu.Signal, o.NGPUs)
+	for d, dev := range cluster.Devices {
+		jf := dev.JitterFactor()
+		dur := sim.Time(float64(cm.Duration(plan, o.Plat.GPU.SMs)) * jf)
+		cs := gpu.NewStream(dev, "compute")
+		cs.Launch(gpu.KernelSpec{
+			Name:     "gemm",
+			SMs:      o.Plat.GPU.SMs,
+			Duration: func(*gpu.Device, sim.Time) sim.Time { return dur },
+		})
+		sigs[d] = gpu.NewSignal(cluster.Sim, fmt.Sprintf("dev%d/gemm", d))
+		cs.Record(sigs[d])
+	}
+	perRank := make([]int64, o.NGPUs)
+	for i := range perRank {
+		perRank[i] = int64(o.totalBytes(plan))
+	}
+	for d := 0; d < o.NGPUs; d++ {
+		com.Stream(d).WaitSignal(sigs[d], 0) // plain stream dependency, no polling
+	}
+	var latency sim.Time
+	done := com.Collective(o.Prim.Short(), o.Prim, perRank, nil)
+	done.Wait(func(at sim.Time) { latency = at })
+	cluster.Sim.Run()
+	return latency, nil
+}
+
+// Decomposition runs the decomposition-based baseline: the GEMM is split
+// into Chunks sub-GEMMs along M; chunk k's collective is enqueued right
+// after chunk k's GEMM, overlapping with chunk k+1's computation. asyncTP
+// selects the Async-TP variant: P2P copy-engine transfers that occupy no
+// SMs and skip the collective-library call overhead, but which require
+// peer-to-peer capability.
+func Decomposition(o Options, asyncTP bool) (sim.Time, error) {
+	plan, err := o.normalize()
+	if err != nil {
+		return 0, err
+	}
+	if asyncTP && !o.Plat.P2PCapable() {
+		return 0, fmt.Errorf("baselines: Async-TP requires P2P, unavailable on %s", o.Plat.Name)
+	}
+	chunks := o.Chunks
+	rowTilesPerChunk := plan.RowTiles / chunks
+	if rowTilesPerChunk == 0 {
+		chunks = plan.RowTiles // cannot split finer than a tile row
+		rowTilesPerChunk = 1
+	}
+	// Chunk shapes: distribute row tiles round-robin so remainders spread.
+	chunkRows := make([]int, chunks)
+	for i := 0; i < plan.RowTiles; i++ {
+		chunkRows[i%chunks] += plan.Cfg.TileM
+	}
+
+	cluster := gpu.NewCluster(o.Plat, o.NGPUs)
+	com := comm.New(cluster)
+	cm := gemm.NewCostModel(o.Plat.GPU)
+
+	baseDiscount := 1.0
+	if asyncTP {
+		baseDiscount = 0 // copy engines: no library-call overhead
+	}
+
+	sigs := make([][]*gpu.Signal, o.NGPUs)
+	for d, dev := range cluster.Devices {
+		dev := dev
+		sigs[d] = make([]*gpu.Signal, chunks)
+		cs := gpu.NewStream(dev, "compute")
+		for c := 0; c < chunks; c++ {
+			rows := chunkRows[c]
+			if rows == 0 {
+				continue
+			}
+			chunkShape := gemm.Shape{M: rows, N: plan.Shape.N, K: plan.Shape.K}
+			chunkPlan, err := gemm.NewPlan(chunkShape, o.Cfg)
+			if err != nil {
+				return 0, err
+			}
+			jf := dev.JitterFactor()
+			cs.Launch(gpu.KernelSpec{
+				Name: fmt.Sprintf("gemm-chunk%d", c),
+				// The chunk GEMM contends with whatever collective is in
+				// flight when it starts — the interference the paper's
+				// design avoids.
+				Duration: func(dv *gpu.Device, _ sim.Time) sim.Time {
+					return sim.Time(float64(cm.Duration(chunkPlan, dv.AvailableSMs())) * jf)
+				},
+			})
+			sigs[d][c] = gpu.NewSignal(cluster.Sim, fmt.Sprintf("dev%d/chunk%d", d, c))
+			cs.Record(sigs[d][c])
+		}
+	}
+
+	var latency sim.Time
+	for c := 0; c < chunks; c++ {
+		if chunkRows[c] == 0 {
+			continue
+		}
+		bytes := int64(float64(chunkRows[c]) * float64(plan.Shape.N) * 2)
+		if o.Prim == hw.AllToAll && o.Imbalance > 1 {
+			bytes = int64(float64(bytes) * o.Imbalance)
+		}
+		perRank := make([]int64, o.NGPUs)
+		for i := range perRank {
+			perRank[i] = bytes
+		}
+		for d := 0; d < o.NGPUs; d++ {
+			com.Stream(d).WaitSignal(sigs[d][c], 0)
+		}
+		name := fmt.Sprintf("%s-chunk%d", o.Prim.Short(), c)
+		var done *gpu.Signal
+		if asyncTP {
+			done = collectiveNoSM(com, cluster, name, o.Prim, perRank, baseDiscount)
+		} else {
+			done = com.Collective(name, o.Prim, perRank, nil)
+		}
+		done.Wait(func(at sim.Time) {
+			if at > latency {
+				latency = at
+			}
+		})
+	}
+	cluster.Sim.Run()
+	return latency, nil
+}
+
+// collectiveNoSM issues a copy-engine collective: same bandwidth curve, no
+// SM reservation, no library-call base latency.
+func collectiveNoSM(com *comm.Communicator, cluster *gpu.Cluster, name string, prim hw.Primitive, perRank []int64, baseFactor float64) *gpu.Signal {
+	link := cluster.Plat.Link
+	var bytes int64
+	for _, b := range perRank {
+		if b > bytes {
+			bytes = b
+		}
+	}
+	done := gpu.NewSignal(cluster.Sim, name+":done")
+	rv := gpu.NewRendezvous(name, cluster.N(), 0, func(sim.Time) sim.Time {
+		full := link.CollectiveTime(prim, float64(bytes), cluster.N())
+		return full - sim.Time(float64(link.BaseLatency)*(1-baseFactor))
+	})
+	rv.OnComplete = func(sim.Time) { done.Fire() }
+	for d := 0; d < cluster.N(); d++ {
+		com.Stream(d).Join(rv)
+	}
+	return done
+}
+
+// FusionKind selects the fusion-based implementation to model.
+type FusionKind int
+
+const (
+	// Flux models FLUX: tile-level fusion into a highly optimized GEMM.
+	Flux FusionKind = iota
+	// CublasMp models NVIDIA's cuBLASMp: the same structure with a less
+	// aggressive fusion (higher compute interference).
+	CublasMp
+)
+
+// Fusion analytically models the fusion-based baselines. The fused kernel
+// overlaps tile computation with tile communication inside one kernel:
+// latency ~ max(compute', comm') plus pipeline head/tail, where
+//
+//   - compute' is the GEMM slowed by fused communication instructions but
+//     credited the epilogue round-trip of C through HBM (the write+read the
+//     separate-kernel designs pay) — the small-K advantage;
+//   - comm' is the full collective with a tile-granularity penalty.
+//
+// It returns an error on platforms without P2P access (the paper could not
+// run FLUX on the RTX 4090 server).
+func Fusion(o Options, kind FusionKind) (sim.Time, error) {
+	plan, err := o.normalize()
+	if err != nil {
+		return 0, err
+	}
+	if !o.Plat.P2PCapable() {
+		return 0, fmt.Errorf("baselines: fusion requires P2P access, unavailable on %s", o.Plat.Name)
+	}
+	// The fused kernel's communication instructions interleave with the
+	// main loop (compute overhead) and its hand-rolled transport cannot
+	// match the tuned collective library at scale (comm penalty) — the
+	// structural costs §1 attributes to fusion-based designs.
+	computeOverhead, commPenalty := 0.12, 1.30
+	if kind == CublasMp {
+		computeOverhead, commPenalty = 0.16, 1.40
+	}
+	cm := gemm.NewCostModel(o.Plat.GPU)
+	compute := float64(cm.Duration(plan, o.Plat.GPU.SMs)) * (1 + computeOverhead)
+	// Epilogue credit: the fused kernel skips one HBM round trip of C
+	// (write by the GEMM, read by the communication kernel) — the
+	// memory-access reduction that lets FLUX win at small K (Fig. 11).
+	credit := float64(sim.FromSeconds(float64(plan.Shape.OutputBytes()) / o.Plat.GPU.MemBandwidth))
+	compute -= credit
+	if compute < 0 {
+		compute = 0
+	}
+	commT := float64(o.Plat.Link.CollectiveTime(o.Prim, o.totalBytes(plan), o.NGPUs)) * commPenalty
+	over := compute
+	if commT > over {
+		over = commT
+	}
+	// Pipeline head: the first tile must be computed before any
+	// communication; tail: the last tile's communication.
+	head := float64(cm.WaveEnd(plan, o.Plat.GPU.SMs, 0))
+	tail := float64(o.Plat.Link.CollectiveTime(o.Prim, float64(plan.TileBytes()), o.NGPUs))
+	return sim.Time(over + head + tail), nil
+}

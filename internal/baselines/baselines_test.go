@@ -1,0 +1,264 @@
+package baselines
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/tuner"
+)
+
+func opts(plat hw.Platform, n int, prim hw.Primitive, s gemm.Shape) Options {
+	return Options{Plat: plat, NGPUs: n, Shape: s, Prim: prim}
+}
+
+var typicalShape = gemm.Shape{M: 4096, N: 8192, K: 8192}
+
+func TestNonOverlapMatchesAnalytic(t *testing.T) {
+	o := opts(hw.A800NVLink(), 4, hw.AllReduce, typicalShape)
+	got, err := NonOverlap(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := gemm.NewPlan(o.Shape, gemm.DefaultConfig(o.Shape))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := gemm.NewCostModel(o.Plat.GPU)
+	analytic := cm.Duration(plan, o.Plat.GPU.SMs) +
+		o.Plat.Link.CollectiveTime(hw.AllReduce, float64(o.Shape.OutputBytes()), 4)
+	// DES adds only jitter (<= ~2x amplitude) on top of the analytic sum.
+	lo, hi := float64(analytic), float64(analytic)*(1+2*o.Plat.JitterAmplitude)
+	if float64(got) < lo || float64(got) > hi {
+		t.Fatalf("NonOverlap = %v, want within [%v, %v]", got, sim.Time(lo), sim.Time(hi))
+	}
+}
+
+func TestNonOverlapDeterministic(t *testing.T) {
+	o := opts(hw.RTX4090PCIe(), 2, hw.ReduceScatter, typicalShape)
+	a, err := NonOverlap(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NonOverlap(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic baseline: %v vs %v", a, b)
+	}
+}
+
+func TestDecompositionOverlapsButFragments(t *testing.T) {
+	o := opts(hw.RTX4090PCIe(), 2, hw.AllReduce, typicalShape)
+	serial, err := NonOverlap(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decomposition(o, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decomposition should beat serial on a comm-heavy platform...
+	if dec >= serial {
+		t.Fatalf("decomposition (%v) should beat non-overlap (%v) here", dec, serial)
+	}
+	// ...but finer chunking eventually loses to fragmentation.
+	fine := o
+	fine.Chunks = 16
+	decFine, err := Decomposition(fine, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decFine <= dec {
+		t.Fatalf("16-way chunking (%v) should be slower than 4-way (%v): bandwidth cliff", decFine, dec)
+	}
+}
+
+func TestDecompositionSingleChunkApproxSerial(t *testing.T) {
+	o := opts(hw.A800NVLink(), 4, hw.AllReduce, typicalShape)
+	o.Chunks = 1
+	dec, err := Decomposition(o, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := NonOverlap(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(dec) / float64(serial)
+	if ratio < 0.9 || ratio > 1.15 {
+		t.Fatalf("1-chunk decomposition (%v) should approximate serial (%v), ratio %.3f", dec, serial, ratio)
+	}
+}
+
+func TestAsyncTPRequiresP2P(t *testing.T) {
+	o := opts(hw.RTX4090PCIe(), 2, hw.ReduceScatter, typicalShape)
+	if _, err := Decomposition(o, true); err == nil {
+		t.Fatal("Async-TP should fail without P2P (paper §6.1.3)")
+	}
+	o.Plat = hw.A800NVLink()
+	if _, err := Decomposition(o, true); err != nil {
+		t.Fatalf("Async-TP on NVLink failed: %v", err)
+	}
+}
+
+func TestAsyncTPBeatsVanillaDecomposition(t *testing.T) {
+	o := opts(hw.A800NVLink(), 4, hw.ReduceScatter, typicalShape)
+	vanilla, err := Decomposition(o, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	async, err := Decomposition(o, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if async >= vanilla {
+		t.Fatalf("Async-TP (%v) should beat vanilla decomposition (%v): no SM contention or call overhead", async, vanilla)
+	}
+}
+
+func TestFusionRequiresP2P(t *testing.T) {
+	o := opts(hw.RTX4090PCIe(), 2, hw.AllReduce, typicalShape)
+	if _, err := Fusion(o, Flux); err == nil {
+		t.Fatal("FLUX should fail without P2P")
+	}
+}
+
+func TestFluxBeatsCublasMp(t *testing.T) {
+	o := opts(hw.A800NVLink(), 4, hw.ReduceScatter, typicalShape)
+	flux, err := Fusion(o, Flux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Fusion(o, CublasMp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flux >= cmp {
+		t.Fatalf("FLUX (%v) should beat cuBLASMp (%v)", flux, cmp)
+	}
+}
+
+// Fig. 11's exception: with small K the fusion-based method's memory-access
+// reduction gives it the edge over FlashOverlap; with large K FlashOverlap
+// wins. Check the crossover direction.
+func TestFusionCrossoverWithK(t *testing.T) {
+	plat := hw.A800NVLink()
+	run := func(k int) (flux, flash float64) {
+		s := gemm.Shape{M: 4096, N: 8192, K: k}
+		f, err := Fusion(opts(plat, 4, hw.ReduceScatter, s), Flux)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := gemm.NewPlan(s, gemm.DefaultConfig(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		trueSMs := plat.GPU.SMs - plat.CommSMs
+		res, err := core.Run(core.Options{
+			Plat: plat, NGPUs: 4, Shape: s, Prim: hw.ReduceScatter,
+			Partition: gemm.EqualSized(plan.Waves(trueSMs), 2),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(f), float64(res.Latency)
+	}
+	fluxSmall, flashSmall := run(2048)
+	fluxLarge, flashLarge := run(12288)
+	// Relative advantage of FLUX must shrink as K grows.
+	if fluxSmall/flashSmall >= fluxLarge/flashLarge {
+		t.Fatalf("FLUX advantage should decay with K: small %.3f, large %.3f",
+			fluxSmall/flashSmall, fluxLarge/flashLarge)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	good := opts(hw.A800NVLink(), 4, hw.AllReduce, typicalShape)
+	for name, mut := range map[string]func(Options) Options{
+		"gpus":   func(o Options) Options { o.NGPUs = 1; return o },
+		"prim":   func(o Options) Options { o.Prim = hw.AllGather; return o },
+		"chunks": func(o Options) Options { o.Chunks = -2; return o },
+		"shape":  func(o Options) Options { o.Shape.K = 0; return o },
+	} {
+		if _, err := NonOverlap(mut(good)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestDecompositionMoreChunksThanRowTiles(t *testing.T) {
+	o := opts(hw.A800NVLink(), 2, hw.AllReduce, gemm.Shape{M: 256, N: 8192, K: 4096})
+	o.Chunks = 16 // only 2 row tiles exist
+	if _, err := Decomposition(o, false); err != nil {
+		t.Fatalf("over-chunking should clamp, got error: %v", err)
+	}
+}
+
+func TestImbalanceSlowsA2A(t *testing.T) {
+	o := opts(hw.RTX4090PCIe(), 4, hw.AllToAll, typicalShape)
+	bal, err := NonOverlap(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Imbalance = 2
+	hot, err := NonOverlap(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot <= bal {
+		t.Fatalf("imbalanced A2A (%v) should be slower than balanced (%v)", hot, bal)
+	}
+}
+
+func TestDecompositionTunedBeatsFixed(t *testing.T) {
+	o := opts(hw.RTX4090PCIe(), 4, hw.AllReduce, typicalShape)
+	best, chunks, err := DecompositionTuned(o, false, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks < 1 || chunks > 16 {
+		t.Fatalf("chunks = %d", chunks)
+	}
+	// The tuned result cannot lose to any fixed power-of-two setting.
+	for c := 1; c <= 16; c *= 2 {
+		run := o
+		run.Chunks = c
+		lat, err := Decomposition(run, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lat < best {
+			t.Fatalf("tuned (%v, %d chunks) lost to fixed %d chunks (%v)", best, chunks, c, lat)
+		}
+	}
+}
+
+// Even granularity-tuned decomposition cannot reach tuned FlashOverlap's
+// tile-wise overlap (the paper's core claim about decomposition designs).
+func TestTunedDecompositionStillLosesToFlashOverlap(t *testing.T) {
+	o := opts(hw.RTX4090PCIe(), 2, hw.AllReduce, typicalShape)
+	dec, _, err := DecompositionTuned(o, false, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn := tuner.NewTuner(o.Plat, o.NGPUs, o.Prim)
+	tn.CandidateLimit = 256
+	part, err := tn.Tune(o.Shape, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(core.Options{
+		Plat: o.Plat, NGPUs: o.NGPUs, Shape: o.Shape, Prim: o.Prim,
+		Partition: part,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Latency >= dec {
+		t.Fatalf("tuned FlashOverlap (%v) should beat tuned decomposition (%v)", res.Latency, dec)
+	}
+}

@@ -1,0 +1,33 @@
+package baselines
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// DecompositionTuned sweeps the chunk count (the decomposition granularity
+// the compiler-based systems like Centauri and [52] optimize) and returns
+// the best latency with the winning chunk count. This is the strongest
+// fair version of the decomposition baseline: the paper notes that careful
+// decomposition tuning helps but cannot reach tile-wise overlap.
+func DecompositionTuned(o Options, asyncTP bool, maxChunks int) (sim.Time, int, error) {
+	if maxChunks <= 0 {
+		maxChunks = 16
+	}
+	best := sim.MaxTime
+	bestChunks := 0
+	for chunks := 1; chunks <= maxChunks; chunks *= 2 {
+		run := o
+		run.Chunks = chunks
+		lat, err := Decomposition(run, asyncTP)
+		if err != nil {
+			return 0, 0, fmt.Errorf("baselines: tuned decomposition at %d chunks: %w", chunks, err)
+		}
+		if lat < best {
+			best = lat
+			bestChunks = chunks
+		}
+	}
+	return best, bestChunks, nil
+}

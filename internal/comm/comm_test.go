@@ -1,0 +1,332 @@
+package comm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gpu"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+func cluster(n int) *gpu.Cluster { return gpu.NewCluster(hw.A800NVLink(), n) }
+
+func ranks(n, rows, cols int, seedBase uint64) []*tensor.Matrix {
+	out := make([]*tensor.Matrix, n)
+	for i := range out {
+		out[i] = tensor.New(rows, cols)
+		out[i].FillRand(seedBase + uint64(i))
+	}
+	return out
+}
+
+func zeros(n, rows, cols int) []*tensor.Matrix {
+	out := make([]*tensor.Matrix, n)
+	for i := range out {
+		out[i] = tensor.New(rows, cols)
+	}
+	return out
+}
+
+func TestAllReduceDataSumsInRankOrder(t *testing.T) {
+	srcs := ranks(4, 3, 5, 10)
+	dsts := zeros(4, 3, 5)
+	AllReduceData(srcs, dsts)
+	want := tensor.New(3, 5)
+	for _, s := range srcs {
+		want.AddInPlace(s)
+	}
+	for i, d := range dsts {
+		if !d.Equal(want) {
+			t.Fatalf("rank %d AllReduce result differs", i)
+		}
+	}
+}
+
+func TestAllReduceDataInPlace(t *testing.T) {
+	srcs := ranks(2, 2, 2, 20)
+	want := srcs[0].Clone()
+	want.AddInPlace(srcs[1])
+	AllReduceData(srcs, srcs) // alias src as dst
+	if !srcs[0].Equal(want) || !srcs[1].Equal(want) {
+		t.Fatal("in-place AllReduce wrong")
+	}
+}
+
+func TestReduceScatterData(t *testing.T) {
+	n := 4
+	srcs := ranks(n, 8, 6, 30)
+	dsts := zeros(n, 2, 6)
+	ReduceScatterData(srcs, dsts)
+	sum := tensor.New(8, 6)
+	for _, s := range srcs {
+		sum.AddInPlace(s)
+	}
+	for i, d := range dsts {
+		for r := 0; r < 2; r++ {
+			for c := 0; c < 6; c++ {
+				if d.At(r, c) != sum.At(i*2+r, c) {
+					t.Fatalf("rank %d block wrong at (%d,%d)", i, r, c)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceScatterRowDivisibility(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-divisible rows did not panic")
+		}
+	}()
+	ReduceScatterData(ranks(3, 7, 2, 1), zeros(3, 2, 2))
+}
+
+func TestAllGatherData(t *testing.T) {
+	n := 3
+	srcs := ranks(n, 2, 4, 40)
+	dsts := zeros(n, 6, 4)
+	AllGatherData(srcs, dsts)
+	for _, d := range dsts {
+		for i, s := range srcs {
+			for r := 0; r < 2; r++ {
+				for c := 0; c < 4; c++ {
+					if d.At(i*2+r, c) != s.At(r, c) {
+						t.Fatal("AllGather misplaced data")
+					}
+				}
+			}
+		}
+	}
+}
+
+// ReduceScatter followed by AllGather must equal AllReduce — the identity
+// the paper's training decomposition (§2.3.2) relies on.
+func TestReduceScatterPlusAllGatherEqualsAllReduce(t *testing.T) {
+	n := 4
+	srcs := ranks(n, 8, 4, 50)
+	rs := zeros(n, 2, 4)
+	ReduceScatterData(srcs, rs)
+	ag := zeros(n, 8, 4)
+	AllGatherData(rs, ag)
+	ar := zeros(n, 8, 4)
+	AllReduceData(srcs, ar)
+	for i := range ag {
+		if !ag[i].Equal(ar[i]) {
+			t.Fatalf("rank %d: RS+AG != AR", i)
+		}
+	}
+}
+
+func TestAllToAllVData(t *testing.T) {
+	// 2 ranks, rank 0 sends [a b | c] (2 to rank0, 1 to rank1),
+	// rank 1 sends [d | e f] (1 to rank0, 2 to rank1).
+	srcs := [][]float32{{1, 2, 3}, {4, 5, 6}}
+	dsts := [][]float32{make([]float32, 3), make([]float32, 3)}
+	counts := [][]int{{2, 1}, {1, 2}}
+	soffs := [][]int{{0, 2}, {0, 1}}
+	roffs := [][]int{{0, 2}, {0, 1}}
+	AllToAllVData(srcs, dsts, counts, soffs, roffs)
+	want0 := []float32{1, 2, 4}
+	want1 := []float32{3, 5, 6}
+	for i, w := range want0 {
+		if dsts[0][i] != w {
+			t.Fatalf("dst0 = %v, want %v", dsts[0], want0)
+		}
+	}
+	for i, w := range want1 {
+		if dsts[1][i] != w {
+			t.Fatalf("dst1 = %v, want %v", dsts[1], want1)
+		}
+	}
+}
+
+func TestAllToAllVZeroCounts(t *testing.T) {
+	srcs := [][]float32{{1}, {2}}
+	dsts := [][]float32{{0}, {0}}
+	counts := [][]int{{1, 0}, {0, 1}}
+	offs := [][]int{{0, 0}, {0, 0}}
+	AllToAllVData(srcs, dsts, counts, offs, offs)
+	if dsts[0][0] != 1 || dsts[1][0] != 2 {
+		t.Fatal("self-exchange with zero cross counts failed")
+	}
+}
+
+func TestCommunicatorAllReduceEndToEnd(t *testing.T) {
+	c := cluster(4)
+	cm := New(c)
+	srcs := ranks(4, 4, 4, 60)
+	dsts := zeros(4, 4, 4)
+	done := cm.AllReduce("ar", srcs, dsts)
+	c.Sim.Run()
+	ok, at := done.Fired()
+	if !ok {
+		t.Fatal("AllReduce never completed")
+	}
+	if at <= 0 {
+		t.Fatalf("AllReduce completed at %v, want > 0", at)
+	}
+	want := tensor.New(4, 4)
+	for _, s := range srcs {
+		want.AddInPlace(s)
+	}
+	for i, d := range dsts {
+		if !d.Equal(want) {
+			t.Fatalf("rank %d result wrong after simulated AllReduce", i)
+		}
+	}
+}
+
+func TestCollectiveWaitsForGates(t *testing.T) {
+	c := cluster(2)
+	cm := New(c)
+	gate := gpu.NewSignal(c.Sim, "gate")
+	// Rank 0 is gated; rank 1 is free. The collective must not start
+	// before the gate fires at t=100.
+	cm.Stream(0).WaitSignal(gate, 0)
+	done := cm.Collective("coll", hw.AllReduce, []int64{1 << 20, 1 << 20}, nil)
+	c.Sim.At(100, gate.Fire)
+	c.Sim.Run()
+	_, at := done.Fired()
+	if at <= 100 {
+		t.Fatalf("collective finished at %v, must start after gate at 100", at)
+	}
+}
+
+func TestCollectiveDurationScalesWithSize(t *testing.T) {
+	measure := func(bytes int64) sim.Time {
+		c := cluster(4)
+		cm := New(c)
+		done := cm.Collective("c", hw.AllReduce, cm.uniformBytes(bytes), nil)
+		c.Sim.Run()
+		_, at := done.Fired()
+		return at
+	}
+	small := measure(1 << 16)
+	large := measure(64 << 20)
+	if large <= small*5 {
+		t.Fatalf("64MB (%v) should dwarf 64KB (%v)", large, small)
+	}
+	// Yet the small message should pay far more than its pro-rata share:
+	// the per-byte cost at 64KB must exceed the per-byte cost at 64MB by
+	// >10x (the Fig. 8 cliff).
+	perByteSmall := float64(small) / float64(1<<16)
+	perByteLarge := float64(large) / float64(64<<20)
+	if perByteSmall < 10*perByteLarge {
+		t.Fatalf("small-message per-byte cost %.3g should dwarf large %.3g", perByteSmall, perByteLarge)
+	}
+}
+
+func TestCollectiveReservesSMsDuringFlight(t *testing.T) {
+	c := cluster(2)
+	cm := New(c)
+	seen := -1
+	probe := gpu.NewStream(c.Devices[0], "probe")
+	cm.Collective("coll", hw.AllReduce, cm.uniformBytes(64<<20), nil)
+	// Probe the device mid-collective.
+	probe.Launch(gpu.KernelSpec{Name: "idle", Duration: func(*gpu.Device, sim.Time) sim.Time { return 10 * sim.Microsecond }})
+	probe.Launch(gpu.KernelSpec{Name: "probe", Duration: func(d *gpu.Device, _ sim.Time) sim.Time {
+		seen = d.AvailableSMs()
+		return 1
+	}})
+	c.Sim.Run()
+	want := c.Plat.GPU.SMs - c.Plat.CommSMs
+	if seen != want {
+		t.Fatalf("mid-collective SMs = %d, want %d", seen, want)
+	}
+}
+
+func TestAllToAllVTimingFollowsMaxLoad(t *testing.T) {
+	run := func(hot int) sim.Time {
+		c := cluster(2)
+		cm := New(c)
+		elems := []int{1 << 10, 1 << 10}
+		elems[hot] = 1 << 22 // one overloaded rank
+		srcs := [][]float32{make([]float32, elems[0]), make([]float32, elems[1])}
+		dsts := [][]float32{make([]float32, 1<<22), make([]float32, 1<<22)}
+		counts := [][]int{{elems[0], 0}, {elems[1], 0}}
+		offs := [][]int{{0, 0}, {0, 0}}
+		done := cm.AllToAllV("a2a", srcs, dsts, counts, offs, offs)
+		c.Sim.Run()
+		_, at := done.Fired()
+		return at
+	}
+	// Whichever rank is overloaded, completion is pinned to the max load.
+	t0, t1 := run(0), run(1)
+	ratio := float64(t0) / float64(t1)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("imbalanced A2A timing should follow max load: %v vs %v", t0, t1)
+	}
+}
+
+func TestCommunicatorChecksBufferCounts(t *testing.T) {
+	c := cluster(2)
+	cm := New(c)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched buffer count did not panic")
+		}
+	}()
+	cm.AllReduce("ar", ranks(1, 2, 2, 1), zeros(2, 2, 2))
+}
+
+func TestCollectivePayloadCountMismatchPanics(t *testing.T) {
+	c := cluster(2)
+	cm := New(c)
+	defer func() {
+		if recover() == nil {
+			t.Error("bad payload slice did not panic")
+		}
+	}()
+	cm.Collective("c", hw.AllReduce, []int64{1}, nil)
+}
+
+func TestDataMovementShapePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"ar-empty":     func() { AllReduceData(nil, nil) },
+		"ar-cross":     func() { AllReduceData([]*tensor.Matrix{tensor.New(2, 2), tensor.New(3, 2)}, zeros(2, 2, 2)) },
+		"ar-dst":       func() { AllReduceData(ranks(2, 2, 2, 1), zeros(2, 3, 3)) },
+		"rs-dst-shape": func() { ReduceScatterData(ranks(2, 4, 2, 1), zeros(2, 3, 2)) },
+		"ag-dst-shape": func() { AllGatherData(ranks(2, 2, 2, 1), zeros(2, 2, 2)) },
+		"a2a-ranks":    func() { AllToAllVData(make([][]float32, 2), make([][]float32, 1), nil, nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: simulated AllReduce equals the rank-ordered sum for any rank
+// count 2..5 and small shapes.
+func TestAllReduceProperty(t *testing.T) {
+	f := func(seed uint64, nRanks, rows, cols uint8) bool {
+		n := int(nRanks%4) + 2
+		r := int(rows%4) + 1
+		cl := int(cols%4) + 1
+		c := cluster(n)
+		cm := New(c)
+		srcs := ranks(n, r, cl, seed)
+		dsts := zeros(n, r, cl)
+		cm.AllReduce("ar", srcs, dsts)
+		c.Sim.Run()
+		want := tensor.New(r, cl)
+		for _, s := range srcs {
+			want.AddInPlace(s)
+		}
+		for _, d := range dsts {
+			if !d.Equal(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

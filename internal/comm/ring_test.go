@@ -1,0 +1,168 @@
+package comm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gpu"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+func ringBufs(n, length int, seed uint64) ([][]float32, []float32) {
+	bufs := make([][]float32, n)
+	want := make([]float32, length)
+	for i := range bufs {
+		m := tensor.New(1, length)
+		m.FillRand(seed + uint64(i))
+		bufs[i] = m.Data
+		for k, v := range m.Data {
+			want[k] += v
+		}
+	}
+	return bufs, want
+}
+
+func TestRingChunkPartition(t *testing.T) {
+	// 10 elements over 4 ranks: chunks of 3,3,2,2 covering [0,10).
+	covered := 0
+	for c := 0; c < 4; c++ {
+		lo, hi := ringChunk(10, 4, c)
+		if lo != covered {
+			t.Fatalf("chunk %d starts at %d, want %d", c, lo, covered)
+		}
+		covered = hi
+	}
+	if covered != 10 {
+		t.Fatalf("chunks cover %d of 10", covered)
+	}
+}
+
+func TestRingAllReduceEqualsDirectSum(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 8} {
+		bufs, want := ringBufs(n, 37, uint64(n)*100)
+		RingAllReduceData(bufs)
+		for i, b := range bufs {
+			for k, v := range b {
+				if v != want[k] {
+					// Ring sums in hop order, which can differ from
+					// rank order in float32 — accept tiny drift.
+					d := float64(v - want[k])
+					if d > 1e-4 || d < -1e-4 {
+						t.Fatalf("n=%d rank %d elem %d: %v vs %v", n, i, k, v, want[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRingSingleRankNoop(t *testing.T) {
+	buf := []float32{1, 2, 3}
+	RingAllReduceData([][]float32{buf})
+	if buf[0] != 1 || buf[2] != 3 {
+		t.Fatal("single-rank ring should be a no-op")
+	}
+}
+
+func TestRingStepPanics(t *testing.T) {
+	bufs, _ := ringBufs(3, 6, 1)
+	for name, fn := range map[string]func(){
+		"rs-step": func() { RingReduceScatterStep(bufs, 2) },
+		"ag-step": func() { RingAllGatherStep(bufs, -1) },
+		"1rank":   func() { RingReduceScatterStep(bufs[:1], 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: the ring construction matches the direct sum for random rank
+// counts and lengths (including lengths not divisible by n).
+func TestRingEquivalenceProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, lenRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		length := int(lenRaw%50) + 1
+		bufs, want := ringBufs(n, length, seed)
+		RingAllReduceData(bufs)
+		for _, b := range bufs {
+			for k, v := range b {
+				d := float64(v - want[k])
+				if d > 1e-3 || d < -1e-3 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSendRecvMovesData(t *testing.T) {
+	c := gpu.NewCluster(hw.A800NVLink(), 4)
+	cm := New(c)
+	src := tensor.New(4, 4)
+	src.FillRand(3)
+	dst := tensor.New(4, 4)
+	done := cm.SendRecv("p2p", 1, 3, src.Bytes(), func() { CopyP2P(dst, src) })
+	c.Sim.Run()
+	ok, at := done.Fired()
+	if !ok || at <= 0 {
+		t.Fatalf("SendRecv fired=%v at=%v", ok, at)
+	}
+	if !dst.Equal(src) {
+		t.Fatal("data not copied")
+	}
+}
+
+func TestSendRecvOnlyBlocksParticipants(t *testing.T) {
+	c := gpu.NewCluster(hw.A800NVLink(), 3)
+	cm := New(c)
+	// Rank 2 is not involved; a collective enqueued after the send on
+	// ranks 0/1 must wait, but rank 2's stream reaches it immediately.
+	var p2pEnd sim.Time
+	cm.SendRecv("p2p", 0, 1, 1<<20, nil).Wait(func(at sim.Time) { p2pEnd = at })
+	var collEnd sim.Time
+	cm.Collective("coll", hw.AllReduce, []int64{1 << 10, 1 << 10, 1 << 10}, nil).
+		Wait(func(at sim.Time) { collEnd = at })
+	c.Sim.Run()
+	if collEnd <= p2pEnd {
+		t.Fatalf("collective (%v) must serialize after the p2p (%v) on ranks 0/1", collEnd, p2pEnd)
+	}
+}
+
+func TestSendRecvValidation(t *testing.T) {
+	c := gpu.NewCluster(hw.A800NVLink(), 2)
+	cm := New(c)
+	for name, fn := range map[string]func(){
+		"self": func() { cm.SendRecv("x", 1, 1, 10, nil) },
+		"oob":  func() { cm.SendRecv("x", 0, 5, 10, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCopyP2PShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	CopyP2P(tensor.New(2, 2), tensor.New(3, 2))
+}

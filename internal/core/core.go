@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gemm"
+	"repro/internal/gpu"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// Options configures one overlapped GEMM+collective execution.
+type Options struct {
+	// Plat is the hardware profile; NGPUs the parallel group size.
+	Plat  hw.Platform
+	NGPUs int
+	// Shape is the per-GPU GEMM size (the paper reports per-GPU sizes).
+	Shape gemm.Shape
+	// Cfg optionally pins the GEMM configuration; zero value means
+	// gemm.DefaultConfig (the CUTLASS-profiler choice).
+	Cfg gemm.Config
+	// Prim selects the communication primitive: AllReduce,
+	// ReduceScatter, or AllToAll.
+	Prim hw.Primitive
+	// Partition is the wave-group partition; nil means one wave per
+	// group (the untuned baseline of §4.1.1). Use the tuner for the
+	// paper's searched partitions.
+	Partition gemm.Partition
+	// Functional enables real data computation and movement so the
+	// output can be compared against a sequential reference. Timing-only
+	// sweeps leave it false.
+	Functional bool
+	// Routing gives per-source token destinations for AllToAll; required
+	// when Functional && Prim == AllToAll. Length NGPUs, each of length
+	// Shape.M.
+	Routing [][]int
+	// Imbalance is the max/mean per-rank load factor used for AllToAll
+	// timing when no routing is given (>= 1; 0 means balanced).
+	Imbalance float64
+	// Seed perturbs the functional input data.
+	Seed uint64
+	// WaveSizeOverride forces the runner to assume this many tiles per
+	// wave instead of the available SM count. The paper's Fig. 14 uses a
+	// deliberately misconfigured wave size (+20) to show that signaling
+	// timing must match the hardware's true wave width.
+	WaveSizeOverride int
+	// Trace records kernel spans (Result.Trace) for timeline inspection.
+	Trace bool
+	// DeviceSlowdown optionally gives per-device GEMM slowdown factors
+	// (>= 1), modeling thermal throttling or resource contention on part
+	// of the group (§4.2.3). The wave pattern is preserved — the whole
+	// schedule stretches — and collectives wait for the slowest rank.
+	DeviceSlowdown []float64
+}
+
+// normalize fills defaults and validates; it returns the resolved plan and
+// the wave width (tiles per wave).
+func (o *Options) normalize() (*gemm.Plan, int, error) {
+	if err := o.Plat.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if o.NGPUs < 2 {
+		return nil, 0, fmt.Errorf("core: overlap needs >= 2 GPUs, got %d", o.NGPUs)
+	}
+	if o.Cfg == (gemm.Config{}) {
+		o.Cfg = gemm.DefaultConfig(o.Shape)
+	}
+	plan, err := gemm.NewPlan(o.Shape, o.Cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch o.Prim {
+	case hw.AllReduce:
+	case hw.ReduceScatter:
+		if o.Cfg.TileM%o.NGPUs != 0 {
+			return nil, 0, fmt.Errorf("core: ReduceScatter needs TileM %% NGPUs == 0, got %d %% %d", o.Cfg.TileM, o.NGPUs)
+		}
+	case hw.AllToAll:
+		if o.Functional && len(o.Routing) != o.NGPUs {
+			return nil, 0, fmt.Errorf("core: functional AllToAll needs %d routing tables, got %d", o.NGPUs, len(o.Routing))
+		}
+	default:
+		return nil, 0, fmt.Errorf("core: unsupported primitive %v", o.Prim)
+	}
+	if o.Imbalance != 0 && o.Imbalance < 1 {
+		return nil, 0, fmt.Errorf("core: imbalance factor %v < 1", o.Imbalance)
+	}
+	if len(o.DeviceSlowdown) != 0 {
+		if len(o.DeviceSlowdown) != o.NGPUs {
+			return nil, 0, fmt.Errorf("core: %d slowdown factors for %d GPUs", len(o.DeviceSlowdown), o.NGPUs)
+		}
+		for d, f := range o.DeviceSlowdown {
+			if f < 1 {
+				return nil, 0, fmt.Errorf("core: device %d slowdown %v < 1", d, f)
+			}
+		}
+	}
+	waveSize := o.Plat.GPU.SMs - o.Plat.CommSMs
+	if o.WaveSizeOverride != 0 {
+		if o.WaveSizeOverride < 1 {
+			return nil, 0, fmt.Errorf("core: invalid wave size override %d", o.WaveSizeOverride)
+		}
+		waveSize = o.WaveSizeOverride
+	}
+	t := plan.Waves(waveSize)
+	if o.Partition == nil {
+		o.Partition = gemm.PerWave(t)
+	}
+	if o.WaveSizeOverride != 0 {
+		// Misconfigured wave size (Fig. 14 "mw"): the partition was
+		// tuned for the true wave width; thresholds just need to
+		// cover the tiles. Bounds are clamped in the runner.
+		if o.Partition.TotalWaves()*waveSize < plan.Tiles {
+			return nil, 0, fmt.Errorf("core: partition %v at wave size %d does not cover %d tiles",
+				o.Partition, waveSize, plan.Tiles)
+		}
+		return plan, waveSize, nil
+	}
+	if err := o.Partition.Validate(t); err != nil {
+		return nil, 0, err
+	}
+	return plan, waveSize, nil
+}
+
+// GroupTiming records the simulated timeline of one wave group.
+type GroupTiming struct {
+	Group    int
+	Waves    int
+	Tiles    int
+	Bytes    int64 // per-rank payload (max across ranks)
+	SignalAt sim.Time
+	CommEnd  sim.Time
+}
+
+// Result is the outcome of one overlapped execution.
+type Result struct {
+	Plan      *gemm.Plan
+	Partition gemm.Partition
+	WaveSize  int
+	Waves     int
+	// Latency is the operator-level latency: from launch to the
+	// completion of the last group's communication.
+	Latency sim.Time
+	// GEMMEnd is when the compute kernel finished (max across devices).
+	GEMMEnd sim.Time
+	Groups  []GroupTiming
+	// Trace holds per-kernel spans when Options.Trace was set.
+	Trace []gpu.Span
+
+	funcState *funcState
+}
+
+// Speedup computes baseline/overlap from a baseline latency.
+func (r *Result) Speedup(baseline sim.Time) float64 {
+	return float64(baseline) / float64(r.Latency)
+}

@@ -1,0 +1,97 @@
+// Package core implements FlashOverlap itself: the counting-table signaling
+// mechanism, the overlapped GEMM+collective runner built on the simulated
+// device/communication substrates, and the theoretical overlap bound used
+// in §6.4. The runner is organized exactly like the paper's Fig. 5: one
+// untouched GEMM kernel on a compute stream whose epilogue scatters tiles
+// through a reorder mapping and bumps a counting table; a signaling kernel
+// per wave group on the communication stream that polls the table and
+// releases a plain collective-library call over the group's contiguous
+// buffer range; and a post-communication reorder fused into the next
+// element-wise kernel.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gemm"
+)
+
+// CountingTable tracks per-group tile completion (§3.2.4): entry j counts
+// finished tiles of wave group G_j; when it reaches |G_j| (in tiles), the
+// group's completion callback runs — in the real system this is the moment
+// the signaling kernel observes the threshold and releases the
+// communication.
+type CountingTable struct {
+	bounds   []gemm.GroupBound
+	counts   []int
+	done     []bool
+	seen     []bool
+	groupOf  []int
+	complete func(g int)
+}
+
+// NewCountingTable builds a table over contiguous group bounds; complete is
+// invoked exactly once per group, in the call that fills it.
+func NewCountingTable(bounds []gemm.GroupBound, complete func(g int)) *CountingTable {
+	if len(bounds) == 0 {
+		panic("core: counting table needs at least one group")
+	}
+	total := bounds[len(bounds)-1].PosHi
+	ct := &CountingTable{
+		bounds:   bounds,
+		counts:   make([]int, len(bounds)),
+		done:     make([]bool, len(bounds)),
+		seen:     make([]bool, total),
+		groupOf:  make([]int, total),
+		complete: complete,
+	}
+	covered := 0
+	for g, b := range bounds {
+		if b.PosLo != covered || b.PosHi < b.PosLo {
+			panic(fmt.Sprintf("core: group %d bounds [%d,%d) not contiguous after %d", g, b.PosLo, b.PosHi, covered))
+		}
+		for pos := b.PosLo; pos < b.PosHi; pos++ {
+			ct.groupOf[pos] = g
+		}
+		covered = b.PosHi
+	}
+	return ct
+}
+
+// Groups reports the number of wave groups P.
+func (ct *CountingTable) Groups() int { return len(ct.bounds) }
+
+// Count reports the current count of group g.
+func (ct *CountingTable) Count(g int) int { return ct.counts[g] }
+
+// Complete reports whether group g has reached its threshold.
+func (ct *CountingTable) Complete(g int) bool { return ct.done[g] }
+
+// Add records completion of the tile at execution position pos — the
+// atomicAdd the GEMM epilogue performs. Double counting a tile panics: it
+// would release communication before the data is ready.
+func (ct *CountingTable) Add(pos int) {
+	if pos < 0 || pos >= len(ct.seen) {
+		panic(fmt.Sprintf("core: tile position %d out of %d", pos, len(ct.seen)))
+	}
+	if ct.seen[pos] {
+		panic(fmt.Sprintf("core: tile position %d counted twice", pos))
+	}
+	ct.seen[pos] = true
+	g := ct.groupOf[pos]
+	ct.counts[g]++
+	if ct.counts[g] == ct.bounds[g].Tiles() {
+		ct.done[g] = true
+		if ct.complete != nil {
+			ct.complete(g)
+		}
+	}
+}
+
+// AddRange records completion of positions [lo, hi) — used when a whole
+// wave retires at once in the wave-granularity timing model.
+func (ct *CountingTable) AddRange(lo, hi int) {
+	for pos := lo; pos < hi; pos++ {
+		ct.Add(pos)
+	}
+}

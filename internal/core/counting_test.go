@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gemm"
+)
+
+func boundsFor(t *testing.T, tiles, sms int, part gemm.Partition) []gemm.GroupBound {
+	t.Helper()
+	p, err := gemm.NewPlan(gemm.Shape{M: tiles, N: 1, K: 1}, gemm.Config{TileM: 1, TileN: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := part.Validate(p.Waves(sms)); err != nil {
+		t.Fatal(err)
+	}
+	return part.Bounds(p, sms)
+}
+
+func TestCountingTableFiresAtThreshold(t *testing.T) {
+	bounds := boundsFor(t, 8, 2, gemm.Partition{1, 2, 1}) // groups of 2,4,2 tiles
+	var fired []int
+	ct := NewCountingTable(bounds, func(g int) { fired = append(fired, g) })
+	if ct.Groups() != 3 {
+		t.Fatalf("Groups = %d", ct.Groups())
+	}
+	ct.Add(0)
+	if len(fired) != 0 {
+		t.Fatal("fired before threshold")
+	}
+	ct.Add(1)
+	if len(fired) != 1 || fired[0] != 0 {
+		t.Fatalf("fired = %v, want [0]", fired)
+	}
+	if !ct.Complete(0) || ct.Complete(1) {
+		t.Fatal("completion flags wrong")
+	}
+	// Group 2 can complete before group 1 (out-of-order tile retirement
+	// across groups is fine; the counting table is per-group).
+	ct.Add(6)
+	ct.Add(7)
+	if len(fired) != 2 || fired[1] != 2 {
+		t.Fatalf("fired = %v, want [0 2]", fired)
+	}
+	ct.AddRange(2, 6)
+	if len(fired) != 3 || fired[2] != 1 {
+		t.Fatalf("fired = %v, want [0 2 1]", fired)
+	}
+	if ct.Count(1) != 4 {
+		t.Fatalf("Count(1) = %d", ct.Count(1))
+	}
+}
+
+func TestCountingTableDoubleAddPanics(t *testing.T) {
+	ct := NewCountingTable(boundsFor(t, 4, 2, gemm.Partition{2}), nil)
+	ct.Add(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("double add did not panic")
+		}
+	}()
+	ct.Add(0)
+}
+
+func TestCountingTableOutOfRangePanics(t *testing.T) {
+	ct := NewCountingTable(boundsFor(t, 4, 2, gemm.Partition{2}), nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range add did not panic")
+		}
+	}()
+	ct.Add(4)
+}
+
+func TestCountingTableRejectsGappedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("gapped bounds did not panic")
+		}
+	}()
+	NewCountingTable([]gemm.GroupBound{{PosLo: 1, PosHi: 3}}, nil)
+}
+
+func TestCountingTableEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty bounds did not panic")
+		}
+	}()
+	NewCountingTable(nil, nil)
+}

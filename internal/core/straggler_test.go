@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/trace"
+)
+
+// §4.2.3: thermal throttling slows a device's GEMM but preserves the wave
+// pattern; collectives rendezvous on the slowest rank.
+func TestStragglerStretchesLatency(t *testing.T) {
+	base := Options{Plat: hw.A800NVLink(), NGPUs: 4,
+		Shape: gemm.Shape{M: 4096, N: 8192, K: 8192}, Prim: hw.AllReduce}
+	even, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := base
+	slow.DeviceSlowdown = []float64{1, 1, 1.3, 1}
+	hot, err := Run(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Latency <= even.Latency {
+		t.Fatalf("straggler run (%v) should exceed even run (%v)", hot.Latency, even.Latency)
+	}
+	// The first group's signal (max across devices) is pinned to the
+	// throttled device.
+	if hot.Groups[0].SignalAt <= even.Groups[0].SignalAt {
+		t.Fatal("straggler should delay the group signal")
+	}
+}
+
+func TestStragglerPreservesCorrectness(t *testing.T) {
+	o := smallOpts(hw.AllReduce, 2)
+	o.DeviceSlowdown = []float64{1, 1.5}
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := refSum(res, 2)
+	for d := 0; d < 2; d++ {
+		if !res.AROutput(d).Equal(want) {
+			t.Fatalf("throttled run lost correctness on device %d", d)
+		}
+	}
+}
+
+func TestStragglerValidation(t *testing.T) {
+	o := Options{Plat: hw.A800NVLink(), NGPUs: 2,
+		Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllReduce}
+	o.DeviceSlowdown = []float64{1}
+	if _, err := Run(o); err == nil {
+		t.Error("wrong slowdown count accepted")
+	}
+	o.DeviceSlowdown = []float64{1, 0.5}
+	if _, err := Run(o); err == nil {
+		t.Error("sub-unity slowdown accepted")
+	}
+}
+
+func TestTraceCapturesOverlap(t *testing.T) {
+	o := Options{Plat: hw.RTX4090PCIe(), NGPUs: 2,
+		Shape: gemm.Shape{M: 2048, N: 8192, K: 8192}, Prim: hw.AllReduce, Trace: true}
+	plan, err := gemm.NewPlan(o.Shape, gemm.DefaultConfig(o.Shape))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Partition = gemm.EqualSized(plan.Waves(o.Plat.GPU.SMs-o.Plat.CommSMs), 3)
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("trace empty with Options.Trace set")
+	}
+	tl := trace.FromSpans(res.Trace)
+	over := tl.OverlapTime(0, "compute", "comm")
+	if over <= 0 {
+		t.Fatal("no compute/communication overlap recorded in the trace")
+	}
+	// Most of the compute time should be covered by communication here
+	// (comm-dominated shape).
+	if float64(over) < 0.5*float64(tl.BusyTime(0, "compute")) {
+		t.Fatalf("overlap %v too small vs compute busy %v", over, tl.BusyTime(0, "compute"))
+	}
+	// Without Trace, spans stay nil.
+	o.Trace = false
+	res2, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Trace != nil {
+		t.Fatal("trace populated without Options.Trace")
+	}
+}

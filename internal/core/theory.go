@@ -1,0 +1,38 @@
+package core
+
+import (
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// TheoreticalBound computes the perfect-overlap latency of §6.4: if the
+// GEMM dominates, the bound is the original GEMM latency plus the
+// communication of only the final wave; if communication dominates, it is
+// the GEMM latency of only the first wave plus the original communication
+// latency. The bound assumes no SM contention, no bandwidth loss from
+// segmentation, and zero signaling cost — the measured overlap latency can
+// only approach it from above (Fig. 13c/d report the achieved ratio).
+func TheoreticalBound(o Options) (sim.Time, error) {
+	plan, _, err := o.normalize()
+	if err != nil {
+		return 0, err
+	}
+	cm := gemm.NewCostModel(o.Plat.GPU)
+	fullSMs := o.Plat.GPU.SMs
+	gemmTime := cm.Duration(plan, fullSMs)
+
+	totalBytes := float64(plan.Shape.OutputBytes())
+	if o.Prim == hw.AllToAll && o.Imbalance > 1 {
+		totalBytes *= o.Imbalance
+	}
+	commTime := o.Plat.Link.CollectiveTime(o.Prim, totalBytes, o.NGPUs)
+
+	if gemmTime >= commTime {
+		lastWaveTiles := plan.Tiles - (plan.Waves(fullSMs)-1)*fullSMs
+		lastBytes := float64(int64(lastWaveTiles) * plan.TileBytes())
+		return gemmTime + o.Plat.Link.CollectiveTime(o.Prim, lastBytes, o.NGPUs), nil
+	}
+	firstWave := cm.WaveEnd(plan, fullSMs, 0)
+	return firstWave + commTime, nil
+}

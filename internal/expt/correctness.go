@@ -1,0 +1,134 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/tensor"
+)
+
+// CorrectnessCase is one randomized equivalence check (artifact experiment
+// E1, claim C1: the overlapped result is mathematically equivalent to the
+// non-overlap implementation).
+type CorrectnessCase struct {
+	Prim     hw.Primitive
+	NGPUs    int
+	Shape    gemm.Shape
+	MaxDiff  float64
+	AllClose bool
+}
+
+// Correctness runs randomized functional checks for all three primitives on
+// a shrunken platform (so small matrices still span multiple waves) and
+// compares every output element against a sequential reference.
+func Correctness(cases int) ([]CorrectnessCase, error) {
+	plat := hw.RTX4090PCIe()
+	plat.GPU.SMs = 8
+	plat.CommSMs = 2
+	if cases <= 0 {
+		cases = 10
+	}
+	prims := []hw.Primitive{hw.AllReduce, hw.ReduceScatter, hw.AllToAll}
+	var out []CorrectnessCase
+	for i := 0; i < cases; i++ {
+		prim := prims[i%len(prims)]
+		n := 2 + 2*((i/3)%2) // 2 or 4 GPUs
+		shape := gemm.Shape{M: 16 + 16*(i%3), N: 24 + 8*(i%2), K: 5 + i%7}
+		o := core.Options{
+			Plat:       plat,
+			NGPUs:      n,
+			Shape:      shape,
+			Cfg:        gemm.Config{TileM: 8, TileN: 8, Swizzle: 2},
+			Prim:       prim,
+			Functional: true,
+			Seed:       uint64(1000 + i),
+		}
+		if prim == hw.AllToAll {
+			o.Routing = make([][]int, n)
+			for d := range o.Routing {
+				o.Routing[d] = make([]int, shape.M)
+				for r := range o.Routing[d] {
+					o.Routing[d][r] = (r*7 + d + i) % n
+				}
+			}
+		}
+		res, err := core.Run(o)
+		if err != nil {
+			return nil, err
+		}
+		cc := CorrectnessCase{Prim: prim, NGPUs: n, Shape: shape}
+		switch prim {
+		case hw.AllReduce:
+			want := tensor.New(shape.M, shape.N)
+			for d := 0; d < n; d++ {
+				c := tensor.New(shape.M, shape.N)
+				gemm.ComputeReference(c, res.InputA(d), res.InputB(d), nil)
+				want.AddInPlace(c)
+			}
+			got := res.AROutput(0)
+			cc.MaxDiff = got.MaxDiff(want)
+		case hw.ReduceScatter:
+			want := tensor.New(shape.M, shape.N)
+			for d := 0; d < n; d++ {
+				c := tensor.New(shape.M, shape.N)
+				gemm.ComputeReference(c, res.InputA(d), res.InputB(d), nil)
+				want.AddInPlace(c)
+			}
+			sl := res.RSLayout()
+			for d := 0; d < n && cc.MaxDiff == 0; d++ {
+				local := res.RSLocal(d)
+				for lr := 0; lr < local.Rows; lr++ {
+					gr := sl.GlobalRowOf(d, lr)
+					for col := 0; col < local.Cols; col++ {
+						diff := float64(local.At(lr, col) - want.At(gr, col))
+						if diff < 0 {
+							diff = -diff
+						}
+						if diff > cc.MaxDiff {
+							cc.MaxDiff = diff
+						}
+					}
+				}
+			}
+		case hw.AllToAll:
+			fulls := make([]*tensor.Matrix, n)
+			for d := 0; d < n; d++ {
+				fulls[d] = tensor.New(shape.M, shape.N)
+				gemm.ComputeReference(fulls[d], res.InputA(d), res.InputB(d), nil)
+			}
+			ex := res.A2AExchangeLayout()
+			for d := 0; d < n; d++ {
+				diff := res.A2AOutput(d).MaxDiff(ex.ReferenceOutput(d, fulls))
+				if diff > cc.MaxDiff {
+					cc.MaxDiff = diff
+				}
+			}
+		}
+		cc.AllClose = cc.MaxDiff == 0
+		out = append(out, cc)
+	}
+	return out, nil
+}
+
+// FormatCorrectness renders the E1 correctness report.
+func FormatCorrectness(cases []CorrectnessCase) string {
+	var b strings.Builder
+	b.WriteString("E1 — correctness vs. non-overlap reference (claim C1)\n\n")
+	var rows [][]string
+	pass := 0
+	for _, c := range cases {
+		verdict := "all close"
+		if !c.AllClose {
+			verdict = fmt.Sprintf("FAIL (max diff %g)", c.MaxDiff)
+		} else {
+			pass++
+		}
+		rows = append(rows, []string{c.Prim.String(), fmt.Sprint(c.NGPUs), c.Shape.String(), verdict})
+	}
+	b.WriteString(Table([]string{"primitive", "GPUs", "shape", "verdict"}, rows))
+	fmt.Fprintf(&b, "\n%d/%d cases all close\n", pass, len(cases))
+	return b.String()
+}

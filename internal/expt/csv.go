@@ -1,0 +1,149 @@
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/workload"
+)
+
+// CSV writers so the figures can be re-plotted outside this repository.
+// Each writer emits a header row and one record per data point.
+
+// WriteFig3CSV emits (series, index, completion_ms, wave) rows.
+func WriteFig3CSV(w io.Writer, r *Fig3Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "index", "completion_ms", "wave"}); err != nil {
+		return err
+	}
+	emit := func(series string, pts []Fig3Point) error {
+		for _, p := range pts {
+			if err := cw.Write([]string{
+				series,
+				strconv.Itoa(p.Index),
+				formatFloat(p.Completion.Millis()),
+				strconv.Itoa(p.Wave),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := emit("without_reorder", r.WithoutReorder); err != nil {
+		return err
+	}
+	if err := emit("with_reorder", r.WithReorder); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig8CSV emits (platform, bytes, bandwidth_gbps) rows.
+func WriteFig8CSV(w io.Writer, series []Fig8Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"platform", "bytes", "bandwidth_gbps"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for _, p := range s.Points {
+			if err := cw.Write([]string{
+				s.Platform,
+				formatFloat(p.X),
+				formatFloat(p.Y / 1e9),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteOperatorCSV emits per-case speedups (Fig. 10/11/16 data).
+func WriteOperatorCSV(w io.Writer, cases []OperatorCase) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"platform", "primitive", "gpus", "m", "n", "k", "method", "speedup"}); err != nil {
+		return err
+	}
+	for _, c := range cases {
+		for _, m := range sortedKeys(c.Speedups) {
+			if err := cw.Write([]string{
+				c.Plat, c.Prim.Short(), strconv.Itoa(c.NGPUs),
+				strconv.Itoa(c.Shape.M), strconv.Itoa(c.Shape.N), strconv.Itoa(c.Shape.K),
+				m, formatFloat(c.Speedups[m]),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig12CSV emits end-to-end and per-operator rows.
+func WriteFig12CSV(w io.Writer, results []workload.E2EResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"model", "setting", "operator", "speedup"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if err := cw.Write([]string{r.Model, r.Setting, "e2e", formatFloat(r.Speedup)}); err != nil {
+			return err
+		}
+		for _, op := range r.Ops {
+			if err := cw.Write([]string{r.Model, r.Setting, op.Name, formatFloat(op.Speedup)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig13CSV emits heatmap cells.
+func WriteFig13CSV(w io.Writer, panels []Fig13Panel) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"platform", "primitive", "gpus", "m", "k", "speedup", "theory_ratio"}); err != nil {
+		return err
+	}
+	for _, p := range panels {
+		for _, row := range p.Cells {
+			for _, c := range row {
+				if err := cw.Write([]string{
+					p.Plat, p.Prim.Short(), strconv.Itoa(p.NGPUs),
+					strconv.Itoa(c.Shape.M), strconv.Itoa(c.Shape.K),
+					formatFloat(c.Speedup), formatFloat(c.TheoryRatio),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig15CSV emits the raw error samples (one per combination) so the
+// CDF can be re-plotted.
+func WriteFig15CSV(w io.Writer, results []Fig15Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"platform", "error_pct"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		for _, e := range r.ErrorsPct {
+			if err := cw.Write([]string{r.Plat, formatFloat(e)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,109 @@
+package expt
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+// parseCSV reads the emitted bytes back and checks the header.
+func parseCSV(t *testing.T, buf *bytes.Buffer, wantHeader string) [][]string {
+	t.Helper()
+	records, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) < 2 {
+		t.Fatalf("only %d records", len(records))
+	}
+	if records[0][0] != wantHeader {
+		t.Fatalf("header = %v", records[0])
+	}
+	return records
+}
+
+func TestWriteFig3CSV(t *testing.T) {
+	r, err := Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig3CSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf, "series")
+	if len(records) != 1+2*r.Tiles {
+		t.Fatalf("records = %d, want %d", len(records), 1+2*r.Tiles)
+	}
+	// Completion values must parse as floats.
+	if _, err := strconv.ParseFloat(records[1][2], 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteFig8CSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFig8CSV(&buf, Fig8()); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf, "platform")
+	if len(records) < 20 {
+		t.Fatalf("records = %d", len(records))
+	}
+}
+
+func TestWriteOperatorCSV(t *testing.T) {
+	cases, err := Fig16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteOperatorCSV(&buf, cases); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf, "platform")
+	// 16 cases x >= 2 methods (FlashOverlap + decomposition).
+	if len(records) < 1+16*2 {
+		t.Fatalf("records = %d", len(records))
+	}
+	for _, rec := range records[1:] {
+		if len(rec) != 8 {
+			t.Fatalf("bad record %v", rec)
+		}
+		if _, err := strconv.ParseFloat(rec[7], 64); err != nil {
+			t.Fatalf("speedup %q not a float", rec[7])
+		}
+	}
+}
+
+func TestWriteFig13CSV(t *testing.T) {
+	panels, err := Fig13(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig13CSV(&buf, panels); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf, "platform")
+	if len(records) != 1+2*9 { // two 3x3 quick panels
+		t.Fatalf("records = %d", len(records))
+	}
+}
+
+func TestWriteFig15CSV(t *testing.T) {
+	results, err := Fig15(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFig15CSV(&buf, results); err != nil {
+		t.Fatal(err)
+	}
+	records := parseCSV(t, &buf, "platform")
+	want := 1 + len(results[0].ErrorsPct) + len(results[1].ErrorsPct)
+	if len(records) != want {
+		t.Fatalf("records = %d, want %d", len(records), want)
+	}
+}

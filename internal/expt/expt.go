@@ -1,0 +1,110 @@
+// Package expt is the experiment harness: every table and figure of the
+// paper's evaluation has a generator here that runs the simulator and
+// formats the same rows/series the paper reports. cmd/experiments and the
+// root-level benchmarks are thin wrappers over these functions.
+//
+// Absolute numbers are synthetic (the substrate is a simulator); what the
+// harness reproduces is the shape of each result — who wins, by what
+// factor, where crossovers fall. EXPERIMENTS.md records paper-vs-measured
+// for each.
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/gemm"
+	"repro/internal/hw"
+)
+
+// ShapeGrid is one cell of Table 3: the GEMM sizes an operator-level
+// experiment sweeps for a (platform, primitive) pair.
+type ShapeGrid struct {
+	Plat   hw.Platform
+	Prim   hw.Primitive
+	Shapes []gemm.Shape
+}
+
+// Table3Grids returns the operator-evaluation shape grids of Table 3.
+// M·N ranges are in Mi-elements and K in Ki, matching the table; each range
+// is sampled at three points per axis. quick keeps one K per M·N for fast
+// runs (tests, benchmarks).
+func Table3Grids(quick bool) []ShapeGrid {
+	build := func(ms []int, ks []int) []gemm.Shape {
+		var out []gemm.Shape
+		for i, m := range ms {
+			for j, k := range ks {
+				if quick && j != i%len(ks) {
+					continue
+				}
+				out = append(out, gemm.Shape{M: m, N: 8192, K: k})
+			}
+		}
+		return out
+	}
+	a800 := hw.A800NVLink()
+	rtx := hw.RTX4090PCIe()
+	return []ShapeGrid{
+		// A800: AR/RS with M·N 64-256 Mi, K 2-8 Ki.
+		{Plat: a800, Prim: hw.AllReduce, Shapes: build([]int{8192, 16384, 32768}, []int{2048, 4096, 8192})},
+		{Plat: a800, Prim: hw.ReduceScatter, Shapes: build([]int{8192, 16384, 32768}, []int{2048, 4096, 8192})},
+		// A800: A2A with M·N 16-400 Mi, K 4-8 Ki.
+		{Plat: a800, Prim: hw.AllToAll, Shapes: build([]int{2048, 16384, 51200}, []int{4096, 8192})},
+		// RTX 4090: AR/RS with M·N 16-64 Mi, K 8-16 Ki.
+		{Plat: rtx, Prim: hw.AllReduce, Shapes: build([]int{2048, 4096, 8192}, []int{8192, 12288, 16384})},
+		{Plat: rtx, Prim: hw.ReduceScatter, Shapes: build([]int{2048, 4096, 8192}, []int{8192, 12288, 16384})},
+		// RTX 4090: A2A with M·N 4-68 Mi, K 8-16 Ki.
+		{Plat: rtx, Prim: hw.AllToAll, Shapes: build([]int{512, 4096, 8704}, []int{8192, 16384})},
+	}
+}
+
+// GPUCounts are the parallel-group sizes of the operator evaluation.
+var GPUCounts = []int{2, 4, 8}
+
+// Table renders rows as a fixed-width text table.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// sortedKeys returns map keys in sorted order for deterministic output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

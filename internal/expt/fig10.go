@@ -1,0 +1,259 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tuner"
+)
+
+// Method names used across the operator-level comparisons.
+const (
+	MethodFlashOverlap = "FlashOverlap"
+	MethodVanillaDecmp = "VanillaDecomposition"
+	MethodAsyncTP      = "Async-TP"
+	MethodFlux         = "FLUX"
+	MethodCublasMp     = "cuBLASMp"
+)
+
+// a2aImbalance is the routing skew applied to All-to-All operator cases
+// (MoE routing is never balanced).
+const a2aImbalance = 1.2
+
+// OperatorCase is one (platform, primitive, GPUs, shape) measurement.
+type OperatorCase struct {
+	Plat     string
+	Prim     hw.Primitive
+	NGPUs    int
+	Shape    gemm.Shape
+	Baseline sim.Time
+	// Speedups maps method name to speedup over the non-overlap
+	// baseline; methods unavailable on the platform are absent.
+	Speedups  map[string]float64
+	Partition gemm.Partition // FlashOverlap's tuned partition
+}
+
+// runOperatorCase measures every applicable method on one case.
+func runOperatorCase(plat hw.Platform, prim hw.Primitive, n int, shape gemm.Shape, tn *tuner.Tuner) (OperatorCase, error) {
+	oc := OperatorCase{Plat: plat.Name, Prim: prim, NGPUs: n, Shape: shape, Speedups: map[string]float64{}}
+	bOpts := baselines.Options{Plat: plat, NGPUs: n, Shape: shape, Prim: prim}
+	imb := 0.0
+	if prim == hw.AllToAll {
+		imb = a2aImbalance
+		bOpts.Imbalance = imb
+	}
+	base, err := baselines.NonOverlap(bOpts)
+	if err != nil {
+		return oc, err
+	}
+	oc.Baseline = base
+
+	part, err := tn.Tune(shape, imb)
+	if err != nil {
+		return oc, err
+	}
+	oc.Partition = part
+	flash, err := core.Run(core.Options{
+		Plat: plat, NGPUs: n, Shape: shape, Prim: prim,
+		Partition: part, Imbalance: imb,
+	})
+	if err != nil {
+		return oc, err
+	}
+	oc.Speedups[MethodFlashOverlap] = float64(base) / float64(flash.Latency)
+
+	if vd, err := baselines.Decomposition(bOpts, false); err == nil {
+		oc.Speedups[MethodVanillaDecmp] = float64(base) / float64(vd)
+	}
+	if plat.P2PCapable() {
+		if at, err := baselines.Decomposition(bOpts, true); err == nil {
+			oc.Speedups[MethodAsyncTP] = float64(base) / float64(at)
+		}
+		if prim != hw.AllToAll { // FLUX/cuBLASMp target TP collectives
+			if fx, err := baselines.Fusion(bOpts, baselines.Flux); err == nil {
+				oc.Speedups[MethodFlux] = float64(base) / float64(fx)
+			}
+			if cb, err := baselines.Fusion(bOpts, baselines.CublasMp); err == nil {
+				oc.Speedups[MethodCublasMp] = float64(base) / float64(cb)
+			}
+		}
+	}
+	return oc, nil
+}
+
+// Fig10Group aggregates one (platform, primitive, GPU count) panel.
+type Fig10Group struct {
+	Plat    string
+	Prim    hw.Primitive
+	NGPUs   int
+	PerM    map[string]stats.Summary // method -> speedup summary
+	NShapes int
+}
+
+// Fig10 runs the operator-level evaluation over the Table 3 grids for
+// 2/4/8 GPUs and summarizes each method's speedup (avg with min/max, as the
+// paper's "◦"/"⋄" markers).
+func Fig10(quick bool) ([]Fig10Group, []OperatorCase, error) {
+	var groups []Fig10Group
+	var cases []OperatorCase
+	counts := GPUCounts
+	if quick {
+		counts = []int{4}
+	}
+	for _, grid := range Table3Grids(quick) {
+		for _, n := range counts {
+			tn := tuner.NewTuner(grid.Plat, n, grid.Prim)
+			tn.CandidateLimit = 256
+			perMethod := map[string][]float64{}
+			for _, shape := range grid.Shapes {
+				oc, err := runOperatorCase(grid.Plat, grid.Prim, n, shape, tn)
+				if err != nil {
+					return nil, nil, fmt.Errorf("%s %s n=%d %v: %w", grid.Plat.Name, grid.Prim, n, shape, err)
+				}
+				cases = append(cases, oc)
+				for m, s := range oc.Speedups {
+					perMethod[m] = append(perMethod[m], s)
+				}
+			}
+			g := Fig10Group{Plat: grid.Plat.Name, Prim: grid.Prim, NGPUs: n, PerM: map[string]stats.Summary{}, NShapes: len(grid.Shapes)}
+			for m, xs := range perMethod {
+				g.PerM[m] = stats.Summarize(xs)
+			}
+			groups = append(groups, g)
+		}
+	}
+	return groups, cases, nil
+}
+
+// FormatFig10 renders the aggregated panels.
+func FormatFig10(groups []Fig10Group) string {
+	var b strings.Builder
+	b.WriteString("Fig. 10 — operator-level speedup over non-overlap (avg [min, max])\n\n")
+	var rows [][]string
+	for _, g := range groups {
+		for _, m := range sortedKeys(g.PerM) {
+			s := g.PerM[m]
+			rows = append(rows, []string{
+				g.Plat,
+				"GEMM+" + g.Prim.Short(),
+				fmt.Sprint(g.NGPUs),
+				m,
+				fmt.Sprintf("%.2fx [%.2f, %.2f]", s.Mean, s.Min, s.Max),
+			})
+		}
+	}
+	b.WriteString(Table([]string{"platform", "pattern", "GPUs", "method", "speedup"}, rows))
+	return b.String()
+}
+
+// Fig11Shapes are the 15 typical GEMM+RS shapes of Fig. 11:
+// M·N in {128,192,256,320,384} Mi-elements crossed with K in {2,4,8} Ki.
+func Fig11Shapes() []gemm.Shape {
+	var out []gemm.Shape
+	for _, k := range []int{2048, 4096, 8192} {
+		for _, m := range []int{16384, 24576, 32768, 40960, 49152} {
+			out = append(out, gemm.Shape{M: m, N: 8192, K: k})
+		}
+	}
+	return out
+}
+
+// Fig11 compares methods per shape for GEMM+RS on A800 across GPU counts.
+func Fig11(quick bool) ([]OperatorCase, error) {
+	plat := hw.A800NVLink()
+	shapes := Fig11Shapes()
+	counts := GPUCounts
+	if quick {
+		shapes = shapes[:5]
+		counts = []int{4}
+	}
+	var cases []OperatorCase
+	for _, n := range counts {
+		tn := tuner.NewTuner(plat, n, hw.ReduceScatter)
+		tn.CandidateLimit = 256
+		for _, shape := range shapes {
+			oc, err := runOperatorCase(plat, hw.ReduceScatter, n, shape, tn)
+			if err != nil {
+				return nil, err
+			}
+			cases = append(cases, oc)
+		}
+	}
+	return cases, nil
+}
+
+// FormatFig11 renders the per-shape comparison.
+func FormatFig11(cases []OperatorCase) string {
+	var b strings.Builder
+	b.WriteString("Fig. 11 — per-shape speedup comparison, GEMM+RS on A800\n\n")
+	var rows [][]string
+	for _, c := range cases {
+		for _, m := range sortedKeys(c.Speedups) {
+			rows = append(rows, []string{
+				fmt.Sprintf("%dx%d", c.Shape.M, c.Shape.N),
+				fmt.Sprint(c.Shape.K),
+				fmt.Sprint(c.NGPUs),
+				m,
+				fmt.Sprintf("%.2fx", c.Speedups[m]),
+			})
+		}
+	}
+	b.WriteString(Table([]string{"MxN", "K", "GPUs", "method", "speedup"}, rows))
+	return b.String()
+}
+
+// Fig16Shapes are the LLM GEMM shapes evaluated on Ascend 910B NPUs.
+func Fig16Shapes() []gemm.Shape {
+	return []gemm.Shape{
+		{M: 2048, N: 5120, K: 2560},
+		{M: 4096, N: 2048, K: 8192},
+		{M: 4096, N: 4096, K: 2048},
+		{M: 5120, N: 6912, K: 4096},
+		{M: 2048, N: 8192, K: 12288},
+		{M: 4096, N: 4096, K: 5120},
+		{M: 6912, N: 4096, K: 2048},
+		{M: 8192, N: 2048, K: 4096},
+	}
+}
+
+// Fig16 evaluates GEMM+AR with FlashOverlap on the Ascend 910B profile for
+// TP=2 and TP=4 (§6.7: the design ports because it only needs a counting
+// table and an API-callable collective library).
+func Fig16() ([]OperatorCase, error) {
+	plat := hw.Ascend910B()
+	var cases []OperatorCase
+	for _, n := range []int{2, 4} {
+		tn := tuner.NewTuner(plat, n, hw.AllReduce)
+		tn.CandidateLimit = 256
+		for _, shape := range Fig16Shapes() {
+			oc, err := runOperatorCase(plat, hw.AllReduce, n, shape, tn)
+			if err != nil {
+				return nil, err
+			}
+			cases = append(cases, oc)
+		}
+	}
+	return cases, nil
+}
+
+// FormatFig16 renders the NPU results.
+func FormatFig16(cases []OperatorCase) string {
+	var b strings.Builder
+	b.WriteString("Fig. 16 — GEMM+AR speedup on HUAWEI Ascend 910B NPUs\n\n")
+	var rows [][]string
+	for _, c := range cases {
+		rows = append(rows, []string{
+			fmt.Sprintf("TP=%d", c.NGPUs),
+			c.Shape.String(),
+			fmt.Sprintf("%.2fx", c.Speedups[MethodFlashOverlap]),
+		})
+	}
+	b.WriteString(Table([]string{"parallelism", "shape", "FlashOverlap speedup"}, rows))
+	return b.String()
+}

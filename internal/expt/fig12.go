@@ -1,0 +1,50 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// Fig12 runs the end-to-end evaluation of Table 4's workloads on A800,
+// reporting the overall speedup and the applied-operator speedups
+// ("size 1"/"size 2" in the paper's bars).
+func Fig12(candLimit int) ([]workload.E2EResult, error) {
+	plat := hw.A800NVLink()
+	var out []workload.E2EResult
+	for _, m := range workload.Table4Models() {
+		res, err := workload.EndToEnd(m, plat, candLimit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatFig12 renders the end-to-end results.
+func FormatFig12(results []workload.E2EResult) string {
+	var b strings.Builder
+	b.WriteString("Fig. 12 — end-to-end and applied-operator speedup (A800)\n\n")
+	var rows [][]string
+	for _, r := range results {
+		rows = append(rows, []string{
+			fmt.Sprintf("%s (%s)", r.Model, r.Setting),
+			"e2e",
+			fmt.Sprintf("%.3fx", r.Speedup),
+			fmt.Sprintf("%.2f -> %.2f ms/iter", r.Baseline.Millis(), r.Overlap.Millis()),
+		})
+		for _, op := range r.Ops {
+			rows = append(rows, []string{
+				"",
+				op.Name,
+				fmt.Sprintf("%.3fx", op.Speedup),
+				fmt.Sprintf("%v (%s)", op.Shape, op.Prim.Short()),
+			})
+		}
+	}
+	b.WriteString(Table([]string{"workload", "operator", "speedup", "detail"}, rows))
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/tuner"
+)
+
+// Fig13Cell is one heatmap entry.
+type Fig13Cell struct {
+	Shape gemm.Shape
+	// Speedup is tuned FlashOverlap over non-overlap.
+	Speedup float64
+	// TheoryRatio is the achieved fraction of the perfect-overlap bound.
+	TheoryRatio float64
+}
+
+// Fig13Panel is one platform's heatmap.
+type Fig13Panel struct {
+	Plat  string
+	Prim  hw.Primitive
+	NGPUs int
+	// MNs and Ks are the axis values; Cells is row-major [k][mn].
+	MNs, Ks []int
+	Cells   [][]Fig13Cell
+}
+
+// Fig13 sweeps the (M·N, K) plane: GEMM+RS with TP=2 on RTX 4090 and
+// GEMM+AR with TP=4 on A800, reporting overlap speedup and the ratio to the
+// theoretical bound (§6.4). quick shrinks the 7x7 grid to 3x3.
+func Fig13(quick bool) ([]Fig13Panel, error) {
+	type spec struct {
+		plat hw.Platform
+		prim hw.Primitive
+		n    int
+		ms   []int
+		ks   []int
+	}
+	specs := []spec{
+		{hw.RTX4090PCIe(), hw.ReduceScatter, 2,
+			[]int{2048, 3072, 4096, 5120, 6144, 7168, 8192},
+			[]int{4096, 6144, 8192, 10240, 12288, 14336, 16384}},
+		{hw.A800NVLink(), hw.AllReduce, 4,
+			[]int{8192, 12288, 16384, 20480, 24576, 28672, 32768},
+			[]int{2048, 3072, 4096, 5120, 6144, 7168, 8192}},
+	}
+	var panels []Fig13Panel
+	for _, sp := range specs {
+		ms, ks := sp.ms, sp.ks
+		if quick {
+			ms = []int{ms[0], ms[3], ms[6]}
+			ks = []int{ks[0], ks[3], ks[6]}
+		}
+		tn := tuner.NewTuner(sp.plat, sp.n, sp.prim)
+		tn.CandidateLimit = 256
+		panel := Fig13Panel{Plat: sp.plat.Name, Prim: sp.prim, NGPUs: sp.n, MNs: ms, Ks: ks}
+		for _, k := range ks {
+			var row []Fig13Cell
+			for _, m := range ms {
+				shape := gemm.Shape{M: m, N: 8192, K: k}
+				base, err := baselines.NonOverlap(baselines.Options{Plat: sp.plat, NGPUs: sp.n, Shape: shape, Prim: sp.prim})
+				if err != nil {
+					return nil, err
+				}
+				part, err := tn.Tune(shape, 0)
+				if err != nil {
+					return nil, err
+				}
+				opts := core.Options{Plat: sp.plat, NGPUs: sp.n, Shape: shape, Prim: sp.prim, Partition: part}
+				res, err := core.Run(opts)
+				if err != nil {
+					return nil, err
+				}
+				boundOpts := opts
+				boundOpts.Partition = nil
+				bound, err := core.TheoreticalBound(boundOpts)
+				if err != nil {
+					return nil, err
+				}
+				theorySpeedup := float64(base) / float64(bound)
+				actualSpeedup := float64(base) / float64(res.Latency)
+				row = append(row, Fig13Cell{
+					Shape:       shape,
+					Speedup:     actualSpeedup,
+					TheoryRatio: actualSpeedup / theorySpeedup,
+				})
+			}
+			panel.Cells = append(panel.Cells, row)
+		}
+		panels = append(panels, panel)
+	}
+	return panels, nil
+}
+
+// FormatFig13 renders both heatmaps (speedup and theory ratio).
+func FormatFig13(panels []Fig13Panel) string {
+	var b strings.Builder
+	b.WriteString("Fig. 13 — performance heatmap on varying GEMM sizes (N=8192)\n\n")
+	for _, p := range panels {
+		fmt.Fprintf(&b, "%s, GEMM+%s, %d GPUs — overlap speedup\n", p.Plat, p.Prim.Short(), p.NGPUs)
+		b.WriteString(formatHeat(p, func(c Fig13Cell) float64 { return c.Speedup }))
+		fmt.Fprintf(&b, "%s — ratio of theoretical speedup\n", p.Plat)
+		b.WriteString(formatHeat(p, func(c Fig13Cell) float64 { return c.TheoryRatio }))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatHeat(p Fig13Panel, val func(Fig13Cell) float64) string {
+	header := []string{"K \\ MxN(Mi)"}
+	for _, m := range p.MNs {
+		header = append(header, fmt.Sprint(m*8192/(1024*1024)))
+	}
+	var rows [][]string
+	for i, k := range p.Ks {
+		cells := []string{fmt.Sprint(k)}
+		for _, c := range p.Cells[i] {
+			cells = append(cells, fmt.Sprintf("%.2f", val(c)))
+		}
+		rows = append(rows, cells)
+	}
+	return Table(header, rows)
+}

@@ -1,0 +1,126 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/tuner"
+)
+
+// Fig14Case is one ablation bar group: every grouping strategy's speedup
+// over non-overlap for one shape.
+type Fig14Case struct {
+	Plat  string
+	Prim  hw.Primitive
+	NGPUs int
+	Shape gemm.Shape
+	// Bars maps strategy name ("mw", "Egs=4", "FlashOverlap", ...) to
+	// speedup over non-overlap.
+	Bars map[string]float64
+	// Tuned is the partition the predictive search selected.
+	Tuned gemm.Partition
+}
+
+// Fig14 reproduces the wave-grouping ablation: a deliberately misconfigured
+// wave size ("mw", +20 tiles), equally-sized groupings Egs=n, and the tuned
+// FlashOverlap, on GEMM+AR over 2x RTX 4090 and GEMM+RS over 4x A800.
+func Fig14() ([]Fig14Case, error) {
+	type spec struct {
+		plat   hw.Platform
+		prim   hw.Primitive
+		n      int
+		shapes []gemm.Shape
+		egs    []int
+	}
+	specs := []spec{
+		{hw.RTX4090PCIe(), hw.AllReduce, 2,
+			[]gemm.Shape{{M: 2048, N: 8192, K: 4096}, {M: 4096, N: 8192, K: 8192}, {M: 2048, N: 8192, K: 16384}},
+			[]int{1, 2, 4, 8}},
+		{hw.A800NVLink(), hw.ReduceScatter, 4,
+			[]gemm.Shape{{M: 4096, N: 8192, K: 8192}, {M: 8192, N: 8192, K: 1024}, {M: 16384, N: 8192, K: 1024}},
+			[]int{1, 2, 4, 8, 16, 32}},
+	}
+	var cases []Fig14Case
+	for _, sp := range specs {
+		tn := tuner.NewTuner(sp.plat, sp.n, sp.prim)
+		tn.CandidateLimit = 512
+		trueSMs := sp.plat.GPU.SMs - sp.plat.CommSMs
+		for _, shape := range sp.shapes {
+			base, err := baselines.NonOverlap(baselines.Options{Plat: sp.plat, NGPUs: sp.n, Shape: shape, Prim: sp.prim})
+			if err != nil {
+				return nil, err
+			}
+			plan, err := gemm.NewPlan(shape, gemm.DefaultConfig(shape))
+			if err != nil {
+				return nil, err
+			}
+			t := plan.Waves(trueSMs)
+			c := Fig14Case{Plat: sp.plat.Name, Prim: sp.prim, NGPUs: sp.n, Shape: shape, Bars: map[string]float64{}}
+
+			run := func(o core.Options) (float64, error) {
+				res, err := core.Run(o)
+				if err != nil {
+					return 0, err
+				}
+				return float64(base) / float64(res.Latency), nil
+			}
+			opts := core.Options{Plat: sp.plat, NGPUs: sp.n, Shape: shape, Prim: sp.prim}
+
+			// Tuned FlashOverlap.
+			tuned, err := tn.Tune(shape, 0)
+			if err != nil {
+				return nil, err
+			}
+			c.Tuned = tuned
+			o := opts
+			o.Partition = tuned
+			if c.Bars[MethodFlashOverlap], err = run(o); err != nil {
+				return nil, err
+			}
+
+			// Misconfigured wave size: the tuned partition with counting
+			// thresholds computed at trueSMs+20 tiles per wave.
+			o = opts
+			o.Partition = tuned.Clone()
+			o.WaveSizeOverride = trueSMs + 20
+			if c.Bars["mw"], err = run(o); err != nil {
+				return nil, err
+			}
+
+			// Equally-sized groupings.
+			for _, gs := range sp.egs {
+				o = opts
+				o.Partition = gemm.EqualSized(t, gs)
+				if c.Bars[fmt.Sprintf("Egs=%d", gs)], err = run(o); err != nil {
+					return nil, err
+				}
+			}
+			cases = append(cases, c)
+		}
+	}
+	return cases, nil
+}
+
+// FormatFig14 renders the ablation bars.
+func FormatFig14(cases []Fig14Case) string {
+	var b strings.Builder
+	b.WriteString("Fig. 14 — wave grouping ablation (speedup over non-overlap)\n\n")
+	var rows [][]string
+	for _, c := range cases {
+		for _, name := range sortedKeys(c.Bars) {
+			rows = append(rows, []string{
+				fmt.Sprintf("%s %s n=%d", c.Plat, c.Prim.Short(), c.NGPUs),
+				c.Shape.String(),
+				name,
+				fmt.Sprintf("%.3fx", c.Bars[name]),
+			})
+		}
+		rows = append(rows, []string{"", "", "tuned partition", c.Tuned.String()})
+	}
+	b.WriteString(Table([]string{"setting", "shape", "strategy", "speedup"}, rows))
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/stats"
+	"repro/internal/tuner"
+)
+
+// Fig15Result holds the prediction-error study for one platform.
+type Fig15Result struct {
+	Plat string
+	// ErrorsPct are |actual-predicted|/actual per (shape, partition,
+	// parallelism) combination, in percent.
+	ErrorsPct []float64
+	MeanPct   float64
+	P95Pct    float64
+	// SearchQuality compares the predictively searched partition's
+	// measured latency against the exhaustive optimum per shape
+	// (1.0 = identical choice).
+	SearchQuality []float64
+	MinQuality    float64
+}
+
+// Fig15 measures prediction error over many (GEMM size, wave partition,
+// parallelism) combinations per platform, and the predictive-vs-exhaustive
+// search quality (claims in §6.5 / A.4.2: avg error < 5%, quality > 99%).
+// full runs the paper-scale >250 combinations per platform; otherwise a
+// reduced set.
+func Fig15(full bool) ([]Fig15Result, error) {
+	shapes := []gemm.Shape{
+		{M: 2048, N: 8192, K: 4096},
+		{M: 4096, N: 8192, K: 8192},
+		{M: 8192, N: 8192, K: 2048},
+	}
+	parallelisms := []int{2, 4}
+	partsPerShape := 8
+	if full {
+		shapes = append(shapes,
+			gemm.Shape{M: 2048, N: 8192, K: 12288},
+			gemm.Shape{M: 4096, N: 8192, K: 2048},
+			gemm.Shape{M: 16384, N: 8192, K: 4096},
+		)
+		parallelisms = []int{2, 4, 8}
+		partsPerShape = 16
+	}
+	var out []Fig15Result
+	for _, plat := range []hw.Platform{hw.RTX4090PCIe(), hw.A800NVLink()} {
+		res := Fig15Result{Plat: plat.Name}
+		for _, n := range parallelisms {
+			curve := tuner.SampleBandwidthCurve(plat, n, hw.AllReduce, nil)
+			for _, shape := range shapes {
+				pred, err := tuner.NewPredictor(plat, shape, gemm.Config{}, curve, 1)
+				if err != nil {
+					return nil, err
+				}
+				cands := tuner.Candidates(pred.Waves, tuner.DefaultS1, tuner.DefaultSP, 256)
+				step := len(cands)/partsPerShape + 1
+				opts := core.Options{Plat: plat, NGPUs: n, Shape: shape, Prim: hw.AllReduce}
+				for i := 0; i < len(cands); i += step {
+					part := cands[i]
+					want, err := pred.Predict(part)
+					if err != nil {
+						return nil, err
+					}
+					run := opts
+					run.Partition = part
+					actual, err := core.Run(run)
+					if err != nil {
+						return nil, err
+					}
+					e := 100 * math.Abs(float64(actual.Latency-want)) / float64(actual.Latency)
+					res.ErrorsPct = append(res.ErrorsPct, e)
+				}
+				// Search quality for this (shape, n).
+				predBest, err := tuner.PredictiveSearch(pred, cands)
+				if err != nil {
+					return nil, err
+				}
+				oracle, err := tuner.ExhaustiveSearch(opts, cands)
+				if err != nil {
+					return nil, err
+				}
+				run := opts
+				run.Partition = predBest.Partition
+				actual, err := core.Run(run)
+				if err != nil {
+					return nil, err
+				}
+				res.SearchQuality = append(res.SearchQuality, float64(oracle.Latency)/float64(actual.Latency))
+			}
+		}
+		s := stats.Summarize(res.ErrorsPct)
+		res.MeanPct = s.Mean
+		res.P95Pct = stats.Percentile(res.ErrorsPct, 95)
+		res.MinQuality = stats.Summarize(res.SearchQuality).Min
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// FormatFig15 renders the CDF summary and search quality.
+func FormatFig15(results []Fig15Result) string {
+	var b strings.Builder
+	b.WriteString("Fig. 15 — CDF of prediction error ratio & predictive search quality\n\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%s: %d combinations, mean |error| = %.2f%%, p95 = %.2f%%\n",
+			r.Plat, len(r.ErrorsPct), r.MeanPct, r.P95Pct)
+		var rows [][]string
+		for _, q := range []float64{25, 50, 75, 90, 99} {
+			rows = append(rows, []string{
+				fmt.Sprintf("p%.0f", q),
+				fmt.Sprintf("%.2f%%", stats.Percentile(r.ErrorsPct, q)),
+			})
+		}
+		b.WriteString(Table([]string{"quantile", "error"}, rows))
+		fmt.Fprintf(&b, "predictive search reaches %.1f%%..100%% of the exhaustive optimum (min %.3f)\n\n",
+			r.MinQuality*100, r.MinQuality)
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/workload"
+)
+
+// Fig4Row is one profiled workload's latency decomposition.
+type Fig4Row struct {
+	Model, Setting string
+	Fractions      map[string]float64 // pattern -> share of end-to-end time
+}
+
+// Fig4 profiles the four Table 4 workloads on A800 and reports the share of
+// time spent in the overlappable GEMM+X patterns.
+func Fig4() ([]Fig4Row, error) {
+	plat := hw.A800NVLink()
+	var rows []Fig4Row
+	for _, m := range workload.Fig4Models() {
+		b, err := workload.ComputeBreakdown(m, plat)
+		if err != nil {
+			return nil, err
+		}
+		fr := map[string]float64{}
+		for pattern := range b.ByPattern {
+			fr[pattern] = b.Fraction(pattern)
+		}
+		rows = append(rows, Fig4Row{Model: m.Name, Setting: m.Setting, Fractions: fr})
+	}
+	return rows, nil
+}
+
+// FormatFig4 renders the breakdown table.
+func FormatFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 4 — time portion of \"GEMM + X\" in inference and training (A800)\n\n")
+	var out [][]string
+	for _, r := range rows {
+		for _, pattern := range sortedKeys(r.Fractions) {
+			if pattern == "Others" {
+				continue
+			}
+			out = append(out, []string{
+				fmt.Sprintf("%s (%s)", r.Model, r.Setting),
+				pattern,
+				fmt.Sprintf("%.1f%%", r.Fractions[pattern]*100),
+			})
+		}
+		out = append(out, []string{
+			fmt.Sprintf("%s (%s)", r.Model, r.Setting),
+			"Others",
+			fmt.Sprintf("%.1f%%", r.Fractions["Others"]*100),
+		})
+	}
+	b.WriteString(Table([]string{"workload", "pattern", "share"}, out))
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package expt
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/stats"
+	"repro/internal/tuner"
+)
+
+// Fig8Series is one platform's bandwidth-vs-size curve.
+type Fig8Series struct {
+	Platform string
+	NGPUs    int
+	Prim     hw.Primitive
+	// Points map payload bytes to achieved bus bandwidth (bytes/s),
+	// derived from sampled collective latencies like the offline stage.
+	Points []stats.Point
+	// Knee is the payload size below which bandwidth falls under 50% of
+	// the largest observed value (the red borderline of Fig. 8).
+	Knee float64
+}
+
+// Fig8 samples the AllReduce bandwidth curve on 4x RTX 4090 (PCIe) and
+// 4x A800 (NVLink), reproducing the sharp small-message degradation.
+func Fig8() []Fig8Series {
+	var out []Fig8Series
+	for _, plat := range []hw.Platform{hw.RTX4090PCIe(), hw.A800NVLink()} {
+		curve := tuner.SampleBandwidthCurve(plat, 4, hw.AllReduce, nil)
+		series := Fig8Series{Platform: plat.Name, NGPUs: 4, Prim: hw.AllReduce}
+		var peak float64
+		for _, p := range curve.Points() {
+			traffic := p.X * hw.TrafficFactor(hw.AllReduce, 4)
+			bw := traffic / (p.Y / 1e9) // bytes per second
+			series.Points = append(series.Points, stats.Point{X: p.X, Y: bw})
+			if bw > peak {
+				peak = bw
+			}
+		}
+		for _, p := range series.Points {
+			if p.Y >= peak/2 {
+				series.Knee = p.X
+				break
+			}
+		}
+		out = append(out, series)
+	}
+	return out
+}
+
+// FormatFig8 renders both curves.
+func FormatFig8(series []Fig8Series) string {
+	var b strings.Builder
+	b.WriteString("Fig. 8 — bandwidth curve varying with data size (AllReduce, 4 GPUs)\n\n")
+	for _, s := range series {
+		fmt.Fprintf(&b, "%s  (50%%-bandwidth borderline at %.1f MB)\n", s.Platform, s.Knee/1e6)
+		var rows [][]string
+		for i, p := range s.Points {
+			if i%4 != 0 && p.X < s.Knee*8 { // thin out the flat region
+				continue
+			}
+			rows = append(rows, []string{
+				fmt.Sprintf("%.2f MB", p.X/1e6),
+				fmt.Sprintf("%.1f GB/s", p.Y/1e9),
+			})
+		}
+		b.WriteString(Table([]string{"data size", "bus bandwidth"}, rows))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

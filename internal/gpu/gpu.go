@@ -1,0 +1,406 @@
+// Package gpu models the execution semantics of a CUDA-like device on top
+// of the discrete-event simulator: streams are FIFO queues of kernels,
+// kernels occupy SMs for a modeled duration, signals carry cross-stream
+// dependencies (the paper's counting-table signaling maps onto them), and
+// rendezvous objects implement the all-ranks-must-arrive semantics of
+// collective launches.
+//
+// Only the semantics the overlap designs depend on are modeled:
+//
+//   - in-order execution within a stream, concurrency across streams;
+//   - kernel durations resolved at start time, so a kernel can observe how
+//     many SMs the NCCL-analog has reserved at that instant (SM contention);
+//   - signals that fire at a virtual timestamp and release waiting streams.
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Span records one kernel execution for tracing (Fig. 3-style timelines and
+// the end-to-end breakdowns use these).
+type Span struct {
+	Device     int
+	Stream     string
+	Name       string
+	Start, End sim.Time
+	SMs        int
+}
+
+// Device is one simulated GPU.
+type Device struct {
+	ID   int
+	Plat hw.Platform
+	Sim  *sim.Simulator
+
+	commSMs int // SMs currently reserved by in-flight collectives
+
+	// Trace accumulates kernel spans when TraceEnabled is set.
+	TraceEnabled bool
+	Trace        []Span
+
+	jitter stats.Jitter
+	kernel uint64 // per-device kernel counter for jitter keys
+}
+
+// NewDevice creates a device bound to the simulator.
+func NewDevice(s *sim.Simulator, plat hw.Platform, id int) *Device {
+	if err := plat.Validate(); err != nil {
+		panic(err)
+	}
+	return &Device{
+		ID:     id,
+		Plat:   plat,
+		Sim:    s,
+		jitter: stats.NewJitter(plat.JitterSeed + uint64(id)*0x9e37),
+	}
+}
+
+// CommReservedSMs reports the SMs currently held by collective kernels.
+func (d *Device) CommReservedSMs() int { return d.commSMs }
+
+// AvailableSMs reports SMs free for compute at this instant.
+func (d *Device) AvailableSMs() int {
+	n := d.Plat.GPU.SMs - d.commSMs
+	if n < 1 {
+		n = 1 // compute can always make some progress
+	}
+	return n
+}
+
+// reserveComm acquires n SMs for a collective; release is returned.
+func (d *Device) reserveComm(n int) (release func()) {
+	if n < 0 {
+		panic(fmt.Sprintf("gpu: negative SM reservation %d", n))
+	}
+	d.commSMs += n
+	released := false
+	return func() {
+		if released {
+			panic("gpu: double release of comm SMs")
+		}
+		released = true
+		d.commSMs -= n
+		if d.commSMs < 0 {
+			panic("gpu: comm SM accounting went negative")
+		}
+	}
+}
+
+// JitterFactor returns the deterministic measurement-noise factor for the
+// next kernel on this device. Every call advances the key so repeated
+// kernels get independent (but reproducible) perturbations.
+func (d *Device) JitterFactor() float64 {
+	d.kernel++
+	return d.jitter.Factor(d.Plat.JitterAmplitude, d.kernel)
+}
+
+func (d *Device) addSpan(sp Span) {
+	if d.TraceEnabled {
+		d.Trace = append(d.Trace, sp)
+	}
+}
+
+// Signal is a one-shot cross-stream event. It fires at a virtual time;
+// streams (or arbitrary callbacks) waiting on it resume at max(now, fire
+// time). This models both CUDA events and the paper's counting-table
+// signals.
+type Signal struct {
+	sim     *sim.Simulator
+	name    string
+	fired   bool
+	at      sim.Time
+	waiters []func(at sim.Time)
+}
+
+// NewSignal creates an unfired signal.
+func NewSignal(s *sim.Simulator, name string) *Signal {
+	return &Signal{sim: s, name: name}
+}
+
+// Fire marks the signal as fired at the current virtual time and wakes
+// waiters. Firing twice panics: the counting table only crosses each group
+// threshold once.
+func (s *Signal) Fire() {
+	if s.fired {
+		panic(fmt.Sprintf("gpu: signal %q fired twice", s.name))
+	}
+	s.fired = true
+	s.at = s.sim.Now()
+	for _, w := range s.waiters {
+		w(s.at)
+	}
+	s.waiters = nil
+}
+
+// Fired reports whether the signal has fired, and when.
+func (s *Signal) Fired() (bool, sim.Time) { return s.fired, s.at }
+
+// Wait invokes fn as soon as the signal has fired (immediately if it
+// already has). fn receives the fire time.
+func (s *Signal) Wait(fn func(at sim.Time)) {
+	if s.fired {
+		fn(s.at)
+		return
+	}
+	s.waiters = append(s.waiters, fn)
+}
+
+// op is one queue entry in a stream.
+type op interface {
+	// run executes the op; done must be called exactly once when the op
+	// completes so the stream can advance.
+	run(st *Stream, done func())
+}
+
+// Stream is an in-order execution queue on one device.
+type Stream struct {
+	Dev  *Device
+	Name string
+
+	queue   []op
+	running bool
+	idle    []func() // callbacks for Drain
+}
+
+// NewStream creates a named stream on dev.
+func NewStream(dev *Device, name string) *Stream {
+	return &Stream{Dev: dev, Name: name}
+}
+
+func (st *Stream) enqueue(o op) {
+	st.queue = append(st.queue, o)
+	st.pump()
+}
+
+func (st *Stream) pump() {
+	if st.running {
+		return
+	}
+	if len(st.queue) == 0 {
+		for _, fn := range st.idle {
+			fn()
+		}
+		st.idle = nil
+		return
+	}
+	st.running = true
+	next := st.queue[0]
+	st.queue = st.queue[1:]
+	next.run(st, func() {
+		st.running = false
+		st.pump()
+	})
+}
+
+// KernelSpec describes a compute kernel to launch.
+type KernelSpec struct {
+	Name string
+	// SMs the kernel will be attributed in the trace (informational; the
+	// duration function is responsible for folding contention in).
+	SMs int
+	// Duration resolves the kernel's runtime at its start instant; it may
+	// inspect the device (e.g. AvailableSMs) to model contention.
+	Duration func(dev *Device, start sim.Time) sim.Time
+	// OnStart, if non-nil, runs at the kernel's start time.
+	OnStart func(start sim.Time)
+	// OnComplete, if non-nil, runs at the kernel's end time; this is where
+	// functional work (actual arithmetic/data movement) happens.
+	OnComplete func(end sim.Time)
+}
+
+type kernelOp struct{ spec KernelSpec }
+
+func (k kernelOp) run(st *Stream, done func()) {
+	dev := st.Dev
+	start := dev.Sim.Now()
+	if k.spec.OnStart != nil {
+		k.spec.OnStart(start)
+	}
+	d := k.spec.Duration(dev, start)
+	if d < 0 {
+		panic(fmt.Sprintf("gpu: kernel %q negative duration %v", k.spec.Name, d))
+	}
+	dev.Sim.After(d, func() {
+		end := dev.Sim.Now()
+		dev.addSpan(Span{Device: dev.ID, Stream: st.Name, Name: k.spec.Name, Start: start, End: end, SMs: k.spec.SMs})
+		if k.spec.OnComplete != nil {
+			k.spec.OnComplete(end)
+		}
+		done()
+	})
+}
+
+// Launch enqueues a kernel on the stream.
+func (st *Stream) Launch(spec KernelSpec) {
+	if spec.Duration == nil {
+		panic(fmt.Sprintf("gpu: kernel %q has no duration model", spec.Name))
+	}
+	st.enqueue(kernelOp{spec: spec})
+}
+
+type waitOp struct {
+	sig  *Signal
+	poll sim.Time
+}
+
+func (w waitOp) run(st *Stream, done func()) {
+	s := st.Dev.Sim
+	w.sig.Wait(func(at sim.Time) {
+		resume := sim.Max(s.Now(), at)
+		// The signaling kernel polls the counting table periodically
+		// (§5); quantize the release to the next poll boundary to model
+		// that cost. poll == 0 means an ideal, instantaneous wait.
+		if w.poll > 0 {
+			offset := resume % w.poll
+			if offset != 0 {
+				resume += w.poll - offset
+			}
+		}
+		s.At(resume, done)
+	})
+}
+
+// WaitSignal blocks the stream until sig fires. poll > 0 quantizes the
+// wake-up to the signaling kernel's polling period.
+func (st *Stream) WaitSignal(sig *Signal, poll sim.Time) {
+	st.enqueue(waitOp{sig: sig, poll: poll})
+}
+
+type recordOp struct{ sig *Signal }
+
+func (r recordOp) run(st *Stream, done func()) {
+	r.sig.Fire()
+	done()
+}
+
+// Record enqueues an event that fires sig once all previously enqueued work
+// on the stream has completed (CUDA's cudaEventRecord).
+func (st *Stream) Record(sig *Signal) {
+	st.enqueue(recordOp{sig: sig})
+}
+
+// OnDrain registers fn to run the next time the stream has no queued or
+// running work. If the stream is already idle, fn runs immediately.
+func (st *Stream) OnDrain(fn func()) {
+	if !st.running && len(st.queue) == 0 {
+		fn()
+		return
+	}
+	st.idle = append(st.idle, fn)
+}
+
+// Rendezvous coordinates a collective launch across n streams: each
+// participant enqueues a Join op; the collective's duration is resolved once
+// every rank has arrived, SMs are reserved on every device for its
+// lifetime, and all participant streams resume together at the end.
+type Rendezvous struct {
+	Name string
+	// Duration resolves the collective's runtime once all ranks arrived.
+	Duration func(start sim.Time) sim.Time
+	// SMs reserved per device while the collective is in flight.
+	SMs int
+	// OnComplete runs once (not per rank) at the end time; functional
+	// data movement goes here.
+	OnComplete func(end sim.Time)
+
+	n        int
+	arrived  int
+	releases []func()
+	devs     []*Device
+	streams  []*Stream
+	dones    []func()
+	started  bool
+}
+
+// NewRendezvous creates a rendezvous for n participants.
+func NewRendezvous(name string, n int, smPerDev int, duration func(start sim.Time) sim.Time) *Rendezvous {
+	if n < 1 {
+		panic("gpu: rendezvous needs at least one participant")
+	}
+	return &Rendezvous{Name: name, Duration: duration, SMs: smPerDev, n: n}
+}
+
+type joinOp struct{ rv *Rendezvous }
+
+func (j joinOp) run(st *Stream, done func()) {
+	rv := j.rv
+	if rv.started {
+		panic(fmt.Sprintf("gpu: join on already-started rendezvous %q", rv.Name))
+	}
+	rv.arrived++
+	if rv.arrived > rv.n {
+		panic(fmt.Sprintf("gpu: rendezvous %q has more joins than participants", rv.Name))
+	}
+	rv.devs = append(rv.devs, st.Dev)
+	rv.streams = append(rv.streams, st)
+	rv.dones = append(rv.dones, done)
+	if rv.arrived < rv.n {
+		return // stream stays blocked until the last rank arrives
+	}
+	rv.started = true
+	s := st.Dev.Sim
+	start := s.Now()
+	for _, dev := range rv.devs {
+		rv.releases = append(rv.releases, dev.reserveComm(rv.SMs))
+	}
+	d := rv.Duration(start)
+	if d < 0 {
+		panic(fmt.Sprintf("gpu: rendezvous %q negative duration %v", rv.Name, d))
+	}
+	s.After(d, func() {
+		end := s.Now()
+		for i, dev := range rv.devs {
+			dev.addSpan(Span{Device: dev.ID, Stream: rv.streams[i].Name, Name: rv.Name, Start: start, End: end, SMs: rv.SMs})
+		}
+		for _, rel := range rv.releases {
+			rel()
+		}
+		if rv.OnComplete != nil {
+			rv.OnComplete(end)
+		}
+		for _, dn := range rv.dones {
+			dn()
+		}
+	})
+}
+
+// Join enqueues this stream's participation in the rendezvous.
+func (st *Stream) Join(rv *Rendezvous) {
+	st.enqueue(joinOp{rv: rv})
+}
+
+// Cluster is a convenience holder for an n-GPU node sharing one simulator.
+type Cluster struct {
+	Sim     *sim.Simulator
+	Plat    hw.Platform
+	Devices []*Device
+}
+
+// NewCluster builds n devices on a fresh simulator.
+func NewCluster(plat hw.Platform, n int) *Cluster {
+	if n < 1 {
+		panic("gpu: cluster needs at least one device")
+	}
+	s := sim.New()
+	s.MaxSteps = 50_000_000 // livelock guard for model bugs
+	c := &Cluster{Sim: s, Plat: plat}
+	for i := 0; i < n; i++ {
+		c.Devices = append(c.Devices, NewDevice(s, plat, i))
+	}
+	return c
+}
+
+// N reports the number of devices.
+func (c *Cluster) N() int { return len(c.Devices) }
+
+// EnableTrace turns on span recording for every device.
+func (c *Cluster) EnableTrace() {
+	for _, d := range c.Devices {
+		d.TraceEnabled = true
+	}
+}

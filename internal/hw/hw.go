@@ -1,0 +1,370 @@
+// Package hw defines the hardware profiles the simulator runs against:
+// GPU compute/memory specifications, interconnect characteristics, and
+// per-primitive collective-communication bandwidth models. Profiles for the
+// paper's three testbeds are provided: a PCIe box of RTX 4090s, an NVLink
+// box of A800s, and a HUAWEI Ascend 910B node (§6.7).
+//
+// The collective model is the one the paper's tuner itself uses (Alg. 1):
+// the effective bandwidth is a function of the message size, sampled offline
+// and interpolated online. Here the underlying ground-truth curve is the
+// saturating form B(S) = Peak * S / (S + HalfSize), which reproduces the
+// sharp degradation below a size threshold shown in Fig. 8.
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Primitive identifies a collective communication primitive.
+type Primitive int
+
+const (
+	AllReduce Primitive = iota
+	ReduceScatter
+	AllGather
+	AllToAll
+)
+
+// String names the primitive like the paper does ("AR", "RS", ...).
+func (p Primitive) String() string {
+	switch p {
+	case AllReduce:
+		return "AllReduce"
+	case ReduceScatter:
+		return "ReduceScatter"
+	case AllGather:
+		return "AllGather"
+	case AllToAll:
+		return "AllToAll"
+	default:
+		return fmt.Sprintf("Primitive(%d)", int(p))
+	}
+}
+
+// Short returns the abbreviated name used in figure labels ("AR", "RS",
+// "AG", "A2A").
+func (p Primitive) Short() string {
+	switch p {
+	case AllReduce:
+		return "AR"
+	case ReduceScatter:
+		return "RS"
+	case AllGather:
+		return "AG"
+	case AllToAll:
+		return "A2A"
+	default:
+		return p.String()
+	}
+}
+
+// Primitives lists all supported primitives in display order.
+var Primitives = []Primitive{AllReduce, ReduceScatter, AllGather, AllToAll}
+
+// GPUSpec describes one accelerator.
+type GPUSpec struct {
+	Name string
+	// SMs is the number of streaming multiprocessors (or cube cores on
+	// Ascend); it sets the wave width of tiled GEMM execution.
+	SMs int
+	// FP16TFLOPS is the whole-device half-precision tensor throughput.
+	FP16TFLOPS float64
+	// MemBandwidth is device memory bandwidth in bytes/second.
+	MemBandwidth float64
+	// KernelLaunch is the fixed cost of launching one kernel.
+	KernelLaunch sim.Time
+	// MainloopHalfK is the K value at which the GEMM main loop reaches
+	// half of its asymptotic efficiency (prologue/epilogue amortization).
+	MainloopHalfK float64
+	// MaxEfficiency is the asymptotic fraction of peak FLOPS a tuned
+	// GEMM reaches on this device.
+	MaxEfficiency float64
+}
+
+// FlopsPerSM returns the per-SM half-precision throughput in FLOP/s.
+func (g GPUSpec) FlopsPerSM() float64 {
+	return g.FP16TFLOPS * 1e12 / float64(g.SMs)
+}
+
+// LinkSpec describes the inter-GPU fabric as seen by one ring direction.
+type LinkSpec struct {
+	Name string
+	// PeakBusBW is the saturated per-GPU bus bandwidth in bytes/second.
+	PeakBusBW float64
+	// HalfSize is the message size (bytes) at which effective bandwidth
+	// is half of PeakBusBW; it controls how deep the small-message cliff
+	// in Fig. 8 is.
+	HalfSize float64
+	// BaseLatency is the fixed per-collective-call cost (kernel launch,
+	// protocol setup, PCIe doorbells).
+	BaseLatency sim.Time
+	// PerHopLatency is the latency added per ring hop.
+	PerHopLatency sim.Time
+}
+
+// EffectiveBW returns the ground-truth effective bus bandwidth for a message
+// of the given size in bytes.
+func (l LinkSpec) EffectiveBW(sizeBytes float64) float64 {
+	if sizeBytes <= 0 {
+		return l.PeakBusBW / (1 + l.HalfSize) // effectively the floor
+	}
+	return l.PeakBusBW * sizeBytes / (sizeBytes + l.HalfSize)
+}
+
+// TrafficFactor returns the per-GPU bus traffic multiplier of a primitive on
+// n ranks under a ring algorithm: AllReduce moves 2(n-1)/n of the buffer,
+// ReduceScatter/AllGather (n-1)/n, and All-to-All (n-1)/n of the buffer
+// (each rank keeps 1/n locally).
+func TrafficFactor(p Primitive, n int) float64 {
+	if n < 1 {
+		panic(fmt.Sprintf("hw: invalid rank count %d", n))
+	}
+	if n == 1 {
+		return 0 // single-GPU collectives are local copies
+	}
+	f := float64(n-1) / float64(n)
+	if p == AllReduce {
+		return 2 * f
+	}
+	return f
+}
+
+// CollectiveTime is the ground-truth latency model for a collective over
+// sizeBytes of per-GPU input on n ranks. The simulator's communication
+// kernels consume this; the tuner is only allowed to see sampled
+// (size, bandwidth) points, exactly like the paper's offline stage.
+func (l LinkSpec) CollectiveTime(p Primitive, sizeBytes float64, n int) sim.Time {
+	if n <= 1 {
+		return l.BaseLatency
+	}
+	traffic := sizeBytes * TrafficFactor(p, n)
+	bw := l.EffectiveBW(sizeBytes)
+	hops := 2 * (n - 1)
+	if p != AllReduce {
+		hops = n - 1
+	}
+	return l.BaseLatency + sim.Time(float64(l.PerHopLatency)*float64(hops)) +
+		sim.FromSeconds(traffic/bw)
+}
+
+// Platform bundles a GPU spec, a link spec, and simulator-facing constants
+// for one testbed.
+type Platform struct {
+	Name string
+	GPU  GPUSpec
+	Link LinkSpec
+	// CommSMs is the number of SMs a NCCL-analog collective occupies on
+	// each device while in flight. A concurrently running GEMM sees
+	// GPU.SMs - CommSMs (Alg. 1 line 3).
+	CommSMs int
+	// SignalPoll is the polling period of the signaling kernel that
+	// watches the counting table (§5: "periodically querying").
+	SignalPoll sim.Time
+	// JitterAmplitude scales the deterministic measurement noise applied
+	// to DES kernel durations (fraction, e.g. 0.04 = up to +4%).
+	JitterAmplitude float64
+	// JitterSeed seeds the deterministic noise source.
+	JitterSeed uint64
+}
+
+// Validate checks internal consistency; experiment harnesses call it once
+// per run so that a typo in a hand-edited profile fails loudly.
+func (p Platform) Validate() error {
+	switch {
+	case p.GPU.SMs <= 0:
+		return fmt.Errorf("hw: platform %s: SMs = %d", p.Name, p.GPU.SMs)
+	case p.GPU.FP16TFLOPS <= 0:
+		return fmt.Errorf("hw: platform %s: FP16TFLOPS = %v", p.Name, p.GPU.FP16TFLOPS)
+	case p.GPU.MemBandwidth <= 0:
+		return fmt.Errorf("hw: platform %s: MemBandwidth = %v", p.Name, p.GPU.MemBandwidth)
+	case p.GPU.MaxEfficiency <= 0 || p.GPU.MaxEfficiency > 1:
+		return fmt.Errorf("hw: platform %s: MaxEfficiency = %v", p.Name, p.GPU.MaxEfficiency)
+	case p.Link.PeakBusBW <= 0:
+		return fmt.Errorf("hw: platform %s: PeakBusBW = %v", p.Name, p.Link.PeakBusBW)
+	case p.CommSMs < 0 || p.CommSMs >= p.GPU.SMs:
+		return fmt.Errorf("hw: platform %s: CommSMs = %d of %d", p.Name, p.CommSMs, p.GPU.SMs)
+	case p.SignalPoll <= 0:
+		return fmt.Errorf("hw: platform %s: SignalPoll = %v", p.Name, p.SignalPoll)
+	case p.JitterAmplitude < 0 || p.JitterAmplitude > 0.5:
+		return fmt.Errorf("hw: platform %s: JitterAmplitude = %v", p.Name, p.JitterAmplitude)
+	}
+	return nil
+}
+
+// P2PCapable reports whether the platform supports peer-to-peer GPU access,
+// which fusion-based baselines (FLUX) require. The paper's RTX 4090 server
+// lacks P2P.
+func (p Platform) P2PCapable() bool {
+	return p.Link.Name != "PCIe"
+}
+
+const (
+	gb = 1e9
+	mb = 1e6
+)
+
+// RTX4090PCIe models the paper's consumer-grade testbed: RTX 4090 GPUs
+// connected over PCIe across NUMA nodes (16-64 GB/s bidirectional; the
+// effective all-reduce bus bandwidth lands far lower). Communication is the
+// dominant cost here, which is where FlashOverlap shines (up to 1.65x).
+func RTX4090PCIe() Platform {
+	return Platform{
+		Name: "RTX4090-PCIe",
+		GPU: GPUSpec{
+			Name:          "RTX 4090",
+			SMs:           128,
+			FP16TFLOPS:    330,
+			MemBandwidth:  1008 * gb,
+			KernelLaunch:  4 * sim.Microsecond,
+			MainloopHalfK: 384,
+			MaxEfficiency: 0.78,
+		},
+		Link: LinkSpec{
+			Name:          "PCIe",
+			PeakBusBW:     13 * gb,
+			HalfSize:      1.5 * mb,
+			BaseLatency:   18 * sim.Microsecond,
+			PerHopLatency: 2 * sim.Microsecond,
+		},
+		CommSMs:         4,
+		SignalPoll:      2 * sim.Microsecond,
+		JitterAmplitude: 0.05,
+		JitterSeed:      0x4090,
+	}
+}
+
+// A800NVLink models the datacenter testbed: A800 GPUs with pairwise NVLink.
+// Communication is comparatively cheap, so overlap gains are smaller but the
+// achieved fraction of the theoretical bound is high (Fig. 13d).
+func A800NVLink() Platform {
+	return Platform{
+		Name: "A800-NVLink",
+		GPU: GPUSpec{
+			Name:          "A800",
+			SMs:           108,
+			FP16TFLOPS:    312,
+			MemBandwidth:  1935 * gb,
+			KernelLaunch:  3 * sim.Microsecond,
+			MainloopHalfK: 320,
+			MaxEfficiency: 0.82,
+		},
+		Link: LinkSpec{
+			Name:          "NVLink",
+			PeakBusBW:     170 * gb,
+			HalfSize:      3 * mb,
+			BaseLatency:   10 * sim.Microsecond,
+			PerHopLatency: 1 * sim.Microsecond,
+		},
+		CommSMs:         6,
+		SignalPoll:      1 * sim.Microsecond,
+		JitterAmplitude: 0.04,
+		JitterSeed:      0xA800,
+	}
+}
+
+// Ascend910B models the HUAWEI NPU node of §6.7: TBE GEMMs on 24 cube
+// cores, HCCL collectives over HCCS. The signaling design ports because it
+// only needs a counting table and an API-callable collective library.
+func Ascend910B() Platform {
+	return Platform{
+		Name: "Ascend910B-HCCS",
+		GPU: GPUSpec{
+			Name:          "Ascend 910B",
+			SMs:           24,
+			FP16TFLOPS:    320,
+			MemBandwidth:  1200 * gb,
+			KernelLaunch:  6 * sim.Microsecond,
+			MainloopHalfK: 512,
+			MaxEfficiency: 0.72,
+		},
+		Link: LinkSpec{
+			Name:          "HCCS",
+			PeakBusBW:     56 * gb,
+			HalfSize:      0.8 * mb,
+			BaseLatency:   12 * sim.Microsecond,
+			PerHopLatency: 2 * sim.Microsecond,
+		},
+		CommSMs:         2,
+		SignalPoll:      2 * sim.Microsecond,
+		JitterAmplitude: 0.05,
+		JitterSeed:      0x910B,
+	}
+}
+
+// H100NVLink is a reusability extension (§A.6.1): the paper notes that
+// porting to Hopper mainly requires re-profiling the GEMM configurations
+// (thread-block clusters change tiling); the signaling and reordering
+// design is unchanged. This profile lets the same experiments run against a
+// Hopper-class balance point (much faster compute relative to NVLink).
+func H100NVLink() Platform {
+	return Platform{
+		Name: "H100-NVLink",
+		GPU: GPUSpec{
+			Name:          "H100 SXM",
+			SMs:           132,
+			FP16TFLOPS:    990,
+			MemBandwidth:  3350 * gb,
+			KernelLaunch:  3 * sim.Microsecond,
+			MainloopHalfK: 448,
+			MaxEfficiency: 0.80,
+		},
+		Link: LinkSpec{
+			Name:          "NVLink4",
+			PeakBusBW:     430 * gb,
+			HalfSize:      4 * mb,
+			BaseLatency:   8 * sim.Microsecond,
+			PerHopLatency: 1 * sim.Microsecond,
+		},
+		CommSMs:         8,
+		SignalPoll:      1 * sim.Microsecond,
+		JitterAmplitude: 0.04,
+		JitterSeed:      0x100,
+	}
+}
+
+// InterNode derates a platform's link to model crossing a node boundary
+// (InfiniBand/RoCE instead of NVLink/PCIe): lower peak bandwidth, higher
+// per-call latency, deeper small-message cliff. This is the §A.6.2 seam —
+// the current implementation is intra-node, but the communicator only sees
+// a LinkSpec, so an inter-node deployment is a profile change plus the
+// distributed backend swap the paper describes.
+func InterNode(p Platform, nicBW float64, nicLatency sim.Time) Platform {
+	out := p
+	out.Name = p.Name + "+IB"
+	if nicBW > 0 && nicBW < out.Link.PeakBusBW {
+		out.Link.PeakBusBW = nicBW
+	}
+	if nicLatency > out.Link.BaseLatency {
+		out.Link.BaseLatency = nicLatency
+	}
+	out.Link.HalfSize *= 2 // NIC protocol overheads bite small messages harder
+	out.Link.Name = "IB"
+	return out
+}
+
+// Platforms returns all built-in platforms keyed by name.
+func Platforms() map[string]Platform {
+	out := map[string]Platform{}
+	for _, p := range []Platform{RTX4090PCIe(), A800NVLink(), Ascend910B(), H100NVLink()} {
+		out[p.Name] = p
+	}
+	return out
+}
+
+// ByName looks up a built-in platform, accepting a few aliases used on the
+// command line ("4090", "a800", "ascend").
+func ByName(name string) (Platform, error) {
+	switch name {
+	case "RTX4090-PCIe", "4090", "rtx4090":
+		return RTX4090PCIe(), nil
+	case "A800-NVLink", "a800", "A800":
+		return A800NVLink(), nil
+	case "Ascend910B-HCCS", "ascend", "910b":
+		return Ascend910B(), nil
+	case "H100-NVLink", "h100", "H100":
+		return H100NVLink(), nil
+	}
+	return Platform{}, fmt.Errorf("hw: unknown platform %q", name)
+}

@@ -1,0 +1,240 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestPrimitiveStrings(t *testing.T) {
+	cases := []struct {
+		p           Primitive
+		long, short string
+	}{
+		{AllReduce, "AllReduce", "AR"},
+		{ReduceScatter, "ReduceScatter", "RS"},
+		{AllGather, "AllGather", "AG"},
+		{AllToAll, "AllToAll", "A2A"},
+	}
+	for _, c := range cases {
+		if c.p.String() != c.long || c.p.Short() != c.short {
+			t.Errorf("%d: got (%s,%s), want (%s,%s)", c.p, c.p.String(), c.p.Short(), c.long, c.short)
+		}
+	}
+	if Primitive(99).String() == "" {
+		t.Error("unknown primitive should still render")
+	}
+}
+
+func TestTrafficFactor(t *testing.T) {
+	cases := []struct {
+		p    Primitive
+		n    int
+		want float64
+	}{
+		{AllReduce, 4, 1.5},
+		{AllReduce, 2, 1.0},
+		{ReduceScatter, 4, 0.75},
+		{AllGather, 8, 0.875},
+		{AllToAll, 2, 0.5},
+		{AllReduce, 1, 0},
+	}
+	for _, c := range cases {
+		if got := TrafficFactor(c.p, c.n); got != c.want {
+			t.Errorf("TrafficFactor(%v,%d) = %v, want %v", c.p, c.n, got, c.want)
+		}
+	}
+}
+
+func TestTrafficFactorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("TrafficFactor(0 ranks) did not panic")
+		}
+	}()
+	TrafficFactor(AllReduce, 0)
+}
+
+func TestEffectiveBWSaturates(t *testing.T) {
+	l := RTX4090PCIe().Link
+	small := l.EffectiveBW(64 << 10)  // 64 KiB
+	large := l.EffectiveBW(512 << 20) // 512 MiB
+	if small >= large {
+		t.Fatalf("bandwidth should grow with size: small=%v large=%v", small, large)
+	}
+	if large > l.PeakBusBW {
+		t.Fatalf("effective bandwidth %v exceeds peak %v", large, l.PeakBusBW)
+	}
+	if large < 0.95*l.PeakBusBW {
+		t.Fatalf("512 MiB should approach peak: got %v of %v", large, l.PeakBusBW)
+	}
+}
+
+// The paper reports a single 192KB tile yields only ~13% of AllReduce
+// bandwidth on 4x RTX 4090. Check our curve shows the same cliff (order of
+// magnitude, not exact).
+func TestBandwidthCliffMatchesPaper(t *testing.T) {
+	l := RTX4090PCIe().Link
+	frac := l.EffectiveBW(192<<10) / l.PeakBusBW
+	if frac < 0.005 || frac > 0.3 {
+		t.Fatalf("192KB tile bandwidth fraction = %v, want a deep cliff (~0.13 in the paper)", frac)
+	}
+}
+
+func TestCollectiveTimeMonotoneInSize(t *testing.T) {
+	for _, pl := range Platforms() {
+		prev := sim.Time(0)
+		for _, size := range []float64{1 << 16, 1 << 20, 1 << 24, 1 << 28} {
+			d := pl.Link.CollectiveTime(AllReduce, size, 4)
+			if d <= prev {
+				t.Errorf("%s: CollectiveTime not increasing at size %v", pl.Name, size)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestCollectiveTimeSingleRank(t *testing.T) {
+	l := A800NVLink().Link
+	if got := l.CollectiveTime(AllReduce, 1<<20, 1); got != l.BaseLatency {
+		t.Fatalf("single-rank collective = %v, want base latency %v", got, l.BaseLatency)
+	}
+}
+
+func TestCollectiveTimeAllReduceCostsMore(t *testing.T) {
+	l := A800NVLink().Link
+	size := float64(64 << 20)
+	ar := l.CollectiveTime(AllReduce, size, 4)
+	rs := l.CollectiveTime(ReduceScatter, size, 4)
+	if ar <= rs {
+		t.Fatalf("AllReduce (%v) should cost more than ReduceScatter (%v)", ar, rs)
+	}
+}
+
+func TestPlatformsValidate(t *testing.T) {
+	for name, p := range Platforms() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	base := RTX4090PCIe()
+	mutations := []func(*Platform){
+		func(p *Platform) { p.GPU.SMs = 0 },
+		func(p *Platform) { p.GPU.FP16TFLOPS = -1 },
+		func(p *Platform) { p.GPU.MemBandwidth = 0 },
+		func(p *Platform) { p.GPU.MaxEfficiency = 1.5 },
+		func(p *Platform) { p.Link.PeakBusBW = 0 },
+		func(p *Platform) { p.CommSMs = p.GPU.SMs },
+		func(p *Platform) { p.CommSMs = -1 },
+		func(p *Platform) { p.SignalPoll = 0 },
+		func(p *Platform) { p.JitterAmplitude = 0.9 },
+	}
+	for i, mut := range mutations {
+		p := base
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: Validate accepted a bad profile", i)
+		}
+	}
+}
+
+func TestP2PCapable(t *testing.T) {
+	if RTX4090PCIe().P2PCapable() {
+		t.Error("RTX 4090 PCIe box should not be P2P capable (paper §6.1.3)")
+	}
+	if !A800NVLink().P2PCapable() {
+		t.Error("A800 NVLink box should be P2P capable")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, alias := range []string{"4090", "rtx4090", "RTX4090-PCIe"} {
+		if p, err := ByName(alias); err != nil || p.Name != "RTX4090-PCIe" {
+			t.Errorf("ByName(%q) = %v, %v", alias, p.Name, err)
+		}
+	}
+	if _, err := ByName("tpu"); err == nil {
+		t.Error("ByName(tpu) should fail")
+	}
+}
+
+func TestFlopsPerSM(t *testing.T) {
+	g := GPUSpec{SMs: 100, FP16TFLOPS: 100}
+	if got := g.FlopsPerSM(); got != 1e12 {
+		t.Fatalf("FlopsPerSM = %v, want 1e12", got)
+	}
+}
+
+// Property: effective bandwidth is monotone non-decreasing in message size
+// and never exceeds the peak.
+func TestEffectiveBWMonotoneProperty(t *testing.T) {
+	l := A800NVLink().Link
+	f := func(a, b uint32) bool {
+		x, y := float64(a), float64(b)
+		if x > y {
+			x, y = y, x
+		}
+		bx, by := l.EffectiveBW(x), l.EffectiveBW(y)
+		return bx <= by+1e-9 && by <= l.PeakBusBW
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The A800 link must be substantially faster than the 4090 link at typical
+// collective sizes — this drives the platform-dependent conclusions in the
+// paper (higher speedups on 4090, smaller K favored on A800).
+func TestPlatformOrdering(t *testing.T) {
+	size := float64(64 << 20)
+	t4090 := RTX4090PCIe().Link.CollectiveTime(AllReduce, size, 4)
+	tA800 := A800NVLink().Link.CollectiveTime(AllReduce, size, 4)
+	if tA800*5 > t4090 {
+		t.Fatalf("A800 AllReduce (%v) should be >5x faster than 4090 (%v)", tA800, t4090)
+	}
+}
+
+func TestH100Profile(t *testing.T) {
+	p := H100NVLink()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !p.P2PCapable() {
+		t.Error("H100 NVLink must be P2P capable")
+	}
+	if got, err := ByName("h100"); err != nil || got.Name != "H100-NVLink" {
+		t.Fatalf("ByName(h100) = %v, %v", got.Name, err)
+	}
+	// Hopper is far more compute-dense than Ampere: the per-SM throughput
+	// ordering drives the overlap balance point.
+	if p.GPU.FlopsPerSM() <= A800NVLink().GPU.FlopsPerSM() {
+		t.Error("H100 per-SM throughput should exceed A800's")
+	}
+}
+
+func TestInterNodeDeratesLink(t *testing.T) {
+	base := A800NVLink()
+	ib := InterNode(base, 25*1e9, 30*sim.Microsecond)
+	if err := ib.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ib.Link.PeakBusBW >= base.Link.PeakBusBW {
+		t.Error("inter-node peak bandwidth should drop")
+	}
+	if ib.Link.BaseLatency <= base.Link.BaseLatency {
+		t.Error("inter-node base latency should rise")
+	}
+	size := float64(64 << 20)
+	if ib.Link.CollectiveTime(AllReduce, size, 4) <= base.Link.CollectiveTime(AllReduce, size, 4) {
+		t.Error("inter-node collectives should be slower")
+	}
+	// A NIC faster than the intra-node link must not speed anything up.
+	same := InterNode(base, 1e15, 0)
+	if same.Link.PeakBusBW != base.Link.PeakBusBW {
+		t.Error("faster NIC should clamp to the intra-node bandwidth")
+	}
+}

@@ -1,0 +1,276 @@
+package reorder
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/comm"
+	"repro/internal/gemm"
+	"repro/internal/tensor"
+)
+
+// routing builds a deterministic routing table for m tokens over n GPUs.
+// skew > 0 biases more tokens toward GPU 0 (MoE imbalance).
+func routing(m, n int, seed uint64, skew int) []int {
+	out := make([]int, m)
+	state := seed*2654435761 + 1
+	for r := range out {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		d := int(state % uint64(n+skew))
+		if d >= n {
+			d = 0 // skewed mass lands on GPU 0
+		}
+		out[r] = d
+	}
+	return out
+}
+
+func TestA2ALayoutPoolsPartitionTokens(t *testing.T) {
+	const n = 2
+	p := planFor(t, 16, 16, 3, 4, 8, 2)
+	bounds := gemm.Partition{1, 1}.Bounds(p, 4)
+	dest := routing(p.Shape.M, n, 7, 0)
+	l, err := NewA2ALayout(p, bounds, n, dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every (token, colTile) pair appears exactly once across pools.
+	seen := map[[2]int]bool{}
+	total := 0
+	for j := 0; j < n; j++ {
+		for _, e := range l.PoolEntries(j) {
+			if dest[e.Token] != j {
+				t.Fatalf("token %d in pool %d but routed to %d", e.Token, j, dest[e.Token])
+			}
+			key := [2]int{e.Token, e.ColTile}
+			if seen[key] {
+				t.Fatalf("duplicate subtoken %v", key)
+			}
+			seen[key] = true
+			total++
+		}
+	}
+	if total != p.Shape.M*p.ColTiles {
+		t.Fatalf("pools hold %d subtokens, want %d", total, p.Shape.M*p.ColTiles)
+	}
+	if l.SendElems() != p.Shape.M*p.Shape.N {
+		t.Fatalf("SendElems = %d, want %d", l.SendElems(), p.Shape.M*p.Shape.N)
+	}
+}
+
+func TestA2ALayoutGroupRangesAreMonotone(t *testing.T) {
+	const n = 2
+	p := planFor(t, 16, 16, 3, 4, 8, 2)
+	bounds := gemm.Partition{1, 1}.Bounds(p, 4)
+	l, err := NewA2ALayout(p, bounds, n, routing(p.Shape.M, n, 9, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		prev := 0
+		for g := range bounds {
+			lo, hi := l.GroupPoolRange(j, g)
+			if lo != prev || hi < lo {
+				t.Fatalf("pool %d group %d range [%d,%d) not contiguous after %d", j, g, lo, hi, prev)
+			}
+			prev = hi
+		}
+		if prev != len(l.PoolEntries(j)) {
+			t.Fatalf("pool %d group ranges cover %d of %d entries", j, prev, len(l.PoolEntries(j)))
+		}
+	}
+}
+
+func TestA2ALayoutValidation(t *testing.T) {
+	p := planFor(t, 8, 8, 2, 4, 4, 1)
+	bounds := gemm.SingleGroup(p.Waves(4)).Bounds(p, 4)
+	if _, err := NewA2ALayout(p, bounds, 2, make([]int, 3)); err == nil {
+		t.Error("short routing table accepted")
+	}
+	bad := make([]int, p.Shape.M)
+	bad[0] = 5
+	if _, err := NewA2ALayout(p, bounds, 2, bad); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if _, err := NewA2ALayout(p, nil, 2, make([]int, p.Shape.M)); err == nil {
+		t.Error("empty bounds accepted")
+	}
+}
+
+// The full functional All-to-All path: scatter subtokens into pools,
+// exchange each wave group with one AllToAllV over contiguous ranges,
+// gather — every GPU's output must equal the reference exchange of the
+// unreordered outputs.
+func TestA2AExchangeEndToEnd(t *testing.T) {
+	const n = 3
+	p := planFor(t, 12, 24, 4, 4, 8, 2) // 3x3=9 tiles
+	sms := 3                            // 3 waves
+	bounds := gemm.Partition{1, 2}.Bounds(p, sms)
+
+	dests := make([][]int, n)
+	for i := range dests {
+		dests[i] = routing(p.Shape.M, n, uint64(40+i), 1)
+	}
+	e, err := NewA2AExchange(p, bounds, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fulls := make([]*tensor.Matrix, n)
+	sendBufs := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		c, a, b := computeC(t, p, uint64(50+i))
+		fulls[i] = c
+		sendBufs[i] = e.Layouts[i].NewSendBuffer()
+		for idx := 0; idx < p.Tiles; idx++ {
+			e.Layouts[i].ScatterTile(sendBufs[i], p.ComputeTile(a, b, idx, nil), idx)
+		}
+	}
+
+	recvBufs := make([][]float32, n)
+	for j := 0; j < n; j++ {
+		recvBufs[j] = e.NewRecvBuffer(j)
+	}
+	for g := range bounds {
+		counts, soffs, roffs := e.GroupCounts(g)
+		comm.AllToAllVData(sendBufs, recvBufs, counts, soffs, roffs)
+	}
+
+	for j := 0; j < n; j++ {
+		got := tensor.New(e.TokensTo(j), p.Shape.N)
+		e.Gather(j, got, recvBufs[j])
+		want := e.ReferenceOutput(j, fulls)
+		if !got.Equal(want) {
+			t.Fatalf("GPU %d A2A output differs, max diff %v", j, got.MaxDiff(want))
+		}
+	}
+}
+
+func TestA2AExchangeTokenConservation(t *testing.T) {
+	const n = 4
+	p := planFor(t, 16, 8, 2, 4, 8, 1)
+	bounds := gemm.SingleGroup(p.Waves(4)).Bounds(p, 4)
+	dests := make([][]int, n)
+	for i := range dests {
+		dests[i] = routing(p.Shape.M, n, uint64(i), 2)
+	}
+	e, err := NewA2AExchange(p, bounds, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for j := 0; j < n; j++ {
+		total += e.TokensTo(j)
+	}
+	if total != n*p.Shape.M {
+		t.Fatalf("tokens out %d != tokens in %d", total, n*p.Shape.M)
+	}
+}
+
+func TestA2AGroupBytesReflectImbalance(t *testing.T) {
+	const n = 2
+	p := planFor(t, 16, 8, 2, 4, 8, 1)
+	bounds := gemm.SingleGroup(p.Waves(4)).Bounds(p, 4)
+	// All tokens from both sources go to GPU 0: its receive volume should
+	// dominate its payload.
+	allZero := make([]int, p.Shape.M)
+	dests := [][]int{allZero, allZero}
+	e, err := NewA2AExchange(p, bounds, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := e.GroupBytes(0)
+	if bytes[0] <= bytes[1] {
+		t.Fatalf("hot GPU 0 payload %d should exceed GPU 1 payload %d", bytes[0], bytes[1])
+	}
+	// GPU 0 receives 2*M tokens of N columns = 2*M*N elems * 2 bytes.
+	want := int64(2*p.Shape.M*p.Shape.N) * 2
+	if bytes[0] != want {
+		t.Fatalf("GPU 0 payload = %d, want %d", bytes[0], want)
+	}
+}
+
+func TestA2AOutputRowOf(t *testing.T) {
+	const n = 2
+	p := planFor(t, 8, 8, 2, 4, 4, 1)
+	bounds := gemm.SingleGroup(p.Waves(4)).Bounds(p, 4)
+	dests := [][]int{
+		{0, 1, 0, 1, 0, 1, 0, 1},
+		{1, 1, 0, 0, 1, 1, 0, 0},
+	}
+	e, err := NewA2AExchange(p, bounds, dests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GPU 0 receives source-0 tokens 0,2,4,6 then source-1 tokens 2,3,6,7.
+	if e.TokensTo(0) != 8 {
+		t.Fatalf("TokensTo(0) = %d", e.TokensTo(0))
+	}
+	if e.OutputRowOf(0, 0, 0) != 0 || e.OutputRowOf(0, 0, 6) != 3 {
+		t.Fatal("source-0 rows misplaced")
+	}
+	if e.OutputRowOf(0, 1, 2) != 4 || e.OutputRowOf(0, 1, 7) != 7 {
+		t.Fatal("source-1 rows misplaced")
+	}
+	if e.OutputRowOf(0, 0, 1) != -1 {
+		t.Fatal("token routed elsewhere should be -1")
+	}
+}
+
+// Property: for random routings and partitions, the grouped exchange always
+// reconstructs the reference output.
+func TestA2AExchangeProperty(t *testing.T) {
+	f := func(seed uint64, partPick uint8) bool {
+		const n = 2
+		p, err := gemm.NewPlan(gemm.Shape{M: 8, N: 8, K: 2}, gemm.Config{TileM: 4, TileN: 4, Swizzle: 2})
+		if err != nil {
+			return false
+		}
+		sms := 2 // 4 tiles -> 2 waves
+		var part gemm.Partition
+		if partPick%2 == 0 {
+			part = gemm.Partition{1, 1}
+		} else {
+			part = gemm.Partition{2}
+		}
+		bounds := part.Bounds(p, sms)
+		dests := [][]int{routing(8, n, seed, 0), routing(8, n, seed+1, 0)}
+		e, err := NewA2AExchange(p, bounds, dests)
+		if err != nil {
+			return false
+		}
+		fulls := make([]*tensor.Matrix, n)
+		sendBufs := make([][]float32, n)
+		for i := 0; i < n; i++ {
+			a := tensor.New(8, 2)
+			b := tensor.New(2, 8)
+			a.FillRand(seed + uint64(i)*7)
+			b.FillRand(seed + uint64(i)*7 + 3)
+			c := tensor.New(8, 8)
+			gemm.ComputeReference(c, a, b, nil)
+			fulls[i] = c
+			sendBufs[i] = e.Layouts[i].NewSendBuffer()
+			for idx := 0; idx < p.Tiles; idx++ {
+				e.Layouts[i].ScatterTile(sendBufs[i], p.ComputeTile(a, b, idx, nil), idx)
+			}
+		}
+		recvBufs := [][]float32{e.NewRecvBuffer(0), e.NewRecvBuffer(1)}
+		for g := range bounds {
+			counts, soffs, roffs := e.GroupCounts(g)
+			comm.AllToAllVData(sendBufs, recvBufs, counts, soffs, roffs)
+		}
+		for j := 0; j < n; j++ {
+			got := tensor.New(e.TokensTo(j), 8)
+			e.Gather(j, got, recvBufs[j])
+			if !got.Equal(e.ReferenceOutput(j, fulls)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

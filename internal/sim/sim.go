@@ -1,0 +1,195 @@
+// Package sim provides a small deterministic discrete-event simulation
+// kernel. All higher-level device, kernel, and communication models in this
+// repository are driven by a single Simulator instance: they schedule
+// closures at absolute or relative virtual times, and the simulator executes
+// them in (time, insertion-order) order until the event queue drains.
+//
+// Times are virtual nanoseconds held in an int64, mirroring time.Duration.
+// Determinism matters: experiment harnesses compare latencies across many
+// configurations, and tests assert exact event orderings, so ties are broken
+// by a monotonically increasing sequence number rather than map iteration or
+// pointer order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the
+// simulation. It is deliberately not time.Duration so that accidental mixing
+// of wall-clock and virtual time fails to compile.
+type Time int64
+
+// Common duration units, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis reports t as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time with an adaptive unit, e.g. "12.34µs".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return fmt.Sprintf("-%s", (-t).String())
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3gµs", t.Micros())
+	case t < Second:
+		return fmt.Sprintf("%.4gms", t.Millis())
+	default:
+		return fmt.Sprintf("%.4gs", t.Seconds())
+	}
+}
+
+// FromSeconds converts floating-point seconds to a Time, rounding to the
+// nearest nanosecond.
+func FromSeconds(s float64) Time { return Time(s*float64(Second) + 0.5) }
+
+// FromMicros converts floating-point microseconds to a Time.
+func FromMicros(us float64) Time { return Time(us*float64(Microsecond) + 0.5) }
+
+// event is a scheduled closure.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator executes scheduled events in virtual-time order.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	running bool
+	steps   uint64
+	// MaxSteps bounds the number of events executed by Run; 0 means
+	// unlimited. It exists as a safety net for tests exercising models
+	// that could otherwise livelock (e.g. a signal that never fires).
+	MaxSteps uint64
+}
+
+// New returns a simulator with the clock at zero.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now reports the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Steps reports how many events have been executed so far.
+func (s *Simulator) Steps() uint64 { return s.steps }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) panics: models in this repository never rewind, and a silent
+// clamp would hide bugs in duration arithmetic.
+func (s *Simulator) At(t Time, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	s.seq++
+	heap.Push(&s.queue, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now. Negative delays panic.
+func (s *Simulator) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	s.At(s.now+d, fn)
+}
+
+// Run executes events until the queue is empty (or MaxSteps is exceeded, in
+// which case it panics, since that always indicates a model bug).
+func (s *Simulator) Run() {
+	if s.running {
+		panic("sim: Run called reentrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(event)
+		s.now = e.at
+		s.steps++
+		if s.MaxSteps != 0 && s.steps > s.MaxSteps {
+			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v", s.MaxSteps, s.now))
+		}
+		e.fn()
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, leaving later events
+// queued. It reports whether the queue drained completely.
+func (s *Simulator) RunUntil(deadline Time) bool {
+	for len(s.queue) > 0 {
+		if s.queue[0].at > deadline {
+			s.now = deadline
+			return false
+		}
+		e := heap.Pop(&s.queue).(event)
+		s.now = e.at
+		s.steps++
+		if s.MaxSteps != 0 && s.steps > s.MaxSteps {
+			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v", s.MaxSteps, s.now))
+		}
+		e.fn()
+	}
+	return true
+}
+
+// Pending reports the number of queued events.
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// MaxTime is the largest representable virtual time.
+const MaxTime = Time(1<<63 - 1)
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the earlier of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,242 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCurveInterpolation(t *testing.T) {
+	c := NewCurve([]Point{{0, 0}, {10, 100}, {20, 100}})
+	cases := []struct{ x, want float64 }{
+		{-5, 0},   // clamp below
+		{0, 0},    // boundary
+		{5, 50},   // interior
+		{10, 100}, // knot
+		{15, 100}, // flat segment
+		{25, 100}, // clamp above
+	}
+	for _, cse := range cases {
+		if got := c.Eval(cse.x); math.Abs(got-cse.want) > 1e-12 {
+			t.Errorf("Eval(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+}
+
+func TestCurveSortsInput(t *testing.T) {
+	c := NewCurve([]Point{{10, 1}, {0, 0}})
+	if got := c.Eval(5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Eval(5) = %v, want 0.5", got)
+	}
+	pts := c.Points()
+	if pts[0].X != 0 || pts[1].X != 10 {
+		t.Fatalf("Points() = %v, want sorted", pts)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", c.Len())
+	}
+}
+
+func TestCurveSinglePoint(t *testing.T) {
+	c := NewCurve([]Point{{5, 42}})
+	for _, x := range []float64{-1, 5, 100} {
+		if got := c.Eval(x); got != 42 {
+			t.Errorf("Eval(%v) = %v, want 42", x, got)
+		}
+	}
+}
+
+func TestCurvePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":     func() { NewCurve(nil) },
+		"duplicate": func() { NewCurve([]Point{{1, 1}, {1, 2}}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: interpolated values are bounded by the Y-range of the samples.
+func TestCurveBoundedProperty(t *testing.T) {
+	f := func(ys [5]float64, x float64) bool {
+		pts := make([]Point, len(ys))
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		for i, y := range ys {
+			y = math.Mod(y, 1e6) // keep finite and modest
+			if math.IsNaN(y) {
+				y = 0
+			}
+			pts[i] = Point{X: float64(i), Y: y}
+			if y < minY {
+				minY = y
+			}
+			if y > maxY {
+				maxY = y
+			}
+		}
+		v := NewCurve(pts).Eval(math.Mod(x, 10))
+		return v >= minY-1e-9 && v <= maxY+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Fatalf("Summarize = %+v", s)
+	}
+	wantStd := math.Sqrt(1.25)
+	if math.Abs(s.Std-wantStd) > 1e-12 {
+		t.Fatalf("Std = %v, want %v", s.Std, wantStd)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("Summarize(nil) = %+v", z)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,8) = %v, want 4", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("GeoMean of non-positive value did not panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Percentile([]float64{7}, 50); got != 7 {
+		t.Errorf("Percentile single = %v, want 7", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":    func() { Percentile(nil, 50) },
+		"negative": func() { Percentile([]float64{1}, -1) },
+		"over100":  func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCDF(t *testing.T) {
+	cdf := CDF([]float64{3, 1, 2})
+	want := []Point{{1, 1.0 / 3}, {2, 2.0 / 3}, {3, 1}}
+	if len(cdf) != len(want) {
+		t.Fatalf("CDF len = %d, want %d", len(cdf), len(want))
+	}
+	for i := range want {
+		if cdf[i] != want[i] {
+			t.Errorf("CDF[%d] = %v, want %v", i, cdf[i], want[i])
+		}
+	}
+	if CDF(nil) != nil {
+		t.Error("CDF(nil) should be nil")
+	}
+}
+
+func TestJitterDeterministic(t *testing.T) {
+	j := NewJitter(42)
+	a := j.Uniform(1, 2, 3)
+	b := j.Uniform(1, 2, 3)
+	if a != b {
+		t.Fatalf("jitter not deterministic: %v != %v", a, b)
+	}
+	if c := j.Uniform(1, 2, 4); c == a {
+		t.Fatalf("different keys produced identical jitter %v", c)
+	}
+	if d := NewJitter(43).Uniform(1, 2, 3); d == a {
+		t.Fatalf("different seeds produced identical jitter %v", d)
+	}
+}
+
+func TestJitterRange(t *testing.T) {
+	j := NewJitter(7)
+	for i := uint64(0); i < 1000; i++ {
+		u := j.Uniform(i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Uniform out of range: %v", u)
+		}
+		f := j.Factor(0.05, i)
+		if f < 1 || f >= 1.05 {
+			t.Fatalf("Factor out of range: %v", f)
+		}
+	}
+}
+
+func TestJitterFactorZeroAmplitude(t *testing.T) {
+	j := NewJitter(1)
+	if f := j.Factor(0, 99); f != 1 {
+		t.Fatalf("Factor(0) = %v, want 1", f)
+	}
+}
+
+func TestJitterNegativeAmplitudePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative amplitude did not panic")
+		}
+	}()
+	NewJitter(1).Factor(-0.1, 1)
+}
+
+func TestHashString(t *testing.T) {
+	if HashString("a") == HashString("b") {
+		t.Error("trivial hash collision")
+	}
+	if HashString("gemm") != HashString("gemm") {
+		t.Error("hash not deterministic")
+	}
+}
+
+// Property: CDF output is non-decreasing in both coordinates and ends at 1.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		cdf := CDF(clean)
+		if len(clean) == 0 {
+			return cdf == nil
+		}
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].X < cdf[i-1].X || cdf[i].Y < cdf[i-1].Y {
+				return false
+			}
+		}
+		return cdf[len(cdf)-1].Y == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

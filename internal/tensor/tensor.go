@@ -1,0 +1,244 @@
+// Package tensor implements the dense row-major float32 matrices that flow
+// through the functional layer of the simulator. The overlap runners do real
+// arithmetic on these (blocked GEMM, tile scatter/gather, collective
+// reductions), so correctness of FlashOverlap's reordering can be asserted
+// against a sequential reference, mirroring the paper's artifact claim C1
+// ("all close" with the non-overlap implementation).
+//
+// float32 stands in for the paper's half precision: it keeps reductions
+// associative enough to compare overlapped and non-overlapped results
+// bit-exactly when the reduction order is preserved, while still exposing
+// order-sensitivity when it is not (which our AllReduce deliberately avoids
+// by reducing in rank order).
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New allocates a zeroed Rows x Cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// FromSlice wraps data as a rows x cols matrix without copying. It panics if
+// the length does not match.
+func FromSlice(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: FromSlice %dx%d with %d elements", rows, cols, len(data)))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (r, c).
+func (m *Matrix) At(r, c int) float32 {
+	m.check(r, c)
+	return m.Data[r*m.Cols+c]
+}
+
+// Set writes element (r, c).
+func (m *Matrix) Set(r, c int, v float32) {
+	m.check(r, c)
+	m.Data[r*m.Cols+c] = v
+}
+
+func (m *Matrix) check(r, c int) {
+	if r < 0 || r >= m.Rows || c < 0 || c >= m.Cols {
+		panic(fmt.Sprintf("tensor: index (%d,%d) out of %dx%d", r, c, m.Rows, m.Cols))
+	}
+}
+
+// Row returns a view (not a copy) of row r.
+func (m *Matrix) Row(r int) []float32 {
+	if r < 0 || r >= m.Rows {
+		panic(fmt.Sprintf("tensor: row %d out of %d", r, m.Rows))
+	}
+	return m.Data[r*m.Cols : (r+1)*m.Cols]
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets every element to 0 in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Size reports the number of elements.
+func (m *Matrix) Size() int { return m.Rows * m.Cols }
+
+// Bytes reports the storage footprint assuming the paper's half precision
+// (2 bytes/element): timing models care about the paper's data volume, not
+// Go's in-memory representation.
+func (m *Matrix) Bytes() int64 { return int64(m.Rows) * int64(m.Cols) * 2 }
+
+// FillSeq writes a deterministic, position-dependent pattern (useful for
+// asserting exact data movement in reorder tests: every element value
+// encodes its origin).
+func (m *Matrix) FillSeq(offset float32) {
+	for i := range m.Data {
+		m.Data[i] = offset + float32(i)
+	}
+}
+
+// FillRand fills with deterministic pseudo-random values in [-1, 1) derived
+// from the seed and element index. No math/rand: reproducibility across
+// machines and Go versions is required by the experiment harness.
+func (m *Matrix) FillRand(seed uint64) {
+	state := seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for i := range m.Data {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		// Map the top 24 bits to [-1, 1).
+		m.Data[i] = float32(int32(state>>40)-1<<23) / float32(1<<23)
+	}
+}
+
+// Equal reports whether m and o have identical shape and bit-identical
+// elements.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.Data {
+		if v != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether m and o agree within absolute tolerance atol
+// plus relative tolerance rtol (NumPy semantics: |a-b| <= atol + rtol*|b|).
+func (m *Matrix) AllClose(o *Matrix, atol, rtol float64) bool {
+	return m.MaxDiff(o) >= 0 && m.allClose(o, atol, rtol)
+}
+
+func (m *Matrix) allClose(o *Matrix, atol, rtol float64) bool {
+	for i, v := range m.Data {
+		diff := math.Abs(float64(v) - float64(o.Data[i]))
+		if diff > atol+rtol*math.Abs(float64(o.Data[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxDiff returns the maximum absolute element difference, or -1 if shapes
+// differ.
+func (m *Matrix) MaxDiff(o *Matrix) float64 {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return -1
+	}
+	var worst float64
+	for i, v := range m.Data {
+		d := math.Abs(float64(v) - float64(o.Data[i]))
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// AddInPlace accumulates o into m elementwise.
+func (m *Matrix) AddInPlace(o *Matrix) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("tensor: add shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	for i, v := range o.Data {
+		m.Data[i] += v
+	}
+}
+
+// Scale multiplies every element by s in place.
+func (m *Matrix) Scale(s float32) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// CopyRect copies a src rectangle of (rows x cols) at (srcR, srcC) into m at
+// (dstR, dstC). It is the primitive under tile scatter/gather.
+func (m *Matrix) CopyRect(dstR, dstC int, src *Matrix, srcR, srcC, rows, cols int) {
+	if dstR < 0 || dstC < 0 || dstR+rows > m.Rows || dstC+cols > m.Cols {
+		panic(fmt.Sprintf("tensor: dst rect (%d,%d)+%dx%d out of %dx%d", dstR, dstC, rows, cols, m.Rows, m.Cols))
+	}
+	if srcR < 0 || srcC < 0 || srcR+rows > src.Rows || srcC+cols > src.Cols {
+		panic(fmt.Sprintf("tensor: src rect (%d,%d)+%dx%d out of %dx%d", srcR, srcC, rows, cols, src.Rows, src.Cols))
+	}
+	for r := 0; r < rows; r++ {
+		copy(m.Data[(dstR+r)*m.Cols+dstC:(dstR+r)*m.Cols+dstC+cols],
+			src.Data[(srcR+r)*src.Cols+srcC:(srcR+r)*src.Cols+srcC+cols])
+	}
+}
+
+// MatMul computes c = a*b with blocked float32 accumulation; c must be
+// pre-allocated with matching shape and is overwritten. This is the
+// reference ("cuBLAS") implementation every overlap path is checked against.
+func MatMul(c, a, b *Matrix) {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch (%dx%d)*(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols))
+	}
+	c.Zero()
+	// i-k-j loop order streams b rows, which is cache-friendly for
+	// row-major layout and keeps test matrices fast enough in pure Go.
+	for i := 0; i < a.Rows; i++ {
+		ci := c.Data[i*c.Cols : (i+1)*c.Cols]
+		for k := 0; k < a.Cols; k++ {
+			aik := a.Data[i*a.Cols+k]
+			if aik == 0 {
+				continue
+			}
+			bk := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range bk {
+				ci[j] += aik * bv
+			}
+		}
+	}
+}
+
+// RMSNorm applies y_ij = x_ij / rms(x_i) * w_j row-wise into dst (which may
+// alias src is NOT allowed; dst must be a distinct, same-shaped matrix).
+// It is the element-wise operator the paper fuses the post-communication
+// reordering into (Table 5).
+func RMSNorm(dst, src *Matrix, weight []float32, eps float64) {
+	if dst.Rows != src.Rows || dst.Cols != src.Cols {
+		panic("tensor: rmsnorm shape mismatch")
+	}
+	if len(weight) != src.Cols {
+		panic(fmt.Sprintf("tensor: rmsnorm weight len %d != cols %d", len(weight), src.Cols))
+	}
+	if &dst.Data[0] == &src.Data[0] {
+		panic("tensor: rmsnorm dst aliases src")
+	}
+	for r := 0; r < src.Rows; r++ {
+		row := src.Row(r)
+		var sq float64
+		for _, v := range row {
+			sq += float64(v) * float64(v)
+		}
+		inv := 1 / math.Sqrt(sq/float64(len(row))+eps)
+		out := dst.Row(r)
+		for j, v := range row {
+			out[j] = float32(float64(v)*inv) * weight[j]
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndIndexing(t *testing.T) {
+	m := New(3, 4)
+	if m.Size() != 12 {
+		t.Fatalf("Size = %d, want 12", m.Size())
+	}
+	m.Set(2, 3, 7)
+	if m.At(2, 3) != 7 {
+		t.Fatalf("At(2,3) = %v, want 7", m.At(2, 3))
+	}
+	if m.Bytes() != 24 {
+		t.Fatalf("Bytes = %d, want 24 (half precision)", m.Bytes())
+	}
+}
+
+func TestIndexPanics(t *testing.T) {
+	m := New(2, 2)
+	for name, fn := range map[string]func(){
+		"row-oob":  func() { m.At(2, 0) },
+		"col-oob":  func() { m.At(0, 2) },
+		"negative": func() { m.At(-1, 0) },
+		"set-oob":  func() { m.Set(0, 5, 1) },
+		"row-view": func() { m.Row(9) },
+		"negdim":   func() { New(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float32{1, 2, 3, 4, 5, 6}
+	m := FromSlice(2, 3, d)
+	if m.At(1, 2) != 6 {
+		t.Fatalf("At(1,2) = %v, want 6", m.At(1, 2))
+	}
+	m.Set(0, 0, 9)
+	if d[0] != 9 {
+		t.Fatal("FromSlice should not copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FromSlice with wrong length did not panic")
+		}
+	}()
+	FromSlice(2, 2, d)
+}
+
+func TestRowIsView(t *testing.T) {
+	m := New(2, 3)
+	m.Row(1)[2] = 5
+	if m.At(1, 2) != 5 {
+		t.Fatal("Row must be a view")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := New(2, 2)
+	m.FillSeq(0)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone shares storage")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Fatal("Clone not equal to original")
+	}
+}
+
+func TestZero(t *testing.T) {
+	m := New(2, 2)
+	m.FillSeq(1)
+	m.Zero()
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %v after Zero", i, v)
+		}
+	}
+}
+
+func TestFillSeq(t *testing.T) {
+	m := New(2, 2)
+	m.FillSeq(10)
+	want := []float32{10, 11, 12, 13}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Fatalf("Data[%d] = %v, want %v", i, m.Data[i], w)
+		}
+	}
+}
+
+func TestFillRandDeterministicAndBounded(t *testing.T) {
+	a, b := New(8, 8), New(8, 8)
+	a.FillRand(42)
+	b.FillRand(42)
+	if !a.Equal(b) {
+		t.Fatal("FillRand not deterministic")
+	}
+	b.FillRand(43)
+	if a.Equal(b) {
+		t.Fatal("FillRand ignores seed")
+	}
+	for _, v := range a.Data {
+		if v < -1 || v >= 1 || math.IsNaN(float64(v)) {
+			t.Fatalf("FillRand value out of range: %v", v)
+		}
+	}
+	// Values should not be constant.
+	if a.Data[0] == a.Data[1] && a.Data[1] == a.Data[2] {
+		t.Fatal("FillRand produced constant data")
+	}
+}
+
+func TestEqualAndAllClose(t *testing.T) {
+	a := New(2, 2)
+	a.FillSeq(0)
+	b := a.Clone()
+	if !a.Equal(b) || !a.AllClose(b, 0, 0) {
+		t.Fatal("identical matrices should be equal")
+	}
+	b.Set(1, 1, b.At(1, 1)+0.5)
+	if a.Equal(b) {
+		t.Fatal("Equal missed a difference")
+	}
+	if !a.AllClose(b, 0.6, 0) {
+		t.Fatal("AllClose should accept within atol")
+	}
+	if a.AllClose(b, 0.1, 0) {
+		t.Fatal("AllClose should reject beyond atol")
+	}
+	if a.Equal(New(2, 3)) {
+		t.Fatal("shape mismatch should not be equal")
+	}
+	if a.MaxDiff(New(3, 3)) != -1 {
+		t.Fatal("MaxDiff shape mismatch should be -1")
+	}
+}
+
+func TestMaxDiff(t *testing.T) {
+	a, b := New(1, 3), New(1, 3)
+	b.Data[1] = 2.5
+	if got := a.MaxDiff(b); got != 2.5 {
+		t.Fatalf("MaxDiff = %v, want 2.5", got)
+	}
+}
+
+func TestAddInPlaceAndScale(t *testing.T) {
+	a, b := New(2, 2), New(2, 2)
+	a.FillSeq(0)
+	b.FillSeq(10)
+	a.AddInPlace(b)
+	if a.At(1, 1) != 3+13 {
+		t.Fatalf("AddInPlace: At(1,1) = %v", a.At(1, 1))
+	}
+	a.Scale(2)
+	if a.At(0, 0) != 20 {
+		t.Fatalf("Scale: At(0,0) = %v", a.At(0, 0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AddInPlace shape mismatch did not panic")
+		}
+	}()
+	a.AddInPlace(New(1, 1))
+}
+
+func TestCopyRect(t *testing.T) {
+	src := New(4, 4)
+	src.FillSeq(0)
+	dst := New(4, 4)
+	dst.CopyRect(1, 1, src, 2, 2, 2, 2)
+	if dst.At(1, 1) != src.At(2, 2) || dst.At(2, 2) != src.At(3, 3) {
+		t.Fatal("CopyRect moved wrong data")
+	}
+	if dst.At(0, 0) != 0 {
+		t.Fatal("CopyRect touched data outside the rectangle")
+	}
+}
+
+func TestCopyRectPanics(t *testing.T) {
+	src, dst := New(2, 2), New(2, 2)
+	for name, fn := range map[string]func(){
+		"dst-oob": func() { dst.CopyRect(1, 1, src, 0, 0, 2, 2) },
+		"src-oob": func() { dst.CopyRect(0, 0, src, 1, 1, 2, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	c := New(2, 2)
+	MatMul(c, a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("c[%d] = %v, want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	a := New(5, 5)
+	a.FillRand(1)
+	id := New(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	c := New(5, 5)
+	MatMul(c, a, id)
+	if !c.Equal(a) {
+		t.Fatal("A*I != A")
+	}
+	MatMul(c, id, a)
+	if !c.Equal(a) {
+		t.Fatal("I*A != A")
+	}
+}
+
+func TestMatMulShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	MatMul(New(2, 2), New(2, 3), New(4, 2))
+}
+
+func TestMatMulOverwritesC(t *testing.T) {
+	a := FromSlice(1, 1, []float32{2})
+	b := FromSlice(1, 1, []float32{3})
+	c := FromSlice(1, 1, []float32{999})
+	MatMul(c, a, b)
+	if c.Data[0] != 6 {
+		t.Fatalf("c = %v, want 6 (stale accumulation?)", c.Data[0])
+	}
+}
+
+// Property: matmul distributes over addition, (A+A')B = AB + A'B, within
+// float tolerance. This catches indexing bugs better than fixed examples.
+func TestMatMulLinearityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		const m, k, n = 4, 6, 5
+		a1, a2 := New(m, k), New(m, k)
+		a1.FillRand(seed)
+		a2.FillRand(seed + 1)
+		b := New(k, n)
+		b.FillRand(seed + 2)
+		sum := a1.Clone()
+		sum.AddInPlace(a2)
+		c1, c2, cs, want := New(m, n), New(m, n), New(m, n), New(m, n)
+		MatMul(c1, a1, b)
+		MatMul(c2, a2, b)
+		MatMul(cs, sum, b)
+		want.AddInPlace(c1)
+		want.AddInPlace(c2)
+		return cs.AllClose(want, 1e-4, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRMSNorm(t *testing.T) {
+	src := FromSlice(1, 4, []float32{1, 1, 1, 1})
+	dst := New(1, 4)
+	w := []float32{1, 2, 3, 4}
+	RMSNorm(dst, src, w, 0)
+	// rms of all-ones row is 1, so output is just the weights.
+	for j, want := range w {
+		if math.Abs(float64(dst.At(0, j)-want)) > 1e-6 {
+			t.Fatalf("dst[0,%d] = %v, want %v", j, dst.At(0, j), want)
+		}
+	}
+}
+
+func TestRMSNormScalesRows(t *testing.T) {
+	src := FromSlice(2, 2, []float32{3, 4, 30, 40})
+	dst := New(2, 2)
+	RMSNorm(dst, src, []float32{1, 1}, 0)
+	// Rows are scalar multiples of each other, so normalized rows match.
+	if math.Abs(float64(dst.At(0, 0)-dst.At(1, 0))) > 1e-6 {
+		t.Fatalf("RMSNorm rows differ: %v vs %v", dst.At(0, 0), dst.At(1, 0))
+	}
+}
+
+func TestRMSNormPanics(t *testing.T) {
+	src := New(2, 2)
+	for name, fn := range map[string]func(){
+		"shape":  func() { RMSNorm(New(1, 2), src, []float32{1, 1}, 0) },
+		"weight": func() { RMSNorm(New(2, 2), src, []float32{1}, 0) },
+		"alias":  func() { RMSNorm(src, src, []float32{1, 1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

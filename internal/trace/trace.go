@@ -1,0 +1,193 @@
+// Package trace post-processes the kernel spans recorded by the device
+// model into human-readable timelines and Chrome trace-event JSON
+// (chrome://tracing / Perfetto), the same way the paper inspects per-tile
+// and per-stream behavior with the CUDA global timer (Fig. 3, Fig. 5).
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/gpu"
+	"repro/internal/sim"
+)
+
+// Timeline is an ordered set of spans with aggregate queries.
+type Timeline struct {
+	Spans []gpu.Span
+}
+
+// Collect gathers every device's trace from a cluster into one timeline,
+// sorted by start time (ties: device, then stream).
+func Collect(c *gpu.Cluster) *Timeline {
+	var all []gpu.Span
+	for _, d := range c.Devices {
+		all = append(all, d.Trace...)
+	}
+	return FromSpans(all)
+}
+
+// FromSpans builds a timeline from raw spans (e.g. core.Result.Trace).
+func FromSpans(spans []gpu.Span) *Timeline {
+	all := make([]gpu.Span, len(spans))
+	copy(all, spans)
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Device != b.Device {
+			return a.Device < b.Device
+		}
+		return a.Stream < b.Stream
+	})
+	return &Timeline{Spans: all}
+}
+
+// Span count and horizon.
+func (t *Timeline) Len() int { return len(t.Spans) }
+
+// End reports the latest span end (the makespan).
+func (t *Timeline) End() sim.Time {
+	var end sim.Time
+	for _, s := range t.Spans {
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return end
+}
+
+// BusyTime sums the span durations on one (device, stream) lane.
+func (t *Timeline) BusyTime(device int, stream string) sim.Time {
+	var busy sim.Time
+	for _, s := range t.Spans {
+		if s.Device == device && s.Stream == stream {
+			busy += s.End - s.Start
+		}
+	}
+	return busy
+}
+
+// Utilization reports busy time over the makespan for a lane in [0, 1].
+func (t *Timeline) Utilization(device int, stream string) float64 {
+	end := t.End()
+	if end == 0 {
+		return 0
+	}
+	return float64(t.BusyTime(device, stream)) / float64(end)
+}
+
+// OverlapTime reports how long two lanes on the same device run
+// concurrently — the quantity the overlap designs maximize.
+func (t *Timeline) OverlapTime(device int, streamA, streamB string) sim.Time {
+	var a, b []gpu.Span
+	for _, s := range t.Spans {
+		if s.Device != device {
+			continue
+		}
+		switch s.Stream {
+		case streamA:
+			a = append(a, s)
+		case streamB:
+			b = append(b, s)
+		}
+	}
+	var total sim.Time
+	for _, x := range a {
+		for _, y := range b {
+			lo := sim.Max(x.Start, y.Start)
+			hi := sim.Min(x.End, y.End)
+			if hi > lo {
+				total += hi - lo
+			}
+		}
+	}
+	return total
+}
+
+// chromeEvent is one complete-event record of the Chrome trace format.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  string            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace emits the timeline as a Chrome trace-event JSON array:
+// one process per device, one thread per stream.
+func (t *Timeline) WriteChromeTrace(w io.Writer) error {
+	events := make([]chromeEvent, 0, len(t.Spans))
+	for _, s := range t.Spans {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Stream,
+			Ph:   "X",
+			TS:   s.Start.Micros(),
+			Dur:  (s.End - s.Start).Micros(),
+			PID:  s.Device,
+			TID:  s.Stream,
+			Args: map[string]string{"sms": fmt.Sprint(s.SMs)},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// Render draws an ASCII Gantt chart of the timeline, one row per
+// (device, stream) lane, width columns wide.
+func (t *Timeline) Render(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	end := t.End()
+	if end == 0 || len(t.Spans) == 0 {
+		return "(empty timeline)\n"
+	}
+	type lane struct{ key, label string }
+	seen := map[string]bool{}
+	var lanes []lane
+	for _, s := range t.Spans {
+		key := fmt.Sprintf("dev%d/%s", s.Device, s.Stream)
+		if !seen[key] {
+			seen[key] = true
+			lanes = append(lanes, lane{key: key, label: key})
+		}
+	}
+	sort.Slice(lanes, func(i, j int) bool { return lanes[i].key < lanes[j].key })
+
+	var b strings.Builder
+	for _, l := range lanes {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range t.Spans {
+			if fmt.Sprintf("dev%d/%s", s.Device, s.Stream) != l.key {
+				continue
+			}
+			lo := int(int64(s.Start) * int64(width) / int64(end))
+			hi := int(int64(s.End) * int64(width) / int64(end))
+			if hi <= lo {
+				hi = lo + 1
+			}
+			mark := byte('#')
+			if s.Stream == "comm" {
+				mark = '='
+			}
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = mark
+			}
+		}
+		fmt.Fprintf(&b, "%-14s |%s|\n", l.label, row)
+	}
+	fmt.Fprintf(&b, "%-14s  0%s%v\n", "", strings.Repeat(" ", width-len(end.String())), end)
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/hw"
+	"repro/internal/sim"
+)
+
+// tracedCluster runs a small two-stream scenario with tracing on.
+func tracedCluster(t *testing.T) *gpu.Cluster {
+	t.Helper()
+	c := gpu.NewCluster(hw.RTX4090PCIe(), 2)
+	c.EnableTrace()
+	for _, dev := range c.Devices {
+		comp := gpu.NewStream(dev, "compute")
+		comm := gpu.NewStream(dev, "comm")
+		comp.Launch(gpu.KernelSpec{Name: "gemm", SMs: 120,
+			Duration: func(*gpu.Device, sim.Time) sim.Time { return 100 }})
+		comm.Launch(gpu.KernelSpec{Name: "nccl", SMs: 8,
+			Duration: func(*gpu.Device, sim.Time) sim.Time { return 60 }})
+	}
+	c.Sim.Run()
+	return c
+}
+
+func TestCollectSortsSpans(t *testing.T) {
+	tl := Collect(tracedCluster(t))
+	if tl.Len() != 4 {
+		t.Fatalf("spans = %d, want 4", tl.Len())
+	}
+	for i := 1; i < tl.Len(); i++ {
+		if tl.Spans[i].Start < tl.Spans[i-1].Start {
+			t.Fatal("spans not sorted by start")
+		}
+	}
+	if tl.End() != 100 {
+		t.Fatalf("End = %v, want 100", tl.End())
+	}
+}
+
+func TestBusyAndUtilization(t *testing.T) {
+	tl := Collect(tracedCluster(t))
+	if got := tl.BusyTime(0, "compute"); got != 100 {
+		t.Fatalf("BusyTime = %v", got)
+	}
+	if got := tl.Utilization(0, "comm"); got != 0.6 {
+		t.Fatalf("comm utilization = %v, want 0.6", got)
+	}
+	if got := tl.Utilization(0, "nosuch"); got != 0 {
+		t.Fatalf("unknown lane utilization = %v", got)
+	}
+}
+
+func TestOverlapTime(t *testing.T) {
+	tl := Collect(tracedCluster(t))
+	// compute [0,100), comm [0,60): overlap 60.
+	if got := tl.OverlapTime(0, "compute", "comm"); got != 60 {
+		t.Fatalf("OverlapTime = %v, want 60", got)
+	}
+	if got := tl.OverlapTime(1, "compute", "comm"); got != 60 {
+		t.Fatalf("device 1 OverlapTime = %v, want 60", got)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tl := Collect(tracedCluster(t))
+	var buf bytes.Buffer
+	if err := tl.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("events = %d", len(events))
+	}
+	e := events[0]
+	for _, key := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
+		if _, ok := e[key]; !ok {
+			t.Fatalf("event missing %q: %v", key, e)
+		}
+	}
+	if e["ph"] != "X" {
+		t.Fatalf("ph = %v, want complete events", e["ph"])
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	tl := Collect(tracedCluster(t))
+	out := tl.Render(40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // 4 lanes + axis
+		t.Fatalf("render lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "#") || !strings.Contains(out, "=") {
+		t.Fatalf("render missing compute/comm marks:\n%s", out)
+	}
+	if Collect(gpu.NewCluster(hw.RTX4090PCIe(), 1)).Render(40) != "(empty timeline)\n" {
+		t.Fatal("empty timeline should render placeholder")
+	}
+}

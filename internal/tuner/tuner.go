@@ -1,0 +1,392 @@
+// Package tuner implements the real-time tuning of §4: the offline stage
+// (GEMM configuration profiling and bandwidth-curve sampling), the online
+// stage (design-space generation with pruning, and the Algorithm 1 latency
+// predictor that replaces online profiling), plus the exhaustive-search
+// oracle used to validate the predictor (Fig. 15, claim C2) and a
+// nearest-neighbor cache for dynamic workloads (§4.2.2).
+package tuner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/gemm"
+	"repro/internal/gpu"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// SampleBandwidthCurve performs the offline stage's bandwidth sampling
+// (Alg. 1 line 5): it issues one collective per sample size on an otherwise
+// idle cluster and records (bytes, latency). Profiling runs average away
+// measurement noise, modeled by disabling the jitter amplitude. The
+// returned curve maps per-rank payload bytes to latency in nanoseconds.
+func SampleBandwidthCurve(plat hw.Platform, nGPUs int, prim hw.Primitive, sizes []int64) *stats.Curve {
+	if len(sizes) == 0 {
+		sizes = DefaultSampleSizes()
+	}
+	pts := make([]stats.Point, 0, len(sizes))
+	quiet := plat
+	quiet.JitterAmplitude = 0
+	for _, size := range sizes {
+		cluster := gpu.NewCluster(quiet, nGPUs)
+		cm := comm.New(cluster)
+		perRank := make([]int64, nGPUs)
+		for i := range perRank {
+			perRank[i] = size
+		}
+		var latency sim.Time
+		cm.Collective("probe", prim, perRank, nil).Wait(func(at sim.Time) { latency = at })
+		cluster.Sim.Run()
+		pts = append(pts, stats.Point{X: float64(size), Y: float64(latency)})
+	}
+	return stats.NewCurve(pts)
+}
+
+// DefaultSampleSizes returns log-spaced payload sizes from 16 KiB to 1 GiB,
+// dense enough that interpolation error stays small across the Fig. 8 cliff.
+func DefaultSampleSizes() []int64 {
+	var out []int64
+	for s := int64(16 << 10); s <= 1<<30; s *= 2 {
+		out = append(out, s, s+s/2)
+	}
+	return out
+}
+
+// Predictor is the Algorithm 1 latency model for one (platform, GEMM,
+// primitive, parallelism) point. It sees only offline-profiled quantities:
+// the GEMM duration under the contended SM count and the sampled bandwidth
+// curve — never the simulator's ground-truth link model.
+type Predictor struct {
+	Plan     *gemm.Plan
+	WaveSize int      // SMs available to the GEMM (total - comm)
+	Waves    int      // T
+	GEMMTime sim.Time // profiled duration at WaveSize SMs
+	PerWave  sim.Time // GEMMTime / T
+	Curve    *stats.Curve
+	// Imbalance scales group payloads for All-to-All (§4.2.2 extends the
+	// prediction by the max across GPUs).
+	Imbalance float64
+	TileBytes int64
+}
+
+// NewPredictor assembles a predictor from the offline profile.
+func NewPredictor(plat hw.Platform, shape gemm.Shape, cfg gemm.Config, curve *stats.Curve, imbalance float64) (*Predictor, error) {
+	if cfg == (gemm.Config{}) {
+		cfg = gemm.DefaultConfig(shape)
+	}
+	plan, err := gemm.NewPlan(shape, cfg)
+	if err != nil {
+		return nil, err
+	}
+	waveSize := plat.GPU.SMs - plat.CommSMs
+	cm := gemm.NewCostModel(plat.GPU)
+	t := plan.Waves(waveSize)
+	dur := cm.Duration(plan, waveSize)
+	if imbalance < 1 {
+		imbalance = 1
+	}
+	return &Predictor{
+		Plan:      plan,
+		WaveSize:  waveSize,
+		Waves:     t,
+		GEMMTime:  dur,
+		PerWave:   dur / sim.Time(int64(t)),
+		Curve:     curve,
+		Imbalance: imbalance,
+		TileBytes: plan.TileBytes(),
+	}, nil
+}
+
+// groupBytes is the per-rank payload of a group spanning the bound.
+func (p *Predictor) groupBytes(b gemm.GroupBound) float64 {
+	return float64(int64(b.Tiles())*p.TileBytes) * p.Imbalance
+}
+
+// Predict estimates the overlapped latency of a partition (Alg. 1 lines
+// 10-22): computation accumulates per group; each group's communication
+// starts at max(accumulated computation at its signal, accumulated
+// communication) and the final group's communication is appended last.
+func (p *Predictor) Predict(part gemm.Partition) (sim.Time, error) {
+	if err := part.Validate(p.Waves); err != nil {
+		return 0, err
+	}
+	bounds := part.Bounds(p.Plan, p.WaveSize)
+	var accP, accM sim.Time
+	for _, b := range bounds {
+		accP += p.PerWave * sim.Time(int64(b.WaveHi-b.WaveLo)) // t_p of this group
+		tm := sim.Time(p.Curve.Eval(p.groupBytes(b)))
+		accM = sim.Max(accP, accM) + tm
+	}
+	return accM, nil
+}
+
+// GroupPrediction details one group's contribution to a predicted timeline.
+type GroupPrediction struct {
+	Group int
+	Waves int
+	Bytes int64
+	// ComputeReady is the accumulated computation time when the group's
+	// signal fires; CommStart/CommEnd bracket its predicted collective.
+	ComputeReady, CommStart, CommEnd sim.Time
+}
+
+// PredictBreakdown returns the per-group predicted timeline of a partition
+// — the intermediate state of Alg. 1's accumulation, useful for inspecting
+// why a partition wins (cmd/tune and the docs use it).
+func (p *Predictor) PredictBreakdown(part gemm.Partition) ([]GroupPrediction, error) {
+	if err := part.Validate(p.Waves); err != nil {
+		return nil, err
+	}
+	bounds := part.Bounds(p.Plan, p.WaveSize)
+	out := make([]GroupPrediction, 0, len(bounds))
+	var accP, accM sim.Time
+	for g, b := range bounds {
+		accP += p.PerWave * sim.Time(int64(b.WaveHi-b.WaveLo))
+		start := sim.Max(accP, accM)
+		tm := sim.Time(p.Curve.Eval(p.groupBytes(b)))
+		accM = start + tm
+		out = append(out, GroupPrediction{
+			Group:        g,
+			Waves:        b.WaveHi - b.WaveLo,
+			Bytes:        int64(p.groupBytes(b)),
+			ComputeReady: accP,
+			CommStart:    start,
+			CommEnd:      accM,
+		})
+	}
+	return out, nil
+}
+
+// Candidates enumerates the pruned design space (§4.1.4): all binary
+// communicate/hold decisions after each wave, constrained to |G1| <= s1 and
+// |GP| <= sp. When the constrained space still exceeds limit, it falls back
+// to a structured family — head in 1..s1, tail in 1..sp, equal-sized
+// interior — keeping tuning real-time for very large T (an engineering
+// extension the paper's shapes did not need; see DESIGN.md).
+func Candidates(t, s1, sp, limit int) []gemm.Partition {
+	if t < 1 {
+		panic(fmt.Sprintf("tuner: invalid wave count %d", t))
+	}
+	if s1 < 1 || sp < 1 {
+		panic(fmt.Sprintf("tuner: invalid prune bounds S1=%d SP=%d", s1, sp))
+	}
+	if limit <= 0 {
+		limit = 4096
+	}
+	if t == 1 {
+		return []gemm.Partition{{1}}
+	}
+	// Exhaustive enumeration when the pruned space is small enough:
+	// 2^(T-1) binary decisions, filtered by the head/tail constraint.
+	if t-1 <= 20 && 1<<(t-1) <= limit*8 {
+		var out []gemm.Partition
+		for mask := 0; mask < 1<<(t-1); mask++ {
+			part := partitionFromMask(mask, t)
+			if part[0] <= s1 && part[len(part)-1] <= sp {
+				out = append(out, part)
+			}
+			if len(out) > limit {
+				break
+			}
+		}
+		if len(out) <= limit {
+			return out
+		}
+	}
+	// Structured fallback.
+	seen := map[string]bool{}
+	var out []gemm.Partition
+	add := func(p gemm.Partition) {
+		if p.Validate(t) != nil {
+			return
+		}
+		if p[0] > s1 || p[len(p)-1] > sp {
+			return
+		}
+		key := p.String()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, p)
+		}
+	}
+	add(gemm.SingleGroup(t))
+	for head := 1; head <= s1; head++ {
+		for tail := 1; tail <= sp; tail++ {
+			mid := t - head - tail
+			if mid < 0 {
+				continue
+			}
+			if mid == 0 {
+				add(gemm.Partition{head, tail})
+				continue
+			}
+			for g := 1; g <= mid; g++ {
+				p := gemm.Partition{head}
+				p = append(p, gemm.EqualSized(mid, g)...)
+				p = append(p, tail)
+				add(p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// partitionFromMask decodes a binary decision vector: bit i set means
+// "communicate after wave i" (the last wave always communicates).
+func partitionFromMask(mask, t int) gemm.Partition {
+	var part gemm.Partition
+	size := 0
+	for w := 0; w < t; w++ {
+		size++
+		if w == t-1 || mask&(1<<w) != 0 {
+			part = append(part, size)
+			size = 0
+		}
+	}
+	return part
+}
+
+// SearchResult reports a search outcome.
+type SearchResult struct {
+	Partition gemm.Partition
+	// Predicted is the Alg. 1 estimate (predictive search) or the
+	// measured latency (exhaustive search).
+	Latency    sim.Time
+	Candidates int
+}
+
+// PredictiveSearch returns the candidate with the minimum predicted latency.
+func PredictiveSearch(p *Predictor, cands []gemm.Partition) (SearchResult, error) {
+	if len(cands) == 0 {
+		return SearchResult{}, fmt.Errorf("tuner: no candidates")
+	}
+	best := SearchResult{Latency: sim.MaxTime, Candidates: len(cands)}
+	for _, c := range cands {
+		t, err := p.Predict(c)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		if t < best.Latency {
+			best.Latency = t
+			best.Partition = c.Clone()
+		}
+	}
+	return best, nil
+}
+
+// ExhaustiveSearch runs every candidate on the simulator (the paper's
+// online-profiling oracle, >100x slower than prediction) and returns the
+// measured optimum.
+func ExhaustiveSearch(o core.Options, cands []gemm.Partition) (SearchResult, error) {
+	if len(cands) == 0 {
+		return SearchResult{}, fmt.Errorf("tuner: no candidates")
+	}
+	best := SearchResult{Latency: sim.MaxTime, Candidates: len(cands)}
+	for _, c := range cands {
+		run := o
+		run.Partition = c.Clone()
+		res, err := core.Run(run)
+		if err != nil {
+			return SearchResult{}, err
+		}
+		if res.Latency < best.Latency {
+			best.Latency = res.Latency
+			best.Partition = c.Clone()
+		}
+	}
+	return best, nil
+}
+
+// PruneBounds are the paper's evaluation settings (§4.1.4).
+const (
+	DefaultS1 = 2
+	DefaultSP = 4
+)
+
+// Tuner bundles the offline profile and the online search with a
+// nearest-neighbor cache for dynamic shapes (§4.2.2: pre-search
+// representative sizes, match unseen ones at runtime).
+type Tuner struct {
+	Plat  hw.Platform
+	NGPUs int
+	Prim  hw.Primitive
+	Curve *stats.Curve
+
+	// CandidateLimit bounds the search space per shape.
+	CandidateLimit int
+
+	cache []cacheEntry
+}
+
+type cacheEntry struct {
+	shape gemm.Shape
+	part  gemm.Partition
+}
+
+// NewTuner runs the offline stage (bandwidth sampling) and returns a ready
+// tuner.
+func NewTuner(plat hw.Platform, nGPUs int, prim hw.Primitive) *Tuner {
+	return &Tuner{
+		Plat:           plat,
+		NGPUs:          nGPUs,
+		Prim:           prim,
+		Curve:          SampleBandwidthCurve(plat, nGPUs, prim, nil),
+		CandidateLimit: 4096,
+	}
+}
+
+// Tune runs the online stage for one GEMM size and caches the result.
+func (t *Tuner) Tune(shape gemm.Shape, imbalance float64) (gemm.Partition, error) {
+	pred, err := NewPredictor(t.Plat, shape, gemm.Config{}, t.Curve, imbalance)
+	if err != nil {
+		return nil, err
+	}
+	cands := Candidates(pred.Waves, DefaultS1, DefaultSP, t.CandidateLimit)
+	res, err := PredictiveSearch(pred, cands)
+	if err != nil {
+		return nil, err
+	}
+	t.cache = append(t.cache, cacheEntry{shape: shape, part: res.Partition.Clone()})
+	return res.Partition, nil
+}
+
+// Lookup performs nearest-neighbor matching against previously tuned shapes
+// in (log M·N, log K) space; ok is false when the cache is empty or the
+// nearest neighbor's wave count is incompatible with the query shape.
+func (t *Tuner) Lookup(shape gemm.Shape) (gemm.Partition, bool) {
+	if len(t.cache) == 0 {
+		return nil, false
+	}
+	qx := math.Log2(float64(shape.M) * float64(shape.N))
+	qy := math.Log2(float64(shape.K))
+	bestDist := math.Inf(1)
+	var best cacheEntry
+	for _, e := range t.cache {
+		dx := math.Log2(float64(e.shape.M)*float64(e.shape.N)) - qx
+		dy := math.Log2(float64(e.shape.K)) - qy
+		d := dx*dx + dy*dy
+		if d < bestDist {
+			bestDist = d
+			best = e
+		}
+	}
+	// The cached partition only transfers if the wave counts agree.
+	plan, err := gemm.NewPlan(shape, gemm.DefaultConfig(shape))
+	if err != nil {
+		return nil, false
+	}
+	waveSize := t.Plat.GPU.SMs - t.Plat.CommSMs
+	if best.part.TotalWaves() != plan.Waves(waveSize) {
+		return nil, false
+	}
+	return best.part.Clone(), true
+}
+
+// CacheSize reports the number of tuned shapes held.
+func (t *Tuner) CacheSize() int { return len(t.cache) }

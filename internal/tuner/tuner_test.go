@@ -1,0 +1,332 @@
+package tuner
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+)
+
+func TestSampleBandwidthCurveMonotone(t *testing.T) {
+	c := SampleBandwidthCurve(hw.RTX4090PCIe(), 4, hw.AllReduce, nil)
+	pts := c.Points()
+	if len(pts) < 10 {
+		t.Fatalf("only %d sample points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y <= pts[i-1].Y {
+			t.Fatalf("sampled latency not increasing at %v", pts[i].X)
+		}
+	}
+}
+
+func TestPartitionFromMask(t *testing.T) {
+	cases := []struct {
+		mask, t int
+		want    string
+	}{
+		{0, 5, "(5)"},
+		{0b0101, 5, "(1, 2, 2)"},
+		{0b0010, 5, "(2, 3)"},
+		{0b1111, 5, "(1, 1, 1, 1, 1)"},
+	}
+	for _, c := range cases {
+		if got := partitionFromMask(c.mask, c.t).String(); got != c.want {
+			t.Errorf("mask %b: got %s, want %s", c.mask, got, c.want)
+		}
+	}
+}
+
+func TestCandidatesExhaustiveSmallT(t *testing.T) {
+	// T=5, S1=2, SP=4: of the 16 binary choices, those with |G1|<=2 and
+	// |GP|<=4 survive.
+	cands := Candidates(5, 2, 4, 4096)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	seen := map[string]bool{}
+	for _, c := range cands {
+		if err := c.Validate(5); err != nil {
+			t.Fatalf("invalid candidate %v: %v", c, err)
+		}
+		if c[0] > 2 || c[len(c)-1] > 4 {
+			t.Fatalf("candidate %v violates pruning", c)
+		}
+		if seen[c.String()] {
+			t.Fatalf("duplicate candidate %v", c)
+		}
+		seen[c.String()] = true
+	}
+	// The paper's example partitions must be present.
+	for _, want := range []string{"(1, 2, 2)", "(2, 3)"} {
+		if !seen[want] {
+			t.Errorf("missing paper partition %s", want)
+		}
+	}
+	// And the all-up-front (5) must be pruned (|G1|=5 > 2).
+	if seen["(5)"] {
+		t.Error("unpruned |G1|=5 candidate")
+	}
+}
+
+func TestCandidatesLargeTBounded(t *testing.T) {
+	cands := Candidates(80, DefaultS1, DefaultSP, 512)
+	if len(cands) == 0 || len(cands) > 512 {
+		t.Fatalf("large-T candidates = %d, want (0, 512]", len(cands))
+	}
+	for _, c := range cands {
+		if err := c.Validate(80); err != nil {
+			t.Fatalf("invalid candidate %v: %v", c, err)
+		}
+	}
+}
+
+func TestCandidatesPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"t":  func() { Candidates(0, 1, 1, 0) },
+		"s1": func() { Candidates(4, 0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPredictorAgainstSimulator(t *testing.T) {
+	plat := hw.RTX4090PCIe()
+	shape := gemm.Shape{M: 4096, N: 8192, K: 8192}
+	curve := SampleBandwidthCurve(plat, 2, hw.AllReduce, nil)
+	pred, err := NewPredictor(plat, shape, gemm.Config{}, curve, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := Candidates(pred.Waves, DefaultS1, DefaultSP, 256)
+	var errs []float64
+	for _, c := range cands[:min(len(cands), 24)] {
+		want, err := pred.Predict(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(core.Options{Plat: plat, NGPUs: 2, Shape: shape, Prim: hw.AllReduce, Partition: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Paper §6.5: actual is always slightly above predicted.
+		if res.Latency < want {
+			t.Fatalf("partition %v: measured %v below prediction %v", c, res.Latency, want)
+		}
+		e := float64(res.Latency-want) / float64(res.Latency)
+		errs = append(errs, e)
+		if e > 0.15 {
+			t.Fatalf("partition %v: prediction error %.1f%% too large", c, e*100)
+		}
+	}
+	var mean float64
+	for _, e := range errs {
+		mean += e
+	}
+	mean /= float64(len(errs))
+	// Paper reports 3.41%/3.44% average error; accept anything under 8%.
+	if mean > 0.08 {
+		t.Fatalf("mean prediction error %.2f%%, want < 8%%", mean*100)
+	}
+}
+
+// Claim C2: the predictively searched partition achieves >99% of the
+// exhaustively searched optimum.
+func TestPredictiveSearchNearOptimal(t *testing.T) {
+	plat := hw.RTX4090PCIe()
+	shapes := []gemm.Shape{
+		{M: 2048, N: 8192, K: 8192},
+		{M: 4096, N: 8192, K: 4096},
+	}
+	for _, shape := range shapes {
+		curve := SampleBandwidthCurve(plat, 4, hw.AllReduce, nil)
+		pred, err := NewPredictor(plat, shape, gemm.Config{}, curve, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := Candidates(pred.Waves, DefaultS1, DefaultSP, 256)
+		opts := core.Options{Plat: plat, NGPUs: 4, Shape: shape, Prim: hw.AllReduce}
+
+		predRes, err := PredictiveSearch(pred, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := ExhaustiveSearch(opts, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := opts
+		run.Partition = predRes.Partition
+		actual, err := core.Run(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		quality := float64(oracle.Latency) / float64(actual.Latency)
+		if quality < 0.97 {
+			t.Fatalf("%v: searched partition %v reaches %.1f%% of optimum %v, want > 97%%",
+				shape, predRes.Partition, quality*100, oracle.Partition)
+		}
+	}
+}
+
+func TestPredictorRejectsBadPartition(t *testing.T) {
+	plat := hw.A800NVLink()
+	curve := SampleBandwidthCurve(plat, 2, hw.AllReduce, nil)
+	pred, err := NewPredictor(plat, gemm.Shape{M: 2048, N: 8192, K: 4096}, gemm.Config{}, curve, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pred.Predict(gemm.Partition{1}); err == nil {
+		t.Fatal("wrong wave total accepted")
+	}
+}
+
+func TestTunerCacheAndLookup(t *testing.T) {
+	tn := NewTuner(hw.RTX4090PCIe(), 2, hw.AllReduce)
+	tn.CandidateLimit = 128
+	shape := gemm.Shape{M: 2048, N: 8192, K: 8192}
+	part, err := tn.Tune(shape, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.CacheSize() != 1 {
+		t.Fatalf("cache size = %d", tn.CacheSize())
+	}
+	// Same M*N and K: exact hit.
+	got, ok := tn.Lookup(shape)
+	if !ok || got.String() != part.String() {
+		t.Fatalf("Lookup(%v) = %v, %v", shape, got, ok)
+	}
+	// A nearby shape with the same wave count matches too.
+	near := gemm.Shape{M: 2048, N: 8192, K: 6144}
+	if _, ok := tn.Lookup(near); !ok {
+		t.Fatal("nearest-neighbor lookup failed for same-wave-count shape")
+	}
+	// A much larger shape has a different wave count: no transfer.
+	if _, ok := tn.Lookup(gemm.Shape{M: 16384, N: 8192, K: 8192}); ok {
+		t.Fatal("lookup transferred a partition across incompatible wave counts")
+	}
+}
+
+func TestLookupEmptyCache(t *testing.T) {
+	tn := &Tuner{Plat: hw.RTX4090PCIe(), NGPUs: 2, Prim: hw.AllReduce}
+	if _, ok := tn.Lookup(gemm.Shape{M: 128, N: 128, K: 128}); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+}
+
+// The tuned partition must beat both the per-wave baseline and the single
+// group in most cases — §4.1.1 reports 17.34% average degradation for the
+// untuned per-wave baseline.
+func TestTunedBeatsPerWaveBaseline(t *testing.T) {
+	plat := hw.RTX4090PCIe()
+	shape := gemm.Shape{M: 4096, N: 8192, K: 4096}
+	tn := NewTuner(plat, 4, hw.AllReduce)
+	tn.CandidateLimit = 256
+	part, err := tn.Tune(shape, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := core.Options{Plat: plat, NGPUs: 4, Shape: shape, Prim: hw.AllReduce}
+	tuned := opts
+	tuned.Partition = part
+	tunedRes, err := core.Run(tuned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := core.Run(opts) // nil partition = per-wave
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tunedRes.Latency > base.Latency {
+		t.Fatalf("tuned %v (%v) lost to per-wave baseline (%v)", part, tunedRes.Latency, base.Latency)
+	}
+}
+
+func TestPredictionErrorDistribution(t *testing.T) {
+	// A reduced version of Fig. 15: prediction errors across shapes and
+	// partitions must average in the single digits with a tight CDF.
+	plat := hw.A800NVLink()
+	var errsPct []float64
+	for _, shape := range []gemm.Shape{
+		{M: 2048, N: 8192, K: 4096},
+		{M: 4096, N: 8192, K: 8192},
+	} {
+		curve := SampleBandwidthCurve(plat, 4, hw.ReduceScatter, nil)
+		pred, err := NewPredictor(plat, shape, gemm.Config{}, curve, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range Candidates(pred.Waves, DefaultS1, DefaultSP, 64)[:8] {
+			want, err := pred.Predict(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.Run(core.Options{Plat: plat, NGPUs: 4, Shape: shape, Prim: hw.ReduceScatter, Partition: c})
+			if err != nil {
+				t.Fatal(err)
+			}
+			errsPct = append(errsPct, 100*math.Abs(float64(res.Latency-want))/float64(res.Latency))
+		}
+	}
+	var mean float64
+	for _, e := range errsPct {
+		mean += e
+	}
+	mean /= float64(len(errsPct))
+	if mean > 8 {
+		t.Fatalf("mean |error| = %.2f%%, want single digits (paper: 3.4%%)", mean)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestPredictBreakdownConsistent(t *testing.T) {
+	plat := hw.RTX4090PCIe()
+	curve := SampleBandwidthCurve(plat, 2, hw.AllReduce, nil)
+	pred, err := NewPredictor(plat, gemm.Shape{M: 4096, N: 8192, K: 8192}, gemm.Config{}, curve, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := gemm.EqualSized(pred.Waves, 3)
+	groups, err := pred.PredictBreakdown(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != part.Groups() {
+		t.Fatalf("groups = %d, want %d", len(groups), part.Groups())
+	}
+	total, err := pred.Predict(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := groups[len(groups)-1]
+	if last.CommEnd != total {
+		t.Fatalf("breakdown end %v != Predict %v", last.CommEnd, total)
+	}
+	for i, g := range groups {
+		if g.CommStart < g.ComputeReady {
+			t.Fatalf("group %d comm starts before its data is ready", i)
+		}
+		if i > 0 && g.CommStart < groups[i-1].CommEnd {
+			t.Fatalf("group %d comm overlaps group %d on the comm stream", i, i-1)
+		}
+	}
+	if _, err := pred.PredictBreakdown(gemm.Partition{1}); err == nil {
+		t.Fatal("bad partition accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/tuner"
+)
+
+// OpSpeedup reports one overlappable operator's gain — the "size 1"/"size 2"
+// bars of Fig. 12.
+type OpSpeedup struct {
+	Name     string
+	Shape    gemm.Shape
+	Prim     hw.Primitive
+	Baseline sim.Time // sequential GEMM + collective
+	Overlap  sim.Time // FlashOverlap with the tuned partition
+	Speedup  float64
+}
+
+// E2EResult is one Fig. 12 data point.
+type E2EResult struct {
+	Model    string
+	Setting  string
+	Baseline sim.Time
+	Overlap  sim.Time
+	Speedup  float64
+	Ops      []OpSpeedup
+}
+
+// EndToEnd evaluates the model with every GEMM+collective pair replaced by
+// the tuned FlashOverlap operator (the paper swaps the linear layer and the
+// subsequent primitive in vLLM/Megatron-LM/xDiT, §6.1.3); all other ops are
+// unchanged. candLimit bounds the tuner's search space.
+func EndToEnd(m Model, plat hw.Platform, candLimit int) (E2EResult, error) {
+	if err := m.Validate(); err != nil {
+		return E2EResult{}, err
+	}
+	if candLimit <= 0 {
+		candLimit = 512
+	}
+	tuners := map[hw.Primitive]*tuner.Tuner{}
+	getTuner := func(p hw.Primitive) *tuner.Tuner {
+		if t, ok := tuners[p]; ok {
+			return t
+		}
+		t := tuner.NewTuner(plat, m.NGPUs, p)
+		t.CandidateLimit = candLimit
+		tuners[p] = t
+		return t
+	}
+
+	res := E2EResult{Model: m.Name, Setting: m.Setting}
+	for _, op := range m.Ops {
+		compute, comm, err := opTimes(plat, m.NGPUs, op)
+		if err != nil {
+			return E2EResult{}, err
+		}
+		seq := compute + comm
+		scale := int64(op.repeat()) * int64(m.Layers)
+		res.Baseline += sim.Time(int64(seq) * scale)
+
+		if op.Kind != GEMMComm {
+			res.Overlap += sim.Time(int64(seq) * scale)
+			continue
+		}
+		part, err := getTuner(op.Prim).Tune(op.Shape, op.Imbalance)
+		if err != nil {
+			return E2EResult{}, fmt.Errorf("tuning %s/%s: %w", m.Name, op.Name, err)
+		}
+		run, err := core.Run(core.Options{
+			Plat:      plat,
+			NGPUs:     m.NGPUs,
+			Shape:     op.Shape,
+			Prim:      op.Prim,
+			Partition: part,
+			Imbalance: op.Imbalance,
+		})
+		if err != nil {
+			return E2EResult{}, fmt.Errorf("overlapping %s/%s: %w", m.Name, op.Name, err)
+		}
+		// Overlap never loses: the deployment falls back to the
+		// sequential pair when tuning predicts no gain (the paper's
+		// integration replaces the operator only where profitable).
+		over := run.Latency
+		if over > seq {
+			over = seq
+		}
+		res.Overlap += sim.Time(int64(over) * scale)
+		res.Ops = append(res.Ops, OpSpeedup{
+			Name:     op.Name,
+			Shape:    op.Shape,
+			Prim:     op.Prim,
+			Baseline: seq,
+			Overlap:  over,
+			Speedup:  float64(seq) / float64(over),
+		})
+	}
+	res.Speedup = float64(res.Baseline) / float64(res.Overlap)
+	return res, nil
+}

@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"repro/internal/gemm"
+	"repro/internal/hw"
+)
+
+// Architectural constants of the evaluated models (from their model cards).
+const (
+	llama3Hidden = 8192
+	llama3Inter  = 28672
+	llama3KVProj = 2048 // 8 KV heads x 128 head dim, x2 for K and V
+
+	llama2Hidden = 4096
+	llama2Inter  = 11008
+
+	mixtralHidden = 4096
+	mixtralInter  = 14336
+	mixtralTopK   = 2
+
+	t2vHidden = 6144
+	t2vInter  = 24576
+)
+
+// memBytes estimates the per-layer element-wise HBM traffic: two norms and
+// two residual adds over (tokens x hidden) activations, read+write, half
+// precision.
+func memBytes(tokens, hidden int) int64 {
+	return int64(tokens) * int64(hidden) * 2 * 2 * 4
+}
+
+// Llama3_70BInference is the Table 4 LLM-inference workload: Llama3-70B,
+// TP=8, prefill chunk of 16384 tokens (vLLM-style chunked prefill).
+func Llama3_70BInference(tp, chunk int) Model {
+	h := llama3Hidden
+	return Model{
+		Name:    "Llama3-70B",
+		Setting: "inference, TP=8",
+		NGPUs:   tp,
+		Layers:  80,
+		Ops: []Op{
+			{Name: "qkv", Kind: GEMMOnly, Shape: gemm.Shape{M: chunk, N: (h + llama3KVProj) / tp, K: h}},
+			{Name: "attn", Kind: Attention, Shape: gemm.Shape{M: chunk, N: chunk / 8, K: 2 * h / tp}},
+			{Name: "o-proj+AR", Kind: GEMMComm, Prim: hw.AllReduce, Shape: gemm.Shape{M: chunk, N: h, K: h / tp}},
+			{Name: "gate-up", Kind: GEMMOnly, Shape: gemm.Shape{M: chunk, N: 2 * llama3Inter / tp, K: h}},
+			{Name: "down+AR", Kind: GEMMComm, Prim: hw.AllReduce, Shape: gemm.Shape{M: chunk, N: h, K: llama3Inter / tp}},
+			{Name: "norms", Kind: Memory, Bytes: memBytes(chunk, h)},
+		},
+	}
+}
+
+// Llama3_70BInferenceDecode is the decode-phase counterpart of the Fig. 4
+// inference bar: a small batched M (token-by-token generation), attention
+// dominated by KV-cache traffic rather than matmul.
+func Llama3_70BInferenceDecode(tp, batch, kvLen int) Model {
+	h := llama3Hidden
+	// KV-cache read per layer: batch x kvLen x (K+V) x head_dim x kv
+	// heads / tp, half precision.
+	kvBytes := int64(batch) * int64(kvLen) * int64(llama3KVProj) * 2 / int64(tp)
+	return Model{
+		Name:    "Llama3-70B",
+		Setting: "inference decode, TP=8",
+		NGPUs:   tp,
+		Layers:  80,
+		Ops: []Op{
+			{Name: "qkv", Kind: GEMMOnly, Shape: gemm.Shape{M: batch, N: (h + llama3KVProj) / tp, K: h}},
+			{Name: "attn-kv", Kind: Memory, Bytes: kvBytes},
+			{Name: "o-proj+AR", Kind: GEMMComm, Prim: hw.AllReduce, Shape: gemm.Shape{M: batch, N: h, K: h / tp}},
+			{Name: "gate-up", Kind: GEMMOnly, Shape: gemm.Shape{M: batch, N: 2 * llama3Inter / tp, K: h}},
+			{Name: "down+AR", Kind: GEMMComm, Prim: hw.AllReduce, Shape: gemm.Shape{M: batch, N: h, K: llama3Inter / tp}},
+			{Name: "norms", Kind: Memory, Bytes: memBytes(batch, h)},
+		},
+	}
+}
+
+// Llama3_70BTraining is the Table 4 LLM-training workload: TP=8, 16384
+// input tokens, layer count reduced to 8 to fit one node (as in the paper).
+// Megatron-style sequence parallelism decomposes the AllReduce into
+// ReduceScatter (overlappable with the preceding GEMM) plus AllGather
+// (bucketed under Others); the backward pass adds dgrad GEMMs with
+// ReduceScatter on activation gradients and wgrad GEMMs.
+func Llama3_70BTraining(tp, tokens int) Model {
+	h := llama3Hidden
+	return Model{
+		Name:     "Llama3-70B",
+		Setting:  "training, TP=8",
+		NGPUs:    tp,
+		Layers:   8,
+		Training: true,
+		Ops: []Op{
+			// Forward.
+			{Name: "qkv", Kind: GEMMOnly, Shape: gemm.Shape{M: tokens, N: (h + llama3KVProj) / tp, K: h}},
+			{Name: "attn", Kind: Attention, Shape: gemm.Shape{M: tokens, N: tokens / 8, K: 2 * h / tp}},
+			{Name: "o-proj+RS", Kind: GEMMComm, Prim: hw.ReduceScatter, Shape: gemm.Shape{M: tokens, N: h, K: h / tp}},
+			{Name: "gate-up", Kind: GEMMOnly, Shape: gemm.Shape{M: tokens, N: 2 * llama3Inter / tp, K: h}},
+			{Name: "down+RS", Kind: GEMMComm, Prim: hw.ReduceScatter, Shape: gemm.Shape{M: tokens, N: h, K: llama3Inter / tp}},
+			{Name: "ag+norms", Kind: Memory, Bytes: 2 * memBytes(tokens, h)},
+			// Backward: dgrad mirrors the forward GEMMs (with RS on the
+			// two tensor-parallel boundaries), wgrad accumulates weights.
+			{Name: "bwd-dgrad", Kind: GEMMOnly, Repeat: 2, Shape: gemm.Shape{M: tokens, N: 2 * llama3Inter / tp, K: h}},
+			{Name: "bwd-dgrad+RS", Kind: GEMMComm, Prim: hw.ReduceScatter, Repeat: 2, Shape: gemm.Shape{M: tokens, N: h, K: llama3Inter / tp}},
+			{Name: "bwd-attn", Kind: Attention, Repeat: 2, Shape: gemm.Shape{M: tokens, N: tokens / 8, K: 2 * h / tp}},
+			{Name: "bwd-wgrad", Kind: GEMMOnly, Repeat: 2, Shape: gemm.Shape{M: h, N: llama3Inter / tp, K: tokens}},
+			{Name: "bwd-mem", Kind: Memory, Bytes: 2 * memBytes(tokens, h)},
+		},
+	}
+}
+
+// Llama2_7BTraining is the Fig. 4 profiling workload: Llama2-7B, TP=4,
+// PP=2 (pipeline halves the layers per GPU; per-layer structure is
+// unchanged, so PP only affects the layer count here).
+func Llama2_7BTraining(tp, pp, tokens int) Model {
+	h := llama2Hidden
+	return Model{
+		Name:     "Llama2-7B",
+		Setting:  "training, TP=4, PP=2",
+		NGPUs:    tp,
+		Layers:   32 / pp,
+		Training: true,
+		Ops: []Op{
+			{Name: "qkv", Kind: GEMMOnly, Shape: gemm.Shape{M: tokens, N: 3 * h / tp, K: h}},
+			{Name: "attn", Kind: Attention, Shape: gemm.Shape{M: tokens, N: tokens / 8, K: 2 * h / tp}},
+			{Name: "o-proj+RS", Kind: GEMMComm, Prim: hw.ReduceScatter, Shape: gemm.Shape{M: tokens, N: h, K: h / tp}},
+			{Name: "gate-up", Kind: GEMMOnly, Shape: gemm.Shape{M: tokens, N: 2 * llama2Inter / tp, K: h}},
+			{Name: "down+RS", Kind: GEMMComm, Prim: hw.ReduceScatter, Shape: gemm.Shape{M: tokens, N: h, K: llama2Inter / tp}},
+			{Name: "ag+norms", Kind: Memory, Bytes: 2 * memBytes(tokens, h)},
+			{Name: "bwd-dgrad", Kind: GEMMOnly, Repeat: 2, Shape: gemm.Shape{M: tokens, N: 2 * llama2Inter / tp, K: h}},
+			{Name: "bwd-dgrad+RS", Kind: GEMMComm, Prim: hw.ReduceScatter, Repeat: 2, Shape: gemm.Shape{M: tokens, N: h, K: llama2Inter / tp}},
+			{Name: "bwd-attn", Kind: Attention, Repeat: 2, Shape: gemm.Shape{M: tokens, N: tokens / 8, K: 2 * h / tp}},
+			{Name: "bwd-wgrad", Kind: GEMMOnly, Repeat: 2, Shape: gemm.Shape{M: h, N: llama2Inter / tp, K: tokens}},
+			{Name: "bwd-mem", Kind: Memory, Bytes: 2 * memBytes(tokens, h)},
+		},
+	}
+}
+
+// Mixtral8x7BTraining is the Table 4 MoE workload: Mixtral-8x7B, EP=4,
+// TP=2, 32768 input tokens, layer count reduced to 4 (as in the paper).
+// Top-2 routing doubles the expert-side token count; dynamic routing skews
+// per-GPU loads (Imbalance). The expert down-projection GEMM feeds the
+// combine All-to-All: the GEMM+A2A pattern.
+func Mixtral8x7BTraining(ep, tp, tokens int) Model {
+	h := mixtralHidden
+	nGPUs := ep * tp
+	expertTokens := tokens * mixtralTopK / ep
+	return Model{
+		Name:     "Mixtral-8x7B",
+		Setting:  "training, EP=4, TP=2",
+		NGPUs:    nGPUs,
+		Layers:   4,
+		Training: true,
+		Ops: []Op{
+			{Name: "qkv", Kind: GEMMOnly, Shape: gemm.Shape{M: tokens, N: 3 * h / tp, K: h}},
+			{Name: "attn", Kind: Attention, Shape: gemm.Shape{M: tokens, N: tokens / 8, K: 2 * h / tp}},
+			{Name: "o-proj+AR", Kind: GEMMComm, Prim: hw.AllReduce, Shape: gemm.Shape{M: tokens, N: h, K: h / tp}},
+			{Name: "router+dispatchA2A", Kind: GEMMComm, Prim: hw.AllToAll, Imbalance: 1.3,
+				Shape: gemm.Shape{M: tokens, N: h, K: h / tp}},
+			{Name: "expert-up", Kind: GEMMOnly, Shape: gemm.Shape{M: expertTokens, N: 2 * mixtralInter / tp, K: h}},
+			{Name: "expert-down+combineA2A", Kind: GEMMComm, Prim: hw.AllToAll, Imbalance: 1.3,
+				Shape: gemm.Shape{M: expertTokens, N: h, K: mixtralInter / tp}},
+			{Name: "norms", Kind: Memory, Bytes: memBytes(tokens, h)},
+			// Backward doubles the expert path (dgrad + wgrad) and
+			// repeats both All-to-Alls in reverse.
+			{Name: "bwd-expert", Kind: GEMMOnly, Repeat: 2, Shape: gemm.Shape{M: expertTokens, N: 2 * mixtralInter / tp, K: h}},
+			{Name: "bwd-expert+A2A", Kind: GEMMComm, Prim: hw.AllToAll, Imbalance: 1.3, Repeat: 2,
+				Shape: gemm.Shape{M: expertTokens, N: h, K: mixtralInter / tp}},
+			{Name: "bwd-attn", Kind: Attention, Shape: gemm.Shape{M: tokens, N: tokens / 8, K: 2 * h / tp}},
+			{Name: "bwd-wgrad", Kind: GEMMOnly, Repeat: 2, Shape: gemm.Shape{M: h, N: mixtralInter / tp, K: expertTokens}},
+			{Name: "bwd-mem", Kind: Memory, Bytes: 2 * memBytes(tokens, h)},
+		},
+	}
+}
+
+// StepVideoT2V is the Table 4 text-to-video workload: Step-Video-T2V DiT,
+// TP=4, 33792 input tokens (xDiT-style sequence lengths). The huge token
+// count makes it the biggest overlap beneficiary in Fig. 12.
+func StepVideoT2V(tp, tokens int) Model {
+	h := t2vHidden
+	return Model{
+		Name:    "Step-Video-T2V",
+		Setting: "inference, TP=4",
+		NGPUs:   tp,
+		Layers:  48,
+		Ops: []Op{
+			{Name: "qkv", Kind: GEMMOnly, Shape: gemm.Shape{M: tokens, N: 3 * h / tp, K: h}},
+			{Name: "attn", Kind: Attention, Shape: gemm.Shape{M: tokens, N: tokens / 8, K: 2 * h / tp}},
+			{Name: "o-proj+AR", Kind: GEMMComm, Prim: hw.AllReduce, Shape: gemm.Shape{M: tokens, N: h, K: h / tp}},
+			{Name: "ffn-up", Kind: GEMMOnly, Shape: gemm.Shape{M: tokens, N: t2vInter / tp, K: h}},
+			{Name: "ffn-down+AR", Kind: GEMMComm, Prim: hw.AllReduce, Shape: gemm.Shape{M: tokens, N: h, K: t2vInter / tp}},
+			{Name: "norms+modulate", Kind: Memory, Bytes: 2 * memBytes(tokens, h)},
+		},
+	}
+}
+
+// Fig4Models returns the profiled workloads of Fig. 4 in display order,
+// with the Llama3 inference bar split into prefill and decode as the paper
+// plots them.
+func Fig4Models() []Model {
+	prefill := Llama3_70BInference(8, 16384)
+	prefill.Setting = "inference prefill, TP=8"
+	return []Model{
+		prefill,
+		Llama3_70BInferenceDecode(8, 256, 4096),
+		Mixtral8x7BTraining(4, 2, 32768),
+		StepVideoT2V(4, 33792),
+		Llama2_7BTraining(4, 2, 16384),
+	}
+}
+
+// Table4Models returns the end-to-end evaluation workloads of Table 4.
+func Table4Models() []Model {
+	return []Model{
+		Llama3_70BInference(8, 16384),
+		Mixtral8x7BTraining(4, 2, 32768),
+		Llama3_70BTraining(8, 16384),
+		StepVideoT2V(4, 33792),
+	}
+}

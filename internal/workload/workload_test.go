@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func TestModelsValidate(t *testing.T) {
+	for _, m := range append(Fig4Models(), Table4Models()...) {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadModels(t *testing.T) {
+	m := Llama3_70BInference(8, 16384)
+	bad := m
+	bad.NGPUs = 1
+	if bad.Validate() == nil {
+		t.Error("single-GPU model accepted")
+	}
+	bad = m
+	bad.Layers = 0
+	if bad.Validate() == nil {
+		t.Error("zero-layer model accepted")
+	}
+	bad = m
+	bad.Ops = []Op{{Name: "x", Kind: Memory, Bytes: 0}}
+	if bad.Validate() == nil {
+		t.Error("zero-byte memory op accepted")
+	}
+	bad = m
+	bad.Ops = []Op{{Name: "x", Kind: GEMMOnly}}
+	if bad.Validate() == nil {
+		t.Error("zero-shape GEMM accepted")
+	}
+}
+
+func TestOpRepeatDefault(t *testing.T) {
+	if (Op{}).repeat() != 1 || (Op{Repeat: 3}).repeat() != 3 {
+		t.Fatal("repeat defaulting broken")
+	}
+}
+
+// Fig. 4: the overlappable GEMM+X patterns must hold a substantial share of
+// end-to-end time on A800 — the paper reports 31.6-42.2% for GEMM+AR in TP
+// serving/T2V, ~30% for GEMM+RS in Llama training, >40% for GEMM+A2A in
+// Mixtral training.
+func TestBreakdownFractionsMatchPaperShape(t *testing.T) {
+	plat := hw.A800NVLink()
+	cases := []struct {
+		model   Model
+		pattern string
+		lo, hi  float64
+	}{
+		{Llama3_70BInference(8, 16384), "GEMM+AR", 0.15, 0.55},
+		{StepVideoT2V(4, 33792), "GEMM+AR", 0.15, 0.55},
+		{Llama2_7BTraining(4, 2, 16384), "GEMM+RS", 0.10, 0.45},
+		{Mixtral8x7BTraining(4, 2, 32768), "GEMM+A2A", 0.15, 0.60},
+	}
+	for _, c := range cases {
+		b, err := ComputeBreakdown(c.model, plat)
+		if err != nil {
+			t.Fatalf("%s: %v", c.model.Name, err)
+		}
+		f := b.Fraction(c.pattern)
+		if f < c.lo || f > c.hi {
+			t.Errorf("%s: %s fraction = %.1f%%, want within [%.0f%%, %.0f%%] (paper ballpark)",
+				c.model.Name, c.pattern, f*100, c.lo*100, c.hi*100)
+		}
+		if b.Fraction("Others") <= 0 {
+			t.Errorf("%s: Others fraction must be positive", c.model.Name)
+		}
+	}
+}
+
+func TestBreakdownTotalsArePositiveAndConsistent(t *testing.T) {
+	plat := hw.A800NVLink()
+	for _, m := range Fig4Models() {
+		b, err := ComputeBreakdown(m, plat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Total <= 0 {
+			t.Fatalf("%s: total %v", m.Name, b.Total)
+		}
+		var sum int64
+		for _, v := range b.ByPattern {
+			sum += int64(v)
+		}
+		if sum != int64(b.Total) {
+			t.Fatalf("%s: pattern sum %d != total %d", m.Name, sum, int64(b.Total))
+		}
+	}
+}
+
+// Fig. 12: end-to-end speedups land in the paper's 1.05-1.13x band on A800
+// (we accept 1.02-1.30 — the shape, not the digits, is the claim).
+func TestEndToEndSpeedups(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end tuning is slow")
+	}
+	plat := hw.A800NVLink()
+	for _, m := range Table4Models() {
+		res, err := EndToEnd(m, plat, 96)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if res.Speedup < 1.0 {
+			t.Errorf("%s: end-to-end slowdown %.3f", m.Name, res.Speedup)
+		}
+		if res.Speedup > 1.5 {
+			t.Errorf("%s: implausible end-to-end speedup %.3f", m.Name, res.Speedup)
+		}
+		if len(res.Ops) == 0 {
+			t.Errorf("%s: no overlapped operators", m.Name)
+		}
+		for _, op := range res.Ops {
+			if op.Speedup < 1.0 {
+				t.Errorf("%s/%s: operator slowdown %.3f (fallback should prevent this)", m.Name, op.Name, op.Speedup)
+			}
+		}
+	}
+}
+
+func TestEndToEndBaselineMatchesBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end tuning is slow")
+	}
+	plat := hw.A800NVLink()
+	m := StepVideoT2V(4, 33792)
+	res, err := EndToEnd(m, plat, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComputeBreakdown(m, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline != b.Total {
+		t.Fatalf("EndToEnd baseline %v != breakdown total %v", res.Baseline, b.Total)
+	}
+}
