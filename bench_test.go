@@ -15,9 +15,11 @@ package repro
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/expt"
 	"repro/internal/gemm"
 	"repro/internal/hw"
@@ -210,7 +212,7 @@ func BenchmarkAblationSignalGranularity(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var last float64
 			for i := 0; i < b.N; i++ {
-				res, err := core.Run(core.Options{Plat: plat, NGPUs: 2, Shape: shape, Prim: hw.AllReduce, Partition: part.Clone()})
+				res, err := engine.Default().Exec(core.Options{Plat: plat, NGPUs: 2, Shape: shape, Prim: hw.AllReduce, Partition: part.Clone()})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -262,7 +264,7 @@ func BenchmarkAblationSwizzle(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := gemm.DefaultConfig(shape)
 				cfg.Swizzle = sw
-				res, err := core.Run(core.Options{Plat: plat, NGPUs: 4, Shape: shape, Cfg: cfg, Prim: hw.AllReduce})
+				res, err := engine.Default().Exec(core.Options{Plat: plat, NGPUs: 4, Shape: shape, Cfg: cfg, Prim: hw.AllReduce})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -284,7 +286,7 @@ func BenchmarkAblationCommSMs(b *testing.B) {
 			plat.CommSMs = smCount
 			var last float64
 			for i := 0; i < b.N; i++ {
-				res, err := core.Run(core.Options{Plat: plat, NGPUs: 4, Shape: shape, Prim: hw.ReduceScatter})
+				res, err := engine.Default().Exec(core.Options{Plat: plat, NGPUs: 4, Shape: shape, Prim: hw.ReduceScatter})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -293,6 +295,56 @@ func BenchmarkAblationCommSMs(b *testing.B) {
 			b.ReportMetric(last, "latency-ms")
 		})
 	}
+}
+
+// Cold compile-every-run core.Run versus cached-plan engine.Exec over the
+// quick Table 3 grid — the headline quantity of the Plan/Exec split. The
+// reported plan-cache-speedup metric is coldNsPerRun / cachedNsPerRun.
+func BenchmarkEnginePlanCacheSpeedup(b *testing.B) {
+	var runs []core.Options
+	for _, grid := range expt.Table3Grids(true) {
+		for _, shape := range grid.Shapes {
+			runs = append(runs, core.Options{Plat: grid.Plat, NGPUs: 4, Shape: shape, Prim: grid.Prim, Imbalance: imbalanceFor(grid.Prim)})
+		}
+	}
+	eng := engine.New(1, 0)  // one worker: isolate caching from parallelism
+	for _, o := range runs { // warm the plan cache
+		if _, err := eng.Exec(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var coldNs, cachedNs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		for _, o := range runs {
+			if _, err := core.Run(o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		coldNs += time.Since(start).Nanoseconds()
+		start = time.Now()
+		for _, o := range runs {
+			if _, err := eng.Exec(o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		cachedNs += time.Since(start).Nanoseconds()
+	}
+	perRun := float64(b.N) * float64(len(runs))
+	b.ReportMetric(float64(coldNs)/float64(cachedNs), "plan-cache-speedup")
+	b.ReportMetric(float64(coldNs)/perRun, "cold-ns/run")
+	b.ReportMetric(float64(cachedNs)/perRun, "cached-ns/run")
+	b.Logf("quick Table 3 grid (%d runs): cold core.Run vs cached engine.Exec speedup %.2fx",
+		len(runs), float64(coldNs)/float64(cachedNs))
+}
+
+// imbalanceFor mirrors the operator evaluation's A2A routing skew.
+func imbalanceFor(p hw.Primitive) float64 {
+	if p == hw.AllToAll {
+		return 1.2
+	}
+	return 0
 }
 
 // Raw simulator throughput: one overlapped run end to end.

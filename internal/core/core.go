@@ -76,24 +76,11 @@ func (o *Options) normalize() (*gemm.Plan, int, error) {
 			return nil, 0, fmt.Errorf("core: ReduceScatter needs TileM %% NGPUs == 0, got %d %% %d", o.Cfg.TileM, o.NGPUs)
 		}
 	case hw.AllToAll:
-		if o.Functional && len(o.Routing) != o.NGPUs {
-			return nil, 0, fmt.Errorf("core: functional AllToAll needs %d routing tables, got %d", o.NGPUs, len(o.Routing))
-		}
 	default:
 		return nil, 0, fmt.Errorf("core: unsupported primitive %v", o.Prim)
 	}
-	if o.Imbalance != 0 && o.Imbalance < 1 {
-		return nil, 0, fmt.Errorf("core: imbalance factor %v < 1", o.Imbalance)
-	}
-	if len(o.DeviceSlowdown) != 0 {
-		if len(o.DeviceSlowdown) != o.NGPUs {
-			return nil, 0, fmt.Errorf("core: %d slowdown factors for %d GPUs", len(o.DeviceSlowdown), o.NGPUs)
-		}
-		for d, f := range o.DeviceSlowdown {
-			if f < 1 {
-				return nil, 0, fmt.Errorf("core: device %d slowdown %v < 1", d, f)
-			}
-		}
+	if err := o.validateVariant(); err != nil {
+		return nil, 0, err
 	}
 	waveSize := o.Plat.GPU.SMs - o.Plat.CommSMs
 	if o.WaveSizeOverride != 0 {
@@ -120,6 +107,28 @@ func (o *Options) normalize() (*gemm.Plan, int, error) {
 		return nil, 0, err
 	}
 	return plan, waveSize, nil
+}
+
+// validateVariant checks the per-execution knobs — the Options fields a
+// Variant may replace on an already-compiled plan.
+func (o *Options) validateVariant() error {
+	if o.Prim == hw.AllToAll && o.Functional && len(o.Routing) != o.NGPUs {
+		return fmt.Errorf("core: functional AllToAll needs %d routing tables, got %d", o.NGPUs, len(o.Routing))
+	}
+	if o.Imbalance != 0 && o.Imbalance < 1 {
+		return fmt.Errorf("core: imbalance factor %v < 1", o.Imbalance)
+	}
+	if len(o.DeviceSlowdown) != 0 {
+		if len(o.DeviceSlowdown) != o.NGPUs {
+			return fmt.Errorf("core: %d slowdown factors for %d GPUs", len(o.DeviceSlowdown), o.NGPUs)
+		}
+		for d, f := range o.DeviceSlowdown {
+			if f < 1 {
+				return fmt.Errorf("core: device %d slowdown %v < 1", d, f)
+			}
+		}
+	}
+	return nil
 }
 
 // GroupTiming records the simulated timeline of one wave group.

@@ -28,28 +28,28 @@ import (
 //     into the next element-wise kernel; see Result accessors and the
 //     Table 5 overhead study).
 func Run(o Options) (*Result, error) {
-	plan, assumedWave, err := o.normalize()
+	c, err := Compile(o)
 	if err != nil {
 		return nil, err
 	}
-	var bounds []gemm.GroupBound
-	if o.WaveSizeOverride != 0 {
-		bounds = o.Partition.BoundsClamped(plan, assumedWave)
-	} else {
-		bounds = o.Partition.Bounds(plan, assumedWave)
-	}
-	trueSMs := o.Plat.GPU.SMs - o.Plat.CommSMs
+	return c.Exec(c.DefaultVariant())
+}
 
+// execute performs one simulation of a compiled plan. o is a private copy
+// whose variant fields have already been validated; plan, cm, bounds and the
+// wave widths come from the Compiled and are never mutated, so concurrent
+// executions of one plan are safe.
+func execute(o *Options, plan *gemm.Plan, cm gemm.CostModel, bounds []gemm.GroupBound, assumedWave, trueSMs int) (*Result, error) {
 	cluster := gpu.NewCluster(o.Plat, o.NGPUs)
 	if o.Trace {
 		cluster.EnableTrace()
 	}
 	com := comm.New(cluster)
-	cm := gemm.NewCostModel(o.Plat.GPU)
 
 	var fs *funcState
 	if o.Functional {
-		fs, err = newFuncState(&o, plan, bounds)
+		var err error
+		fs, err = newFuncState(o, plan, bounds)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,66 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+)
+
+// planCache is a mutex-guarded LRU over compiled plans. Plans are immutable,
+// so a cached plan may be handed to any number of concurrent executors; the
+// lock only covers the recency bookkeeping.
+type planCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used; values are *cacheEntry
+	byKey    map[Key]*list.Element
+}
+
+type cacheEntry struct {
+	key  Key
+	plan *Plan
+}
+
+func newPlanCache(capacity int) *planCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &planCache{
+		capacity: capacity,
+		order:    list.New(),
+		byKey:    make(map[Key]*list.Element, capacity),
+	}
+}
+
+func (c *planCache) get(k Key) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).plan
+}
+
+func (c *planCache) put(k Key, p *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		// A concurrent compile of the same key won the race; keep the
+		// incumbent (plans for one key are interchangeable).
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[k] = c.order.PushFront(&cacheEntry{key: k, plan: p})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,232 @@
+// Package engine is the compiled-plan execution layer of the harness: it
+// splits an overlapped GEMM+collective run into an offline Compile step and
+// an online Exec step, mirroring the paper's own two-stage tuning design
+// (§4: profile and plan once per shape, then reuse the plan for every
+// execution of that shape).
+//
+// The three entry points form a pipeline:
+//
+//   - Compile(core.Options) resolves everything shape- and
+//     platform-dependent — normalized options, the tile launch order, the
+//     GEMM cost model, the wave-group partition bounds — into an immutable
+//     *Plan that is safe for concurrent reuse.
+//   - Exec(plan, variant) runs one simulation of a compiled plan against a
+//     fresh simulator and cluster, varying only the per-run knobs (seed,
+//     imbalance, wave-size override, functional data, tracing).
+//   - Engine.Batch fans a slice of runs across a bounded worker pool with
+//     deterministic result ordering (results[i] always answers runs[i],
+//     regardless of worker count), deduplicating compilation through an LRU
+//     plan cache keyed on (Platform, NGPUs, Shape, Cfg, Prim, Partition,
+//     WaveSizeOverride).
+//
+// The sweep loops of the tuner, the experiment harness, and the workload
+// evaluator all go through Batch/Exec, which turns every sweep from
+// O(runs x rebuild) serial work into O(unique plans) compilation plus
+// parallel execution. Results are byte-identical to serial core.Run calls:
+// each execution owns a private discrete-event simulator whose tie-breaking
+// is deterministic, so worker scheduling cannot leak into the outputs.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+)
+
+// Key identifies a compiled plan: every Options field that shapes the plan
+// itself, with defaults resolved the same way core.Compile resolves them.
+// Variant fields (seed, imbalance, functional data, tracing, slowdowns) are
+// deliberately absent — they vary per execution on one cached plan.
+type Key struct {
+	Plat             hw.Platform
+	NGPUs            int
+	Shape            gemm.Shape
+	Cfg              gemm.Config
+	Prim             hw.Primitive
+	Partition        string
+	WaveSizeOverride int
+}
+
+// keyOf derives the cache key from options without paying for a full
+// compile. The config default matches core's normalization exactly; a nil
+// partition keys as the per-wave default.
+func keyOf(o core.Options) Key {
+	cfg := o.Cfg
+	if cfg == (gemm.Config{}) {
+		cfg = gemm.DefaultConfig(o.Shape)
+	}
+	part := "per-wave"
+	if o.Partition != nil {
+		part = o.Partition.String()
+	}
+	return Key{
+		Plat:             o.Plat,
+		NGPUs:            o.NGPUs,
+		Shape:            o.Shape,
+		Cfg:              cfg,
+		Prim:             o.Prim,
+		Partition:        part,
+		WaveSizeOverride: o.WaveSizeOverride,
+	}
+}
+
+// Plan is an immutable compiled execution plan plus its cache identity.
+// Concurrent Exec calls on one Plan are safe.
+type Plan struct {
+	Key Key
+	c   *core.Compiled
+}
+
+// Compile builds a plan outside any cache (the cold path; Engine.Plan is the
+// cached equivalent).
+func Compile(o core.Options) (*Plan, error) {
+	c, err := core.Compile(o)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Key: keyOf(o), c: c}, nil
+}
+
+// Compiled exposes the underlying core plan.
+func (p *Plan) Compiled() *core.Compiled { return p.c }
+
+// Exec runs one simulation of the plan under the variant.
+func (p *Plan) Exec(v core.Variant) (*core.Result, error) { return p.c.Exec(v) }
+
+// Exec runs one simulation of a compiled plan — the online half of the
+// Compile/Exec split.
+func Exec(p *Plan, v core.Variant) (*core.Result, error) { return p.c.Exec(v) }
+
+// DefaultCacheSize bounds the default engine's plan cache. A Table 3 grid
+// crossed with GPU counts and tuned partitions stays well under this, so
+// full-figure sweeps compile each unique plan once.
+const DefaultCacheSize = 512
+
+// Engine executes simulation runs through a bounded worker pool and an LRU
+// plan cache. The zero value is not ready; use New or Default.
+type Engine struct {
+	workers int
+	cache   *planCache
+
+	hits, misses atomic.Uint64
+}
+
+// New builds an engine with the given worker-pool width and plan-cache
+// capacity. workers <= 0 selects GOMAXPROCS; cacheSize <= 0 selects
+// DefaultCacheSize.
+func New(workers, cacheSize int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cacheSize <= 0 {
+		cacheSize = DefaultCacheSize
+	}
+	return &Engine{workers: workers, cache: newPlanCache(cacheSize)}
+}
+
+var (
+	defaultOnce sync.Once
+	defaultEng  *Engine
+)
+
+// Default returns the process-wide shared engine (GOMAXPROCS workers,
+// DefaultCacheSize plans). The sweep harnesses all share it so plans cached
+// by one figure generator are reused by the next.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEng = New(0, 0) })
+	return defaultEng
+}
+
+// Workers reports the pool width Batch fans across.
+func (e *Engine) Workers() int { return e.workers }
+
+// Plan returns the compiled plan for o, compiling on a cache miss. Two
+// options values that differ only in variant fields share one cached plan.
+func (e *Engine) Plan(o core.Options) (*Plan, error) {
+	k := keyOf(o)
+	if p := e.cache.get(k); p != nil {
+		e.hits.Add(1)
+		return p, nil
+	}
+	e.misses.Add(1)
+	p, err := Compile(o)
+	if err != nil {
+		return nil, err
+	}
+	e.cache.put(k, p)
+	return p, nil
+}
+
+// Exec runs o through the plan cache: compile (or reuse) the plan, then
+// execute o's variant. It is the drop-in replacement for core.Run in sweep
+// loops.
+func (e *Engine) Exec(o core.Options) (*core.Result, error) {
+	p, err := e.Plan(o)
+	if err != nil {
+		return nil, err
+	}
+	return p.c.Exec(core.VariantOf(o))
+}
+
+// Batch executes every run across the worker pool and returns the results
+// in input order: results[i] answers runs[i] no matter how many workers
+// execute or in which order they finish. On failure the lowest-index error
+// is returned (also independent of scheduling), so error behavior matches a
+// serial loop that stops at the first failing run.
+func (e *Engine) Batch(runs []core.Options) ([]*core.Result, error) {
+	results := make([]*core.Result, len(runs))
+	errs := make([]error, len(runs))
+	workers := e.workers
+	if workers > len(runs) {
+		workers = len(runs)
+	}
+	if workers <= 1 {
+		for i := range runs {
+			if results[i], errs[i] = e.Exec(runs[i]); errs[i] != nil {
+				return nil, fmt.Errorf("engine: run %d: %w", i, errs[i])
+			}
+		}
+		return results, nil
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				// Fail fast: once any run errors, drain without
+				// executing. Indices are claimed in increasing order,
+				// so every index below the lowest failing one has
+				// already started and will record its result — the
+				// lowest-index error stays deterministic.
+				if i >= len(runs) || failed.Load() {
+					return
+				}
+				if results[i], errs[i] = e.Exec(runs[i]); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("engine: run %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// CacheStats reports plan-cache effectiveness since the engine was built.
+func (e *Engine) CacheStats() (hits, misses uint64, size int) {
+	return e.hits.Load(), e.misses.Load(), e.cache.len()
+}

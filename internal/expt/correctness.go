@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gemm"
 	"repro/internal/hw"
 	"repro/internal/tensor"
@@ -32,7 +33,9 @@ func Correctness(cases int) ([]CorrectnessCase, error) {
 		cases = 10
 	}
 	prims := []hw.Primitive{hw.AllReduce, hw.ReduceScatter, hw.AllToAll}
-	var out []CorrectnessCase
+	// The functional runs are independent; execute them as one batch and
+	// verify the outputs serially below.
+	runs := make([]core.Options, 0, cases)
 	for i := 0; i < cases; i++ {
 		prim := prims[i%len(prims)]
 		n := 2 + 2*((i/3)%2) // 2 or 4 GPUs
@@ -55,10 +58,16 @@ func Correctness(cases int) ([]CorrectnessCase, error) {
 				}
 			}
 		}
-		res, err := core.Run(o)
-		if err != nil {
-			return nil, err
-		}
+		runs = append(runs, o)
+	}
+	results, err := engine.Default().Batch(runs)
+	if err != nil {
+		return nil, err
+	}
+	var out []CorrectnessCase
+	for i, res := range results {
+		o := runs[i]
+		prim, n, shape := o.Prim, o.NGPUs, o.Shape
 		cc := CorrectnessCase{Prim: prim, NGPUs: n, Shape: shape}
 		switch prim {
 		case hw.AllReduce:

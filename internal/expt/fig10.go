@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gemm"
 	"repro/internal/hw"
 	"repro/internal/sim"
@@ -39,52 +40,67 @@ type OperatorCase struct {
 	Partition gemm.Partition // FlashOverlap's tuned partition
 }
 
-// runOperatorCase measures every applicable method on one case.
-func runOperatorCase(plat hw.Platform, prim hw.Primitive, n int, shape gemm.Shape, tn *tuner.Tuner) (OperatorCase, error) {
-	oc := OperatorCase{Plat: plat.Name, Prim: prim, NGPUs: n, Shape: shape, Speedups: map[string]float64{}}
-	bOpts := baselines.Options{Plat: plat, NGPUs: n, Shape: shape, Prim: prim}
+// operatorCases measures every applicable method over shapes for one
+// (platform, primitive, GPU count) panel. Partitions are tuned serially
+// (the tuner's nearest-neighbor cache is stateful), the FlashOverlap runs
+// then execute as one engine batch across the worker pool, and the baseline
+// methods fill in per shape.
+func operatorCases(plat hw.Platform, prim hw.Primitive, n int, shapes []gemm.Shape, tn *tuner.Tuner) ([]OperatorCase, error) {
 	imb := 0.0
 	if prim == hw.AllToAll {
 		imb = a2aImbalance
-		bOpts.Imbalance = imb
 	}
-	base, err := baselines.NonOverlap(bOpts)
-	if err != nil {
-		return oc, err
-	}
-	oc.Baseline = base
-
-	part, err := tn.Tune(shape, imb)
-	if err != nil {
-		return oc, err
-	}
-	oc.Partition = part
-	flash, err := core.Run(core.Options{
-		Plat: plat, NGPUs: n, Shape: shape, Prim: prim,
-		Partition: part, Imbalance: imb,
-	})
-	if err != nil {
-		return oc, err
-	}
-	oc.Speedups[MethodFlashOverlap] = float64(base) / float64(flash.Latency)
-
-	if vd, err := baselines.Decomposition(bOpts, false); err == nil {
-		oc.Speedups[MethodVanillaDecmp] = float64(base) / float64(vd)
-	}
-	if plat.P2PCapable() {
-		if at, err := baselines.Decomposition(bOpts, true); err == nil {
-			oc.Speedups[MethodAsyncTP] = float64(base) / float64(at)
+	parts := make([]gemm.Partition, len(shapes))
+	runs := make([]core.Options, len(shapes))
+	for i, shape := range shapes {
+		part, err := tn.Tune(shape, imb)
+		if err != nil {
+			return nil, err
 		}
-		if prim != hw.AllToAll { // FLUX/cuBLASMp target TP collectives
-			if fx, err := baselines.Fusion(bOpts, baselines.Flux); err == nil {
-				oc.Speedups[MethodFlux] = float64(base) / float64(fx)
-			}
-			if cb, err := baselines.Fusion(bOpts, baselines.CublasMp); err == nil {
-				oc.Speedups[MethodCublasMp] = float64(base) / float64(cb)
-			}
+		parts[i] = part
+		runs[i] = core.Options{
+			Plat: plat, NGPUs: n, Shape: shape, Prim: prim,
+			Partition: part, Imbalance: imb,
 		}
 	}
-	return oc, nil
+	flash, err := engine.Default().Batch(runs)
+	if err != nil {
+		return nil, err
+	}
+
+	cases := make([]OperatorCase, 0, len(shapes))
+	for i, shape := range shapes {
+		oc := OperatorCase{
+			Plat: plat.Name, Prim: prim, NGPUs: n, Shape: shape,
+			Partition: parts[i], Speedups: map[string]float64{},
+		}
+		bOpts := baselines.Options{Plat: plat, NGPUs: n, Shape: shape, Prim: prim, Imbalance: imb}
+		base, err := baselines.NonOverlap(bOpts)
+		if err != nil {
+			return nil, err
+		}
+		oc.Baseline = base
+		oc.Speedups[MethodFlashOverlap] = float64(base) / float64(flash[i].Latency)
+
+		if vd, err := baselines.Decomposition(bOpts, false); err == nil {
+			oc.Speedups[MethodVanillaDecmp] = float64(base) / float64(vd)
+		}
+		if plat.P2PCapable() {
+			if at, err := baselines.Decomposition(bOpts, true); err == nil {
+				oc.Speedups[MethodAsyncTP] = float64(base) / float64(at)
+			}
+			if prim != hw.AllToAll { // FLUX/cuBLASMp target TP collectives
+				if fx, err := baselines.Fusion(bOpts, baselines.Flux); err == nil {
+					oc.Speedups[MethodFlux] = float64(base) / float64(fx)
+				}
+				if cb, err := baselines.Fusion(bOpts, baselines.CublasMp); err == nil {
+					oc.Speedups[MethodCublasMp] = float64(base) / float64(cb)
+				}
+			}
+		}
+		cases = append(cases, oc)
+	}
+	return cases, nil
 }
 
 // Fig10Group aggregates one (platform, primitive, GPU count) panel.
@@ -111,11 +127,11 @@ func Fig10(quick bool) ([]Fig10Group, []OperatorCase, error) {
 			tn := tuner.NewTuner(grid.Plat, n, grid.Prim)
 			tn.CandidateLimit = 256
 			perMethod := map[string][]float64{}
-			for _, shape := range grid.Shapes {
-				oc, err := runOperatorCase(grid.Plat, grid.Prim, n, shape, tn)
-				if err != nil {
-					return nil, nil, fmt.Errorf("%s %s n=%d %v: %w", grid.Plat.Name, grid.Prim, n, shape, err)
-				}
+			ocs, err := operatorCases(grid.Plat, grid.Prim, n, grid.Shapes, tn)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s %s n=%d: %w", grid.Plat.Name, grid.Prim, n, err)
+			}
+			for _, oc := range ocs {
 				cases = append(cases, oc)
 				for m, s := range oc.Speedups {
 					perMethod[m] = append(perMethod[m], s)
@@ -177,13 +193,11 @@ func Fig11(quick bool) ([]OperatorCase, error) {
 	for _, n := range counts {
 		tn := tuner.NewTuner(plat, n, hw.ReduceScatter)
 		tn.CandidateLimit = 256
-		for _, shape := range shapes {
-			oc, err := runOperatorCase(plat, hw.ReduceScatter, n, shape, tn)
-			if err != nil {
-				return nil, err
-			}
-			cases = append(cases, oc)
+		ocs, err := operatorCases(plat, hw.ReduceScatter, n, shapes, tn)
+		if err != nil {
+			return nil, err
 		}
+		cases = append(cases, ocs...)
 	}
 	return cases, nil
 }
@@ -231,13 +245,11 @@ func Fig16() ([]OperatorCase, error) {
 	for _, n := range []int{2, 4} {
 		tn := tuner.NewTuner(plat, n, hw.AllReduce)
 		tn.CandidateLimit = 256
-		for _, shape := range Fig16Shapes() {
-			oc, err := runOperatorCase(plat, hw.AllReduce, n, shape, tn)
-			if err != nil {
-				return nil, err
-			}
-			cases = append(cases, oc)
+		ocs, err := operatorCases(plat, hw.AllReduce, n, Fig16Shapes(), tn)
+		if err != nil {
+			return nil, err
 		}
+		cases = append(cases, ocs...)
 	}
 	return cases, nil
 }

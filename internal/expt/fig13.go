@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gemm"
 	"repro/internal/hw"
 	"repro/internal/tuner"
@@ -59,26 +60,33 @@ func Fig13(quick bool) ([]Fig13Panel, error) {
 		tn := tuner.NewTuner(sp.plat, sp.n, sp.prim)
 		tn.CandidateLimit = 256
 		panel := Fig13Panel{Plat: sp.plat.Name, Prim: sp.prim, NGPUs: sp.n, MNs: ms, Ks: ks}
+		// Tune the whole (K, M·N) plane first (the tuner cache is
+		// stateful), then execute every overlapped run as one batch.
+		runs := make([]core.Options, 0, len(ks)*len(ms))
 		for _, k := range ks {
-			var row []Fig13Cell
 			for _, m := range ms {
 				shape := gemm.Shape{M: m, N: 8192, K: k}
-				base, err := baselines.NonOverlap(baselines.Options{Plat: sp.plat, NGPUs: sp.n, Shape: shape, Prim: sp.prim})
-				if err != nil {
-					return nil, err
-				}
 				part, err := tn.Tune(shape, 0)
 				if err != nil {
 					return nil, err
 				}
-				opts := core.Options{Plat: sp.plat, NGPUs: sp.n, Shape: shape, Prim: sp.prim, Partition: part}
-				res, err := core.Run(opts)
+				runs = append(runs, core.Options{Plat: sp.plat, NGPUs: sp.n, Shape: shape, Prim: sp.prim, Partition: part})
+			}
+		}
+		results, err := engine.Default().Batch(runs)
+		if err != nil {
+			return nil, err
+		}
+		for i, k := range ks {
+			var row []Fig13Cell
+			for j, m := range ms {
+				shape := gemm.Shape{M: m, N: 8192, K: k}
+				res := results[i*len(ms)+j]
+				base, err := baselines.NonOverlap(baselines.Options{Plat: sp.plat, NGPUs: sp.n, Shape: shape, Prim: sp.prim})
 				if err != nil {
 					return nil, err
 				}
-				boundOpts := opts
-				boundOpts.Partition = nil
-				bound, err := core.TheoreticalBound(boundOpts)
+				bound, err := core.TheoreticalBound(core.Options{Plat: sp.plat, NGPUs: sp.n, Shape: shape, Prim: sp.prim})
 				if err != nil {
 					return nil, err
 				}

@@ -6,8 +6,10 @@ import (
 
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gemm"
 	"repro/internal/hw"
+	"repro/internal/sim"
 	"repro/internal/tuner"
 )
 
@@ -45,10 +47,22 @@ func Fig14() ([]Fig14Case, error) {
 			[]int{1, 2, 4, 8, 16, 32}},
 	}
 	var cases []Fig14Case
+	var bases []sim.Time // non-overlap baseline per case, aligned with cases
 	for _, sp := range specs {
 		tn := tuner.NewTuner(sp.plat, sp.n, sp.prim)
 		tn.CandidateLimit = 512
 		trueSMs := sp.plat.GPU.SMs - sp.plat.CommSMs
+
+		// Tune every shape first, collecting one labeled run per strategy
+		// bar; the whole spec then executes as a single engine batch.
+		type barRef struct {
+			caseIdx int
+			name    string
+		}
+		var (
+			runs   []core.Options
+			labels []barRef
+		)
 		for _, shape := range sp.shapes {
 			base, err := baselines.NonOverlap(baselines.Options{Plat: sp.plat, NGPUs: sp.n, Shape: shape, Prim: sp.prim})
 			if err != nil {
@@ -59,47 +73,46 @@ func Fig14() ([]Fig14Case, error) {
 				return nil, err
 			}
 			t := plan.Waves(trueSMs)
-			c := Fig14Case{Plat: sp.plat.Name, Prim: sp.prim, NGPUs: sp.n, Shape: shape, Bars: map[string]float64{}}
-
-			run := func(o core.Options) (float64, error) {
-				res, err := core.Run(o)
-				if err != nil {
-					return 0, err
-				}
-				return float64(base) / float64(res.Latency), nil
-			}
-			opts := core.Options{Plat: sp.plat, NGPUs: sp.n, Shape: shape, Prim: sp.prim}
-
-			// Tuned FlashOverlap.
 			tuned, err := tn.Tune(shape, 0)
 			if err != nil {
 				return nil, err
 			}
-			c.Tuned = tuned
+			ci := len(cases)
+			cases = append(cases, Fig14Case{Plat: sp.plat.Name, Prim: sp.prim, NGPUs: sp.n, Shape: shape, Bars: map[string]float64{}, Tuned: tuned})
+			bases = append(bases, base)
+
+			opts := core.Options{Plat: sp.plat, NGPUs: sp.n, Shape: shape, Prim: sp.prim}
+			add := func(name string, o core.Options) {
+				runs = append(runs, o)
+				labels = append(labels, barRef{caseIdx: ci, name: name})
+			}
+
+			// Tuned FlashOverlap.
 			o := opts
 			o.Partition = tuned
-			if c.Bars[MethodFlashOverlap], err = run(o); err != nil {
-				return nil, err
-			}
+			add(MethodFlashOverlap, o)
 
 			// Misconfigured wave size: the tuned partition with counting
 			// thresholds computed at trueSMs+20 tiles per wave.
 			o = opts
 			o.Partition = tuned.Clone()
 			o.WaveSizeOverride = trueSMs + 20
-			if c.Bars["mw"], err = run(o); err != nil {
-				return nil, err
-			}
+			add("mw", o)
 
 			// Equally-sized groupings.
 			for _, gs := range sp.egs {
 				o = opts
 				o.Partition = gemm.EqualSized(t, gs)
-				if c.Bars[fmt.Sprintf("Egs=%d", gs)], err = run(o); err != nil {
-					return nil, err
-				}
+				add(fmt.Sprintf("Egs=%d", gs), o)
 			}
-			cases = append(cases, c)
+		}
+		results, err := engine.Default().Batch(runs)
+		if err != nil {
+			return nil, err
+		}
+		for i, res := range results {
+			l := labels[i]
+			cases[l.caseIdx].Bars[l.name] = float64(bases[l.caseIdx]) / float64(res.Latency)
 		}
 	}
 	return cases, nil

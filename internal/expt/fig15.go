@@ -6,8 +6,10 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gemm"
 	"repro/internal/hw"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tuner"
 )
@@ -62,19 +64,29 @@ func Fig15(full bool) ([]Fig15Result, error) {
 				cands := tuner.Candidates(pred.Waves, tuner.DefaultS1, tuner.DefaultSP, 256)
 				step := len(cands)/partsPerShape + 1
 				opts := core.Options{Plat: plat, NGPUs: n, Shape: shape, Prim: hw.AllReduce}
+				// Predict the sampled partitions, then measure them all
+				// as one engine batch (the plan cache reuses the shape's
+				// tile schedule the exhaustive oracle compiles below).
+				var (
+					runs      []core.Options
+					predicted []sim.Time
+				)
 				for i := 0; i < len(cands); i += step {
-					part := cands[i]
-					want, err := pred.Predict(part)
+					want, err := pred.Predict(cands[i])
 					if err != nil {
 						return nil, err
 					}
 					run := opts
-					run.Partition = part
-					actual, err := core.Run(run)
-					if err != nil {
-						return nil, err
-					}
-					e := 100 * math.Abs(float64(actual.Latency-want)) / float64(actual.Latency)
+					run.Partition = cands[i]
+					runs = append(runs, run)
+					predicted = append(predicted, want)
+				}
+				actuals, err := engine.Default().Batch(runs)
+				if err != nil {
+					return nil, err
+				}
+				for i, actual := range actuals {
+					e := 100 * math.Abs(float64(actual.Latency-predicted[i])) / float64(actual.Latency)
 					res.ErrorsPct = append(res.ErrorsPct, e)
 				}
 				// Search quality for this (shape, n).
@@ -88,7 +100,7 @@ func Fig15(full bool) ([]Fig15Result, error) {
 				}
 				run := opts
 				run.Partition = predBest.Partition
-				actual, err := core.Run(run)
+				actual, err := engine.Default().Exec(run)
 				if err != nil {
 					return nil, err
 				}

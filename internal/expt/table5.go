@@ -145,23 +145,37 @@ func Table5() ([]Table5Row, error) {
 // overheadPct measures fused's latency relative to base with interleaved
 // paired sampling: base and fused alternate within each round, so slow
 // drift (scheduler, thermal, noisy neighbors) cancels in the per-round
-// ratio; the median ratio across rounds is reported.
+// ratio; the median ratio across rounds is reported. The measurement order
+// flips every round — whichever kernel runs second inherits warm caches
+// (and, on throttling hosts, a lower clock), and a fixed order turns that
+// into a systematic bias large enough to dominate the single-digit
+// overheads being measured.
 func overheadPct(base, fused func()) float64 {
 	base()
 	fused()
-	const rounds = 15
+	const rounds = 16
 	ratios := make([]float64, rounds)
 	for i := range ratios {
-		s := time.Now()
-		base()
-		b := time.Since(s)
-		s = time.Now()
-		fused()
-		f := time.Since(s)
+		var b, f time.Duration
+		if i%2 == 0 {
+			s := time.Now()
+			base()
+			b = time.Since(s)
+			s = time.Now()
+			fused()
+			f = time.Since(s)
+		} else {
+			s := time.Now()
+			fused()
+			f = time.Since(s)
+			s = time.Now()
+			base()
+			b = time.Since(s)
+		}
 		ratios[i] = float64(f) / float64(b)
 	}
 	sort.Float64s(ratios)
-	return 100 * (ratios[rounds/2] - 1)
+	return 100 * ((ratios[rounds/2-1]+ratios[rounds/2])/2 - 1)
 }
 
 func fillSlice(xs []float32, seed uint64) {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gemm"
 	"repro/internal/gpu"
 	"repro/internal/hw"
@@ -282,22 +283,28 @@ func PredictiveSearch(p *Predictor, cands []gemm.Partition) (SearchResult, error
 
 // ExhaustiveSearch runs every candidate on the simulator (the paper's
 // online-profiling oracle, >100x slower than prediction) and returns the
-// measured optimum.
+// measured optimum. Candidates execute through the batch engine: one run per
+// partition, fanned across the worker pool, with the same winner a serial
+// scan would pick (ties break toward the earlier candidate).
 func ExhaustiveSearch(o core.Options, cands []gemm.Partition) (SearchResult, error) {
 	if len(cands) == 0 {
 		return SearchResult{}, fmt.Errorf("tuner: no candidates")
 	}
-	best := SearchResult{Latency: sim.MaxTime, Candidates: len(cands)}
-	for _, c := range cands {
+	runs := make([]core.Options, len(cands))
+	for i, c := range cands {
 		run := o
 		run.Partition = c.Clone()
-		res, err := core.Run(run)
-		if err != nil {
-			return SearchResult{}, err
-		}
+		runs[i] = run
+	}
+	results, err := engine.Default().Batch(runs)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	best := SearchResult{Latency: sim.MaxTime, Candidates: len(cands)}
+	for i, res := range results {
 		if res.Latency < best.Latency {
 			best.Latency = res.Latency
-			best.Partition = c.Clone()
+			best.Partition = cands[i].Clone()
 		}
 	}
 	return best, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gemm"
 	"repro/internal/hw"
 	"repro/internal/sim"
@@ -53,7 +54,19 @@ func EndToEnd(m Model, plat hw.Platform, candLimit int) (E2EResult, error) {
 		return t
 	}
 
+	// First pass: cost every op sequentially and tune the overlappable
+	// ones (the per-primitive tuner caches are stateful, so tuning stays
+	// serial); the tuned runs then execute as one engine batch.
+	type overlapOp struct {
+		op    Op
+		seq   sim.Time
+		scale int64
+	}
 	res := E2EResult{Model: m.Name, Setting: m.Setting}
+	var (
+		pending []overlapOp
+		runs    []core.Options
+	)
 	for _, op := range m.Ops {
 		compute, comm, err := opTimes(plat, m.NGPUs, op)
 		if err != nil {
@@ -71,7 +84,8 @@ func EndToEnd(m Model, plat hw.Platform, candLimit int) (E2EResult, error) {
 		if err != nil {
 			return E2EResult{}, fmt.Errorf("tuning %s/%s: %w", m.Name, op.Name, err)
 		}
-		run, err := core.Run(core.Options{
+		pending = append(pending, overlapOp{op: op, seq: seq, scale: scale})
+		runs = append(runs, core.Options{
 			Plat:      plat,
 			NGPUs:     m.NGPUs,
 			Shape:     op.Shape,
@@ -79,24 +93,27 @@ func EndToEnd(m Model, plat hw.Platform, candLimit int) (E2EResult, error) {
 			Partition: part,
 			Imbalance: op.Imbalance,
 		})
-		if err != nil {
-			return E2EResult{}, fmt.Errorf("overlapping %s/%s: %w", m.Name, op.Name, err)
-		}
+	}
+	results, err := engine.Default().Batch(runs)
+	if err != nil {
+		return E2EResult{}, fmt.Errorf("overlapping %s: %w", m.Name, err)
+	}
+	for i, p := range pending {
 		// Overlap never loses: the deployment falls back to the
 		// sequential pair when tuning predicts no gain (the paper's
 		// integration replaces the operator only where profitable).
-		over := run.Latency
-		if over > seq {
-			over = seq
+		over := results[i].Latency
+		if over > p.seq {
+			over = p.seq
 		}
-		res.Overlap += sim.Time(int64(over) * scale)
+		res.Overlap += sim.Time(int64(over) * p.scale)
 		res.Ops = append(res.Ops, OpSpeedup{
-			Name:     op.Name,
-			Shape:    op.Shape,
-			Prim:     op.Prim,
-			Baseline: seq,
+			Name:     p.op.Name,
+			Shape:    p.op.Shape,
+			Prim:     p.op.Prim,
+			Baseline: p.seq,
 			Overlap:  over,
-			Speedup:  float64(seq) / float64(over),
+			Speedup:  float64(p.seq) / float64(over),
 		})
 	}
 	res.Speedup = float64(res.Baseline) / float64(res.Overlap)
