@@ -23,6 +23,7 @@ import (
 	"repro/internal/expt"
 	"repro/internal/gemm"
 	"repro/internal/hw"
+	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/tuner"
 )
@@ -385,4 +386,66 @@ func BenchmarkPredictorEvaluate(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// Serving-path throughput: a warm Service.Query must answer from the
+// concurrent shape cache without searching or compiling. The reported
+// hit-rate metric doubles as a regression guard — it must stay at 100%.
+func BenchmarkServeWarmQuery(b *testing.B) {
+	svc, err := serve.New(serve.Config{Plat: hw.RTX4090PCIe(), NGPUs: 2, CandidateLimit: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	shapes := []gemm.Shape{
+		{M: 2048, N: 8192, K: 4096},
+		{M: 4096, N: 8192, K: 4096},
+		{M: 4096, N: 8192, K: 8192},
+	}
+	if err := svc.Warm([]hw.Primitive{hw.AllReduce}, shapes, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans, err := svc.Query(serve.Query{Shape: shapes[i%len(shapes)], Prim: hw.AllReduce})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ans.Source != serve.SourceCache {
+			b.Fatalf("warm query missed the cache (source %q)", ans.Source)
+		}
+	}
+	b.StopTimer()
+	st := svc.Stats()
+	b.ReportMetric(100*float64(st.Hits)/float64(st.Hits+st.Misses), "warm-hit-%")
+}
+
+// Concurrent serving throughput: the RWMutex-guarded cache must scale warm
+// queries across goroutines (the old slice cache serialized or raced here).
+func BenchmarkServeConcurrentQuery(b *testing.B) {
+	svc, err := serve.New(serve.Config{Plat: hw.RTX4090PCIe(), NGPUs: 2, CandidateLimit: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	shapes := []gemm.Shape{
+		{M: 2048, N: 8192, K: 4096},
+		{M: 4096, N: 8192, K: 4096},
+		{M: 4096, N: 8192, K: 8192},
+	}
+	if err := svc.Warm([]hw.Primitive{hw.AllReduce}, shapes, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := svc.Query(serve.Query{Shape: shapes[i%len(shapes)], Prim: hw.AllReduce}); err != nil {
+				// FailNow/Fatal must not run on a RunParallel worker.
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
 }

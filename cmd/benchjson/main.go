@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` text output on stdin into the
+// JSON benchmark record the CI perf-tracking pipeline stores per PR
+// (BENCH_<tag>.json). Keeping the converter in-repo means the schema is
+// versioned with the benchmarks themselves: every benchmark line becomes one
+// record holding ns/op plus every custom metric the suite reports via
+// b.ReportMetric (speedups, error percentages, cache-hit gains).
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' . | go run ./cmd/benchjson -tag PR2 > BENCH_PR2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark with the -N GOMAXPROCS suffix stripped, so
+	// records diff cleanly across runner core counts.
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// Metrics holds every reported unit, ns/op included; custom units
+	// like "flashoverlap-mean-speedup" carry the headline quantities.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	Tag        string      `json:"tag"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	tag := flag.String("tag", "local", "record tag, e.g. PR2")
+	flag.Parse()
+
+	rep := Report{Tag: *tag}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Package = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseLine(line)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchjson: skipping %q: %v\n", line, err)
+				continue
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one result line: name, iteration count, then
+// (value, unit) pairs — `BenchmarkX-8  1  123 ns/op  4.2 speedup`.
+func parseLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("want name, iterations, and (value, unit) pairs, got %d fields", len(fields))
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iterations %q: %w", fields[1], err)
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("value %q: %w", fields[i], err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}

@@ -1,0 +1,107 @@
+// Command serve runs the long-lived tuning service over HTTP/JSON: a
+// production-scale deployment of the paper's §4.2.2 dynamic-shape story,
+// where a server answers (shape, primitive) queries from a tuned-shape cache
+// and tunes misses exactly once, no matter how many requests race on them.
+//
+// Example:
+//
+//	serve -addr :8080 -platform a800 -gpus 4 -warm "2048x8192x4096,4096x8192x8192"
+//	curl 'localhost:8080/query?m=4096&n=8192&k=8192&prim=AR'
+//	curl 'localhost:8080/stats'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		platName   = flag.String("platform", "4090", "hardware profile: 4090, a800, ascend, h100")
+		gpus       = flag.Int("gpus", 4, "parallel group size")
+		workers    = flag.Int("workers", 0, "engine worker pool width (0 = GOMAXPROCS)")
+		planCache  = flag.Int("plan-cache", 0, "compiled-plan LRU capacity (0 = default)")
+		shapeCache = flag.Int("shape-cache", 0, "tuned-shape cache capacity per primitive (0 = default)")
+		limit      = flag.Int("limit", 512, "candidate limit per tune")
+		warm       = flag.String("warm", "", "comma-separated MxNxK list to pre-tune, e.g. 2048x8192x4096,4096x8192x8192")
+		warmPrims  = flag.String("warm-prims", "AR", "comma-separated primitives to pre-warm: AR, RS, A2A")
+	)
+	flag.Parse()
+
+	plat, err := hw.ByName(*platName)
+	fatal(err)
+	svc, err := serve.New(serve.Config{
+		Plat:           plat,
+		NGPUs:          *gpus,
+		Workers:        *workers,
+		PlanCacheSize:  *planCache,
+		ShapeCacheSize: *shapeCache,
+		CandidateLimit: *limit,
+	})
+	fatal(err)
+
+	if *warm != "" {
+		shapes, err := parseShapes(*warm)
+		fatal(err)
+		prims, err := parsePrims(*warmPrims)
+		fatal(err)
+		log.Printf("warming %d shapes x %d primitives on %s x%d...", len(shapes), len(prims), plat.Name, *gpus)
+		fatal(svc.Warm(prims, shapes, 0))
+		st := svc.Stats()
+		log.Printf("warm: %d shapes cached, %d plans compiled", st.ShapesCached, st.Engine.Misses)
+	}
+
+	log.Printf("serving %s x%d on %s", plat.Name, *gpus, *addr)
+	fatal(http.ListenAndServe(*addr, serve.Handler(svc)))
+}
+
+func parseShapes(raw string) ([]gemm.Shape, error) {
+	var out []gemm.Shape
+	for _, tok := range strings.Split(raw, ",") {
+		// Parse strictly: Sscanf would silently drop trailing garbage
+		// ("40k96" -> 40) and accept non-positive dimensions.
+		dims := strings.Split(strings.TrimSpace(tok), "x")
+		if len(dims) != 3 {
+			return nil, fmt.Errorf("bad shape %q (want MxNxK)", tok)
+		}
+		var s gemm.Shape
+		for i, dst := range []*int{&s.M, &s.N, &s.K} {
+			v, err := strconv.Atoi(dims[i])
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("bad shape %q: dimension %q must be a positive integer", tok, dims[i])
+			}
+			*dst = v
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parsePrims(raw string) ([]hw.Primitive, error) {
+	var out []hw.Primitive
+	for _, tok := range strings.Split(raw, ",") {
+		p, err := serve.ParsePrimitive(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}

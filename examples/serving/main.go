@@ -1,0 +1,133 @@
+// Serving: drive the long-lived tuning service with a mixed dynamic-shape
+// workload over HTTP — the paper's §4.2.2 dynamic-shape story at serving
+// scale. The example starts the service in-process, pre-warms a
+// representative-shape list, then fires concurrent client requests mixing
+// warm shapes, nearest-neighbor-matchable neighbors, and cold shapes whose
+// concurrent duplicates must collapse onto a single tune.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/serve"
+)
+
+func main() {
+	svc, err := serve.New(serve.Config{
+		Plat:           hw.RTX4090PCIe(),
+		NGPUs:          2,
+		CandidateLimit: 128,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Pre-warm the representative sizes a deployment knows in advance.
+	warm := []gemm.Shape{
+		{M: 2048, N: 8192, K: 4096},
+		{M: 4096, N: 8192, K: 4096},
+		{M: 4096, N: 8192, K: 8192},
+	}
+	if err := svc.Warm([]hw.Primitive{hw.AllReduce}, warm, 0); err != nil {
+		log.Fatal(err)
+	}
+	warmStats := svc.Stats()
+	fmt.Printf("warmed %d representative shapes (%d tunes, %d plans compiled)\n",
+		len(warm), warmStats.Tunes, warmStats.Engine.Misses)
+
+	// Serve on an ephemeral local port; a real deployment uses cmd/serve.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: serve.Handler(svc)}
+	go func() {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("service listening on %s\n\n", base)
+
+	// The dynamic workload: warm hits, same-wave-count neighbors (cache
+	// transfers without tuning), and two cold shapes each queried by many
+	// clients at once (singleflight collapses the duplicate tunes).
+	queries := []struct {
+		shape gemm.Shape
+		kind  string
+	}{
+		{gemm.Shape{M: 2048, N: 8192, K: 4096}, "warm"},
+		{gemm.Shape{M: 4096, N: 8192, K: 8192}, "warm"},
+		{gemm.Shape{M: 2048, N: 8192, K: 3584}, "neighbor"},
+		{gemm.Shape{M: 4096, N: 8192, K: 7168}, "neighbor"},
+		{gemm.Shape{M: 8192, N: 8192, K: 4096}, "cold"},
+		{gemm.Shape{M: 2048, N: 8192, K: 8192}, "cold"},
+	}
+	const clientsPerQuery = 4
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	sources := map[string]map[string]int{} // kind -> source -> count
+	for _, q := range queries {
+		for c := 0; c < clientsPerQuery; c++ {
+			wg.Add(1)
+			go func(shape gemm.Shape, kind string) {
+				defer wg.Done()
+				url := fmt.Sprintf("%s/query?m=%d&n=%d&k=%d&prim=AR", base, shape.M, shape.N, shape.K)
+				resp, err := http.Get(url)
+				if err != nil {
+					log.Fatal(err)
+				}
+				defer resp.Body.Close()
+				var qr serve.QueryResponse
+				if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+					log.Fatal(err)
+				}
+				if resp.StatusCode != http.StatusOK {
+					log.Fatalf("query %v: status %d", shape, resp.StatusCode)
+				}
+				mu.Lock()
+				if sources[kind] == nil {
+					sources[kind] = map[string]int{}
+				}
+				sources[kind][qr.Source]++
+				mu.Unlock()
+			}(q.shape, q.kind)
+		}
+	}
+	wg.Wait()
+
+	fmt.Printf("%d clients x %d shapes:\n", clientsPerQuery, len(queries))
+	for _, kind := range []string{"warm", "neighbor", "cold"} {
+		fmt.Printf("  %-8s answered from %v\n", kind, sources[kind])
+	}
+
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	queryTunes := st.Tunes - warmStats.Tunes
+	fmt.Printf("\nservice stats: %d hits, %d misses, %d query-time tunes, %d duplicate tunes collapsed\n",
+		st.Hits, st.Misses, queryTunes, st.Collapsed)
+	fmt.Printf("engine plan cache: %d/%d plans, %d hits\n",
+		st.Engine.Size, st.Engine.Capacity, st.Engine.Hits)
+	if st.Misses > queryTunes {
+		fmt.Printf("%d missed queries needed only %d searches: caching plus singleflight held\n",
+			st.Misses, queryTunes)
+	}
+	_ = srv.Close()
+}

@@ -64,3 +64,5 @@ func (c *planCache) len() int {
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
+
+func (c *planCache) cap() int { return c.capacity }

@@ -202,13 +202,17 @@ func (e *Engine) Batch(runs []core.Options) ([]*core.Result, error) {
 		go func() {
 			defer wg.Done()
 			for {
+				// Fail fast: once any run errors, stop claiming new
+				// indices. A claimed index always executes (checking
+				// failed after claiming could skip an index below the
+				// failing one), and claims are issued in increasing
+				// order, so every index below a failing one records its
+				// result — the lowest-index error stays deterministic.
+				if failed.Load() {
+					return
+				}
 				i := int(next.Add(1))
-				// Fail fast: once any run errors, drain without
-				// executing. Indices are claimed in increasing order,
-				// so every index below the lowest failing one has
-				// already started and will record its result — the
-				// lowest-index error stays deterministic.
-				if i >= len(runs) || failed.Load() {
+				if i >= len(runs) {
 					return
 				}
 				if results[i], errs[i] = e.Exec(runs[i]); errs[i] != nil {
@@ -229,4 +233,29 @@ func (e *Engine) Batch(runs []core.Options) ([]*core.Result, error) {
 // CacheStats reports plan-cache effectiveness since the engine was built.
 func (e *Engine) CacheStats() (hits, misses uint64, size int) {
 	return e.hits.Load(), e.misses.Load(), e.cache.len()
+}
+
+// Stats is a point-in-time snapshot of an engine's plan-cache counters, in a
+// form a serving layer can embed directly in a JSON status endpoint.
+type Stats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Size   int    `json:"size"`
+	// Capacity is the LRU bound; Size <= Capacity always holds.
+	Capacity int `json:"capacity"`
+	// Workers is the pool width Batch fans across.
+	Workers int `json:"workers"`
+}
+
+// Stats snapshots the plan-cache counters. Hits and misses are read
+// independently, so a snapshot taken under concurrent load is approximate
+// (each counter is itself exact).
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Hits:     e.hits.Load(),
+		Misses:   e.misses.Load(),
+		Size:     e.cache.len(),
+		Capacity: e.cache.cap(),
+		Workers:  e.workers,
+	}
 }

@@ -274,3 +274,27 @@ func TestKeySeparatesPlans(t *testing.T) {
 		}
 	}
 }
+
+// TestStatsSnapshot: the Stats snapshot must agree with CacheStats and
+// report the configured bounds.
+func TestStatsSnapshot(t *testing.T) {
+	runs := shapeGrid()
+	e := New(3, 7)
+	if _, err := e.Batch(runs); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, size := e.CacheStats()
+	s := e.Stats()
+	if s.Hits != hits || s.Misses != misses || s.Size != size {
+		t.Errorf("Stats %+v disagrees with CacheStats (%d, %d, %d)", s, hits, misses, size)
+	}
+	if s.Capacity != 7 {
+		t.Errorf("capacity = %d, want 7", s.Capacity)
+	}
+	if s.Workers != 3 {
+		t.Errorf("workers = %d, want 3", s.Workers)
+	}
+	if s.Size > s.Capacity {
+		t.Errorf("size %d exceeds capacity %d", s.Size, s.Capacity)
+	}
+}

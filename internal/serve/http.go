@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+
+	"repro/internal/gemm"
+)
+
+// QueryResponse is the JSON shape of a /query reply.
+type QueryResponse struct {
+	Shape       string `json:"shape"`
+	Primitive   string `json:"primitive"`
+	Partition   []int  `json:"partition"`
+	Waves       int    `json:"waves"`
+	PredictedNs int64  `json:"predicted_ns"`
+	Source      string `json:"source"`
+}
+
+// Handler mounts the service on an HTTP mux:
+//
+//	GET /query?m=4096&n=8192&k=8192&prim=AR[&imbalance=1.2]
+//	GET /stats
+//
+// Both endpoints reply with JSON; errors reply {"error": ...} with a 4xx
+// status. The handler is safe for concurrent use, like the service itself.
+func Handler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		q, err := parseQuery(r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
+		ans, err := s.Query(q)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, QueryResponse{
+			Shape:       q.Shape.String(),
+			Primitive:   q.Prim.String(),
+			Partition:   ans.Partition,
+			Waves:       ans.Waves,
+			PredictedNs: int64(ans.Predicted),
+			Source:      ans.Source,
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	return mux
+}
+
+func parseQuery(r *http.Request) (Query, error) {
+	vals := r.URL.Query()
+	dim := func(name string) (int, error) {
+		v, err := strconv.Atoi(vals.Get(name))
+		if err != nil || v <= 0 {
+			return 0, fmt.Errorf("serve: parameter %q must be a positive integer, got %q", name, vals.Get(name))
+		}
+		return v, nil
+	}
+	m, err := dim("m")
+	if err != nil {
+		return Query{}, err
+	}
+	n, err := dim("n")
+	if err != nil {
+		return Query{}, err
+	}
+	k, err := dim("k")
+	if err != nil {
+		return Query{}, err
+	}
+	primName := vals.Get("prim")
+	if primName == "" {
+		primName = "AR"
+	}
+	prim, err := ParsePrimitive(primName)
+	if err != nil {
+		return Query{}, err
+	}
+	var imbalance float64
+	if raw := vals.Get("imbalance"); raw != "" {
+		imbalance, err = strconv.ParseFloat(raw, 64)
+		// !(x >= 1) also rejects NaN, which would otherwise poison the
+		// shape cache (a NaN map key never matches itself).
+		if err != nil || !(imbalance >= 1) || math.IsInf(imbalance, 1) {
+			return Query{}, fmt.Errorf("serve: parameter \"imbalance\" must be a finite number >= 1, got %q", raw)
+		}
+	}
+	return Query{Shape: gemm.Shape{M: m, N: n, K: k}, Prim: prim, Imbalance: imbalance}, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// Encoding these fixed response types cannot fail; a broken connection
+	// surfaces in the server's error log, not here.
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

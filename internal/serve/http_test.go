@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/gemm"
+	"repro/internal/hw"
+)
+
+func TestHandlerQueryAndStats(t *testing.T) {
+	s := testService(t)
+	shape := gemm.Shape{M: 2048, N: 8192, K: 4096}
+	if err := s.Warm([]hw.Primitive{hw.AllReduce}, []gemm.Shape{shape}, 0); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/query?m=2048&n=8192&k=4096&prim=AR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Source != SourceCache {
+		t.Fatalf("source = %q, want %q (shape was warmed)", qr.Source, SourceCache)
+	}
+	if qr.Shape != shape.String() || qr.Primitive != "AllReduce" {
+		t.Fatalf("echoed query = %q %q", qr.Shape, qr.Primitive)
+	}
+	if len(qr.Partition) == 0 || qr.Waves <= 0 || qr.PredictedNs <= 0 {
+		t.Fatalf("malformed response %+v", qr)
+	}
+
+	sresp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Hits != 1 || st.ShapesCached != 1 {
+		t.Fatalf("stats over HTTP = %+v, want 1 hit and 1 cached shape", st)
+	}
+}
+
+func TestHandlerRejectsBadRequests(t *testing.T) {
+	s := testService(t)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	for _, url := range []string{
+		"/query",                                // missing dimensions
+		"/query?m=-5&n=8192&k=4096",             // negative dimension
+		"/query?m=2048&n=8192&k=4096&prim=NOPE", // unknown primitive
+		"/query?m=2048&n=8192&k=4096&prim=A2A&imbalance=0.5", // imbalance < 1
+		"/query?m=2048&n=8192&k=4096&prim=A2A&imbalance=NaN", // NaN would poison the cache
+		"/query?m=2048&n=8192&k=4096&prim=A2A&imbalance=Inf", // so would +Inf
+	} {
+		resp, err := http.Get(srv.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("%s: non-JSON error body: %v", url, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", url, resp.StatusCode)
+		}
+		if body["error"] == "" {
+			t.Errorf("%s: empty error message", url)
+		}
+	}
+}

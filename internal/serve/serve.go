@@ -1,0 +1,312 @@
+// Package serve is the long-lived tuning service of the paper's §4.2.2
+// dynamic-shape story at production scale: a Service owns an execution
+// engine and one tuner per communication primitive, and answers
+// (shape, primitive, imbalance) queries from the tuners' concurrency-safe
+// nearest-neighbor caches. Cache misses tune through a singleflight path, so
+// a burst of identical queries for an unseen shape costs one predictive
+// search, and a representative-shape list can be pre-warmed through
+// engine.Batch before traffic arrives.
+//
+// The package separates mechanism from transport: Service is the in-process
+// API, Handler adapts it to HTTP/JSON (cmd/serve and examples/serving both
+// mount it).
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/tuner"
+)
+
+// Config sizes a Service. The zero value of every field selects a sensible
+// default, so Config{Plat: hw.RTX4090PCIe(), NGPUs: 4} is a working service.
+type Config struct {
+	// Plat and NGPUs fix the platform half of the (platform, shape,
+	// primitive) query space; one Service serves one deployment.
+	Plat  hw.Platform
+	NGPUs int
+	// Workers bounds the engine pool used by Warm and background
+	// execution; <= 0 selects GOMAXPROCS.
+	Workers int
+	// PlanCacheSize bounds the engine's compiled-plan LRU; <= 0 selects
+	// engine.DefaultCacheSize.
+	PlanCacheSize int
+	// ShapeCacheSize bounds each primitive's tuned-shape cache; <= 0
+	// selects tuner.DefaultShapeCacheCapacity.
+	ShapeCacheSize int
+	// CandidateLimit bounds the per-shape search space; <= 0 selects 512,
+	// a real-time budget (cmd/tune's default) rather than the offline
+	// tuner's 4096.
+	CandidateLimit int
+}
+
+// Answer sources.
+const (
+	// SourceCache marks an answer served from the tuned-shape cache
+	// without any search.
+	SourceCache = "cache"
+	// SourceTuned marks an answer that ran (or waited on) a predictive
+	// search.
+	SourceTuned = "tuned"
+)
+
+// Query asks for the tuned partition of one GEMM-collective overlap.
+type Query struct {
+	Shape gemm.Shape
+	Prim  hw.Primitive
+	// Imbalance is the All-to-All max/mean load factor (0 or >= 1).
+	Imbalance float64
+}
+
+// Answer is the service's reply: the wave-group partition to launch with and
+// the Alg. 1 latency prediction for it.
+type Answer struct {
+	Partition gemm.Partition
+	Waves     int
+	Predicted sim.Time
+	Source    string
+}
+
+// Stats snapshots the service counters. Hits + Misses equals the number of
+// Query calls that reached a tuner; Collapsed counts queries whose tune was
+// deduplicated onto another in-flight query's search; Tunes counts searches
+// actually executed (including Warm's).
+type Stats struct {
+	Hits         uint64       `json:"hits"`
+	Misses       uint64       `json:"misses"`
+	Collapsed    uint64       `json:"collapsed"`
+	Tunes        uint64       `json:"tunes"`
+	ShapesCached int          `json:"shapes_cached"`
+	Primitives   []string     `json:"primitives"`
+	Engine       engine.Stats `json:"engine"`
+}
+
+// Service is a long-lived, concurrency-safe tuning server. Construct with
+// New; all methods may be called from any number of goroutines.
+type Service struct {
+	cfg Config
+	eng *engine.Engine
+
+	mu     sync.RWMutex
+	tuners map[hw.Primitive]*tuner.Tuner
+
+	tunerFlight flightGroup // collapses concurrent offline stages per primitive
+	tuneFlight  flightGroup // collapses concurrent misses per (prim, shape, imbalance)
+
+	hits, misses, collapsed, tunes atomic.Uint64
+
+	// tuneHook, when set (tests only), runs inside the singleflight'd
+	// search, letting a test hold the flight open while more queries pile
+	// onto it.
+	tuneHook func()
+}
+
+// New builds a service. It is cheap: the per-primitive offline stage
+// (bandwidth sampling) runs lazily on the first query or Warm for that
+// primitive.
+func New(cfg Config) (*Service, error) {
+	if err := cfg.Plat.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NGPUs < 2 {
+		return nil, fmt.Errorf("serve: overlap needs >= 2 GPUs, got %d", cfg.NGPUs)
+	}
+	if cfg.CandidateLimit <= 0 {
+		cfg.CandidateLimit = 512
+	}
+	return &Service{
+		cfg:    cfg,
+		eng:    engine.New(cfg.Workers, cfg.PlanCacheSize),
+		tuners: make(map[hw.Primitive]*tuner.Tuner),
+	}, nil
+}
+
+// Engine exposes the service's execution engine (examples run measured
+// executions of the answers they receive).
+func (s *Service) Engine() *engine.Engine { return s.eng }
+
+// supportedPrim mirrors core's primitive support: the service only answers
+// for primitives the execution engine can run.
+func supportedPrim(p hw.Primitive) bool {
+	switch p {
+	case hw.AllReduce, hw.ReduceScatter, hw.AllToAll:
+		return true
+	}
+	return false
+}
+
+// tunerFor returns the primitive's tuner, running the offline stage at most
+// once per primitive no matter how many queries race on a cold service.
+func (s *Service) tunerFor(p hw.Primitive) (*tuner.Tuner, error) {
+	s.mu.RLock()
+	tn := s.tuners[p]
+	s.mu.RUnlock()
+	if tn != nil {
+		return tn, nil
+	}
+	if !supportedPrim(p) {
+		return nil, fmt.Errorf("serve: unsupported primitive %v", p)
+	}
+	v, err, _ := s.tunerFlight.do(p.String(), func() (any, error) {
+		s.mu.RLock()
+		tn := s.tuners[p]
+		s.mu.RUnlock()
+		if tn != nil {
+			return tn, nil
+		}
+		tn = tuner.NewTuner(s.cfg.Plat, s.cfg.NGPUs, p)
+		tn.CandidateLimit = s.cfg.CandidateLimit
+		tn.CacheCapacity = s.cfg.ShapeCacheSize
+		tn.Workers = s.eng.Workers() // one Config.Workers knob bounds all CPU use
+		s.mu.Lock()
+		s.tuners[p] = tn
+		s.mu.Unlock()
+		return tn, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*tuner.Tuner), nil
+}
+
+func flightKey(q Query) string {
+	// Normalize like the tuner cache does (0 and anything below 1 mean
+	// balanced), so equivalent queries share one flight.
+	imb := q.Imbalance
+	if imb < 1 {
+		imb = 1
+	}
+	return fmt.Sprintf("%s|%s|%g", q.Prim, q.Shape, imb)
+}
+
+// Query answers one (shape, primitive, imbalance) request. A warm query —
+// one whose shape matches a cached tune with a compatible wave count — never
+// compiles or searches; a miss tunes through the singleflight path, so
+// concurrent misses on one key share a single search.
+func (s *Service) Query(q Query) (Answer, error) {
+	if q.Shape.M <= 0 || q.Shape.N <= 0 || q.Shape.K <= 0 {
+		return Answer{}, fmt.Errorf("serve: invalid shape %v", q.Shape)
+	}
+	// 0 means balanced; otherwise require a finite factor >= 1. The NaN
+	// check matters: a NaN key would never match itself in the shape
+	// cache, so every such query would tune and leak an unevictable entry.
+	if q.Imbalance != 0 && (!(q.Imbalance >= 1) || math.IsInf(q.Imbalance, 1)) {
+		return Answer{}, fmt.Errorf("serve: imbalance %v must be a finite factor >= 1 (or 0 for balanced)", q.Imbalance)
+	}
+	tn, err := s.tunerFor(q.Prim)
+	if err != nil {
+		return Answer{}, err
+	}
+	if part, ok := tn.LookupAt(q.Shape, q.Imbalance); ok {
+		s.hits.Add(1)
+		return s.answer(tn, q, part, SourceCache)
+	}
+	s.misses.Add(1)
+	v, err, shared := s.tuneFlight.do(flightKey(q), func() (any, error) {
+		if s.tuneHook != nil {
+			s.tuneHook()
+		}
+		s.tunes.Add(1)
+		return tn.Tune(q.Shape, q.Imbalance)
+	})
+	if err != nil {
+		return Answer{}, fmt.Errorf("serve: tuning %v %v: %w", q.Prim, q.Shape, err)
+	}
+	if shared {
+		s.collapsed.Add(1)
+	}
+	// Every collapsed waiter receives the same underlying slice; clone so
+	// answers never alias each other (the cache-hit path clones too).
+	return s.answer(tn, q, v.(gemm.Partition).Clone(), SourceTuned)
+}
+
+// answer attaches the Alg. 1 prediction to a partition. The predictor is
+// pure (it reads only the immutable bandwidth curve), so answers are safe to
+// build concurrently.
+func (s *Service) answer(tn *tuner.Tuner, q Query, part gemm.Partition, source string) (Answer, error) {
+	pred, err := tuner.NewPredictor(s.cfg.Plat, q.Shape, gemm.Config{}, tn.Curve, q.Imbalance)
+	if err != nil {
+		return Answer{}, err
+	}
+	lat, err := pred.Predict(part)
+	if err != nil {
+		return Answer{}, err
+	}
+	return Answer{Partition: part, Waves: part.TotalWaves(), Predicted: lat, Source: source}, nil
+}
+
+// Warm pre-tunes a representative-shape list for each primitive and executes
+// every tuned configuration once through engine.Batch, so both the shape
+// caches and the engine's plan cache are hot before traffic arrives (the
+// paper's "pre-search representative sizes" step).
+func (s *Service) Warm(prims []hw.Primitive, shapes []gemm.Shape, imbalance float64) error {
+	if len(shapes) == 0 {
+		return nil
+	}
+	for _, p := range prims {
+		tn, err := s.tunerFor(p)
+		if err != nil {
+			return err
+		}
+		parts, err := tn.TuneGrid(shapes, imbalance)
+		if err != nil {
+			return fmt.Errorf("serve: warming %v: %w", p, err)
+		}
+		s.tunes.Add(uint64(len(shapes)))
+		runs := make([]core.Options, len(shapes))
+		for i, shape := range shapes {
+			runs[i] = core.Options{
+				Plat:      s.cfg.Plat,
+				NGPUs:     s.cfg.NGPUs,
+				Shape:     shape,
+				Prim:      p,
+				Partition: parts[i],
+				Imbalance: imbalance,
+			}
+		}
+		if _, err := s.eng.Batch(runs); err != nil {
+			return fmt.Errorf("serve: warming %v: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// Stats snapshots the service counters. Counters are read independently, so
+// a snapshot under concurrent load is approximate; each counter is exact.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Collapsed: s.collapsed.Load(),
+		Tunes:     s.tunes.Load(),
+		Engine:    s.eng.Stats(),
+	}
+	s.mu.RLock()
+	for p, tn := range s.tuners {
+		st.ShapesCached += tn.CacheSize()
+		st.Primitives = append(st.Primitives, p.String())
+	}
+	s.mu.RUnlock()
+	sort.Strings(st.Primitives)
+	return st
+}
+
+// ParsePrimitive resolves a primitive from its full or figure-label name
+// ("AllReduce"/"AR", "ReduceScatter"/"RS", "AllToAll"/"A2A").
+func ParsePrimitive(name string) (hw.Primitive, error) {
+	for _, p := range []hw.Primitive{hw.AllReduce, hw.ReduceScatter, hw.AllToAll} {
+		if name == p.String() || name == p.Short() {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("serve: unknown primitive %q (want AR, RS, or A2A)", name)
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+)
+
+// flightGroup collapses concurrent calls with the same key into one
+// execution whose result every waiter shares — the classic singleflight
+// pattern, implemented locally because the harness takes no external
+// dependencies. A long-lived service uses it so that N simultaneous queries
+// for one untuned shape cost one tune, not N.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	wg      sync.WaitGroup
+	val     any
+	err     error
+	dups    int
+	panicry any // non-nil when fn panicked; re-raised in the executor
+}
+
+// do executes fn once per key among concurrent callers. shared reports
+// whether this caller received another caller's result instead of running fn
+// itself. A panic in fn is re-raised in the executing caller after the key
+// is released; waiters receive it as an error, so one poisoned request can
+// never wedge its key forever in a long-lived server.
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall)
+	}
+	if c, ok := g.m[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(flightCall)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.panicry = r
+				c.err = fmt.Errorf("serve: in-flight call for %q panicked: %v", key, r)
+			}
+		}()
+		c.val, c.err = fn()
+	}()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	if c.panicry != nil {
+		panic(c.panicry)
+	}
+	return c.val, c.err, false
+}

@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFlightGroupCollapsesOneKey(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int64
+	release := make(chan struct{})
+	const waitersWanted = 7
+
+	results := make([]any, waitersWanted+1)
+	shareds := make([]bool, waitersWanted+1)
+	var wg sync.WaitGroup
+	for i := 0; i <= waitersWanted; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.do("k", func() (any, error) {
+				<-release
+				return calls.Add(1), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i], shareds[i] = v, shared
+		}(i)
+	}
+	for waiters(&g, "k") < waitersWanted {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls.Load())
+	}
+	nShared := 0
+	for i := range results {
+		if results[i].(int64) != 1 {
+			t.Fatalf("caller %d got %v, want 1", i, results[i])
+		}
+		if shareds[i] {
+			nShared++
+		}
+	}
+	if nShared != waitersWanted {
+		t.Fatalf("%d callers shared, want %d", nShared, waitersWanted)
+	}
+}
+
+func TestFlightGroupSeparatesKeys(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err, _ := g.do(fmt.Sprintf("k%d", i), func() (any, error) {
+				calls.Add(1)
+				return nil, nil
+			}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 4 {
+		t.Fatalf("fn ran %d times, want 4 (distinct keys must not collapse)", calls.Load())
+	}
+}
+
+func TestFlightGroupPropagatesErrors(t *testing.T) {
+	var g flightGroup
+	wantErr := fmt.Errorf("tune failed")
+	if _, err, _ := g.do("k", func() (any, error) { return nil, wantErr }); err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	// The failed call must not stick: a retry runs fn again.
+	v, err, shared := g.do("k", func() (any, error) { return 42, nil })
+	if err != nil || shared || v.(int) != 42 {
+		t.Fatalf("retry after failure: %v, %v, %v", v, err, shared)
+	}
+}
+
+// A panicking fn must release its key: the executor re-panics, waiters get
+// an error, and the key works again afterwards — a poisoned request cannot
+// wedge a long-lived server.
+func TestFlightGroupSurvivesPanic(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	waiterErr := make(chan error, 1)
+	executorPanicked := make(chan any, 1)
+
+	go func() {
+		defer func() { executorPanicked <- recover() }()
+		g.do("k", func() (any, error) {
+			<-release
+			panic("tune exploded")
+		})
+	}()
+	inFlight := func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		_, ok := g.m["k"]
+		return ok
+	}
+	go func() {
+		for !inFlight() {
+			runtime.Gosched()
+		}
+		_, err, _ := g.do("k", func() (any, error) { return nil, nil })
+		waiterErr <- err
+	}()
+	// Wait for the waiter to park, then let the executor blow up. The
+	// waiter's closure must never run: if it did, err would be nil.
+	for waiters(&g, "k") < 1 {
+		runtime.Gosched()
+	}
+	close(release)
+
+	if r := <-executorPanicked; r == nil {
+		t.Fatal("executor's panic was swallowed")
+	}
+	if err := <-waiterErr; err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("waiter error = %v, want a panic report", err)
+	}
+	// The key must be free again.
+	v, err, shared := g.do("k", func() (any, error) { return 7, nil })
+	if err != nil || shared || v.(int) != 7 {
+		t.Fatalf("key still poisoned: %v, %v, %v", v, err, shared)
+	}
+	if n := waiters(&g, "k"); n != 0 {
+		t.Fatalf("stale flight left behind (%d waiters)", n)
+	}
+}

@@ -8,8 +8,9 @@ package tuner
 
 import (
 	"fmt"
-	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -318,7 +319,10 @@ const (
 
 // Tuner bundles the offline profile and the online search with a
 // nearest-neighbor cache for dynamic shapes (§4.2.2: pre-search
-// representative sizes, match unseen ones at runtime).
+// representative sizes, match unseen ones at runtime). All methods are safe
+// for concurrent use: the predictor path is pure, and the shape cache is
+// RWMutex-guarded, so whole grids can tune in parallel and a long-lived
+// service can serve Lookup while background goroutines Tune misses.
 type Tuner struct {
 	Plat  hw.Platform
 	NGPUs int
@@ -327,13 +331,17 @@ type Tuner struct {
 
 	// CandidateLimit bounds the search space per shape.
 	CandidateLimit int
+	// CacheCapacity bounds the shape cache (<= 0 selects
+	// DefaultShapeCacheCapacity). It must be set before the first Tune or
+	// Lookup; later changes have no effect.
+	CacheCapacity int
+	// Workers bounds TuneGrid's fan-out (<= 0 selects the default
+	// engine's worker width). A serving layer sets this to its own
+	// engine's width so one Config.Workers knob bounds all CPU use.
+	Workers int
 
-	cache []cacheEntry
-}
-
-type cacheEntry struct {
-	shape gemm.Shape
-	part  gemm.Partition
+	cacheOnce sync.Once
+	cache     *shapeCache
 }
 
 // NewTuner runs the offline stage (bandwidth sampling) and returns a ready
@@ -348,7 +356,21 @@ func NewTuner(plat hw.Platform, nGPUs int, prim hw.Primitive) *Tuner {
 	}
 }
 
+// shapes returns the lazily built shape cache, so a zero-constructed Tuner
+// (tests build them literally) still gets a bounded, concurrency-safe store.
+func (t *Tuner) shapes() *shapeCache {
+	t.cacheOnce.Do(func() {
+		capacity := t.CacheCapacity
+		if capacity <= 0 {
+			capacity = DefaultShapeCacheCapacity
+		}
+		t.cache = newShapeCache(capacity)
+	})
+	return t.cache
+}
+
 // Tune runs the online stage for one GEMM size and caches the result.
+// Re-tuning a shape replaces its cache entry rather than growing the cache.
 func (t *Tuner) Tune(shape gemm.Shape, imbalance float64) (gemm.Partition, error) {
 	pred, err := NewPredictor(t.Plat, shape, gemm.Config{}, t.Curve, imbalance)
 	if err != nil {
@@ -359,29 +381,90 @@ func (t *Tuner) Tune(shape gemm.Shape, imbalance float64) (gemm.Partition, error
 	if err != nil {
 		return nil, err
 	}
-	t.cache = append(t.cache, cacheEntry{shape: shape, part: res.Partition.Clone()})
+	t.shapes().put(shape, imbalance, res.Partition)
 	return res.Partition, nil
 }
 
-// Lookup performs nearest-neighbor matching against previously tuned shapes
-// in (log M·N, log K) space; ok is false when the cache is empty or the
-// nearest neighbor's wave count is incompatible with the query shape.
-func (t *Tuner) Lookup(shape gemm.Shape) (gemm.Partition, bool) {
-	if len(t.cache) == 0 {
-		return nil, false
+// TuneGrid tunes every shape, fanning the predictive searches across a
+// bounded worker pool sized like engine.Batch's (the engine's worker width).
+// results[i] answers shapes[i] regardless of scheduling; the lowest-index
+// error is returned, matching a serial loop that stops at the first failure.
+func (t *Tuner) TuneGrid(shapes []gemm.Shape, imbalance float64) ([]gemm.Partition, error) {
+	results := make([]gemm.Partition, len(shapes))
+	errs := make([]error, len(shapes))
+	workers := t.Workers
+	if workers <= 0 {
+		workers = engine.Default().Workers()
 	}
-	qx := math.Log2(float64(shape.M) * float64(shape.N))
-	qy := math.Log2(float64(shape.K))
-	bestDist := math.Inf(1)
-	var best cacheEntry
-	for _, e := range t.cache {
-		dx := math.Log2(float64(e.shape.M)*float64(e.shape.N)) - qx
-		dy := math.Log2(float64(e.shape.K)) - qy
-		d := dx*dx + dy*dy
-		if d < bestDist {
-			bestDist = d
-			best = e
+	if workers > len(shapes) {
+		workers = len(shapes)
+	}
+	if workers <= 1 {
+		for i, s := range shapes {
+			if results[i], errs[i] = t.Tune(s, imbalance); errs[i] != nil {
+				return nil, fmt.Errorf("tuner: shape %v: %w", s, errs[i])
+			}
 		}
+		return results, nil
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Fail fast, like engine.Batch: once any shape errors,
+				// stop claiming new indices. A claimed index always
+				// executes, and claims are issued in increasing order, so
+				// every index below a failing one records its result —
+				// the lowest-index error stays deterministic and the
+				// cache does not keep filling.
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= len(shapes) {
+					return
+				}
+				if results[i], errs[i] = t.Tune(shapes[i], imbalance); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("tuner: shape %v: %w", shapes[i], err)
+		}
+	}
+	return results, nil
+}
+
+// Lookup performs nearest-neighbor matching against previously tuned shapes
+// in (log M·N, log K) space, ignoring the imbalance the entries were tuned
+// at; ok is false when the cache is empty or the nearest neighbor's wave
+// count is incompatible with the query shape. Imbalance-sensitive callers
+// (the serving layer) use LookupAt.
+func (t *Tuner) Lookup(shape gemm.Shape) (gemm.Partition, bool) {
+	return t.lookup(shape, anyImbalance)
+}
+
+// LookupAt is Lookup restricted to entries tuned at the given imbalance
+// factor (0 and anything below 1 normalize to 1, like Tune): a partition
+// tuned for balanced traffic must not answer a heavily skewed query, whose
+// optimum can differ.
+func (t *Tuner) LookupAt(shape gemm.Shape, imbalance float64) (gemm.Partition, bool) {
+	return t.lookup(shape, normImbalance(imbalance))
+}
+
+func (t *Tuner) lookup(shape gemm.Shape, imbalance float64) (gemm.Partition, bool) {
+	best, ok := t.shapes().nearest(shape, imbalance)
+	if !ok {
+		return nil, false
 	}
 	// The cached partition only transfers if the wave counts agree.
 	plan, err := gemm.NewPlan(shape, gemm.DefaultConfig(shape))
@@ -389,11 +472,12 @@ func (t *Tuner) Lookup(shape gemm.Shape) (gemm.Partition, bool) {
 		return nil, false
 	}
 	waveSize := t.Plat.GPU.SMs - t.Plat.CommSMs
-	if best.part.TotalWaves() != plan.Waves(waveSize) {
+	if best.partWave != plan.Waves(waveSize) {
 		return nil, false
 	}
+	t.shapes().touch(best.key)
 	return best.part.Clone(), true
 }
 
 // CacheSize reports the number of tuned shapes held.
-func (t *Tuner) CacheSize() int { return len(t.cache) }
+func (t *Tuner) CacheSize() int { return t.shapes().len() }

@@ -2,6 +2,7 @@ package tuner
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -217,6 +218,156 @@ func TestTunerCacheAndLookup(t *testing.T) {
 	}
 }
 
+// Regression for the pre-serve cache: Tune used t.cache = append(t.cache,
+// ...), which races (and corrupts the slice) under concurrent use. The
+// RWMutex-guarded cache must let whole grids tune in parallel; run under
+// -race this test fails on the old code.
+func TestTunerConcurrentTune(t *testing.T) {
+	tn := NewTuner(hw.RTX4090PCIe(), 2, hw.AllReduce)
+	tn.CandidateLimit = 64
+	shapes := make([]gemm.Shape, 16)
+	for i := range shapes {
+		shapes[i] = gemm.Shape{M: 1024 * (i + 1), N: 8192, K: 4096}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(shapes); i += 8 {
+				if _, err := tn.Tune(shapes[i], 1); err != nil {
+					t.Error(err)
+					return
+				}
+				// Interleave lookups with tunes: the serving path reads
+				// while background tuning writes.
+				tn.Lookup(shapes[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tn.CacheSize(); got != len(shapes) {
+		t.Fatalf("cache size = %d, want %d", got, len(shapes))
+	}
+}
+
+// TuneGrid must agree with a serial Tune loop: same partitions, same cache.
+func TestTuneGridMatchesSerial(t *testing.T) {
+	plat := hw.RTX4090PCIe()
+	shapes := []gemm.Shape{
+		{M: 2048, N: 8192, K: 4096},
+		{M: 4096, N: 8192, K: 4096},
+		{M: 4096, N: 8192, K: 8192},
+		{M: 8192, N: 8192, K: 4096},
+	}
+	serial := NewTuner(plat, 2, hw.AllReduce)
+	serial.CandidateLimit = 64
+	want := make([]gemm.Partition, len(shapes))
+	for i, s := range shapes {
+		p, err := serial.Tune(s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = p
+	}
+	grid := &Tuner{Plat: plat, NGPUs: 2, Prim: hw.AllReduce, Curve: serial.Curve, CandidateLimit: 64}
+	got, err := grid.TuneGrid(shapes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range shapes {
+		if got[i].String() != want[i].String() {
+			t.Errorf("shape %v: grid tuned %v, serial %v", shapes[i], got[i], want[i])
+		}
+	}
+	if grid.CacheSize() != len(shapes) {
+		t.Fatalf("grid cache size = %d, want %d", grid.CacheSize(), len(shapes))
+	}
+}
+
+// The shape cache is capacity-bounded with least-recently-used eviction, and
+// re-tuning a shape replaces its entry instead of growing the cache.
+func TestTunerCacheBounded(t *testing.T) {
+	tn := NewTuner(hw.RTX4090PCIe(), 2, hw.AllReduce)
+	tn.CandidateLimit = 64
+	shape := gemm.Shape{M: 2048, N: 8192, K: 8192}
+	for i := 0; i < 3; i++ {
+		if _, err := tn.Tune(shape, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tn.CacheSize(); got != 1 {
+		t.Fatalf("re-tuning one shape grew the cache to %d entries", got)
+	}
+
+	bounded := &Tuner{Plat: tn.Plat, NGPUs: 2, Prim: hw.AllReduce, Curve: tn.Curve,
+		CandidateLimit: 64, CacheCapacity: 2}
+	a := gemm.Shape{M: 2048, N: 8192, K: 4096}
+	b := gemm.Shape{M: 4096, N: 8192, K: 4096}
+	c := gemm.Shape{M: 8192, N: 8192, K: 4096}
+	for _, s := range []gemm.Shape{a, b} {
+		if _, err := bounded.Tune(s, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a so that b is the LRU entry when c evicts.
+	if _, ok := bounded.Lookup(a); !ok {
+		t.Fatal("lookup of tuned shape a missed")
+	}
+	if _, err := bounded.Tune(c, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := bounded.CacheSize(); got != 2 {
+		t.Fatalf("cache size = %d, want capacity 2", got)
+	}
+	// b was evicted: its nearest neighbor is now a different shape, and the
+	// exact entries for a and c must survive.
+	for _, s := range []gemm.Shape{a, c} {
+		if _, ok := bounded.Lookup(s); !ok {
+			t.Errorf("lookup of retained shape %v missed", s)
+		}
+	}
+}
+
+// One shape tuned under different imbalance factors holds one cache entry
+// per factor, and LookupAt only transfers within a factor — a partition
+// tuned for balanced traffic must not answer a heavily skewed query.
+func TestLookupAtSeparatesImbalance(t *testing.T) {
+	tn := NewTuner(hw.RTX4090PCIe(), 4, hw.AllToAll)
+	tn.CandidateLimit = 128
+	shape := gemm.Shape{M: 4096, N: 8192, K: 4096}
+	balanced, err := tn.Tune(shape, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skewed, err := tn.Tune(shape, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.CacheSize() != 2 {
+		t.Fatalf("cache size = %d, want one entry per imbalance", tn.CacheSize())
+	}
+	got, ok := tn.LookupAt(shape, 1)
+	if !ok || got.String() != balanced.String() {
+		t.Fatalf("LookupAt(1) = %v, %v; want %v", got, ok, balanced)
+	}
+	got, ok = tn.LookupAt(shape, 8)
+	if !ok || got.String() != skewed.String() {
+		t.Fatalf("LookupAt(8) = %v, %v; want %v", got, ok, skewed)
+	}
+	if _, ok := tn.LookupAt(shape, 3); ok {
+		t.Fatal("LookupAt(3) transferred a partition tuned at a different imbalance")
+	}
+	// 0 and 1 both mean balanced, matching Tune's normalization.
+	if got, ok := tn.LookupAt(shape, 0); !ok || got.String() != balanced.String() {
+		t.Fatalf("LookupAt(0) = %v, %v; want the balanced entry", got, ok)
+	}
+	// The legacy imbalance-agnostic Lookup still matches something.
+	if _, ok := tn.Lookup(shape); !ok {
+		t.Fatal("imbalance-agnostic Lookup missed")
+	}
+}
+
 func TestLookupEmptyCache(t *testing.T) {
 	tn := &Tuner{Plat: hw.RTX4090PCIe(), NGPUs: 2, Prim: hw.AllReduce}
 	if _, ok := tn.Lookup(gemm.Shape{M: 128, N: 128, K: 128}); ok {
@@ -286,13 +437,6 @@ func TestPredictionErrorDistribution(t *testing.T) {
 	if mean > 8 {
 		t.Fatalf("mean |error| = %.2f%%, want single digits (paper: 3.4%%)", mean)
 	}
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 func TestPredictBreakdownConsistent(t *testing.T) {
