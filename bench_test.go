@@ -24,6 +24,7 @@ import (
 	"repro/internal/gemm"
 	"repro/internal/hw"
 	"repro/internal/serve"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/tuner"
 )
@@ -418,6 +419,55 @@ func BenchmarkServeWarmQuery(b *testing.B) {
 	b.StopTimer()
 	st := svc.Stats()
 	b.ReportMetric(100*float64(st.Hits)/float64(st.Hits+st.Misses), "warm-hit-%")
+	// warm-ns/query is the serve-latency headline the CI bench-diff gate
+	// tracks. It must be stable at -benchtime 1x, where a single-shot
+	// ns/op swings far more than the gate's regression threshold: probe in
+	// fixed-size batches and report the fastest batch, which measures the
+	// code path rather than whatever else the machine was doing.
+	const batches, perBatch = 16, 512
+	best := int64(1<<63 - 1)
+	for batch := 0; batch < batches; batch++ {
+		start := time.Now()
+		for i := 0; i < perBatch; i++ {
+			if _, err := svc.Query(serve.Query{Shape: shapes[i%len(shapes)], Prim: hw.AllReduce}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if ns := time.Since(start).Nanoseconds(); ns < best {
+			best = ns
+		}
+	}
+	b.ReportMetric(float64(best)/perBatch, "warm-ns/query")
+}
+
+// Sharded sweep throughput: the quick Table 3 grid split across shard-local
+// engines must merge back to the unsharded batch results (the router layer's
+// scaling primitive). The benchmark reports per-run cost at fleet width 4 so
+// the perf record tracks the sharding overhead, not just raw DES speed.
+func BenchmarkShardSweepBatch(b *testing.B) {
+	var runs []core.Options
+	for _, grid := range expt.Table3Grids(true) {
+		for _, shape := range grid.Shapes {
+			runs = append(runs, core.Options{Plat: grid.Plat, NGPUs: 4, Shape: shape, Prim: grid.Prim, Imbalance: imbalanceFor(grid.Prim)})
+		}
+	}
+	const shards = 4
+	part := shard.NewPartitioner(shards)
+	b.ResetTimer()
+	var sweepNs int64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		results, err := shard.SweepBatch(part, shard.Engines(shards, 0, 0), runs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweepNs += time.Since(start).Nanoseconds()
+		if len(results) != len(runs) {
+			b.Fatalf("%d results for %d runs", len(results), len(runs))
+		}
+	}
+	b.ReportMetric(float64(sweepNs)/(float64(b.N)*float64(len(runs))), "sweep-ns/run")
+	b.ReportMetric(shards, "shards")
 }
 
 // Concurrent serving throughput: the RWMutex-guarded cache must scale warm

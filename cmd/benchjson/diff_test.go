@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, name string, rep Report) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baseReport(tag string) Report {
+	return Report{Tag: tag, Benchmarks: []Benchmark{
+		{Name: "BenchmarkEnginePlanCacheSpeedup", Iterations: 1, Metrics: map[string]float64{
+			"plan-cache-speedup": 1.15, "ns/op": 2e7,
+		}},
+		{Name: "BenchmarkServeWarmQuery", Iterations: 1, Metrics: map[string]float64{
+			"warm-ns/query": 12000, "ns/op": 13000,
+		}},
+		{Name: "BenchmarkFig3WavePattern", Iterations: 1, Metrics: map[string]float64{"ns/op": 1e5}},
+	}}
+}
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	oldRep, newRep := baseReport("OLD"), baseReport("NEW")
+	// 10% slower warm query, 5% lower speedup: inside a 25% gate. Absolute
+	// ns/op moves of non-headline benchmarks never fail the gate.
+	newRep.Benchmarks[0].Metrics["plan-cache-speedup"] = 1.09
+	newRep.Benchmarks[1].Metrics["warm-ns/query"] = 13200
+	newRep.Benchmarks[2].Metrics["ns/op"] = 9e5
+	err := diffReports(writeReport(t, "old.json", oldRep), writeReport(t, "new.json", newRep), 0.25)
+	if err != nil {
+		t.Fatalf("in-threshold diff failed: %v", err)
+	}
+}
+
+func TestDiffFailsOnHeadlineRegression(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Report)
+	}{
+		{"speedup drop", func(r *Report) { r.Benchmarks[0].Metrics["plan-cache-speedup"] = 0.8 }},
+		{"latency spike", func(r *Report) { r.Benchmarks[1].Metrics["warm-ns/query"] = 16000 }},
+		{"headline metric vanished", func(r *Report) { delete(r.Benchmarks[1].Metrics, "warm-ns/query") }},
+	} {
+		newRep := baseReport("NEW")
+		tc.mutate(&newRep)
+		err := diffReports(writeReport(t, "old.json", baseReport("OLD")), writeReport(t, "new.json", newRep), 0.25)
+		if err == nil {
+			t.Errorf("%s: gate passed", tc.name)
+		}
+	}
+}
+
+// An improvement past the threshold in the good direction must not fail:
+// the gate is one-sided.
+func TestDiffAllowsImprovement(t *testing.T) {
+	newRep := baseReport("NEW")
+	newRep.Benchmarks[0].Metrics["plan-cache-speedup"] = 2.0
+	newRep.Benchmarks[1].Metrics["warm-ns/query"] = 6000
+	err := diffReports(writeReport(t, "old.json", baseReport("OLD")), writeReport(t, "new.json", newRep), 0.25)
+	if err != nil {
+		t.Fatalf("improvement failed the gate: %v", err)
+	}
+}
+
+func TestDiffFailsOnMissingBenchmark(t *testing.T) {
+	newRep := baseReport("NEW")
+	newRep.Benchmarks = newRep.Benchmarks[:2] // drop Fig3
+	err := diffReports(writeReport(t, "old.json", baseReport("OLD")), writeReport(t, "new.json", newRep), 0.25)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkFig3WavePattern") {
+		t.Fatalf("missing benchmark not reported: %v", err)
+	}
+}
+
+// A headline metric absent from the OLD record (introduced this PR) must not
+// fail the gate — the trajectory picks it up from the first record that has
+// it.
+func TestDiffToleratesNewHeadlineMetric(t *testing.T) {
+	oldRep := baseReport("OLD")
+	delete(oldRep.Benchmarks[1].Metrics, "warm-ns/query")
+	err := diffReports(writeReport(t, "old.json", oldRep), writeReport(t, "new.json", baseReport("NEW")), 0.25)
+	if err != nil {
+		t.Fatalf("new headline metric failed the gate: %v", err)
+	}
+}
+
+func TestParseLine(t *testing.T) {
+	b, err := parseLine("BenchmarkServeWarmQuery-8 \t 1 \t 12525 ns/op \t 100.0 warm-hit-% \t 12389 warm-ns/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name != "BenchmarkServeWarmQuery" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", b.Name)
+	}
+	if b.Metrics["warm-ns/query"] != 12389 || b.Metrics["ns/op"] != 12525 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+}

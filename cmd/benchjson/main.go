@@ -7,7 +7,14 @@
 //
 // Usage:
 //
-//	go test -bench . -benchtime 1x -run '^$' . | go run ./cmd/benchjson -tag PR2 > BENCH_PR2.json
+//	go test -bench . -benchtime 1x -run '^$' . | go run ./cmd/benchjson -tag PR3 > BENCH_PR3.json
+//
+// With -diff the command is CI's perf-regression gate instead of a
+// converter: it compares two records, prints a per-benchmark delta table in
+// Markdown (pasteable into a job summary), and exits non-zero when a
+// benchmark disappeared or a headline metric regressed past -threshold:
+//
+//	go run ./cmd/benchjson -diff BENCH_PR2.json BENCH_PR3.json
 package main
 
 import (
@@ -42,8 +49,22 @@ type Report struct {
 }
 
 func main() {
-	tag := flag.String("tag", "local", "record tag, e.g. PR2")
+	tag := flag.String("tag", "local", "record tag, e.g. PR3")
+	diff := flag.Bool("diff", false, "compare two records (old.json new.json) instead of converting; exit non-zero on headline regression")
+	threshold := flag.Float64("threshold", 0.25, "relative headline regression that fails -diff (0.25 = 25%)")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff wants exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		if err := diffReports(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep := Report{Tag: *tag}
 	sc := bufio.NewScanner(os.Stdin)

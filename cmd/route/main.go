@@ -1,0 +1,76 @@
+// Command route is the shape-hash front-end of a sharded tuning fleet: it
+// owns no tuner state itself, just the ownership mapping. Each /query is
+// forwarded to the cmd/serve replica that owns the shape's slice of the
+// (log M·N, log K) plane, failing over to the next shard in ring order when
+// the owner is unreachable; /stats merges the fleet's counters with a
+// per-replica breakdown.
+//
+// Example (two replicas on one host):
+//
+//	serve -addr :8081 -shard 0/2 &
+//	serve -addr :8082 -shard 1/2 &
+//	route -addr :8080 -replicas http://localhost:8081,http://localhost:8082
+//	curl 'localhost:8080/query?m=4096&n=8192&k=8192&prim=AR'
+//	curl 'localhost:8080/stats'
+//
+// The replica order given to -replicas must match the shard indices the
+// replicas were started with: replica i in the list serves -shard i/n.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/shard"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "HTTP listen address")
+		replicas = flag.String("replicas", "", "comma-separated replica base URLs, in shard order (replica i runs -shard i/n)")
+		timeout  = flag.Duration("timeout", 30*time.Second, "per-request replica timeout (covers a cold-shape tune)")
+	)
+	flag.Parse()
+
+	if *replicas == "" {
+		fatal(fmt.Errorf("-replicas is required (e.g. http://host1:8080,http://host2:8080)"))
+	}
+	httpClient := &http.Client{Timeout: *timeout}
+	var clients []shard.Client
+	var urls []string
+	for _, raw := range strings.Split(*replicas, ",") {
+		u := strings.TrimRight(strings.TrimSpace(raw), "/")
+		if u == "" {
+			fatal(fmt.Errorf("empty replica URL in %q", *replicas))
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		urls = append(urls, u)
+		clients = append(clients, &shard.HTTPClient{Base: u, HTTP: httpClient})
+	}
+	router, err := shard.NewRouter(clients)
+	fatal(err)
+
+	log.Printf("routing %d shards on %s:", len(urls), *addr)
+	for i, u := range urls {
+		log.Printf("  shard %d/%d -> %s", i, len(urls), u)
+	}
+	// Like cmd/serve: nil only on graceful signal shutdown; listen errors
+	// exit non-zero.
+	fatal(serve.Run(*addr, router.Handler()))
+	log.Printf("shut down cleanly")
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "route:", err)
+		os.Exit(1)
+	}
+}

@@ -8,13 +8,23 @@
 //	serve -addr :8080 -platform a800 -gpus 4 -warm "2048x8192x4096,4096x8192x8192"
 //	curl 'localhost:8080/query?m=4096&n=8192&k=8192&prim=AR'
 //	curl 'localhost:8080/stats'
+//
+// With -shard k/n the process is replica k of an n-way sharded fleet: it
+// pre-warms only the shapes it owns under the shape-hash partition (put
+// cmd/route in front to fan queries out by ownership):
+//
+//	serve -addr :8081 -shard 0/2 -warm "$SHAPES" &
+//	serve -addr :8082 -shard 1/2 -warm "$SHAPES" &
+//	route -addr :8080 -replicas http://localhost:8081,http://localhost:8082
+//
+// The server shuts down gracefully on SIGINT/SIGTERM and exits non-zero when
+// the listener cannot be established.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -22,6 +32,7 @@ import (
 	"repro/internal/gemm"
 	"repro/internal/hw"
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -35,19 +46,27 @@ func main() {
 		limit      = flag.Int("limit", 512, "candidate limit per tune")
 		warm       = flag.String("warm", "", "comma-separated MxNxK list to pre-tune, e.g. 2048x8192x4096,4096x8192x8192")
 		warmPrims  = flag.String("warm-prims", "AR", "comma-separated primitives to pre-warm: AR, RS, A2A")
+		shardFlag  = flag.String("shard", "", "replica slice k/n of a sharded fleet (e.g. 0/4); empty = unsharded")
 	)
 	flag.Parse()
 
 	plat, err := hw.ByName(*platName)
 	fatal(err)
-	svc, err := serve.New(serve.Config{
+	assign, err := shard.ParseAssignment(*shardFlag)
+	fatal(err)
+	cfg := serve.Config{
 		Plat:           plat,
 		NGPUs:          *gpus,
 		Workers:        *workers,
 		PlanCacheSize:  *planCache,
 		ShapeCacheSize: *shapeCache,
 		CandidateLimit: *limit,
-	})
+	}
+	if assign.Sharded() {
+		cfg.Owns = assign.Owns
+		cfg.Shard = assign.String()
+	}
+	svc, err := serve.New(cfg)
 	fatal(err)
 
 	if *warm != "" {
@@ -58,11 +77,32 @@ func main() {
 		log.Printf("warming %d shapes x %d primitives on %s x%d...", len(shapes), len(prims), plat.Name, *gpus)
 		fatal(svc.Warm(prims, shapes, 0))
 		st := svc.Stats()
-		log.Printf("warm: %d shapes cached, %d plans compiled", st.ShapesCached, st.Engine.Misses)
+		if assign.Sharded() {
+			// ShapesCached counts cache entries across every warmed
+			// primitive; ownership is a property of shapes alone.
+			owned := 0
+			for _, s := range shapes {
+				if assign.Owns(s) {
+					owned++
+				}
+			}
+			log.Printf("warm: shard %s owns %d of %d shapes (%d cache entries), %d plans compiled",
+				assign, owned, len(shapes), st.ShapesCached, st.Engine.Misses)
+		} else {
+			log.Printf("warm: %d shapes cached, %d plans compiled", st.ShapesCached, st.Engine.Misses)
+		}
 	}
 
-	log.Printf("serving %s x%d on %s", plat.Name, *gpus, *addr)
-	fatal(http.ListenAndServe(*addr, serve.Handler(svc)))
+	if assign.Sharded() {
+		log.Printf("serving %s x%d on %s as shard %s", plat.Name, *gpus, *addr, assign)
+	} else {
+		log.Printf("serving %s x%d on %s", plat.Name, *gpus, *addr)
+	}
+	// Run exits nil only on a signal-triggered graceful shutdown; a listen
+	// failure (port in use, bad address) must reach the exit code so CI
+	// smoke-runs and process supervisors see it.
+	fatal(serve.Run(*addr, serve.Handler(svc)))
+	log.Printf("shut down cleanly")
 }
 
 func parseShapes(raw string) ([]gemm.Shape, error) {

@@ -1,0 +1,150 @@
+// Sharded: the multi-replica deployment of the tuning service — a shape-hash
+// router in front of N serve replicas, each owning a disjoint slice of the
+// (log M·N, log K) plane. The example builds a three-replica fleet over real
+// HTTP, pre-warms each replica with only its owned shapes, drives a sharded
+// tune sweep through the router, kills a replica to show ring failover, and
+// finally runs the sharded engine sweep, verifying it merges to exactly the
+// unsharded engine.Batch results.
+//
+//	go run ./examples/sharded
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"reflect"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/stats"
+	"repro/internal/tuner"
+)
+
+const nShards = 3
+
+func main() {
+	plat := hw.RTX4090PCIe()
+	const nGPUs = 2
+
+	// The offline stage runs once for the whole fleet: every replica gets
+	// the same immutable bandwidth curve instead of re-sampling it.
+	curves := map[hw.Primitive]*stats.Curve{
+		hw.AllReduce: tuner.SampleBandwidthCurve(plat, nGPUs, hw.AllReduce, nil),
+	}
+
+	representative := []gemm.Shape{
+		{M: 2048, N: 8192, K: 4096},
+		{M: 2048, N: 8192, K: 8192},
+		{M: 4096, N: 8192, K: 4096},
+		{M: 4096, N: 8192, K: 8192},
+		{M: 8192, N: 8192, K: 4096},
+		{M: 8192, N: 8192, K: 8192},
+	}
+
+	// Start the replicas. Every replica receives the SAME representative
+	// list; ownership filtering inside Warm keeps the caches disjoint.
+	part := shard.NewPartitioner(nShards)
+	var servers []*http.Server
+	var clients []shard.Client
+	for k := 0; k < nShards; k++ {
+		assign := shard.Assignment{Index: k, Count: nShards}
+		svc, err := serve.New(serve.Config{
+			Plat:           plat,
+			NGPUs:          nGPUs,
+			CandidateLimit: 128,
+			Owns:           assign.Owns,
+			Shard:          assign.String(),
+			Curves:         curves,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := svc.Warm([]hw.Primitive{hw.AllReduce}, representative, 0); err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := &http.Server{Handler: serve.Handler(svc)}
+		go func() {
+			if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+				log.Fatal(err)
+			}
+		}()
+		servers = append(servers, srv)
+		clients = append(clients, &shard.HTTPClient{Base: "http://" + ln.Addr().String()})
+		fmt.Printf("replica %s on %s: warmed %d of %d representative shapes\n",
+			assign, ln.Addr(), svc.Stats().ShapesCached, len(representative))
+	}
+
+	router, err := shard.NewRouter(clients)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A sharded tune sweep: every query lands on its owner, shards tune
+	// concurrently, answers come back in input order.
+	queries := make([]serve.Query, len(representative))
+	for i, s := range representative {
+		queries[i] = serve.Query{Shape: s, Prim: hw.AllReduce}
+	}
+	answers, err := router.SweepQueries(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsharded tune sweep over %d shapes:\n", len(queries))
+	for i, ans := range answers {
+		fmt.Printf("  %-18v -> shard %d  partition %-12v source %s\n",
+			queries[i].Shape, ans.Replica, ans.Partition, ans.Source)
+	}
+	st := router.Stats()
+	fmt.Printf("merged fleet stats: %d hits, %d misses, %d shapes cached across %d replicas\n",
+		st.Merged.Hits, st.Merged.Misses, st.Merged.ShapesCached, st.Replicas)
+
+	// Failover: kill a replica and query a shape it owns. The router rings
+	// to the next shard, which tunes the miss instead of refusing.
+	victimShape := representative[0]
+	victim := part.Owner(victimShape)
+	_ = servers[victim].Close()
+	ans, err := router.Query(serve.Query{Shape: victimShape, Prim: hw.AllReduce})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreplica %d down: %v rerouted to replica %d (source %s, %d failovers recorded)\n",
+		victim, victimShape, ans.Replica, ans.Source, router.Stats().Failovers)
+
+	// The sharded engine sweep: split the quick Table 3 grid across
+	// shard-local engines (disjoint plan caches, like separate processes)
+	// and verify the merged results are identical to one big engine.Batch.
+	runs := make([]core.Options, len(representative))
+	for i, s := range representative {
+		runs[i] = core.Options{Plat: plat, NGPUs: nGPUs, Shape: s, Prim: hw.AllReduce}
+	}
+	unsharded, err := engine.New(0, 0).Batch(runs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sharded, err := shard.SweepBatch(part, shard.Engines(nShards, 0, 0), runs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !reflect.DeepEqual(sharded, unsharded) {
+		log.Fatal("sharded sweep diverged from unsharded engine.Batch")
+	}
+	fmt.Printf("\nsharded engine sweep: %d runs across %d shards merged byte-identical to engine.Batch\n",
+		len(runs), nShards)
+
+	for i, srv := range servers {
+		if i != victim {
+			_ = srv.Close()
+		}
+	}
+}

@@ -173,11 +173,23 @@ func (e *Engine) Exec(o core.Options) (*core.Result, error) {
 	return p.c.Exec(core.VariantOf(o))
 }
 
+// RunError is the error Batch returns: the failing run's input index plus
+// the underlying cause. Callers that re-batch subsets of a larger grid (the
+// sharded sweep driver) unwrap it to translate the local index back to a
+// global one.
+type RunError struct {
+	Index int
+	Err   error
+}
+
+func (e *RunError) Error() string { return fmt.Sprintf("engine: run %d: %v", e.Index, e.Err) }
+func (e *RunError) Unwrap() error { return e.Err }
+
 // Batch executes every run across the worker pool and returns the results
 // in input order: results[i] answers runs[i] no matter how many workers
 // execute or in which order they finish. On failure the lowest-index error
-// is returned (also independent of scheduling), so error behavior matches a
-// serial loop that stops at the first failing run.
+// is returned as a *RunError (also independent of scheduling), so error
+// behavior matches a serial loop that stops at the first failing run.
 func (e *Engine) Batch(runs []core.Options) ([]*core.Result, error) {
 	results := make([]*core.Result, len(runs))
 	errs := make([]error, len(runs))
@@ -188,7 +200,7 @@ func (e *Engine) Batch(runs []core.Options) ([]*core.Result, error) {
 	if workers <= 1 {
 		for i := range runs {
 			if results[i], errs[i] = e.Exec(runs[i]); errs[i] != nil {
-				return nil, fmt.Errorf("engine: run %d: %w", i, errs[i])
+				return nil, &RunError{Index: i, Err: errs[i]}
 			}
 		}
 		return results, nil
@@ -224,7 +236,7 @@ func (e *Engine) Batch(runs []core.Options) ([]*core.Result, error) {
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("engine: run %d: %w", i, err)
+			return nil, &RunError{Index: i, Err: err}
 		}
 	}
 	return results, nil
@@ -245,6 +257,19 @@ type Stats struct {
 	Capacity int `json:"capacity"`
 	// Workers is the pool width Batch fans across.
 	Workers int `json:"workers"`
+}
+
+// Add accumulates another engine's snapshot into this one — the merge a
+// shard router performs when it aggregates replica /stats. Size, Capacity,
+// and Workers sum too: across disjoint replicas they read as fleet totals.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Hits:     s.Hits + o.Hits,
+		Misses:   s.Misses + o.Misses,
+		Size:     s.Size + o.Size,
+		Capacity: s.Capacity + o.Capacity,
+		Workers:  s.Workers + o.Workers,
+	}
 }
 
 // Stats snapshots the plan-cache counters. Hits and misses are read

@@ -30,7 +30,7 @@ type QueryResponse struct {
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		q, err := parseQuery(r)
+		q, err := ParseQuery(r)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, err)
 			return
@@ -55,7 +55,10 @@ func Handler(s *Service) http.Handler {
 	return mux
 }
 
-func parseQuery(r *http.Request) (Query, error) {
+// ParseQuery decodes a /query request's parameters. It is exported so the
+// shard router's front-end parses (and rejects) queries exactly like a
+// replica would, instead of forwarding garbage.
+func ParseQuery(r *http.Request) (Query, error) {
 	vals := r.URL.Query()
 	dim := func(name string) (int, error) {
 		v, err := strconv.Atoi(vals.Get(name))

@@ -24,6 +24,7 @@ import (
 	"repro/internal/gemm"
 	"repro/internal/hw"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/tuner"
 )
 
@@ -47,6 +48,19 @@ type Config struct {
 	// a real-time budget (cmd/tune's default) rather than the offline
 	// tuner's 4096.
 	CandidateLimit int
+	// Owns restricts Warm to the shapes this replica owns in a sharded
+	// deployment (internal/shard supplies the predicate); nil owns
+	// everything. Queries are still answered for any shape — failover
+	// routing may legitimately land a non-owned query here.
+	Owns func(gemm.Shape) bool
+	// Shard labels the replica ("1/4") in Stats so a router's merged view
+	// attributes counters; empty for an unsharded deployment.
+	Shard string
+	// Curves optionally seeds the per-primitive bandwidth curves,
+	// skipping the offline sampling stage for those primitives. Sharded
+	// deployments sample once and share the immutable curve across
+	// replicas; the curves must match Plat/NGPUs.
+	Curves map[hw.Primitive]*stats.Curve
 }
 
 // Answer sources.
@@ -81,6 +95,9 @@ type Answer struct {
 // deduplicated onto another in-flight query's search; Tunes counts searches
 // actually executed (including Warm's).
 type Stats struct {
+	// Shard is the replica's slice label ("1/4") in a sharded deployment;
+	// empty when unsharded.
+	Shard        string       `json:"shard,omitempty"`
 	Hits         uint64       `json:"hits"`
 	Misses       uint64       `json:"misses"`
 	Collapsed    uint64       `json:"collapsed"`
@@ -88,6 +105,31 @@ type Stats struct {
 	ShapesCached int          `json:"shapes_cached"`
 	Primitives   []string     `json:"primitives"`
 	Engine       engine.Stats `json:"engine"`
+}
+
+// Merge accumulates another replica's snapshot: counters sum, primitive sets
+// union, and the shard label is dropped (a merged view spans shards).
+func (s Stats) Merge(o Stats) Stats {
+	prims := make(map[string]bool, len(s.Primitives)+len(o.Primitives))
+	for _, p := range s.Primitives {
+		prims[p] = true
+	}
+	for _, p := range o.Primitives {
+		prims[p] = true
+	}
+	merged := Stats{
+		Hits:         s.Hits + o.Hits,
+		Misses:       s.Misses + o.Misses,
+		Collapsed:    s.Collapsed + o.Collapsed,
+		Tunes:        s.Tunes + o.Tunes,
+		ShapesCached: s.ShapesCached + o.ShapesCached,
+		Engine:       s.Engine.Add(o.Engine),
+	}
+	for p := range prims {
+		merged.Primitives = append(merged.Primitives, p)
+	}
+	sort.Strings(merged.Primitives)
+	return merged
 }
 
 // Service is a long-lived, concurrency-safe tuning server. Construct with
@@ -163,7 +205,11 @@ func (s *Service) tunerFor(p hw.Primitive) (*tuner.Tuner, error) {
 		if tn != nil {
 			return tn, nil
 		}
-		tn = tuner.NewTuner(s.cfg.Plat, s.cfg.NGPUs, p)
+		if curve := s.cfg.Curves[p]; curve != nil {
+			tn = tuner.NewTunerWithCurve(s.cfg.Plat, s.cfg.NGPUs, p, curve)
+		} else {
+			tn = tuner.NewTuner(s.cfg.Plat, s.cfg.NGPUs, p)
+		}
 		tn.CandidateLimit = s.cfg.CandidateLimit
 		tn.CacheCapacity = s.cfg.ShapeCacheSize
 		tn.Workers = s.eng.Workers() // one Config.Workers knob bounds all CPU use
@@ -247,8 +293,19 @@ func (s *Service) answer(tn *tuner.Tuner, q Query, part gemm.Partition, source s
 // Warm pre-tunes a representative-shape list for each primitive and executes
 // every tuned configuration once through engine.Batch, so both the shape
 // caches and the engine's plan cache are hot before traffic arrives (the
-// paper's "pre-search representative sizes" step).
+// paper's "pre-search representative sizes" step). In a sharded deployment
+// (Config.Owns set) only the owned slice of the list is warmed: each
+// replica's caches stay disjoint, and the fleet covers the full list.
 func (s *Service) Warm(prims []hw.Primitive, shapes []gemm.Shape, imbalance float64) error {
+	if s.cfg.Owns != nil {
+		owned := make([]gemm.Shape, 0, len(shapes))
+		for _, shape := range shapes {
+			if s.cfg.Owns(shape) {
+				owned = append(owned, shape)
+			}
+		}
+		shapes = owned
+	}
 	if len(shapes) == 0 {
 		return nil
 	}
@@ -284,6 +341,7 @@ func (s *Service) Warm(prims []hw.Primitive, shapes []gemm.Shape, imbalance floa
 // a snapshot under concurrent load is approximate; each counter is exact.
 func (s *Service) Stats() Stats {
 	st := Stats{
+		Shard:     s.cfg.Shard,
 		Hits:      s.hits.Load(),
 		Misses:    s.misses.Load(),
 		Collapsed: s.collapsed.Load(),

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// ShutdownGrace bounds how long Run waits for in-flight requests to drain
+// after a termination signal before abandoning them.
+const ShutdownGrace = 5 * time.Second
+
+// Run serves h on addr until the process receives SIGINT or SIGTERM, then
+// drains in-flight requests for up to ShutdownGrace. It returns nil on a
+// clean signal-triggered shutdown and the listen/serve error otherwise, so
+// commands exit non-zero when the port was never bound (a CI smoke-run that
+// cannot listen must fail loudly, not log and hang).
+func Run(addr string, h http.Handler) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM, os.Interrupt)
+	defer stop()
+
+	srv := &http.Server{Addr: addr, Handler: h}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		// ListenAndServe never returns nil; before a signal, any return
+		// (bind failure, listener collapse) is fatal.
+		return err
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills immediately
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), ShutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

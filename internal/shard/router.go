@@ -1,0 +1,311 @@
+package shard
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/gemm"
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// Client is one replica endpoint a Router fans out to: either a remote
+// cmd/serve process (HTTPClient) or an in-process service (LocalClient).
+type Client interface {
+	Query(q serve.Query) (serve.Answer, error)
+	Stats() (serve.Stats, error)
+}
+
+// QueryError marks an error the query itself caused (a malformed request, an
+// unsupported primitive): deterministic, so the Router does not fail over —
+// every replica would reject it the same way.
+type QueryError struct {
+	Status int // HTTP status when the error came over the wire; 0 locally
+	Err    error
+}
+
+func (e *QueryError) Error() string { return e.Err.Error() }
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// retryable reports whether the error might be replica-specific (down,
+// overloaded, mid-deploy) rather than inherent to the query.
+func retryable(err error) bool {
+	var qe *QueryError
+	return !errors.As(err, &qe)
+}
+
+// HTTPClient speaks the cmd/serve HTTP/JSON protocol against a base URL like
+// "http://10.0.0.7:8080". A nil HTTP field uses http.DefaultClient.
+type HTTPClient struct {
+	Base string
+	HTTP *http.Client
+}
+
+func (c *HTTPClient) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *HTTPClient) get(path string, out any) error {
+	resp, err := c.client().Get(c.Base + path)
+	if err != nil {
+		return fmt.Errorf("shard: %s: %w", c.Base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var body struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		if body.Error == "" {
+			body.Error = resp.Status
+		}
+		err := fmt.Errorf("shard: %s%s: %s", c.Base, path, body.Error)
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			// The replica understood the request and rejected it;
+			// another replica would too.
+			return &QueryError{Status: resp.StatusCode, Err: err}
+		}
+		return err
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("shard: %s%s: decoding reply: %w", c.Base, path, err)
+	}
+	return nil
+}
+
+// Query forwards one query over /query.
+func (c *HTTPClient) Query(q serve.Query) (serve.Answer, error) {
+	v := url.Values{}
+	v.Set("m", fmt.Sprint(q.Shape.M))
+	v.Set("n", fmt.Sprint(q.Shape.N))
+	v.Set("k", fmt.Sprint(q.Shape.K))
+	v.Set("prim", q.Prim.Short())
+	if q.Imbalance != 0 {
+		v.Set("imbalance", fmt.Sprint(q.Imbalance))
+	}
+	var qr serve.QueryResponse
+	if err := c.get("/query?"+v.Encode(), &qr); err != nil {
+		return serve.Answer{}, err
+	}
+	return serve.Answer{
+		Partition: gemm.Partition(qr.Partition),
+		Waves:     qr.Waves,
+		Predicted: sim.Time(qr.PredictedNs),
+		Source:    qr.Source,
+	}, nil
+}
+
+// Stats fetches the replica's /stats snapshot.
+func (c *HTTPClient) Stats() (serve.Stats, error) {
+	var st serve.Stats
+	if err := c.get("/stats", &st); err != nil {
+		return serve.Stats{}, err
+	}
+	return st, nil
+}
+
+// LocalClient adapts an in-process *serve.Service to the Client interface
+// (sharded sweeps inside one process, tests). Service errors are wrapped as
+// QueryErrors: a local service's failure is deterministic, so failing over
+// to an identically configured replica would only repeat the work.
+type LocalClient struct {
+	Svc *serve.Service
+}
+
+func (c *LocalClient) Query(q serve.Query) (serve.Answer, error) {
+	ans, err := c.Svc.Query(q)
+	if err != nil {
+		return serve.Answer{}, &QueryError{Err: err}
+	}
+	return ans, nil
+}
+
+func (c *LocalClient) Stats() (serve.Stats, error) { return c.Svc.Stats(), nil }
+
+// Answer is a routed reply: the replica's answer plus where it came from.
+type Answer struct {
+	serve.Answer
+	// Owner is the shard the partitioner assigned; Replica is the shard
+	// that actually answered (different only after failover).
+	Owner, Replica int
+}
+
+// Router fans queries out to a fleet of replicas by shape ownership, failing
+// over to the next shard in ring order when the owner is unreachable. All
+// methods are safe for concurrent use.
+type Router struct {
+	part    Partitioner
+	clients []Client
+
+	routed    []atomic.Uint64 // per-replica answered queries
+	failovers atomic.Uint64
+}
+
+// NewRouter builds a router over the replica fleet; ownership follows
+// NewPartitioner(len(clients)).
+func NewRouter(clients []Client) (*Router, error) {
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("shard: router needs at least one replica")
+	}
+	return &Router{
+		part:    NewPartitioner(len(clients)),
+		clients: clients,
+		routed:  make([]atomic.Uint64, len(clients)),
+	}, nil
+}
+
+// Partitioner exposes the ownership mapping the router fans out with.
+func (r *Router) Partitioner() Partitioner { return r.part }
+
+// Query forwards q to the owning replica. If the owner fails with a
+// replica-level error (connection refused, 5xx), the query retries on the
+// next shards in ring order until one answers; a query-level rejection (4xx)
+// returns immediately. The error after exhausting the fleet is the owner's.
+func (r *Router) Query(q serve.Query) (Answer, error) {
+	owner := r.part.Owner(q.Shape)
+	var firstErr error
+	for hop := 0; hop < len(r.clients); hop++ {
+		replica := (owner + hop) % len(r.clients)
+		ans, err := r.clients[replica].Query(q)
+		if err == nil {
+			r.routed[replica].Add(1)
+			if hop > 0 {
+				r.failovers.Add(1)
+			}
+			return Answer{Answer: ans, Owner: owner, Replica: replica}, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !retryable(err) {
+			return Answer{}, err
+		}
+	}
+	return Answer{}, fmt.Errorf("shard: all %d replicas failed: %w", len(r.clients), firstErr)
+}
+
+// ReplicaStats is one replica's slice of a router stats snapshot.
+type ReplicaStats struct {
+	Replica int `json:"replica"`
+	// Routed counts queries this replica answered through the router.
+	Routed uint64 `json:"routed"`
+	// Error is set when the replica's /stats was unreachable; Stats is
+	// then zero and excluded from the merge.
+	Error string      `json:"error,omitempty"`
+	Stats serve.Stats `json:"stats"`
+}
+
+// Stats is the router's merged fleet view plus the per-replica breakdown.
+type RouterStats struct {
+	Replicas  int            `json:"replicas"`
+	Failovers uint64         `json:"failovers"`
+	Merged    serve.Stats    `json:"merged"`
+	PerShard  []ReplicaStats `json:"per_shard"`
+}
+
+// Stats polls every replica concurrently and merges the reachable
+// snapshots. A down replica appears in PerShard with its error instead of
+// failing the whole snapshot — a router must report on a degraded fleet, not
+// mirror it — and the parallel poll means k unreachable replicas cost one
+// client timeout, not k stacked ones.
+func (r *Router) Stats() RouterStats {
+	st := RouterStats{
+		Replicas:  len(r.clients),
+		Failovers: r.failovers.Load(),
+		PerShard:  make([]ReplicaStats, len(r.clients)),
+	}
+	var wg sync.WaitGroup
+	for i, c := range r.clients {
+		wg.Add(1)
+		go func(i int, c Client) {
+			defer wg.Done()
+			rs := ReplicaStats{Replica: i, Routed: r.routed[i].Load()}
+			s, err := c.Stats()
+			if err != nil {
+				rs.Error = err.Error()
+			} else {
+				rs.Stats = s
+			}
+			st.PerShard[i] = rs
+		}(i, c)
+	}
+	wg.Wait()
+	for _, rs := range st.PerShard {
+		if rs.Error == "" {
+			st.Merged = st.Merged.Merge(rs.Stats)
+		}
+	}
+	return st
+}
+
+// RoutedResponse is the JSON shape of the router's /query reply: the
+// replica's response plus routing attribution.
+type RoutedResponse struct {
+	serve.QueryResponse
+	Owner   int `json:"owner"`
+	Replica int `json:"replica"`
+}
+
+// Handler mounts the router on an HTTP mux with the same surface as a
+// replica — /query and /stats — so clients cannot tell a router from a
+// single serve process (except for the extra attribution fields).
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, req *http.Request) {
+		q, err := serve.ParseQuery(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		ans, err := r.Query(q)
+		if err != nil {
+			status := http.StatusBadGateway
+			var qe *QueryError
+			if errors.As(err, &qe) {
+				status = qe.Status
+				if status == 0 {
+					status = http.StatusUnprocessableEntity
+				}
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, RoutedResponse{
+			QueryResponse: serve.QueryResponse{
+				Shape:       q.Shape.String(),
+				Primitive:   q.Prim.String(),
+				Partition:   ans.Partition,
+				Waves:       ans.Waves,
+				PredictedNs: int64(ans.Predicted),
+				Source:      ans.Source,
+			},
+			Owner:   ans.Owner,
+			Replica: ans.Replica,
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

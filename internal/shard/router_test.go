@@ -1,0 +1,257 @@
+package shard
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/serve"
+	"repro/internal/stats"
+	"repro/internal/tuner"
+)
+
+// testCurve samples the offline bandwidth curve once per test binary; every
+// replica shares it (the new Config.Curves path), which both speeds the
+// tests up and mirrors a production sharded rollout.
+var testCurve *stats.Curve
+
+func sharedCurves(t *testing.T) map[hw.Primitive]*stats.Curve {
+	t.Helper()
+	if testCurve == nil {
+		testCurve = tuner.SampleBandwidthCurve(hw.RTX4090PCIe(), 2, hw.AllReduce, nil)
+	}
+	return map[hw.Primitive]*stats.Curve{hw.AllReduce: testCurve}
+}
+
+// testFleet builds n in-process replicas behind httptest servers, each
+// owning its slice of the shape plane, and a router over their URLs.
+func testFleet(t *testing.T, n int) (*Router, []*httptest.Server, []*serve.Service) {
+	t.Helper()
+	part := NewPartitioner(n)
+	servers := make([]*httptest.Server, n)
+	services := make([]*serve.Service, n)
+	clients := make([]Client, n)
+	for k := 0; k < n; k++ {
+		a := Assignment{Index: k, Count: n}
+		svc, err := serve.New(serve.Config{
+			Plat:           hw.RTX4090PCIe(),
+			NGPUs:          2,
+			CandidateLimit: 64,
+			Owns:           a.Owns,
+			Shard:          a.String(),
+			Curves:         sharedCurves(t),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		services[k] = svc
+		servers[k] = httptest.NewServer(serve.Handler(svc))
+		t.Cleanup(servers[k].Close)
+		clients[k] = &HTTPClient{Base: servers[k].URL}
+	}
+	r, err := NewRouter(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Partitioner() != part {
+		t.Fatalf("router partitioner %+v, want %+v", r.Partitioner(), part)
+	}
+	return r, servers, services
+}
+
+var routerShapes = []gemm.Shape{
+	{M: 2048, N: 8192, K: 4096},
+	{M: 4096, N: 8192, K: 4096},
+	{M: 4096, N: 8192, K: 8192},
+	{M: 8192, N: 8192, K: 4096},
+}
+
+// Queries must land on the owning replica, and only there: after a sweep of
+// distinct shapes, each replica's counters account for exactly its slice.
+func TestRouterRoutesToOwner(t *testing.T) {
+	r, _, services := testFleet(t, 3)
+	owned := make([]uint64, 3)
+	for _, shape := range routerShapes {
+		ans, err := r.Query(serve.Query{Shape: shape, Prim: hw.AllReduce})
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner := r.Partitioner().Owner(shape)
+		if ans.Owner != owner || ans.Replica != owner {
+			t.Fatalf("shape %v: answered by replica %d (owner field %d), want %d",
+				shape, ans.Replica, ans.Owner, owner)
+		}
+		owned[owner]++
+	}
+	st := r.Stats()
+	if st.Failovers != 0 {
+		t.Fatalf("failovers = %d on a healthy fleet", st.Failovers)
+	}
+	var totalServed uint64
+	for k, svc := range services {
+		s := svc.Stats()
+		served := s.Hits + s.Misses
+		if served != owned[k] {
+			t.Errorf("replica %d served %d queries, want %d (disjoint ownership)", k, served, owned[k])
+		}
+		if st.PerShard[k].Routed != owned[k] {
+			t.Errorf("router counted %d for replica %d, want %d", st.PerShard[k].Routed, k, owned[k])
+		}
+		totalServed += served
+	}
+	if totalServed != uint64(len(routerShapes)) {
+		t.Fatalf("fleet served %d queries, want %d", totalServed, len(routerShapes))
+	}
+	if st.Merged.Hits+st.Merged.Misses != uint64(len(routerShapes)) {
+		t.Fatalf("merged stats count %d queries, want %d", st.Merged.Hits+st.Merged.Misses, len(routerShapes))
+	}
+}
+
+// With one replica down, its queries fail over to the next shard in ring
+// order and still succeed; the merged stats report the hole instead of
+// failing.
+func TestRouterFailsOverWhenReplicaDown(t *testing.T) {
+	r, servers, _ := testFleet(t, 3)
+	// Find a shape owned by replica 1 and kill that replica.
+	var victim gemm.Shape
+	found := false
+	for _, shape := range routerShapes {
+		if r.Partitioner().Owner(shape) == 1 {
+			victim, found = shape, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no test shape owned by replica 1; extend routerShapes")
+	}
+	servers[1].Close()
+
+	ans, err := r.Query(serve.Query{Shape: victim, Prim: hw.AllReduce})
+	if err != nil {
+		t.Fatalf("query with one replica down: %v", err)
+	}
+	if ans.Owner != 1 {
+		t.Fatalf("owner = %d, want 1", ans.Owner)
+	}
+	if ans.Replica != 2 {
+		t.Fatalf("failover landed on replica %d, want next-in-ring 2", ans.Replica)
+	}
+	if ans.Waves != ans.Partition.TotalWaves() || ans.Predicted <= 0 {
+		t.Fatalf("malformed failover answer %+v", ans)
+	}
+	st := r.Stats()
+	if st.Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", st.Failovers)
+	}
+	if st.PerShard[1].Error == "" {
+		t.Fatal("down replica's stats hole not reported")
+	}
+	if st.PerShard[2].Stats.Shard != "2/3" {
+		t.Fatalf("replica 2 shard label = %q, want 2/3", st.PerShard[2].Stats.Shard)
+	}
+}
+
+// A query-level rejection (4xx) must not fail over: the second replica would
+// reject it identically, and burning a fleet-wide retry on garbage input is
+// how routers melt down.
+func TestRouterDoesNotFailOverBadQueries(t *testing.T) {
+	r, _, services := testFleet(t, 2)
+	_, err := r.Query(serve.Query{Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllGather})
+	if err == nil {
+		t.Fatal("unsupported primitive accepted")
+	}
+	if retryable(err) {
+		t.Fatalf("4xx classified retryable: %v", err)
+	}
+	for k, svc := range services {
+		if st := svc.Stats(); st.Tunes != 0 {
+			t.Fatalf("replica %d tuned %d times for a rejected query", k, st.Tunes)
+		}
+	}
+}
+
+// The router's own HTTP surface must look like a replica's: /query answers
+// with routing attribution, /stats merges the fleet.
+func TestRouterHandler(t *testing.T) {
+	r, _, _ := testFleet(t, 2)
+	front := httptest.NewServer(r.Handler())
+	defer front.Close()
+
+	resp, err := http.Get(front.URL + "/query?m=2048&n=8192&k=4096&prim=AR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var rr RoutedResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	want := r.Partitioner().Owner(gemm.Shape{M: 2048, N: 8192, K: 4096})
+	if rr.Replica != want || rr.Owner != want {
+		t.Fatalf("routed to %d (owner %d), want %d", rr.Replica, rr.Owner, want)
+	}
+	if len(rr.Partition) == 0 || rr.Waves <= 0 {
+		t.Fatalf("malformed response %+v", rr)
+	}
+
+	bad, err := http.Get(front.URL + "/query?m=0&n=8192&k=4096")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Body.Close()
+	if bad.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query status = %d, want 400", bad.StatusCode)
+	}
+
+	sresp, err := http.Get(front.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st RouterStats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Replicas != 2 || len(st.PerShard) != 2 {
+		t.Fatalf("stats fleet size %d/%d, want 2", st.Replicas, len(st.PerShard))
+	}
+	if st.Merged.Hits+st.Merged.Misses != 1 {
+		t.Fatalf("merged query count = %d, want 1", st.Merged.Hits+st.Merged.Misses)
+	}
+}
+
+// Warm must respect ownership: warming the full representative list on every
+// replica populates only the owned slice of each cache, keeping the fleet's
+// caches disjoint while covering the whole list.
+func TestShardedWarmKeepsCachesDisjoint(t *testing.T) {
+	_, _, services := testFleet(t, 3)
+	p := NewPartitioner(3)
+	for _, svc := range services {
+		if err := svc.Warm([]hw.Primitive{hw.AllReduce}, routerShapes, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 0
+	for k, svc := range services {
+		st := svc.Stats()
+		wantOwned := 0
+		for _, s := range routerShapes {
+			if p.Owns(k, s) {
+				wantOwned++
+			}
+		}
+		if st.ShapesCached != wantOwned {
+			t.Errorf("replica %d cached %d shapes, want owned %d", k, st.ShapesCached, wantOwned)
+		}
+		total += st.ShapesCached
+	}
+	if total != len(routerShapes) {
+		t.Fatalf("fleet cached %d shapes, want full list %d", total, len(routerShapes))
+	}
+}

@@ -1,0 +1,153 @@
+// Package shard is the multi-process scaling layer over the tuning service:
+// a shape-hash partitioner that slices the (log M·N, log K) query plane
+// across N replicas, a fan-out Router that forwards queries to the owning
+// replica (with failover and merged stats), and a sharded sweep driver that
+// splits a tuning or execution grid into per-shard sub-grids, runs them
+// concurrently, and merges the results back into the deterministic global
+// order.
+//
+// The partitioner works in the same log-space plane the tuner's
+// nearest-neighbor cache matches in (§4.2.2): shapes are quantized to
+// half-log cells before hashing, so shapes close enough to answer each other
+// from the cache land on the same replica, and each replica's cache stays
+// warm and disjoint from the rest of the fleet's.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/gemm"
+)
+
+// DefaultQuantum is the cell edge, in log2 units, of the ownership lattice.
+// Half-log cells are finer than the tuner's wave-count transfer granularity,
+// so co-located shapes are exactly the ones likely to share cache entries.
+const DefaultQuantum = 0.5
+
+// hashSeed mixes the cell hash. The constant is chosen so the quick Table 3
+// grid (the repo's canonical sweep) balances within ±1 shape per shard at
+// every shard count from 2 to 8 — see TestPartitionerBalancesQuickGrid,
+// which pins the property.
+const hashSeed = 4560632
+
+// Partitioner deterministically maps GEMM shapes to one of Shards owners.
+// The zero Quantum selects DefaultQuantum. Partitioners are values: two
+// partitioners with equal fields agree on every shape, which is what lets N
+// independent replica processes each compute their own slice without
+// coordination.
+type Partitioner struct {
+	Shards  int
+	Quantum float64
+}
+
+// NewPartitioner returns a partitioner over n shards.
+func NewPartitioner(n int) Partitioner {
+	return Partitioner{Shards: n}
+}
+
+func (p Partitioner) quantum() float64 {
+	if p.Quantum <= 0 {
+		return DefaultQuantum
+	}
+	return p.Quantum
+}
+
+// Cell returns the ownership-lattice cell of a shape: its (log2 M·N, log2 K)
+// coordinates — the tuner cache's matching plane — quantized to Quantum-wide
+// cells.
+func (p Partitioner) Cell(s gemm.Shape) (qx, qy int64) {
+	q := p.quantum()
+	lmn := math.Log2(float64(s.M) * float64(s.N))
+	lk := math.Log2(float64(s.K))
+	return int64(math.Round(lmn / q)), int64(math.Round(lk / q))
+}
+
+// splitmix64 is the SplitMix64 finalizer: a full-avalanche 64-bit mixer, so
+// neighboring lattice cells scatter uniformly across shards.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Owner returns the shard index in [0, Shards) that owns the shape. Every
+// shape has exactly one owner; Owner panics on a non-positive shard count
+// (a misconfigured deployment, not a runtime condition).
+func (p Partitioner) Owner(s gemm.Shape) int {
+	if p.Shards < 1 {
+		panic(fmt.Sprintf("shard: partitioner over %d shards", p.Shards))
+	}
+	qx, qy := p.Cell(s)
+	h := splitmix64(splitmix64(hashSeed^uint64(qx)) ^ uint64(qy))
+	return int(h % uint64(p.Shards))
+}
+
+// Owns reports whether shard idx owns the shape.
+func (p Partitioner) Owns(idx int, s gemm.Shape) bool { return p.Owner(s) == idx }
+
+// Split distributes indices 0..n-1 of a shape list into per-shard index
+// slices, preserving input order within each shard. The sweep driver uses the
+// index lists to scatter per-shard results back into the global order.
+func (p Partitioner) Split(shapes []gemm.Shape) [][]int {
+	out := make([][]int, p.Shards)
+	for i, s := range shapes {
+		k := p.Owner(s)
+		out[k] = append(out[k], i)
+	}
+	return out
+}
+
+// Assignment is one replica's slice of a sharded deployment: shard Index out
+// of Count, the value of a `-shard k/n` flag.
+type Assignment struct {
+	Index, Count int
+}
+
+// ParseAssignment parses "k/n" with 0 <= k < n. The empty string returns the
+// zero Assignment (Count 0), meaning unsharded.
+func ParseAssignment(raw string) (Assignment, error) {
+	if raw == "" {
+		return Assignment{}, nil
+	}
+	idx, count, ok := strings.Cut(raw, "/")
+	if !ok {
+		return Assignment{}, fmt.Errorf("shard: assignment %q must be k/n", raw)
+	}
+	k, err := strconv.Atoi(idx)
+	if err != nil {
+		return Assignment{}, fmt.Errorf("shard: assignment index %q: %w", idx, err)
+	}
+	n, err := strconv.Atoi(count)
+	if err != nil {
+		return Assignment{}, fmt.Errorf("shard: assignment count %q: %w", count, err)
+	}
+	if n < 1 || k < 0 || k >= n {
+		return Assignment{}, fmt.Errorf("shard: assignment %q must satisfy 0 <= k < n", raw)
+	}
+	return Assignment{Index: k, Count: n}, nil
+}
+
+// Sharded reports whether the assignment names an actual slice (Count > 0).
+func (a Assignment) Sharded() bool { return a.Count > 0 }
+
+// String renders "k/n", or "" for the unsharded zero value.
+func (a Assignment) String() string {
+	if !a.Sharded() {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", a.Index, a.Count)
+}
+
+// Owns reports whether this replica owns the shape (an unsharded assignment
+// owns everything). The predicate is what cmd/serve passes into
+// serve.Config.Owns.
+func (a Assignment) Owns(s gemm.Shape) bool {
+	if !a.Sharded() {
+		return true
+	}
+	return Partitioner{Shards: a.Count}.Owns(a.Index, s)
+}

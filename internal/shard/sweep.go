@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gemm"
+	"repro/internal/serve"
+)
+
+// Engines builds one engine per shard, each with its own plan cache — the
+// in-process analogue of N replica processes. workers bounds each engine's
+// pool (<= 0 selects GOMAXPROCS); a sweep over n shards therefore fans up to
+// n*workers executions, so callers typically pass GOMAXPROCS/n.
+func Engines(n, workers, cacheSize int) []*engine.Engine {
+	out := make([]*engine.Engine, n)
+	for i := range out {
+		out[i] = engine.New(workers, cacheSize)
+	}
+	return out
+}
+
+// SweepBatch is the sharded engine.Batch: it splits runs into per-shard
+// sub-grids by shape ownership, executes every shard concurrently on its own
+// engine (disjoint plan caches, like separate replica processes), and
+// scatters the per-shard results back so results[i] answers runs[i] — the
+// same deterministic global order the unsharded path returns. Each execution
+// owns a private simulator, so the merged results are byte-identical to
+// engine.Batch over the whole grid at any shard count.
+//
+// On failure the error with the lowest global run index is returned, like
+// engine.Batch; len(engines) must equal p.Shards.
+func SweepBatch(p Partitioner, engines []*engine.Engine, runs []core.Options) ([]*core.Result, error) {
+	if len(engines) != p.Shards {
+		return nil, fmt.Errorf("shard: %d engines for %d shards", len(engines), p.Shards)
+	}
+	shapes := make([]gemm.Shape, len(runs))
+	for i, run := range runs {
+		shapes[i] = run.Shape
+	}
+	idxs := p.Split(shapes)
+	results := make([]*core.Result, len(runs))
+	err := fanShards(idxs, func(k int, list []int) (int, error) {
+		sub := make([]core.Options, len(list))
+		for j, gi := range list {
+			sub[j] = runs[gi]
+		}
+		res, err := engines[k].Batch(sub)
+		if err != nil {
+			// Batch reports the lowest failing local index; translate
+			// it back to the global grid.
+			at := list[0]
+			var re *engine.RunError
+			if errors.As(err, &re) {
+				at = list[re.Index]
+			}
+			return at, err
+		}
+		for j, gi := range list {
+			results[gi] = res[j]
+		}
+		return 0, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard: global run %w", err)
+	}
+	return results, nil
+}
+
+// fanShards runs worker(k, idxs[k]) concurrently for every non-empty shard.
+// A failing worker returns the global index its failure maps to; fanShards
+// reports the failure with the lowest global index — deterministic no matter
+// which shards finish first — as "<index>: <cause>".
+func fanShards(idxs [][]int, worker func(k int, list []int) (int, error)) error {
+	shardErrs := make([]error, len(idxs)) // per-shard failure
+	shardErrAt := make([]int, len(idxs))  // global index of that failure
+	var wg sync.WaitGroup
+	for k := range idxs {
+		if len(idxs[k]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			shardErrAt[k], shardErrs[k] = worker(k, idxs[k])
+		}(k)
+	}
+	wg.Wait()
+	first := -1
+	for k, err := range shardErrs {
+		if err != nil && (first == -1 || shardErrAt[k] < shardErrAt[first]) {
+			first = k
+		}
+	}
+	if first >= 0 {
+		return fmt.Errorf("%d: %w", shardErrAt[first], shardErrs[first])
+	}
+	return nil
+}
+
+// SweepQueries is the sharded tune sweep: each query routes to its owning
+// replica (failover included), shards run concurrently, and answers[i]
+// replies to qs[i] — deterministic global order regardless of fleet size.
+// Within one shard queries run serially in input order, preserving the
+// cache-warming locality a single replica would see. On failure the error
+// with the lowest global query index is returned.
+func (r *Router) SweepQueries(qs []serve.Query) ([]Answer, error) {
+	byOwner := make([][]int, len(r.clients))
+	for i, q := range qs {
+		k := r.part.Owner(q.Shape)
+		byOwner[k] = append(byOwner[k], i)
+	}
+	answers := make([]Answer, len(qs))
+	err := fanShards(byOwner, func(k int, list []int) (int, error) {
+		for _, gi := range list {
+			ans, err := r.Query(qs[gi])
+			if err != nil {
+				return gi, err
+			}
+			answers[gi] = ans
+		}
+		return 0, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard: query %w", err)
+	}
+	return answers, nil
+}

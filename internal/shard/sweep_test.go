@@ -1,0 +1,206 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/expt"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/serve"
+)
+
+// quickGridRuns builds the full quick Table 3 sweep: every (platform,
+// primitive, shape) cell as one engine run.
+func quickGridRuns() []core.Options {
+	var runs []core.Options
+	for _, grid := range expt.Table3Grids(true) {
+		for _, shape := range grid.Shapes {
+			runs = append(runs, core.Options{
+				Plat:  grid.Plat,
+				NGPUs: 2,
+				Shape: shape,
+				Prim:  grid.Prim,
+			})
+		}
+	}
+	return runs
+}
+
+// The acceptance property of the sharded sweep: splitting the quick Table 3
+// grid across any number of shard-local engines and merging the results
+// reproduces the unsharded engine.Batch output byte for byte.
+func TestSweepBatchMatchesUnshardedByteForByte(t *testing.T) {
+	runs := quickGridRuns()
+	reference, err := engine.New(0, 0).Batch(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := json.Marshal(reference)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 5; n++ {
+		p := NewPartitioner(n)
+		got, err := SweepBatch(p, Engines(n, 0, 0), runs)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != len(reference) {
+			t.Fatalf("n=%d: %d results, want %d", n, len(got), len(reference))
+		}
+		if !reflect.DeepEqual(got, reference) {
+			for i := range got {
+				if !reflect.DeepEqual(got[i], reference[i]) {
+					t.Fatalf("n=%d: result %d (%v) diverges from unsharded run", n, i, runs[i].Shape)
+				}
+			}
+		}
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(gotJSON, refJSON) {
+			t.Fatalf("n=%d: serialized results differ from unsharded batch", n)
+		}
+	}
+}
+
+// Shard-local plan caches must stay disjoint and still compile each unique
+// plan exactly once fleet-wide.
+func TestSweepBatchCompilesEachPlanOncePerShard(t *testing.T) {
+	runs := quickGridRuns()
+	// Duplicate the grid so plan caching has hits to find.
+	runs = append(runs, quickGridRuns()...)
+	const n = 3
+	engines := Engines(n, 0, 0)
+	if _, err := SweepBatch(NewPartitioner(n), engines, runs); err != nil {
+		t.Fatal(err)
+	}
+	var misses uint64
+	for _, e := range engines {
+		h, m, _ := e.CacheStats()
+		if h == 0 && m == 0 {
+			t.Error("idle engine: partitioner sent a shard nothing from the quick grid")
+		}
+		misses += m
+	}
+	unique := len(quickGridRuns())
+	if misses != uint64(unique) {
+		t.Fatalf("fleet compiled %d plans, want one per unique run (%d)", misses, unique)
+	}
+}
+
+// A failing run must surface the same global index the unsharded path
+// reports, no matter which shard it lands on.
+func TestSweepBatchErrorKeepsGlobalIndex(t *testing.T) {
+	runs := quickGridRuns()
+	bad := 7
+	runs[bad].Shape = gemm.Shape{M: 0, N: 8192, K: 4096}
+
+	_, refErr := engine.New(0, 0).Batch(runs)
+	if refErr == nil {
+		t.Fatal("unsharded batch accepted the invalid run")
+	}
+	var re *engine.RunError
+	if !errors.As(refErr, &re) || re.Index != bad {
+		t.Fatalf("unsharded error %v, want RunError at %d", refErr, bad)
+	}
+
+	for n := 1; n <= 4; n++ {
+		_, err := SweepBatch(NewPartitioner(n), Engines(n, 0, 0), runs)
+		if err == nil {
+			t.Fatalf("n=%d: sharded sweep accepted the invalid run", n)
+		}
+		if want := fmt.Sprintf("global run %d", bad); !contains(err.Error(), want) {
+			t.Fatalf("n=%d: error %q does not name %q", n, err, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }
+
+func TestSweepBatchRejectsEngineCountMismatch(t *testing.T) {
+	if _, err := SweepBatch(NewPartitioner(3), Engines(2, 0, 0), quickGridRuns()); err == nil {
+		t.Fatal("engine/shard count mismatch accepted")
+	}
+}
+
+// localFleet builds n in-process replicas (no HTTP) behind a router.
+func localFleet(t *testing.T, n int) *Router {
+	t.Helper()
+	clients := make([]Client, n)
+	for k := 0; k < n; k++ {
+		a := Assignment{Index: k, Count: n}
+		svc, err := serve.New(serve.Config{
+			Plat:           hw.RTX4090PCIe(),
+			NGPUs:          2,
+			CandidateLimit: 64,
+			Owns:           a.Owns,
+			Shard:          a.String(),
+			Curves:         sharedCurves(t),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[k] = &LocalClient{Svc: svc}
+	}
+	r, err := NewRouter(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// A sharded tune sweep must answer in deterministic global order: replaying
+// the same sweep on a fresh identical fleet reproduces every answer, and
+// each answer comes from the query's owner.
+func TestSweepQueriesDeterministicAcrossFleets(t *testing.T) {
+	var qs []serve.Query
+	for _, s := range quickGridShapes() {
+		qs = append(qs, serve.Query{Shape: s, Prim: hw.AllReduce})
+	}
+	first, err := localFleet(t, 3).SweepQueries(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := localFleet(t, 3).SweepQueries(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPartitioner(3)
+	for i := range qs {
+		if first[i].Owner != p.Owner(qs[i].Shape) || first[i].Replica != first[i].Owner {
+			t.Fatalf("query %d answered by replica %d, owner %d", i, first[i].Replica, first[i].Owner)
+		}
+		if !reflect.DeepEqual(first[i].Answer, second[i].Answer) {
+			t.Fatalf("query %d: answers differ across identical fleets:\n%+v\n%+v",
+				i, first[i].Answer, second[i].Answer)
+		}
+		if first[i].Waves != first[i].Partition.TotalWaves() {
+			t.Fatalf("query %d: malformed answer %+v", i, first[i])
+		}
+	}
+}
+
+// A query-level failure in a sweep reports the lowest failing global index.
+func TestSweepQueriesErrorKeepsGlobalIndex(t *testing.T) {
+	qs := []serve.Query{
+		{Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllReduce},
+		{Shape: gemm.Shape{M: 4096, N: 8192, K: 4096}, Prim: hw.AllGather}, // unsupported
+		{Shape: gemm.Shape{M: 4096, N: 8192, K: 8192}, Prim: hw.AllReduce},
+	}
+	_, err := localFleet(t, 2).SweepQueries(qs)
+	if err == nil {
+		t.Fatal("unsupported primitive accepted")
+	}
+	if !contains(err.Error(), "query 1") {
+		t.Fatalf("error %q does not name global query 1", err)
+	}
+}

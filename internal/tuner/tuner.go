@@ -347,11 +347,20 @@ type Tuner struct {
 // NewTuner runs the offline stage (bandwidth sampling) and returns a ready
 // tuner.
 func NewTuner(plat hw.Platform, nGPUs int, prim hw.Primitive) *Tuner {
+	return NewTunerWithCurve(plat, nGPUs, prim, SampleBandwidthCurve(plat, nGPUs, prim, nil))
+}
+
+// NewTunerWithCurve builds a tuner around an already-sampled bandwidth curve,
+// skipping the offline stage. Sharded deployments use it to run the sampling
+// once per (platform, primitive) and hand the same immutable curve to every
+// replica; the curve must have been sampled on the same platform, GPU count,
+// and primitive, or predictions will be silently wrong.
+func NewTunerWithCurve(plat hw.Platform, nGPUs int, prim hw.Primitive, curve *stats.Curve) *Tuner {
 	return &Tuner{
 		Plat:           plat,
 		NGPUs:          nGPUs,
 		Prim:           prim,
-		Curve:          SampleBandwidthCurve(plat, nGPUs, prim, nil),
+		Curve:          curve,
 		CandidateLimit: 4096,
 	}
 }
