@@ -499,3 +499,66 @@ func BenchmarkServeConcurrentQuery(b *testing.B) {
 		}
 	})
 }
+
+// Distributed-sweep coordinator throughput: the quick Table 3 AR shapes
+// dispatched in chunks across an in-process fleet (LocalClients, no
+// network), so the number isolates the coordinator's partition/chunk/merge
+// machinery plus the replicas' sweep execution rather than HTTP transport.
+// The reported sweep-ns/item is the multi-host analogue of
+// BenchmarkShardSweepBatch's sweep-ns/run.
+func BenchmarkCoordinatorSweep(b *testing.B) {
+	const shards = 4
+	curve := tuner.SampleBandwidthCurve(hw.RTX4090PCIe(), 2, hw.AllReduce, nil)
+	clients := make([]shard.Client, shards)
+	for k := range clients {
+		a := shard.Assignment{Index: k, Count: shards}
+		svc, err := serve.New(serve.Config{
+			Plat:           hw.RTX4090PCIe(),
+			NGPUs:          2,
+			CandidateLimit: 128,
+			Owns:           a.Owns,
+			Shard:          a.String(),
+			Curves:         map[hw.Primitive]*stats.Curve{hw.AllReduce: curve},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[k] = &shard.LocalClient{Svc: svc}
+	}
+	router, err := shard.NewRouter(clients)
+	if err != nil {
+		b.Fatal(err)
+	}
+	co := shard.NewCoordinator(router)
+	co.ChunkSize = 4
+	var items []serve.SweepItem
+	for _, grid := range expt.Table3Grids(true) {
+		if grid.Prim != hw.AllReduce {
+			continue
+		}
+		for _, s := range grid.Shapes {
+			items = append(items, serve.SweepItem{M: s.M, N: s.N, K: s.K, Prim: "AR"})
+		}
+	}
+	if len(items) == 0 {
+		b.Fatal("quick Table 3 grid has no AllReduce shapes")
+	}
+	b.ResetTimer()
+	var sweepNs int64
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		results, err := co.Sweep(items)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweepNs += time.Since(start).Nanoseconds()
+		if len(results) != len(items) {
+			b.Fatalf("%d results for %d items", len(results), len(items))
+		}
+	}
+	if co.Redispatches() != 0 {
+		b.Fatalf("%d re-dispatches on a healthy in-process fleet", co.Redispatches())
+	}
+	b.ReportMetric(float64(sweepNs)/(float64(b.N)*float64(len(items))), "sweep-ns/item")
+	b.ReportMetric(shards, "shards")
+}

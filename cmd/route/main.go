@@ -2,7 +2,9 @@
 // owns no tuner state itself, just the ownership mapping. Each /query is
 // forwarded to the cmd/serve replica that owns the shape's slice of the
 // (log M·N, log K) plane, failing over to the next shard in ring order when
-// the owner is unreachable; /stats merges the fleet's counters with a
+// the owner is unreachable; POST /sweep fans a whole grid out across the
+// fleet in chunks (churn-safe: chunks of a replica that dies mid-sweep
+// re-dispatch through the ring); /stats merges the fleet's counters with a
 // per-replica breakdown.
 //
 // Example (two replicas on one host):
@@ -23,7 +25,6 @@ import (
 	"log"
 	"net/http"
 	"os"
-	"strings"
 	"time"
 
 	"repro/internal/serve"
@@ -41,19 +42,15 @@ func main() {
 	if *replicas == "" {
 		fatal(fmt.Errorf("-replicas is required (e.g. http://host1:8080,http://host2:8080)"))
 	}
+	// ParseReplicas rejects duplicate URLs: replica position is shard
+	// identity, so a URL listed twice would silently skew the ownership
+	// plane (two slots, one real replica) instead of failing here.
+	urls, err := shard.ParseReplicas(*replicas)
+	fatal(err)
 	httpClient := &http.Client{Timeout: *timeout}
-	var clients []shard.Client
-	var urls []string
-	for _, raw := range strings.Split(*replicas, ",") {
-		u := strings.TrimRight(strings.TrimSpace(raw), "/")
-		if u == "" {
-			fatal(fmt.Errorf("empty replica URL in %q", *replicas))
-		}
-		if !strings.Contains(u, "://") {
-			u = "http://" + u
-		}
-		urls = append(urls, u)
-		clients = append(clients, &shard.HTTPClient{Base: u, HTTP: httpClient})
+	clients := make([]shard.Client, len(urls))
+	for i, u := range urls {
+		clients[i] = &shard.HTTPClient{Base: u, HTTP: httpClient}
 	}
 	router, err := shard.NewRouter(clients)
 	fatal(err)

@@ -26,10 +26,7 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"strconv"
-	"strings"
 
-	"repro/internal/gemm"
 	"repro/internal/hw"
 	"repro/internal/serve"
 	"repro/internal/shard"
@@ -70,9 +67,9 @@ func main() {
 	fatal(err)
 
 	if *warm != "" {
-		shapes, err := parseShapes(*warm)
+		shapes, err := serve.ParseShapes(*warm)
 		fatal(err)
-		prims, err := parsePrims(*warmPrims)
+		prims, err := serve.ParsePrimitives(*warmPrims)
 		fatal(err)
 		log.Printf("warming %d shapes x %d primitives on %s x%d...", len(shapes), len(prims), plat.Name, *gpus)
 		fatal(svc.Warm(prims, shapes, 0))
@@ -103,40 +100,6 @@ func main() {
 	// smoke-runs and process supervisors see it.
 	fatal(serve.Run(*addr, serve.Handler(svc)))
 	log.Printf("shut down cleanly")
-}
-
-func parseShapes(raw string) ([]gemm.Shape, error) {
-	var out []gemm.Shape
-	for _, tok := range strings.Split(raw, ",") {
-		// Parse strictly: Sscanf would silently drop trailing garbage
-		// ("40k96" -> 40) and accept non-positive dimensions.
-		dims := strings.Split(strings.TrimSpace(tok), "x")
-		if len(dims) != 3 {
-			return nil, fmt.Errorf("bad shape %q (want MxNxK)", tok)
-		}
-		var s gemm.Shape
-		for i, dst := range []*int{&s.M, &s.N, &s.K} {
-			v, err := strconv.Atoi(dims[i])
-			if err != nil || v <= 0 {
-				return nil, fmt.Errorf("bad shape %q: dimension %q must be a positive integer", tok, dims[i])
-			}
-			*dst = v
-		}
-		out = append(out, s)
-	}
-	return out, nil
-}
-
-func parsePrims(raw string) ([]hw.Primitive, error) {
-	var out []hw.Primitive
-	for _, tok := range strings.Split(raw, ",") {
-		p, err := serve.ParsePrimitive(strings.TrimSpace(tok))
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, p)
-	}
-	return out, nil
 }
 
 func fatal(err error) {

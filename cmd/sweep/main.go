@@ -1,0 +1,204 @@
+// Command sweep drives a grid sweep across a multi-host fleet of cmd/serve
+// replicas: the distributed counterpart of an in-process engine.Batch. The
+// grid (shapes x primitives) is partitioned by shape ownership, each
+// shard's sub-grid is dispatched to its replica in chunks over POST /sweep,
+// and the per-shard results stream back into deterministic global order. A
+// replica that dies mid-sweep does not fail the run: its remaining chunks
+// re-dispatch through the failover ring under a bounded attempt budget.
+//
+// Example (three replicas on two hosts):
+//
+//	serve -addr host1:8081 -shard 0/3 &
+//	serve -addr host1:8082 -shard 1/3 &
+//	serve -addr host2:8081 -shard 2/3 &
+//	sweep -replicas host1:8081,host1:8082,host2:8081 \
+//	    -shapes "2048x8192x4096,4096x8192x8192" -prims AR,RS
+//
+// Untuned sweeps (the default) execute the per-wave baseline, whose merged
+// results are byte-identical to single-process engine.Batch over the same
+// grid — -verify checks exactly that against a local engine, which makes
+// the command double as a cross-host determinism audit. With -tune each
+// cell is first answered through the replica's tuned-shape cache
+// (singleflight misses) and then executed with the tuned partition.
+//
+// sweep also composes with cmd/route: pointing -replicas at a single
+// router URL treats the router as a one-replica fleet, and the router's
+// /sweep proxy fans the grid out across the real one.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/serve"
+	"repro/internal/shard"
+)
+
+func main() {
+	var (
+		replicas  = flag.String("replicas", "", "comma-separated replica base URLs, in shard order (replica i runs -shard i/n); a cmd/route URL also works")
+		shapesArg = flag.String("shapes", "", "comma-separated MxNxK grid, e.g. 2048x8192x4096,4096x8192x8192")
+		primsArg  = flag.String("prims", "AR", "comma-separated primitives to cross with the shapes: AR, RS, A2A")
+		imbalance = flag.Float64("imbalance", 0, "All-to-All max/mean load factor (0 = balanced)")
+		tune      = flag.Bool("tune", false, "tune each cell through the replica's shape cache and execute the tuned partition (default: untuned per-wave baseline)")
+		chunk     = flag.Int("chunk", 0, "items per dispatched chunk (0 = shard.DefaultChunkSize)")
+		attempts  = flag.Int("attempts", 0, "re-dispatch budget per chunk across the failover ring (0 = fleet size)")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-chunk replica timeout (covers a chunk of tunes + simulations)")
+		verify    = flag.Bool("verify", false, "re-run the grid on a local engine and require byte-identical results (needs -platform/-gpus to match the fleet)")
+		platName  = flag.String("platform", "4090", "fleet hardware profile, for -verify: 4090, a800, ascend, h100")
+		gpus      = flag.Int("gpus", 4, "fleet parallel group size, for -verify")
+		jsonOut   = flag.Bool("json", false, "emit the merged results as JSON instead of a table")
+		quiet     = flag.Bool("quiet", false, "suppress per-chunk progress logging")
+	)
+	flag.Parse()
+
+	if *replicas == "" || *shapesArg == "" {
+		fatal(fmt.Errorf("-replicas and -shapes are required"))
+	}
+	urls, err := shard.ParseReplicas(*replicas)
+	fatal(err)
+	shapes, err := serve.ParseShapes(*shapesArg)
+	fatal(err)
+	prims, err := serve.ParsePrimitives(*primsArg)
+	fatal(err)
+
+	httpClient := &http.Client{Timeout: *timeout}
+	clients := make([]shard.Client, len(urls))
+	for i, u := range urls {
+		clients[i] = &shard.HTTPClient{Base: u, HTTP: httpClient}
+	}
+	router, err := shard.NewRouter(clients)
+	fatal(err)
+	co := shard.NewCoordinator(router)
+	co.ChunkSize = *chunk
+	co.MaxAttempts = *attempts
+	co.Tune = *tune
+	if !*quiet {
+		co.OnChunk = func(cr shard.ChunkResult) {
+			suffix := ""
+			if cr.Replica != cr.Shard {
+				suffix = " (re-dispatched)"
+			}
+			log.Printf("shard %d: chunk of %d items answered by replica %d%s",
+				cr.Shard, len(cr.Indices), cr.Replica, suffix)
+		}
+	}
+
+	// Shape-major grid order, matching a nested sweep loop.
+	var items []serve.SweepItem
+	for _, s := range shapes {
+		for _, p := range prims {
+			items = append(items, serve.SweepItem{M: s.M, N: s.N, K: s.K, Prim: p.Short(), Imbalance: *imbalance})
+		}
+	}
+
+	start := time.Now()
+	results, err := co.Sweep(items)
+	fatal(err)
+	elapsed := time.Since(start)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatal(enc.Encode(results))
+	} else {
+		fmt.Printf("%-20s %-14s %-16s %6s %14s %14s %8s  %s\n",
+			"shape", "primitive", "partition", "waves", "predicted", "measured", "source", "owner->replica")
+		for _, res := range results {
+			pred, src := "-", "-"
+			if res.PredictedNs > 0 {
+				pred = fmt.Sprint(time.Duration(res.PredictedNs))
+			}
+			if res.Source != "" {
+				src = res.Source
+			}
+			fmt.Printf("%-20s %-14s %-16s %6d %14s %14s %8s  %d->%d\n",
+				res.Shape, res.Primitive, partitionString(res.Partition), res.Waves,
+				pred, time.Duration(res.Result.Latency), src, res.Owner, res.Replica)
+		}
+	}
+	perItem := elapsed / time.Duration(len(items))
+	log.Printf("swept %d items across %d replicas in %v (%v/item, %d re-dispatches)",
+		len(items), len(urls), elapsed.Round(time.Millisecond), perItem.Round(time.Microsecond), co.Redispatches())
+
+	if *verify {
+		fatal(verifyAgainstLocal(*platName, *gpus, items, results))
+		log.Printf("verify: merged results byte-identical to local engine.Batch over %d runs", len(items))
+	}
+}
+
+// verifyAgainstLocal replays the grid on an in-process engine and compares
+// the serialized results byte for byte — the same determinism check the
+// shard package pins in tests, but across real hosts. Tuned sweeps replay
+// with the partitions the fleet chose, so the check still validates
+// cross-host execution determinism.
+func verifyAgainstLocal(platName string, gpus int, items []serve.SweepItem, results []shard.SweepResult) error {
+	plat, err := hw.ByName(platName)
+	if err != nil {
+		return err
+	}
+	runs := make([]core.Options, len(items))
+	for i, it := range items {
+		q, err := it.Query()
+		if err != nil {
+			return err
+		}
+		runs[i] = core.Options{Plat: plat, NGPUs: gpus, Shape: q.Shape, Prim: q.Prim, Imbalance: q.Imbalance}
+		if len(results[i].Partition) > 0 && results[i].Source != "" {
+			// Tuned sweep: replay the fleet's partition choice.
+			runs[i].Partition = append([]int(nil), results[i].Partition...)
+		}
+	}
+	local, err := engine.New(0, 0).Batch(runs)
+	if err != nil {
+		return fmt.Errorf("local replay failed (do -platform/-gpus match the fleet?): %w", err)
+	}
+	remote := make([]*core.Result, len(results))
+	for i, res := range results {
+		remote[i] = res.Result
+	}
+	remoteJSON, err := json.Marshal(remote)
+	if err != nil {
+		return err
+	}
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		return err
+	}
+	if string(remoteJSON) != string(localJSON) {
+		return fmt.Errorf("verify: merged fleet results diverge from local engine.Batch (platform/gpus mismatch, or non-deterministic replica)")
+	}
+	return nil
+}
+
+// partitionString compacts a wave-group partition for the table: the
+// untuned baseline is one wave per group, which would print as a wall of
+// 1s for large shapes.
+func partitionString(part []int) string {
+	perWave := len(part) > 0
+	for _, w := range part {
+		if w != 1 {
+			perWave = false
+			break
+		}
+	}
+	if perWave {
+		return fmt.Sprintf("per-wave(%d)", len(part))
+	}
+	return fmt.Sprint(part)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}

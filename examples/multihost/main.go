@@ -1,0 +1,212 @@
+// Multihost: the distributed sweep deployment — a fleet of serve replicas
+// over real HTTP, a sweep coordinator that partitions a grid by shape
+// ownership and dispatches chunked sub-grids to the owning replicas, and
+// the churn story: one replica is killed mid-sweep and its remaining
+// chunks re-dispatch through the failover ring, with the merged results
+// still byte-identical to a single-process engine.Batch over the same
+// grid. The example finishes by mounting the shape-hash router in front of
+// the fleet and posting the grid to its /sweep proxy — the topology
+// cmd/serve x N + cmd/route + cmd/sweep deploys across real hosts.
+//
+//	go run ./examples/multihost
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/serve"
+	"repro/internal/shard"
+	"repro/internal/stats"
+	"repro/internal/tuner"
+)
+
+const (
+	nShards = 3
+	nGPUs   = 2
+)
+
+func main() {
+	plat := hw.RTX4090PCIe()
+
+	// One offline bandwidth sampling for the whole fleet, like a
+	// production rollout: every replica shares the immutable curve.
+	curves := map[hw.Primitive]*stats.Curve{
+		hw.AllReduce: tuner.SampleBandwidthCurve(plat, nGPUs, hw.AllReduce, nil),
+	}
+
+	grid := []gemm.Shape{
+		{M: 2048, N: 8192, K: 4096},
+		{M: 2048, N: 8192, K: 8192},
+		{M: 4096, N: 8192, K: 4096},
+		{M: 4096, N: 8192, K: 8192},
+		{M: 8192, N: 8192, K: 4096},
+		{M: 8192, N: 8192, K: 8192},
+	}
+
+	// Start the fleet: each replica owns its slice of the shape plane.
+	part := shard.NewPartitioner(nShards)
+	servers := make([]*http.Server, nShards)
+	clients := make([]shard.Client, nShards)
+	for k := 0; k < nShards; k++ {
+		assign := shard.Assignment{Index: k, Count: nShards}
+		svc, err := serve.New(serve.Config{
+			Plat:           plat,
+			NGPUs:          nGPUs,
+			CandidateLimit: 128,
+			Owns:           assign.Owns,
+			Shard:          assign.String(),
+			Curves:         curves,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := &http.Server{Handler: serve.Handler(svc)}
+		go func() {
+			if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+				log.Fatal(err)
+			}
+		}()
+		servers[k] = srv
+		clients[k] = &shard.HTTPClient{Base: "http://" + ln.Addr().String()}
+		fmt.Printf("replica %s on %s\n", assign, ln.Addr())
+	}
+
+	router, err := shard.NewRouter(clients)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	items := make([]serve.SweepItem, len(grid))
+	runs := make([]core.Options, len(grid))
+	for i, s := range grid {
+		items[i] = serve.SweepItem{M: s.M, N: s.N, K: s.K, Prim: "AR"}
+		runs[i] = core.Options{Plat: plat, NGPUs: nGPUs, Shape: s, Prim: hw.AllReduce}
+	}
+
+	// The single-process reference the distributed merge must reproduce.
+	reference, err := engine.New(0, 0).Batch(runs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refJSON, err := json.Marshal(reference)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Distributed sweep with churn: kill one replica after it answers its
+	// first chunk, mid-sweep. Its remaining chunks re-dispatch through
+	// the failover ring instead of failing the sweep.
+	counts := make([]int, nShards)
+	for _, it := range items {
+		counts[part.Owner(it.Shape())]++
+	}
+	victim := 0
+	for k, c := range counts {
+		if c > counts[victim] {
+			victim = k
+		}
+	}
+	co := shard.NewCoordinator(router)
+	co.ChunkSize = 1 // chunk per item, so the kill lands mid-sweep
+	var kill sync.Once
+	co.OnChunk = func(cr shard.ChunkResult) {
+		if cr.Shard == victim {
+			kill.Do(func() {
+				_ = servers[victim].Close()
+				fmt.Printf("\n*** replica %d killed mid-sweep (after its first chunk) ***\n\n", victim)
+			})
+		}
+	}
+
+	fmt.Printf("\ndistributed sweep over %d items (chunk size 1), killing replica %d mid-sweep:\n", len(items), victim)
+	results, err := co.Sweep(items)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range results {
+		marker := ""
+		if res.Replica != res.Owner {
+			marker = "  <- re-dispatched via failover ring"
+		}
+		fmt.Printf("  %-18s waves %2d  measured %9d ns  shard %d -> replica %d%s\n",
+			res.Shape, res.Waves, res.Result.Latency, res.Owner, res.Replica, marker)
+	}
+	fmt.Printf("re-dispatched chunks: %d (budget: %d attempts per chunk)\n", co.Redispatches(), nShards)
+
+	merged := make([]*core.Result, len(results))
+	for i, res := range results {
+		merged[i] = res.Result
+	}
+	gotJSON, err := json.Marshal(merged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, refJSON) {
+		log.Fatal("merged sweep diverged from single-process engine.Batch")
+	}
+	fmt.Printf("merge check: %d results byte-identical to single-process engine.Batch despite churn\n", len(results))
+
+	// The router front-end proxies whole sweeps too: POST the grid to
+	// /sweep and the router coordinates it across the (degraded) fleet.
+	front, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	frontSrv := &http.Server{Handler: router.Handler()}
+	go func() {
+		if err := frontSrv.Serve(front); !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+	body, err := json.Marshal(serve.SweepRequest{Tune: true, Items: items[:2]})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post("http://"+front.Addr().String()+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		log.Fatalf("router /sweep replied %s: %s", resp.Status, eb.Error)
+	}
+	var rs shard.RoutedSweepResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(rs.Results) != 2 {
+		log.Fatalf("router /sweep answered %d of 2 items", len(rs.Results))
+	}
+	fmt.Printf("\ntuned sweep through the router's /sweep proxy (replica %d still down):\n", victim)
+	for _, res := range rs.Results {
+		fmt.Printf("  %-18s partition %v  predicted %d ns  source %-5s  shard %d -> replica %d\n",
+			res.Shape, res.Partition, res.PredictedNs, res.Source, res.Owner, res.Replica)
+	}
+	fmt.Printf("router re-dispatches during the proxied sweep: %d\n", rs.Redispatches)
+
+	_ = frontSrv.Close()
+	for k, srv := range servers {
+		if k != victim {
+			_ = srv.Close()
+		}
+	}
+}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -22,11 +23,18 @@ type QueryResponse struct {
 
 // Handler mounts the service on an HTTP mux:
 //
-//	GET /query?m=4096&n=8192&k=8192&prim=AR[&imbalance=1.2]
-//	GET /stats
+//	GET  /query?m=4096&n=8192&k=8192&prim=AR[&imbalance=1.2]
+//	POST /sweep   {"tune": bool, "items": [{"m","n","k","prim","imbalance"}, ...]}
+//	GET  /stats
 //
-// Both endpoints reply with JSON; errors reply {"error": ...} with a 4xx
-// status. The handler is safe for concurrent use, like the service itself.
+// All endpoints reply with JSON; errors reply {"error": ...}. The status
+// classifies the failure: 4xx for deterministic request rejections (every
+// replica would reject the same request identically, so routers must not
+// fail over), 5xx for internal failures (replica-specific — a router's
+// failover ring retries them elsewhere). /sweep errors additionally carry
+// the chunk-local "index" of the failing item, so a coordinator can
+// attribute the failure to a global grid index. The handler is safe for
+// concurrent use, like the service itself.
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
@@ -37,7 +45,7 @@ func Handler(s *Service) http.Handler {
 		}
 		ans, err := s.Query(q)
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, err)
+			httpError(w, errStatus(err), err)
 			return
 		}
 		writeJSON(w, QueryResponse{
@@ -49,10 +57,54 @@ func Handler(s *Service) http.Handler {
 			Source:      ans.Source,
 		})
 	})
+	mux.HandleFunc("/sweep", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: /sweep takes POST, got %s", r.Method))
+			return
+		}
+		var req SweepRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding sweep request: %w", err))
+			return
+		}
+		if len(req.Items) == 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("serve: sweep request has no items"))
+			return
+		}
+		results, err := s.SweepChunk(req)
+		if err != nil {
+			// Serialize the cause and the chunk-local index separately;
+			// the coordinator's client rebuilds the ChunkError from them.
+			idx := -1
+			var ce *ChunkError
+			if errors.As(err, &ce) {
+				idx, err = ce.Index, ce.Err
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(errStatus(err))
+			_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "index": idx})
+			return
+		}
+		writeJSON(w, SweepResponse{Results: results})
+	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Stats())
 	})
 	return mux
+}
+
+// errStatus maps a Service error to its HTTP status: deterministic request
+// rejections are 422 (non-retryable — failing over would repeat the
+// rejection), internal failures 500 (retryable — another replica may be
+// healthy). Before this split every Service error reported 422, so the
+// shard router classified transient engine/tuner failures as non-retryable
+// QueryErrors and never failed over.
+func errStatus(err error) int {
+	if IsBadQuery(err) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusInternalServerError
 }
 
 // ParseQuery decodes a /query request's parameters. It is exported so the

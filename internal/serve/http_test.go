@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/gemm"
@@ -83,5 +86,215 @@ func TestHandlerRejectsBadRequests(t *testing.T) {
 		if body["error"] == "" {
 			t.Errorf("%s: empty error message", url)
 		}
+	}
+}
+
+// Error classification over HTTP: a deterministic rejection of the request
+// replies 4xx (a router must not fail over — every replica rejects it
+// identically), while an internal failure replies 500 (retryable on another
+// replica). The old handler mapped every Service error to 422, so routers
+// wrapped transient internal failures as non-retryable QueryErrors and a
+// degraded replica blocked its whole shard slice.
+func TestHandlerClassifiesInternalErrorsAs5xx(t *testing.T) {
+	s := testService(t)
+	injected := errors.New("injected tuner failure")
+	s.tuneHook = func() error { return injected }
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/query?m=2048&n=8192&k=4096&prim=AR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("internal tuning failure status = %d, want 500", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body["error"], "injected tuner failure") {
+		t.Fatalf("error body %q does not name the cause", body["error"])
+	}
+}
+
+// The classification seam itself: query-level rejections satisfy
+// IsBadQuery, internal failures do not.
+func TestQueryErrorClassification(t *testing.T) {
+	s := testService(t)
+	if _, err := s.Query(Query{Shape: gemm.Shape{M: 0, N: 1, K: 1}, Prim: hw.AllReduce}); !IsBadQuery(err) {
+		t.Fatalf("invalid shape not classified as bad query: %v", err)
+	}
+	if _, err := s.Query(Query{Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllGather}); !IsBadQuery(err) {
+		t.Fatalf("unsupported primitive not classified as bad query: %v", err)
+	}
+	s.tuneHook = func() error { return errors.New("boom") }
+	_, err := s.Query(Query{Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllReduce})
+	if err == nil || IsBadQuery(err) {
+		t.Fatalf("internal failure classified as bad query: %v", err)
+	}
+}
+
+func postSweep(t *testing.T, url string, req SweepRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// POST /sweep executes a chunk in order and returns one result per item;
+// the untuned results must be byte-identical to the same runs through
+// engine.Exec (the property sweep re-dispatch relies on).
+func TestHandlerSweep(t *testing.T) {
+	s := testService(t)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	items := []SweepItem{
+		{M: 2048, N: 8192, K: 4096, Prim: "AR"},
+		{M: 4096, N: 8192, K: 8192, Prim: "AR"},
+	}
+	resp := postSweep(t, srv.URL, SweepRequest{Items: items})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var sr SweepResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) != len(items) {
+		t.Fatalf("%d results for %d items", len(sr.Results), len(items))
+	}
+	ref, err := s.SweepChunk(SweepRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range sr.Results {
+		if res.Shape != items[i].Shape().String() {
+			t.Fatalf("result %d answers %q, want %q (input order)", i, res.Shape, items[i].Shape())
+		}
+		if res.Result == nil || res.Result.Latency <= 0 || len(res.Partition) == 0 || res.Waves <= 0 {
+			t.Fatalf("malformed result %+v", res)
+		}
+		if res.Source != "" || res.PredictedNs != 0 {
+			t.Fatalf("untuned sweep reported tuner fields: %+v", res)
+		}
+		got, err := json.Marshal(res.Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := json.Marshal(ref[i].Result)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("result %d diverges from the in-process execution after the HTTP round-trip", i)
+		}
+	}
+}
+
+// A tuned sweep answers through the cache/singleflight path and executes
+// the tuned partition: tuner fields must be populated and a repeated shape
+// must hit the cache.
+func TestHandlerSweepTuned(t *testing.T) {
+	s := testService(t)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	items := []SweepItem{
+		{M: 2048, N: 8192, K: 4096, Prim: "AR"},
+		{M: 2048, N: 8192, K: 4096, Prim: "AR"}, // duplicate: second must be a cache hit
+	}
+	resp := postSweep(t, srv.URL, SweepRequest{Tune: true, Items: items})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var sr SweepResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Results[0].Source != SourceTuned || sr.Results[1].Source != SourceCache {
+		t.Fatalf("sources = %q, %q; want tuned then cache", sr.Results[0].Source, sr.Results[1].Source)
+	}
+	for i, res := range sr.Results {
+		if res.PredictedNs <= 0 || res.Result == nil || res.Result.Latency <= 0 {
+			t.Fatalf("malformed tuned result %d: %+v", i, res)
+		}
+	}
+}
+
+// /sweep errors classify like /query errors and carry the chunk-local index
+// of the failing item, so a coordinator can attribute the failure to a
+// global grid index.
+func TestHandlerSweepErrors(t *testing.T) {
+	s := testService(t)
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+
+	// Wrong method.
+	resp, err := http.Get(srv.URL + "/sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /sweep status = %d, want 405", resp.StatusCode)
+	}
+
+	// Malformed body and empty chunk.
+	for _, body := range []string{"{not json", `{"items": []}`} {
+		resp, err := http.Post(srv.URL+"/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	// A bad item is a deterministic rejection: 422 plus its chunk index.
+	resp = postSweep(t, srv.URL, SweepRequest{Items: []SweepItem{
+		{M: 2048, N: 8192, K: 4096, Prim: "AR"},
+		{M: 0, N: 8192, K: 4096, Prim: "AR"},
+	}})
+	var eb struct {
+		Error string `json:"error"`
+		Index int    `json:"index"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("bad item status = %d, want 422", resp.StatusCode)
+	}
+	if eb.Index != 1 {
+		t.Fatalf("failing item index = %d, want 1", eb.Index)
+	}
+
+	// An internal failure is 5xx, still attributed to its item.
+	s.tuneHook = func() error { return errors.New("injected tuner failure") }
+	resp = postSweep(t, srv.URL, SweepRequest{Tune: true, Items: []SweepItem{
+		{M: 1024, N: 8192, K: 4096, Prim: "AR"},
+	}})
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("internal failure status = %d, want 500", resp.StatusCode)
+	}
+	if eb.Index != 0 || !strings.Contains(eb.Error, "injected tuner failure") {
+		t.Fatalf("internal failure body = %+v, want index 0 naming the cause", eb)
 	}
 }

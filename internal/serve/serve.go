@@ -13,9 +13,12 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -72,6 +75,30 @@ const (
 	// search.
 	SourceTuned = "tuned"
 )
+
+// BadQueryError marks a deterministic rejection of the query itself — an
+// invalid shape, a malformed imbalance factor, an unsupported primitive.
+// Every identically configured replica rejects such a query the same way, so
+// the HTTP layer maps it to a 4xx status and the shard router does not burn
+// failover retries on it. Internal failures (tuner search, engine execution)
+// are returned unwrapped and map to 5xx, which the router treats as
+// retryable — a replica mid-deploy or out of memory is not evidence the
+// query is bad.
+type BadQueryError struct{ Err error }
+
+func (e *BadQueryError) Error() string { return e.Err.Error() }
+func (e *BadQueryError) Unwrap() error { return e.Err }
+
+// IsBadQuery reports whether err is (or wraps) a deterministic query
+// rejection.
+func IsBadQuery(err error) bool {
+	var bq *BadQueryError
+	return errors.As(err, &bq)
+}
+
+func badQueryf(format string, args ...any) error {
+	return &BadQueryError{Err: fmt.Errorf(format, args...)}
+}
 
 // Query asks for the tuned partition of one GEMM-collective overlap.
 type Query struct {
@@ -148,8 +175,8 @@ type Service struct {
 
 	// tuneHook, when set (tests only), runs inside the singleflight'd
 	// search, letting a test hold the flight open while more queries pile
-	// onto it.
-	tuneHook func()
+	// onto it, or inject an internal tuning failure.
+	tuneHook func() error
 }
 
 // New builds a service. It is cheap: the per-primitive offline stage
@@ -196,7 +223,7 @@ func (s *Service) tunerFor(p hw.Primitive) (*tuner.Tuner, error) {
 		return tn, nil
 	}
 	if !supportedPrim(p) {
-		return nil, fmt.Errorf("serve: unsupported primitive %v", p)
+		return nil, badQueryf("serve: unsupported primitive %v", p)
 	}
 	v, err, _ := s.tunerFlight.do(p.String(), func() (any, error) {
 		s.mu.RLock()
@@ -234,19 +261,31 @@ func flightKey(q Query) string {
 	return fmt.Sprintf("%s|%s|%g", q.Prim, q.Shape, imb)
 }
 
-// Query answers one (shape, primitive, imbalance) request. A warm query —
-// one whose shape matches a cached tune with a compatible wave count — never
-// compiles or searches; a miss tunes through the singleflight path, so
-// concurrent misses on one key share a single search.
-func (s *Service) Query(q Query) (Answer, error) {
+// validateQuery rejects malformed queries before any tuner state is touched.
+// Every failure is a BadQueryError: rejecting the same query is the one
+// behavior all replicas share.
+func validateQuery(q Query) error {
 	if q.Shape.M <= 0 || q.Shape.N <= 0 || q.Shape.K <= 0 {
-		return Answer{}, fmt.Errorf("serve: invalid shape %v", q.Shape)
+		return badQueryf("serve: invalid shape %v", q.Shape)
 	}
 	// 0 means balanced; otherwise require a finite factor >= 1. The NaN
 	// check matters: a NaN key would never match itself in the shape
 	// cache, so every such query would tune and leak an unevictable entry.
 	if q.Imbalance != 0 && (!(q.Imbalance >= 1) || math.IsInf(q.Imbalance, 1)) {
-		return Answer{}, fmt.Errorf("serve: imbalance %v must be a finite factor >= 1 (or 0 for balanced)", q.Imbalance)
+		return badQueryf("serve: imbalance %v must be a finite factor >= 1 (or 0 for balanced)", q.Imbalance)
+	}
+	return nil
+}
+
+// Query answers one (shape, primitive, imbalance) request. A warm query —
+// one whose shape matches a cached tune with a compatible wave count — never
+// compiles or searches; a miss tunes through the singleflight path, so
+// concurrent misses on one key share a single search. Errors are classified:
+// deterministic rejections of the query itself satisfy IsBadQuery, anything
+// else is an internal failure another replica might not share.
+func (s *Service) Query(q Query) (Answer, error) {
+	if err := validateQuery(q); err != nil {
+		return Answer{}, err
 	}
 	tn, err := s.tunerFor(q.Prim)
 	if err != nil {
@@ -259,7 +298,9 @@ func (s *Service) Query(q Query) (Answer, error) {
 	s.misses.Add(1)
 	v, err, shared := s.tuneFlight.do(flightKey(q), func() (any, error) {
 		if s.tuneHook != nil {
-			s.tuneHook()
+			if err := s.tuneHook(); err != nil {
+				return nil, err
+			}
 		}
 		s.tunes.Add(1)
 		return tn.Tune(q.Shape, q.Imbalance)
@@ -367,4 +408,42 @@ func ParsePrimitive(name string) (hw.Primitive, error) {
 		}
 	}
 	return 0, fmt.Errorf("serve: unknown primitive %q (want AR, RS, or A2A)", name)
+}
+
+// ParsePrimitives parses a comma-separated primitive list ("AR,RS") — the
+// shared parser behind cmd/serve's -warm-prims and cmd/sweep's -prims.
+func ParsePrimitives(raw string) ([]hw.Primitive, error) {
+	var out []hw.Primitive
+	for _, tok := range strings.Split(raw, ",") {
+		p, err := ParsePrimitive(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ParseShapes parses a comma-separated MxNxK list
+// ("2048x8192x4096,4096x8192x8192") — the shared parser behind cmd/serve's
+// -warm and cmd/sweep's -shapes. Parsing is strict: trailing garbage and
+// non-positive dimensions are rejected rather than silently truncated.
+func ParseShapes(raw string) ([]gemm.Shape, error) {
+	var out []gemm.Shape
+	for _, tok := range strings.Split(raw, ",") {
+		dims := strings.Split(strings.TrimSpace(tok), "x")
+		if len(dims) != 3 {
+			return nil, fmt.Errorf("serve: bad shape %q (want MxNxK)", tok)
+		}
+		var s gemm.Shape
+		for i, dst := range []*int{&s.M, &s.N, &s.K} {
+			v, err := strconv.Atoi(dims[i])
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("serve: bad shape %q: dimension %q must be a positive integer", tok, dims[i])
+			}
+			*dst = v
+		}
+		out = append(out, s)
+	}
+	return out, nil
 }

@@ -114,7 +114,7 @@ func TestSingleflightCollapsesDuplicateMisses(t *testing.T) {
 	}
 
 	release := make(chan struct{})
-	s.tuneHook = func() { <-release }
+	s.tuneHook = func() error { <-release; return nil }
 
 	const dups = 3
 	answers := make([]Answer, dups+1)

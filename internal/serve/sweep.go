@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gemm"
+)
+
+// SweepItem is one (shape, primitive, imbalance) cell of a sweep chunk, in
+// wire form: the body a sweep coordinator POSTs to a replica's /sweep.
+type SweepItem struct {
+	M         int     `json:"m"`
+	N         int     `json:"n"`
+	K         int     `json:"k"`
+	Prim      string  `json:"prim"`
+	Imbalance float64 `json:"imbalance,omitempty"`
+}
+
+// Shape returns the item's GEMM shape (the coordinate the shard partitioner
+// assigns ownership by).
+func (it SweepItem) Shape() gemm.Shape { return gemm.Shape{M: it.M, N: it.N, K: it.K} }
+
+// Query validates the wire item and converts it to a Query, applying the
+// same rules ParseQuery applies to /query parameters (an empty primitive
+// defaults to AllReduce).
+func (it SweepItem) Query() (Query, error) {
+	primName := it.Prim
+	if primName == "" {
+		primName = "AR"
+	}
+	prim, err := ParsePrimitive(primName)
+	if err != nil {
+		return Query{}, err
+	}
+	q := Query{Shape: it.Shape(), Prim: prim, Imbalance: it.Imbalance}
+	if err := validateQuery(q); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// SweepRequest is the JSON body of POST /sweep: one chunk of a (possibly
+// fleet-wide) sweep grid, processed in order on the replica.
+type SweepRequest struct {
+	// Tune selects the tuned pipeline: each item is first answered through
+	// Service.Query (shape cache, singleflight) and then executed once
+	// with the tuned partition. When false, each item runs the untuned
+	// per-wave baseline — a pure engine execution whose result is
+	// deterministic and cache-history-free, so sharded sweeps merge
+	// byte-identically to engine.Batch no matter which replica ran which
+	// chunk.
+	Tune  bool        `json:"tune,omitempty"`
+	Items []SweepItem `json:"items"`
+}
+
+// SweepResult is one item's outcome: the partition the run used (tuned or
+// per-wave default), the tuner's prediction when Tune was set, and the full
+// deterministic execution result.
+type SweepResult struct {
+	Shape     string `json:"shape"`
+	Primitive string `json:"primitive"`
+	Partition []int  `json:"partition"`
+	Waves     int    `json:"waves"`
+	// PredictedNs and Source are set only on tuned sweeps; Source is
+	// SourceCache or SourceTuned, like a /query answer.
+	PredictedNs int64        `json:"predicted_ns,omitempty"`
+	Source      string       `json:"source,omitempty"`
+	Result      *core.Result `json:"result"`
+}
+
+// SweepResponse is the JSON reply of POST /sweep.
+type SweepResponse struct {
+	Results []SweepResult `json:"results"`
+}
+
+// ChunkError is the error SweepChunk returns: the failing item's index
+// within the chunk plus the cause — the serve-side analogue of
+// engine.RunError, letting a sweep coordinator translate the chunk-local
+// index back to a global grid index. It classifies like its cause: a chunk
+// that failed on a bad item satisfies IsBadQuery through Unwrap.
+type ChunkError struct {
+	Index int
+	Err   error
+}
+
+func (e *ChunkError) Error() string { return fmt.Sprintf("chunk item %d: %v", e.Index, e.Err) }
+func (e *ChunkError) Unwrap() error { return e.Err }
+
+// SweepChunk processes one sweep chunk in input order — serially, preserving
+// the cache-warming locality a replica's owned slice is partitioned for.
+// results[i] answers req.Items[i]; on failure the first failing item's
+// chunk-local index is reported as a *ChunkError.
+//
+// Every execution runs through the service's engine with a private
+// deterministic simulator, so untuned results are byte-identical no matter
+// which replica of an identically configured fleet executes the chunk — the
+// property that lets a coordinator re-dispatch chunks through the failover
+// ring without perturbing the merged sweep.
+func (s *Service) SweepChunk(req SweepRequest) ([]SweepResult, error) {
+	out := make([]SweepResult, len(req.Items))
+	for i, it := range req.Items {
+		q, err := it.Query()
+		if err != nil {
+			return nil, &ChunkError{Index: i, Err: &BadQueryError{Err: err}}
+		}
+		opts := core.Options{
+			Plat:      s.cfg.Plat,
+			NGPUs:     s.cfg.NGPUs,
+			Shape:     q.Shape,
+			Prim:      q.Prim,
+			Imbalance: q.Imbalance,
+		}
+		res := SweepResult{Shape: q.Shape.String(), Primitive: q.Prim.String()}
+		if req.Tune {
+			ans, err := s.Query(q)
+			if err != nil {
+				return nil, &ChunkError{Index: i, Err: err}
+			}
+			opts.Partition = ans.Partition
+			res.PredictedNs = int64(ans.Predicted)
+			res.Source = ans.Source
+		}
+		r, err := s.eng.Exec(opts)
+		if err != nil {
+			return nil, &ChunkError{Index: i, Err: err}
+		}
+		res.Partition = r.Partition
+		res.Waves = r.Waves
+		res.Result = r
+		out[i] = res
+	}
+	return out, nil
+}

@@ -1,0 +1,186 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/serve"
+)
+
+// DefaultChunkSize bounds the items per dispatched sweep chunk when the
+// caller does not choose one. Chunking amortizes the per-request transport
+// cost across several simulations while bounding two failure costs: how
+// much work one replica crash throws away (at most a chunk is re-executed
+// elsewhere) and how stale the coordinator's view of a shard can get
+// between dispatches.
+const DefaultChunkSize = 8
+
+// Coordinator drives a grid sweep across a replica fleet — the multi-host
+// analogue of SweepBatch, where the "engines" are remote cmd/serve
+// processes reached over the Client interface. It partitions the grid by
+// shape ownership (each replica sweeps the slice of the (log M·N, log K)
+// plane its caches are warm for), splits every shard's sub-grid into
+// fixed-size chunks, dispatches them over /sweep, and streams per-shard
+// results back into the deterministic global order: results[i] answers
+// items[i] at any fleet size.
+//
+// The coordinator survives replica churn mid-sweep: a chunk whose replica
+// dies (connection refused, timeout, 5xx) is re-dispatched through the
+// failover ring — owner+1, owner+2, ... — under a bounded attempt budget,
+// instead of failing the sweep. Untuned sweep results are deterministic and
+// cache-history-free on any replica of an identically configured fleet, so
+// re-dispatch cannot perturb the merged output. Deterministic rejections
+// (4xx QueryErrors) are not retried: every replica would reject the chunk
+// identically, and the failure is attributed to its global item index via
+// the serve.ChunkError convention (the remote cousin of engine.RunError).
+//
+// A Coordinator is safe for concurrent Sweep calls; the knob fields must be
+// set before the first call.
+type Coordinator struct {
+	router *Router
+
+	// ChunkSize bounds the items per dispatched chunk; <= 0 selects
+	// DefaultChunkSize.
+	ChunkSize int
+	// MaxAttempts bounds dispatch attempts per chunk, walking the
+	// failover ring from the owner; <= 0 selects the fleet size (one try
+	// per replica).
+	MaxAttempts int
+	// Tune selects the tuned sweep pipeline on the replicas (see
+	// serve.SweepRequest.Tune); false sweeps the untuned per-wave
+	// baseline, whose merged results are byte-identical to engine.Batch.
+	Tune bool
+	// OnChunk, when set, observes every completed chunk as it lands —
+	// per-shard result streaming for progress reporting. It is called
+	// from the per-shard sweep goroutines and must be safe for concurrent
+	// use.
+	OnChunk func(ChunkResult)
+
+	redispatches atomic.Uint64
+}
+
+// ChunkResult announces one completed chunk to OnChunk.
+type ChunkResult struct {
+	// Shard owns the chunk; Replica answered it (different only after a
+	// re-dispatch through the failover ring).
+	Shard, Replica int
+	// Indices are the chunk's global item indices; Results[j] answers
+	// Indices[j].
+	Indices []int
+	Results []serve.SweepResult
+}
+
+// SweepResult is one sweep item's outcome plus routing attribution: the
+// shard that owned it and the replica that actually executed it.
+type SweepResult struct {
+	serve.SweepResult
+	Owner   int `json:"owner"`
+	Replica int `json:"replica"`
+}
+
+// NewCoordinator builds a coordinator over the router's fleet, sharing its
+// clients, ownership partitioner, and failover accounting.
+func NewCoordinator(r *Router) *Coordinator {
+	return &Coordinator{router: r}
+}
+
+// Redispatches counts chunks that left their owner: dispatch attempts that
+// succeeded on a ring hop past the first. The count is cumulative across
+// Sweep calls.
+func (c *Coordinator) Redispatches() uint64 { return c.redispatches.Load() }
+
+func (c *Coordinator) chunkSize() int {
+	if c.ChunkSize <= 0 {
+		return DefaultChunkSize
+	}
+	return c.ChunkSize
+}
+
+func (c *Coordinator) attempts() int {
+	if c.MaxAttempts <= 0 {
+		return len(c.router.clients)
+	}
+	return c.MaxAttempts
+}
+
+// Sweep tunes/executes the whole grid across the fleet and merges the
+// per-shard results back into input order: results[i] answers items[i], the
+// same deterministic global order SweepBatch and engine.Batch return. On
+// failure the error with the lowest failing global item index is reported
+// as "sweep item <index>: ...", regardless of which shards finished first.
+func (c *Coordinator) Sweep(items []serve.SweepItem) ([]SweepResult, error) {
+	byOwner := make([][]int, len(c.router.clients))
+	for i, it := range items {
+		k := c.router.part.Owner(it.Shape())
+		byOwner[k] = append(byOwner[k], i)
+	}
+	out := make([]SweepResult, len(items))
+	size := c.chunkSize()
+	err := fanShards(byOwner, func(k int, list []int) (int, error) {
+		for start := 0; start < len(list); start += size {
+			chunk := list[start:min(start+size, len(list))]
+			sub := make([]serve.SweepItem, len(chunk))
+			for j, gi := range chunk {
+				sub[j] = items[gi]
+			}
+			results, replica, err := c.dispatch(k, serve.SweepRequest{Tune: c.Tune, Items: sub})
+			if err != nil {
+				// Attribute the failure to the item the replica
+				// named, translated to the global grid; a chunk-level
+				// failure (budget exhausted) pins to the chunk's
+				// first item.
+				at := chunk[0]
+				var ce *serve.ChunkError
+				if errors.As(err, &ce) && ce.Index >= 0 && ce.Index < len(chunk) {
+					at = chunk[ce.Index]
+				}
+				return at, err
+			}
+			if len(results) != len(chunk) {
+				return chunk[0], fmt.Errorf("shard: replica %d answered %d of %d chunk items", replica, len(results), len(chunk))
+			}
+			for j, gi := range chunk {
+				out[gi] = SweepResult{SweepResult: results[j], Owner: k, Replica: replica}
+			}
+			if c.OnChunk != nil {
+				c.OnChunk(ChunkResult{Shard: k, Replica: replica, Indices: chunk, Results: results})
+			}
+		}
+		return 0, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("shard: sweep item %w", err)
+	}
+	return out, nil
+}
+
+// dispatch sends one chunk, walking the failover ring from the owner until
+// a replica answers or the attempt budget is spent. Deterministic
+// rejections (non-retryable QueryErrors) return immediately. The error
+// after an exhausted budget is the first (owner's) failure — the most
+// diagnostic one — with the budget noted.
+func (c *Coordinator) dispatch(owner int, req serve.SweepRequest) ([]serve.SweepResult, int, error) {
+	n := len(c.router.clients)
+	budget := c.attempts()
+	var firstErr error
+	for a := 0; a < budget; a++ {
+		replica := (owner + a) % n
+		results, err := c.router.clients[replica].Sweep(req)
+		if err == nil {
+			if a > 0 {
+				c.redispatches.Add(1)
+				c.router.failovers.Add(1)
+			}
+			c.router.routed[replica].Add(uint64(len(req.Items)))
+			return results, replica, nil
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !retryable(err) {
+			return nil, replica, err
+		}
+	}
+	return nil, owner, fmt.Errorf("shard: chunk exhausted its re-dispatch budget (%d attempts): %w", budget, firstErr)
+}

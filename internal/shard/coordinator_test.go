@@ -1,0 +1,368 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+	"repro/internal/serve"
+)
+
+// coordItems builds the sweep grid the coordinator tests drive: the quick
+// Table 3 shapes as untuned AllReduce items, matching the testFleet
+// configuration (RTX4090PCIe x2).
+func coordItems() []serve.SweepItem {
+	var items []serve.SweepItem
+	for _, s := range quickGridShapes() {
+		items = append(items, serve.SweepItem{M: s.M, N: s.N, K: s.K, Prim: "AR"})
+	}
+	return items
+}
+
+// coordReference runs the same grid through one in-process engine.Batch —
+// the unsharded single-process path the distributed merge must reproduce.
+func coordReference(t *testing.T, items []serve.SweepItem) []byte {
+	t.Helper()
+	runs := make([]core.Options, len(items))
+	for i, it := range items {
+		runs[i] = core.Options{Plat: hw.RTX4090PCIe(), NGPUs: 2, Shape: it.Shape(), Prim: hw.AllReduce}
+	}
+	ref, err := engine.New(0, 0).Batch(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return refJSON
+}
+
+// mergedJSON serializes the execution results of a coordinator sweep in
+// global order, the byte-comparison form.
+func mergedJSON(t *testing.T, results []SweepResult) []byte {
+	t.Helper()
+	merged := make([]*core.Result, len(results))
+	for i, r := range results {
+		merged[i] = r.Result
+	}
+	got, err := json.Marshal(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// The acceptance property of the distributed sweep: chunked dispatch to a
+// remote HTTP fleet at any shard count merges back byte-identically to
+// single-process engine.Batch over the same grid.
+func TestCoordinatorSweepMatchesEngineBatchByteForByte(t *testing.T) {
+	items := coordItems()
+	refJSON := coordReference(t, items)
+	for n := 1; n <= 3; n++ {
+		r, _, _ := testFleet(t, n)
+		co := NewCoordinator(r)
+		co.ChunkSize = 2 // several chunks per shard, exercising the chunk loop
+		results, err := co.Sweep(items)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(results) != len(items) {
+			t.Fatalf("n=%d: %d results for %d items", n, len(results), len(items))
+		}
+		for i, res := range results {
+			if res.Owner != r.Partitioner().Owner(items[i].Shape()) || res.Replica != res.Owner {
+				t.Fatalf("n=%d: item %d executed by replica %d (owner %d) on a healthy fleet",
+					n, i, res.Replica, res.Owner)
+			}
+		}
+		if !bytes.Equal(mergedJSON(t, results), refJSON) {
+			t.Fatalf("n=%d: merged sweep diverges from single-process engine.Batch", n)
+		}
+		if co.Redispatches() != 0 {
+			t.Fatalf("n=%d: %d re-dispatches on a healthy fleet", n, co.Redispatches())
+		}
+	}
+}
+
+// Churn survival, the tentpole property: a replica killed mid-sweep (after
+// answering its first chunk) must not fail the sweep — its remaining chunks
+// re-dispatch through the failover ring, and the merged results stay
+// byte-identical to the unsharded path.
+func TestCoordinatorSweepSurvivesChurnMidSweep(t *testing.T) {
+	items := coordItems()
+	refJSON := coordReference(t, items)
+	const n = 3
+	r, servers, _ := testFleet(t, n)
+
+	// Pick the victim: a shard owning at least two items, so killing it
+	// after its first chunk leaves work to re-dispatch.
+	counts := make([]int, n)
+	for _, it := range items {
+		counts[r.Partitioner().Owner(it.Shape())]++
+	}
+	victim := -1
+	for k, c := range counts {
+		if c >= 2 {
+			victim = k
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no shard owns two quick-grid shapes; extend the grid")
+	}
+
+	co := NewCoordinator(r)
+	co.ChunkSize = 1 // one item per chunk: the kill lands between chunks
+	var kill sync.Once
+	co.OnChunk = func(cr ChunkResult) {
+		if cr.Shard == victim {
+			kill.Do(func() { servers[victim].Close() })
+		}
+	}
+	results, err := co.Sweep(items)
+	if err != nil {
+		t.Fatalf("sweep with replica %d killed mid-sweep: %v", victim, err)
+	}
+	if !bytes.Equal(mergedJSON(t, results), refJSON) {
+		t.Fatal("merged results diverge from single-process engine.Batch after churn")
+	}
+	if co.Redispatches() == 0 {
+		t.Fatal("victim's remaining chunks were not re-dispatched")
+	}
+	if got := int(co.Redispatches()); got != counts[victim]-1 {
+		t.Fatalf("%d re-dispatches, want %d (victim owned %d items at chunk size 1)",
+			got, counts[victim]-1, counts[victim])
+	}
+	redirected := 0
+	for i, res := range results {
+		if res.Owner == victim && res.Replica != victim {
+			redirected++
+			if res.Replica != (victim+1)%n {
+				t.Fatalf("item %d re-dispatched to replica %d, want next-in-ring %d",
+					i, res.Replica, (victim+1)%n)
+			}
+		}
+	}
+	if redirected != counts[victim]-1 {
+		t.Fatalf("%d items attributed to a failover replica, want %d", redirected, counts[victim]-1)
+	}
+	if st := r.Stats(); st.Failovers == 0 {
+		t.Fatal("router stats did not record the re-dispatches")
+	}
+}
+
+// When every replica is gone the sweep must fail with the bounded budget
+// exhausted — not hang — and name the first unreachable item globally.
+func TestCoordinatorSweepExhaustsBudget(t *testing.T) {
+	r, servers, _ := testFleet(t, 2)
+	for _, srv := range servers {
+		srv.Close()
+	}
+	co := NewCoordinator(r)
+	_, err := co.Sweep(coordItems())
+	if err == nil {
+		t.Fatal("sweep over a dead fleet succeeded")
+	}
+	if !strings.Contains(err.Error(), "re-dispatch budget") {
+		t.Fatalf("error %q does not name the exhausted budget", err)
+	}
+	if !strings.Contains(err.Error(), "sweep item ") {
+		t.Fatalf("error %q does not attribute a global item", err)
+	}
+}
+
+// A deterministic rejection must fail the sweep immediately with the
+// failing item's global index — re-dispatching it would only repeat the
+// rejection on every replica.
+func TestCoordinatorSweepBadItemKeepsGlobalIndex(t *testing.T) {
+	items := coordItems()
+	bad := 3
+	items[bad].M = 0
+	r, _, _ := testFleet(t, 2)
+	co := NewCoordinator(r)
+	co.ChunkSize = 2
+	_, err := co.Sweep(items)
+	if err == nil {
+		t.Fatal("invalid item accepted")
+	}
+	if want := "sweep item 3:"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name %q", err, want)
+	}
+	if retryable(err) {
+		t.Fatalf("bad-item failure classified retryable: %v", err)
+	}
+	if co.Redispatches() != 0 || r.Stats().Failovers != 0 {
+		t.Fatal("deterministic rejection burned failover retries")
+	}
+}
+
+// The package default HTTP client must be bounded: with http.DefaultClient
+// (no timeout) a black-holed replica stalled Router.Query's failover loop
+// forever.
+func TestDefaultHTTPClientIsBounded(t *testing.T) {
+	if defaultClient.Timeout <= 0 {
+		t.Fatal("package default HTTP client has no timeout")
+	}
+	if defaultClient.Timeout != DefaultTimeout {
+		t.Fatalf("default client timeout %v, want DefaultTimeout %v", defaultClient.Timeout, DefaultTimeout)
+	}
+}
+
+// A black-holed replica (accepts the request, never replies) must cost one
+// bounded timeout and fail over, not hang the router.
+func TestRouterFailsOverBlackHoledReplica(t *testing.T) {
+	release := make(chan struct{})
+	blackhole := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // never replies until teardown
+	}))
+	defer blackhole.Close()
+	defer close(release) // LIFO: unblock the handler before Close waits on it
+
+	healthy, err := serve.New(serve.Config{
+		Plat:           hw.RTX4090PCIe(),
+		NGPUs:          2,
+		CandidateLimit: 64,
+		Curves:         sharedCurves(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthySrv := httptest.NewServer(serve.Handler(healthy))
+	defer healthySrv.Close()
+
+	// A short-timeout client stands in for the bounded default (60s would
+	// stall the test suite, not the code under test).
+	hc := &http.Client{Timeout: 200 * time.Millisecond}
+	shape := gemm.Shape{M: 2048, N: 8192, K: 4096}
+	clients := make([]Client, 2)
+	owner := NewPartitioner(2).Owner(shape)
+	clients[owner] = &HTTPClient{Base: blackhole.URL, HTTP: hc}
+	clients[1-owner] = &HTTPClient{Base: healthySrv.URL, HTTP: hc}
+	r, err := NewRouter(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	ans, err := r.Query(serve.Query{Shape: shape, Prim: hw.AllReduce})
+	if err != nil {
+		t.Fatalf("query with black-holed owner: %v", err)
+	}
+	if ans.Replica == owner {
+		t.Fatal("answer attributed to the black-holed replica")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("failover took %v; timeout did not bound the black hole", elapsed)
+	}
+	if r.Stats().Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", r.Stats().Failovers)
+	}
+}
+
+// Replica-list parsing: normalization plus the duplicate check. A URL
+// listed twice would silently occupy two shard slots and skew the ownership
+// plane, so it must be rejected at startup.
+func TestParseReplicas(t *testing.T) {
+	urls, err := ParseReplicas(" host1:8080 , http://host2:8080/ ,https://host3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"http://host1:8080", "http://host2:8080", "https://host3"}
+	if len(urls) != len(want) {
+		t.Fatalf("parsed %v, want %v", urls, want)
+	}
+	for i := range want {
+		if urls[i] != want[i] {
+			t.Fatalf("url %d = %q, want %q", i, urls[i], want[i])
+		}
+	}
+	for _, bad := range []string{
+		"",
+		"  ",
+		"host1,",
+		"host1,,host2",
+		"host1:8080,host1:8080",
+		"http://host1:8080,host1:8080/", // duplicates after normalization
+	} {
+		if _, err := ParseReplicas(bad); err == nil {
+			t.Errorf("ParseReplicas(%q) accepted", bad)
+		}
+	}
+}
+
+// The router front-end must proxy /sweep across the fleet: a client posting
+// a grid to the router gets the merged, attributed results — so a sweep
+// driver pointed at a router as a one-replica "fleet" transparently fans
+// out over the real one.
+func TestRouterHandlerProxiesSweep(t *testing.T) {
+	items := coordItems()
+	refJSON := coordReference(t, items)
+	r, _, _ := testFleet(t, 2)
+	front := httptest.NewServer(r.Handler())
+	defer front.Close()
+
+	body, err := json.Marshal(serve.SweepRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(front.URL+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var rs RoutedSweepResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Results) != len(items) {
+		t.Fatalf("%d results for %d items", len(rs.Results), len(items))
+	}
+	if !bytes.Equal(mergedJSON(t, rs.Results), refJSON) {
+		t.Fatal("proxied sweep diverges from single-process engine.Batch")
+	}
+	for i, res := range rs.Results {
+		if res.Owner != r.Partitioner().Owner(items[i].Shape()) {
+			t.Fatalf("item %d attributed to owner %d, want %d", i, res.Owner, r.Partitioner().Owner(items[i].Shape()))
+		}
+	}
+
+	// And the full composition: an outer coordinator treating the router
+	// as a one-replica fleet still produces the identical merge.
+	outer, err := NewRouter([]Client{&HTTPClient{Base: front.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := NewCoordinator(outer).Sweep(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mergedJSON(t, results), refJSON) {
+		t.Fatal("sweep through router-as-replica diverges from single-process engine.Batch")
+	}
+
+	// Failure attribution must survive the proxy hop too: the router's
+	// error reply carries the failing item's index into the posted grid,
+	// so the outer coordinator names the right global item.
+	badItems := append([]serve.SweepItem(nil), items...)
+	bad := 4
+	badItems[bad].Prim = "NOPE"
+	if _, err := NewCoordinator(outer).Sweep(badItems); err == nil {
+		t.Fatal("bad item accepted through the router proxy")
+	} else if want := fmt.Sprintf("sweep item %d:", bad); !strings.Contains(err.Error(), want) {
+		t.Fatalf("proxied error %q does not name %q", err, want)
+	}
+}

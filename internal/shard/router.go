@@ -1,13 +1,16 @@
 package shard
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/gemm"
 	"repro/internal/serve"
@@ -18,6 +21,7 @@ import (
 // cmd/serve process (HTTPClient) or an in-process service (LocalClient).
 type Client interface {
 	Query(q serve.Query) (serve.Answer, error)
+	Sweep(req serve.SweepRequest) ([]serve.SweepResult, error)
 	Stats() (serve.Stats, error)
 }
 
@@ -39,8 +43,23 @@ func retryable(err error) bool {
 	return !errors.As(err, &qe)
 }
 
+// DefaultTimeout bounds requests of the package-default HTTP client: long
+// enough for a cold-shape tune or a full sweep chunk of simulations, short
+// enough that a black-holed replica (SYN dropped, process wedged mid-write)
+// costs one bounded hop of the failover ring instead of stalling the caller
+// forever. Callers with tighter SLOs pass their own client (cmd/route's
+// -timeout flag does).
+const DefaultTimeout = 60 * time.Second
+
+// defaultClient replaces http.DefaultClient as the fallback transport.
+// http.DefaultClient has no timeout, so a single unresponsive replica used
+// to hang Router.Query's failover loop — and every query behind it —
+// unboundedly.
+var defaultClient = &http.Client{Timeout: DefaultTimeout}
+
 // HTTPClient speaks the cmd/serve HTTP/JSON protocol against a base URL like
-// "http://10.0.0.7:8080". A nil HTTP field uses http.DefaultClient.
+// "http://10.0.0.7:8080". A nil HTTP field uses the package's bounded
+// default client (DefaultTimeout per request).
 type HTTPClient struct {
 	Base string
 	HTTP *http.Client
@@ -50,7 +69,37 @@ func (c *HTTPClient) client() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return http.DefaultClient
+	return defaultClient
+}
+
+// ParseReplicas parses a comma-separated replica URL list (the -replicas
+// flag of cmd/route and cmd/sweep), trimming whitespace and trailing
+// slashes and defaulting the scheme to http. Empty entries and duplicates
+// are rejected: replica position is shard identity (entry i serves
+// -shard i/n), so a URL listed twice would occupy two slots of the
+// ownership plane while halving the fleet's real coverage — and the
+// partitioner would silently skew instead of failing loudly at startup.
+func ParseReplicas(raw string) ([]string, error) {
+	if strings.TrimSpace(raw) == "" {
+		return nil, fmt.Errorf("shard: empty replica list")
+	}
+	seen := make(map[string]bool)
+	var urls []string
+	for _, tok := range strings.Split(raw, ",") {
+		u := strings.TrimRight(strings.TrimSpace(tok), "/")
+		if u == "" {
+			return nil, fmt.Errorf("shard: empty replica URL in %q", raw)
+		}
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("shard: duplicate replica URL %s (replica position is shard identity; list each replica once, in shard order)", u)
+		}
+		seen[u] = true
+		urls = append(urls, u)
+	}
+	return urls, nil
 }
 
 func (c *HTTPClient) get(path string, out any) error {
@@ -103,6 +152,47 @@ func (c *HTTPClient) Query(q serve.Query) (serve.Answer, error) {
 	}, nil
 }
 
+// Sweep posts one sweep chunk to the replica's /sweep endpoint. A non-OK
+// reply carrying a chunk-local item index is rebuilt as a
+// *serve.ChunkError, so coordinators attribute remote failures exactly like
+// local ones.
+func (c *HTTPClient) Sweep(req serve.SweepRequest) ([]serve.SweepResult, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("shard: encoding sweep chunk: %w", err)
+	}
+	resp, err := c.client().Post(c.Base+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("shard: %s: %w", c.Base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+			Index *int   `json:"index"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&eb)
+		if eb.Error == "" {
+			eb.Error = resp.Status
+		}
+		cause := fmt.Errorf("shard: %s/sweep: %s", c.Base, eb.Error)
+		if eb.Index != nil && *eb.Index >= 0 {
+			cause = &serve.ChunkError{Index: *eb.Index, Err: cause}
+		}
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			// The replica understood the chunk and rejected it;
+			// another replica would too.
+			return nil, &QueryError{Status: resp.StatusCode, Err: cause}
+		}
+		return nil, cause
+	}
+	var sr serve.SweepResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("shard: %s/sweep: decoding reply: %w", c.Base, err)
+	}
+	return sr.Results, nil
+}
+
 // Stats fetches the replica's /stats snapshot.
 func (c *HTTPClient) Stats() (serve.Stats, error) {
 	var st serve.Stats
@@ -113,9 +203,11 @@ func (c *HTTPClient) Stats() (serve.Stats, error) {
 }
 
 // LocalClient adapts an in-process *serve.Service to the Client interface
-// (sharded sweeps inside one process, tests). Service errors are wrapped as
-// QueryErrors: a local service's failure is deterministic, so failing over
-// to an identically configured replica would only repeat the work.
+// (sharded sweeps inside one process, tests). Errors classify exactly like
+// the HTTP path: deterministic query rejections (serve.IsBadQuery) become
+// non-retryable QueryErrors, internal service failures pass through
+// retryable — mirroring the 4xx/5xx split serve.Handler applies on the
+// wire.
 type LocalClient struct {
 	Svc *serve.Service
 }
@@ -123,9 +215,24 @@ type LocalClient struct {
 func (c *LocalClient) Query(q serve.Query) (serve.Answer, error) {
 	ans, err := c.Svc.Query(q)
 	if err != nil {
-		return serve.Answer{}, &QueryError{Err: err}
+		if serve.IsBadQuery(err) {
+			return serve.Answer{}, &QueryError{Err: err}
+		}
+		return serve.Answer{}, err
 	}
 	return ans, nil
+}
+
+// Sweep processes one sweep chunk on the in-process service.
+func (c *LocalClient) Sweep(req serve.SweepRequest) ([]serve.SweepResult, error) {
+	res, err := c.Svc.SweepChunk(req)
+	if err != nil {
+		if serve.IsBadQuery(err) {
+			return nil, &QueryError{Err: err}
+		}
+		return nil, err
+	}
+	return res, nil
 }
 
 func (c *LocalClient) Stats() (serve.Stats, error) { return c.Svc.Stats(), nil }
@@ -254,9 +361,20 @@ type RoutedResponse struct {
 	Replica int `json:"replica"`
 }
 
+// RoutedSweepResponse is the router's /sweep reply: per-item results with
+// routing attribution, plus the number of chunks this sweep re-dispatched
+// through the failover ring.
+type RoutedSweepResponse struct {
+	Results      []SweepResult `json:"results"`
+	Redispatches uint64        `json:"redispatches"`
+}
+
 // Handler mounts the router on an HTTP mux with the same surface as a
-// replica — /query and /stats — so clients cannot tell a router from a
-// single serve process (except for the extra attribution fields).
+// replica — /query, /sweep, and /stats — so clients cannot tell a router
+// from a single serve process (except for the extra attribution fields).
+// /sweep is proxied through a Coordinator over the fleet, which means a
+// cmd/sweep pointed at a router as a one-replica "fleet" transparently fans
+// out across the real one.
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, req *http.Request) {
@@ -290,6 +408,50 @@ func (r *Router) Handler() http.Handler {
 			Owner:   ans.Owner,
 			Replica: ans.Replica,
 		})
+	})
+	mux.HandleFunc("/sweep", func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("shard: /sweep takes POST, got %s", req.Method))
+			return
+		}
+		var sr serve.SweepRequest
+		if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("shard: decoding sweep request: %w", err))
+			return
+		}
+		if len(sr.Items) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("shard: sweep request has no items"))
+			return
+		}
+		co := NewCoordinator(r)
+		co.Tune = sr.Tune
+		results, err := co.Sweep(sr.Items)
+		if err != nil {
+			status := http.StatusBadGateway
+			var qe *QueryError
+			if errors.As(err, &qe) {
+				status = qe.Status
+				if status == 0 {
+					status = http.StatusUnprocessableEntity
+				}
+			}
+			// Forward the failing item's index (into the posted grid)
+			// like a replica's /sweep does, so an outer coordinator
+			// driving this router as a one-replica fleet re-attributes
+			// the failure to its own global index instead of blaming
+			// the chunk's first item.
+			idx := -1
+			var fe *fanError
+			if errors.As(err, &fe) {
+				idx = fe.At
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "index": idx})
+			return
+		}
+		writeJSON(w, RoutedSweepResponse{Results: results, Redispatches: co.Redispatches()})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, r.Stats())

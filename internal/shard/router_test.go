@@ -255,3 +255,64 @@ func TestShardedWarmKeepsCachesDisjoint(t *testing.T) {
 		t.Fatalf("fleet cached %d shapes, want full list %d", total, len(routerShapes))
 	}
 }
+
+// Regression for the failover-blocking bug: serve.Handler used to reply 422
+// to *every* Service error, so the router wrapped transient internal
+// replica failures as non-retryable QueryErrors and never failed over. An
+// owner replying 500 (what serve.Handler now sends for internal failures)
+// must ring to the next shard; TestHandlerClassifiesInternalErrorsAs5xx in
+// internal/serve pins the other half — that internal failures actually
+// produce the 500.
+func TestRouterFailsOverOnInternalServerError(t *testing.T) {
+	shape := gemm.Shape{M: 2048, N: 8192, K: 4096}
+	owner := NewPartitioner(2).Owner(shape)
+
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write([]byte(`{"error": "serve: tuning AllReduce: injected engine failure"}`))
+	}))
+	defer broken.Close()
+	healthy, err := serve.New(serve.Config{
+		Plat:           hw.RTX4090PCIe(),
+		NGPUs:          2,
+		CandidateLimit: 64,
+		Curves:         sharedCurves(t),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthySrv := httptest.NewServer(serve.Handler(healthy))
+	defer healthySrv.Close()
+
+	clients := make([]Client, 2)
+	clients[owner] = &HTTPClient{Base: broken.URL}
+	clients[1-owner] = &HTTPClient{Base: healthySrv.URL}
+	r, err := NewRouter(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ans, err := r.Query(serve.Query{Shape: shape, Prim: hw.AllReduce})
+	if err != nil {
+		t.Fatalf("query with owner failing internally: %v", err)
+	}
+	if ans.Replica != 1-owner {
+		t.Fatalf("answered by replica %d, want failover to %d", ans.Replica, 1-owner)
+	}
+	if r.Stats().Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", r.Stats().Failovers)
+	}
+
+	// The same classification must hold for sweep chunks: a 500 from the
+	// owner re-dispatches the chunk instead of failing the sweep.
+	co := NewCoordinator(r)
+	results, err := co.Sweep([]serve.SweepItem{{M: shape.M, N: shape.N, K: shape.K, Prim: "AR"}})
+	if err != nil {
+		t.Fatalf("sweep with owner failing internally: %v", err)
+	}
+	if results[0].Replica != 1-owner || co.Redispatches() != 1 {
+		t.Fatalf("chunk answered by %d with %d re-dispatches, want replica %d after 1 re-dispatch",
+			results[0].Replica, co.Redispatches(), 1-owner)
+	}
+}

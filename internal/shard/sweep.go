@@ -70,10 +70,22 @@ func SweepBatch(p Partitioner, engines []*engine.Engine, runs []core.Options) ([
 	return results, nil
 }
 
+// fanError is fanShards' failure: the winning (lowest) global index plus
+// the cause, structured so callers that must forward the index over a
+// protocol (the router's /sweep proxy) do not have to re-parse their own
+// error strings.
+type fanError struct {
+	At  int
+	Err error
+}
+
+func (e *fanError) Error() string { return fmt.Sprintf("%d: %v", e.At, e.Err) }
+func (e *fanError) Unwrap() error { return e.Err }
+
 // fanShards runs worker(k, idxs[k]) concurrently for every non-empty shard.
 // A failing worker returns the global index its failure maps to; fanShards
 // reports the failure with the lowest global index — deterministic no matter
-// which shards finish first — as "<index>: <cause>".
+// which shards finish first — as a *fanError rendering "<index>: <cause>".
 func fanShards(idxs [][]int, worker func(k int, list []int) (int, error)) error {
 	shardErrs := make([]error, len(idxs)) // per-shard failure
 	shardErrAt := make([]int, len(idxs))  // global index of that failure
@@ -96,7 +108,7 @@ func fanShards(idxs [][]int, worker func(k int, list []int) (int, error)) error 
 		}
 	}
 	if first >= 0 {
-		return fmt.Errorf("%d: %w", shardErrAt[first], shardErrs[first])
+		return &fanError{At: shardErrAt[first], Err: shardErrs[first]}
 	}
 	return nil
 }
