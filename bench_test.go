@@ -13,6 +13,7 @@
 package repro
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -561,4 +562,86 @@ func BenchmarkCoordinatorSweep(b *testing.B) {
 	}
 	b.ReportMetric(float64(sweepNs)/(float64(b.N)*float64(len(items))), "sweep-ns/item")
 	b.ReportMetric(shards, "shards")
+}
+
+// deadClient refuses every request instantly: the degraded-fleet
+// benchmark's pre-dead replica.
+type deadClient struct{}
+
+var errDeadReplica = errors.New("bench: replica is down")
+
+func (deadClient) Query(serve.Query) (serve.Answer, error)               { return serve.Answer{}, errDeadReplica }
+func (deadClient) Sweep(serve.SweepRequest) ([]serve.SweepResult, error) { return nil, errDeadReplica }
+func (deadClient) Stats() (serve.Stats, error)                           { return serve.Stats{}, errDeadReplica }
+func (deadClient) Healthz() error                                        { return errDeadReplica }
+
+// BenchmarkCoordinatorSweepDegraded sweeps the same grid with one replica
+// of the fleet dead from the start: the health plane must absorb the loss
+// in ~one failed probe, so degraded-ns/item stays within sight of the
+// healthy sweep-ns/item instead of scaling with chunks x timeout.
+func BenchmarkCoordinatorSweepDegraded(b *testing.B) {
+	const shards = 4
+	const dead = 0
+	curve := tuner.SampleBandwidthCurve(hw.RTX4090PCIe(), 2, hw.AllReduce, nil)
+	clients := make([]shard.Client, shards)
+	for k := range clients {
+		if k == dead {
+			clients[k] = deadClient{}
+			continue
+		}
+		a := shard.Assignment{Index: k, Count: shards}
+		svc, err := serve.New(serve.Config{
+			Plat:           hw.RTX4090PCIe(),
+			NGPUs:          2,
+			CandidateLimit: 128,
+			Owns:           a.Owns,
+			Shard:          a.String(),
+			Curves:         map[hw.Primitive]*stats.Curve{hw.AllReduce: curve},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[k] = &shard.LocalClient{Svc: svc}
+	}
+	var items []serve.SweepItem
+	for _, grid := range expt.Table3Grids(true) {
+		if grid.Prim != hw.AllReduce {
+			continue
+		}
+		for _, s := range grid.Shapes {
+			items = append(items, serve.SweepItem{M: s.M, N: s.N, K: s.K, Prim: "AR"})
+		}
+	}
+	if len(items) == 0 {
+		b.Fatal("quick Table 3 grid has no AllReduce shapes")
+	}
+	b.ResetTimer()
+	var sweepNs int64
+	var skips uint64
+	for i := 0; i < b.N; i++ {
+		// A fresh router/health plane per iteration: every iteration
+		// discovers the dead replica from scratch (one failed probe),
+		// so the metric is comparable at any -benchtime.
+		router, err := shard.NewRouter(clients)
+		if err != nil {
+			b.Fatal(err)
+		}
+		co := shard.NewCoordinator(router)
+		co.ChunkSize = 1 // chunk per item: every dead-owned item is a chance to stall
+		start := time.Now()
+		results, err := co.Sweep(items)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweepNs += time.Since(start).Nanoseconds()
+		if len(results) != len(items) {
+			b.Fatalf("%d results for %d items", len(results), len(items))
+		}
+		if co.Redispatches() == 0 {
+			b.Fatal("no chunk left the dead replica; is the dead shard empty?")
+		}
+		skips += router.Health().Skips()
+	}
+	b.ReportMetric(float64(sweepNs)/(float64(b.N)*float64(len(items))), "degraded-ns/item")
+	b.ReportMetric(float64(skips)/float64(b.N), "skipped-attempts")
 }

@@ -4,8 +4,15 @@
 // (log M·N, log K) plane, failing over to the next shard in ring order when
 // the owner is unreachable; POST /sweep fans a whole grid out across the
 // fleet in chunks (churn-safe: chunks of a replica that dies mid-sweep
-// re-dispatch through the ring); /stats merges the fleet's counters with a
-// per-replica breakdown.
+// re-dispatch through the ring, honoring the caller's forwarded chunk size
+// and attempt budget); /stats merges the fleet's counters with a
+// per-replica breakdown including each replica's health state.
+//
+// The router keeps a health plane over the fleet: a replica that fails a
+// request is marked dead and skipped — costing the fleet at most one probe
+// timeout per -health-cooldown window instead of one timeout per query or
+// chunk — and a background prober hits dead replicas' GET /healthz every
+// -health-probe interval, re-admitting a replica the moment it restarts.
 //
 // Example (two replicas on one host):
 //
@@ -36,11 +43,18 @@ func main() {
 		addr     = flag.String("addr", ":8080", "HTTP listen address")
 		replicas = flag.String("replicas", "", "comma-separated replica base URLs, in shard order (replica i runs -shard i/n)")
 		timeout  = flag.Duration("timeout", 30*time.Second, "per-request replica timeout (covers a cold-shape tune)")
+		cooldown = flag.Duration("health-cooldown", shard.DefaultHealthCooldown, "how long a failed replica is skipped before one trial request is allowed through (must be > 0: benching cannot be disabled)")
+		probe    = flag.Duration("health-probe", 0, "background /healthz probe interval for dead-replica re-admission (0 = the health cooldown)")
 	)
 	flag.Parse()
 
 	if *replicas == "" {
 		fatal(fmt.Errorf("-replicas is required (e.g. http://host1:8080,http://host2:8080)"))
+	}
+	if *cooldown <= 0 {
+		// SetCooldown silently ignores non-positive values; fail loudly
+		// instead of leaving the operator on the 15s default unawares.
+		fatal(fmt.Errorf("-health-cooldown must be > 0 (got %v); replica benching cannot be disabled", *cooldown))
 	}
 	// ParseReplicas rejects duplicate URLs: replica position is shard
 	// identity, so a URL listed twice would silently skew the ownership
@@ -54,6 +68,12 @@ func main() {
 	}
 	router, err := shard.NewRouter(clients)
 	fatal(err)
+	router.Health().SetCooldown(*cooldown)
+	// Probe dead replicas for the process lifetime: a replica that
+	// restarts is re-admitted and reclaims its shard slice without
+	// waiting for an in-band trial request.
+	stopProber := router.StartProber(*probe)
+	defer stopProber()
 
 	log.Printf("routing %d shards on %s:", len(urls), *addr)
 	for i, u := range urls {

@@ -17,6 +17,10 @@
 //	serve -addr :8082 -shard 1/2 -warm "$SHAPES" &
 //	route -addr :8080 -replicas http://localhost:8081,http://localhost:8082
 //
+// Besides /query, /sweep, and /stats the server exposes GET /healthz, the
+// liveness probe a router or sweep coordinator uses to re-admit this
+// replica after a restart (the fleet's dead-replica recovery path).
+//
 // The server shuts down gracefully on SIGINT/SIGTERM and exits non-zero when
 // the listener cannot be established.
 package main

@@ -6,6 +6,13 @@
 // replica that dies mid-sweep does not fail the run: its remaining chunks
 // re-dispatch through the failover ring under a bounded attempt budget.
 //
+// A fleet-wide health plane keeps the degraded path cheap: a replica that
+// fails is marked dead and skipped by every later chunk (at most one probe
+// timeout per -health-cooldown window, not one per chunk), chunks that fail
+// partway keep their completed prefix and re-dispatch only the unanswered
+// suffix, and a background /healthz prober re-admits a replica that
+// restarts mid-sweep so it reclaims its owned shard.
+//
 // Example (three replicas on two hosts):
 //
 //	serve -addr host1:8081 -shard 0/3 &
@@ -50,8 +57,10 @@ func main() {
 		imbalance = flag.Float64("imbalance", 0, "All-to-All max/mean load factor (0 = balanced)")
 		tune      = flag.Bool("tune", false, "tune each cell through the replica's shape cache and execute the tuned partition (default: untuned per-wave baseline)")
 		chunk     = flag.Int("chunk", 0, "items per dispatched chunk (0 = shard.DefaultChunkSize)")
-		attempts  = flag.Int("attempts", 0, "re-dispatch budget per chunk across the failover ring (0 = fleet size)")
+		attempts  = flag.Int("attempts", 0, "re-dispatch budget per chunk across the failover ring (0 = fleet size); a budget beyond the fleet size does not hammer dead replicas back-to-back — wrap-around retries wait out -health-cooldown, so extra budget helps only when a replica recovers mid-dispatch")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-chunk replica timeout (covers a chunk of tunes + simulations)")
+		cooldown  = flag.Duration("health-cooldown", shard.DefaultHealthCooldown, "how long a failed replica is skipped before one trial dispatch is allowed through (must be > 0: benching cannot be disabled)")
+		probe     = flag.Duration("health-probe", 0, "background /healthz probe interval for mid-sweep dead-replica re-admission (0 = -health-cooldown)")
 		verify    = flag.Bool("verify", false, "re-run the grid on a local engine and require byte-identical results (needs -platform/-gpus to match the fleet)")
 		platName  = flag.String("platform", "4090", "fleet hardware profile, for -verify: 4090, a800, ascend, h100")
 		gpus      = flag.Int("gpus", 4, "fleet parallel group size, for -verify")
@@ -62,6 +71,11 @@ func main() {
 
 	if *replicas == "" || *shapesArg == "" {
 		fatal(fmt.Errorf("-replicas and -shapes are required"))
+	}
+	if *cooldown <= 0 {
+		// SetCooldown silently ignores non-positive values; fail loudly
+		// instead of leaving the operator on the 15s default unawares.
+		fatal(fmt.Errorf("-health-cooldown must be > 0 (got %v); replica benching cannot be disabled", *cooldown))
 	}
 	urls, err := shard.ParseReplicas(*replicas)
 	fatal(err)
@@ -77,10 +91,12 @@ func main() {
 	}
 	router, err := shard.NewRouter(clients)
 	fatal(err)
+	router.Health().SetCooldown(*cooldown)
 	co := shard.NewCoordinator(router)
 	co.ChunkSize = *chunk
 	co.MaxAttempts = *attempts
 	co.Tune = *tune
+	co.ProbeInterval = *probe
 	if !*quiet {
 		co.OnChunk = func(cr shard.ChunkResult) {
 			suffix := ""
@@ -126,8 +142,8 @@ func main() {
 		}
 	}
 	perItem := elapsed / time.Duration(len(items))
-	log.Printf("swept %d items across %d replicas in %v (%v/item, %d re-dispatches)",
-		len(items), len(urls), elapsed.Round(time.Millisecond), perItem.Round(time.Microsecond), co.Redispatches())
+	log.Printf("swept %d items across %d replicas in %v (%v/item, %d re-dispatches, %d items salvaged from partial chunks)",
+		len(items), len(urls), elapsed.Round(time.Millisecond), perItem.Round(time.Microsecond), co.Redispatches(), co.PartialSalvages())
 
 	if *verify {
 		fatal(verifyAgainstLocal(*platName, *gpus, items, results))

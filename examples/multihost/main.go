@@ -20,6 +20,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -54,10 +55,32 @@ func main() {
 		{M: 8192, N: 8192, K: 8192},
 	}
 
-	// Start the fleet: each replica owns its slice of the shape plane.
+	// Start the fleet: each replica owns its slice of the shape plane. The
+	// addresses are remembered so a killed replica can be restarted on the
+	// same URL — the re-admission act below.
 	part := shard.NewPartitioner(nShards)
+	services := make([]*serve.Service, nShards)
+	addrs := make([]string, nShards)
 	servers := make([]*http.Server, nShards)
 	clients := make([]shard.Client, nShards)
+	listen := func(k int) {
+		addr := addrs[k]
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		addrs[k] = ln.Addr().String()
+		srv := &http.Server{Handler: serve.Handler(services[k])}
+		go func() {
+			if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
+				log.Fatal(err)
+			}
+		}()
+		servers[k] = srv
+	}
 	for k := 0; k < nShards; k++ {
 		assign := shard.Assignment{Index: k, Count: nShards}
 		svc, err := serve.New(serve.Config{
@@ -71,25 +94,21 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatal(err)
-		}
-		srv := &http.Server{Handler: serve.Handler(svc)}
-		go func() {
-			if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) && !errors.Is(err, net.ErrClosed) {
-				log.Fatal(err)
-			}
-		}()
-		servers[k] = srv
-		clients[k] = &shard.HTTPClient{Base: "http://" + ln.Addr().String()}
-		fmt.Printf("replica %s on %s\n", assign, ln.Addr())
+		services[k] = svc
+		listen(k)
+		clients[k] = &shard.HTTPClient{Base: "http://" + addrs[k]}
+		fmt.Printf("replica %s on %s\n", assign, addrs[k])
 	}
 
 	router, err := shard.NewRouter(clients)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// A short cooldown keeps the demo's re-admission act quick: probe
+	// re-admission is gated on the same window as in-band trials (a
+	// zombie replica cannot oscillate back in faster), so the default
+	// 15s would make the recovery act below wait that long.
+	router.Health().SetCooldown(300 * time.Millisecond)
 
 	items := make([]serve.SweepItem, len(grid))
 	runs := make([]core.Options, len(grid))
@@ -161,8 +180,31 @@ func main() {
 	}
 	fmt.Printf("merge check: %d results byte-identical to single-process engine.Batch despite churn\n", len(results))
 
+	// The health plane capped the damage: the victim burned one probe
+	// timeout, was marked dead, and every later chunk skipped it instead
+	// of stalling. Restart it on the same address and probe /healthz — the
+	// router re-admits it and it serves its shard slice again. (During a
+	// sweep, Coordinator.Sweep runs this probe on a cooldown
+	// automatically, so a replica restarted mid-sweep reclaims its shard
+	// before the sweep ends.)
+	fmt.Printf("\nvictim %d health after the sweep: %v (dispatch attempts skipped while dead: %d)\n",
+		victim, router.Health().State(victim), router.Health().Skips())
+	listen(victim)
+	// Probe eligibility waits out the victim's cooldown (so a flapping
+	// replica cannot be re-admitted more than once per window); poll
+	// until the window opens and the probe brings it back.
+	deadline := time.Now().Add(10 * time.Second)
+	for router.Probe() != 1 {
+		if time.Now().After(deadline) {
+			log.Fatal("replica was not re-admitted within 10s of restarting")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("replica %d restarted on %s and re-admitted via /healthz probe (health: %v, %d readmissions)\n",
+		victim, addrs[victim], router.Health().State(victim), router.Health().Readmissions())
+
 	// The router front-end proxies whole sweeps too: POST the grid to
-	// /sweep and the router coordinates it across the (degraded) fleet.
+	// /sweep and the router coordinates it across the recovered fleet.
 	front, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -196,17 +238,18 @@ func main() {
 	if len(rs.Results) != 2 {
 		log.Fatalf("router /sweep answered %d of 2 items", len(rs.Results))
 	}
-	fmt.Printf("\ntuned sweep through the router's /sweep proxy (replica %d still down):\n", victim)
+	fmt.Printf("\ntuned sweep through the router's /sweep proxy (replica %d re-admitted):\n", victim)
 	for _, res := range rs.Results {
 		fmt.Printf("  %-18s partition %v  predicted %d ns  source %-5s  shard %d -> replica %d\n",
 			res.Shape, res.Partition, res.PredictedNs, res.Source, res.Owner, res.Replica)
+		if res.Owner == victim && res.Replica != victim {
+			log.Fatalf("re-admitted replica %d did not reclaim its owned item", victim)
+		}
 	}
 	fmt.Printf("router re-dispatches during the proxied sweep: %d\n", rs.Redispatches)
 
 	_ = frontSrv.Close()
-	for k, srv := range servers {
-		if k != victim {
-			_ = srv.Close()
-		}
+	for _, srv := range servers {
+		_ = srv.Close()
 	}
 }

@@ -26,6 +26,7 @@ type QueryResponse struct {
 //	GET  /query?m=4096&n=8192&k=8192&prim=AR[&imbalance=1.2]
 //	POST /sweep   {"tune": bool, "items": [{"m","n","k","prim","imbalance"}, ...]}
 //	GET  /stats
+//	GET  /healthz
 //
 // All endpoints reply with JSON; errors reply {"error": ...}. The status
 // classifies the failure: 4xx for deterministic request rejections (every
@@ -33,7 +34,10 @@ type QueryResponse struct {
 // fail over), 5xx for internal failures (replica-specific — a router's
 // failover ring retries them elsewhere). /sweep errors additionally carry
 // the chunk-local "index" of the failing item, so a coordinator can
-// attribute the failure to a global grid index. The handler is safe for
+// attribute the failure to a global grid index, plus the completed prefix
+// under "results" so the coordinator re-dispatches only the unanswered
+// suffix. /healthz is the liveness probe behind dead-replica re-admission:
+// a 200 means the process is up and serving. The handler is safe for
 // concurrent use, like the service itself.
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
@@ -76,20 +80,32 @@ func Handler(s *Service) http.Handler {
 		if err != nil {
 			// Serialize the cause and the chunk-local index separately;
 			// the coordinator's client rebuilds the ChunkError from them.
+			// The completed prefix (partial-chunk completion) rides along
+			// so the coordinator can keep it and re-dispatch only the
+			// unanswered suffix.
 			idx := -1
 			var ce *ChunkError
 			if errors.As(err, &ce) {
 				idx, err = ce.Index, ce.Err
 			}
+			body := map[string]any{"error": err.Error(), "index": idx}
+			if len(results) > 0 {
+				body["results"] = results
+			}
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(errStatus(err))
-			_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "index": idx})
+			_ = json.NewEncoder(w).Encode(body)
 			return
 		}
 		writeJSON(w, SweepResponse{Results: results})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		// Liveness, not readiness: a process that can answer at all is
+		// re-admittable — its caches rewarm through traffic.
+		writeJSON(w, map[string]string{"status": "ok", "shard": s.cfg.Shard})
 	})
 	return mux
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/gemm"
@@ -296,5 +297,85 @@ func TestHandlerSweepErrors(t *testing.T) {
 	}
 	if eb.Index != 0 || !strings.Contains(eb.Error, "injected tuner failure") {
 		t.Fatalf("internal failure body = %+v, want index 0 naming the cause", eb)
+	}
+}
+
+// Partial-chunk completion end to end on the serve side: a chunk failing at
+// item i returns the completed prefix results[0..i) both from SweepChunk and
+// in the /sweep error body, so a coordinator re-dispatches only the suffix.
+func TestSweepChunkKeepsCompletedPrefixOnFailure(t *testing.T) {
+	s := testService(t)
+	var tunes atomic.Int64
+	s.tuneHook = func() error {
+		if tunes.Add(1) >= 2 {
+			return errors.New("injected crash on the second tune")
+		}
+		return nil
+	}
+	items := []SweepItem{
+		{M: 2048, N: 8192, K: 4096, Prim: "AR"},
+		{M: 4096, N: 8192, K: 8192, Prim: "AR"}, // distinct shape: second tune fails
+	}
+
+	partial, err := s.SweepChunk(SweepRequest{Tune: true, Items: items})
+	var ce *ChunkError
+	if !errors.As(err, &ce) || ce.Index != 1 {
+		t.Fatalf("error %v does not name chunk item 1", err)
+	}
+	if len(partial) != 1 {
+		t.Fatalf("SweepChunk kept %d results, want the 1-item completed prefix", len(partial))
+	}
+	if partial[0].Shape != items[0].Shape().String() || partial[0].Result == nil {
+		t.Fatalf("salvaged prefix %+v does not answer item 0", partial[0])
+	}
+
+	// The same over HTTP: the error body carries the prefix under
+	// "results". Item 0 is now a cache hit (no tune), item 1 still fails.
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	resp := postSweep(t, srv.URL, SweepRequest{Tune: true, Items: items})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var eb struct {
+		Error   string        `json:"error"`
+		Index   int           `json:"index"`
+		Results []SweepResult `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Index != 1 || len(eb.Results) != 1 {
+		t.Fatalf("error body index %d with %d results, want index 1 with the 1-item prefix", eb.Index, len(eb.Results))
+	}
+	if eb.Results[0].Shape != items[0].Shape().String() {
+		t.Fatalf("prefix answers %q, want item 0 (%q)", eb.Results[0].Shape, items[0].Shape())
+	}
+}
+
+// /healthz is the liveness probe behind dead-replica re-admission: 200 with
+// the replica's shard label.
+func TestHandlerHealthz(t *testing.T) {
+	s, err := New(Config{Plat: hw.RTX4090PCIe(), NGPUs: 2, CandidateLimit: 64, Shard: "1/4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(s))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" || body["shard"] != "1/4" {
+		t.Fatalf("body = %v, want status ok with shard 1/4", body)
 	}
 }

@@ -50,8 +50,16 @@ type SweepRequest struct {
 	// deterministic and cache-history-free, so sharded sweeps merge
 	// byte-identically to engine.Batch no matter which replica ran which
 	// chunk.
-	Tune  bool        `json:"tune,omitempty"`
-	Items []SweepItem `json:"items"`
+	Tune bool `json:"tune,omitempty"`
+	// Chunk and Attempts forward the sweeping coordinator's knobs. A
+	// single replica ignores them (the posted Items already are one
+	// chunk), but a router proxying /sweep for a whole fleet re-chunks
+	// and re-dispatches with them instead of silently resetting the
+	// caller's choices to defaults. Zero selects the proxy's defaults,
+	// which keeps old clients byte-compatible on the wire.
+	Chunk    int         `json:"chunk,omitempty"`
+	Attempts int         `json:"attempts,omitempty"`
+	Items    []SweepItem `json:"items"`
 }
 
 // SweepResult is one item's outcome: the partition the run used (tuned or
@@ -90,7 +98,10 @@ func (e *ChunkError) Unwrap() error { return e.Err }
 // SweepChunk processes one sweep chunk in input order — serially, preserving
 // the cache-warming locality a replica's owned slice is partitioned for.
 // results[i] answers req.Items[i]; on failure the first failing item's
-// chunk-local index is reported as a *ChunkError.
+// chunk-local index is reported as a *ChunkError, and the completed prefix
+// results[0..Index) rides along with the error — partial-chunk completion,
+// so a coordinator re-dispatches only the unanswered suffix instead of
+// re-executing work the replica already finished.
 //
 // Every execution runs through the service's engine with a private
 // deterministic simulator, so untuned results are byte-identical no matter
@@ -102,7 +113,7 @@ func (s *Service) SweepChunk(req SweepRequest) ([]SweepResult, error) {
 	for i, it := range req.Items {
 		q, err := it.Query()
 		if err != nil {
-			return nil, &ChunkError{Index: i, Err: &BadQueryError{Err: err}}
+			return out[:i], &ChunkError{Index: i, Err: &BadQueryError{Err: err}}
 		}
 		opts := core.Options{
 			Plat:      s.cfg.Plat,
@@ -115,7 +126,7 @@ func (s *Service) SweepChunk(req SweepRequest) ([]SweepResult, error) {
 		if req.Tune {
 			ans, err := s.Query(q)
 			if err != nil {
-				return nil, &ChunkError{Index: i, Err: err}
+				return out[:i], &ChunkError{Index: i, Err: err}
 			}
 			opts.Partition = ans.Partition
 			res.PredictedNs = int64(ans.Predicted)
@@ -123,7 +134,7 @@ func (s *Service) SweepChunk(req SweepRequest) ([]SweepResult, error) {
 		}
 		r, err := s.eng.Exec(opts)
 		if err != nil {
-			return nil, &ChunkError{Index: i, Err: err}
+			return out[:i], &ChunkError{Index: i, Err: err}
 		}
 		res.Partition = r.Partition
 		res.Waves = r.Waves

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/serve"
 )
@@ -28,12 +29,19 @@ const DefaultChunkSize = 8
 // The coordinator survives replica churn mid-sweep: a chunk whose replica
 // dies (connection refused, timeout, 5xx) is re-dispatched through the
 // failover ring — owner+1, owner+2, ... — under a bounded attempt budget,
-// instead of failing the sweep. Untuned sweep results are deterministic and
-// cache-history-free on any replica of an identically configured fleet, so
-// re-dispatch cannot perturb the merged output. Deterministic rejections
-// (4xx QueryErrors) are not retried: every replica would reject the chunk
-// identically, and the failure is attributed to its global item index via
-// the serve.ChunkError convention (the remote cousin of engine.RunError).
+// instead of failing the sweep. The router's shared health plane makes the
+// degraded path cheap and recoverable: a replica that failed is marked dead
+// and skipped by every later chunk until its cooldown elapses (at most one
+// probe timeout per replica per cooldown window, not one per chunk), and a
+// background /healthz prober re-admits a replica that restarts mid-sweep so
+// it reclaims its owned shard. A chunk that fails partway keeps its
+// completed prefix and re-dispatches only the unanswered suffix. Untuned
+// sweep results are deterministic and cache-history-free on any replica of
+// an identically configured fleet, so re-dispatch cannot perturb the merged
+// output. Deterministic rejections (4xx QueryErrors) are not retried: every
+// replica would reject the chunk identically, and the failure is attributed
+// to its global item index via the serve.ChunkError convention (the remote
+// cousin of engine.RunError).
 //
 // A Coordinator is safe for concurrent Sweep calls; the knob fields must be
 // set before the first call.
@@ -45,27 +53,42 @@ type Coordinator struct {
 	ChunkSize int
 	// MaxAttempts bounds dispatch attempts per chunk, walking the
 	// failover ring from the owner; <= 0 selects the fleet size (one try
-	// per replica).
+	// per replica). A budget beyond the fleet size does not hammer dead
+	// replicas back-to-back: wrap-around retries are admitted only after
+	// the replica's health cooldown elapses, so the extra budget helps
+	// exactly when a replica recovers (or is re-admitted by the prober)
+	// mid-dispatch.
 	MaxAttempts int
 	// Tune selects the tuned sweep pipeline on the replicas (see
 	// serve.SweepRequest.Tune); false sweeps the untuned per-wave
 	// baseline, whose merged results are byte-identical to engine.Batch.
 	Tune bool
+	// ProbeInterval paces the background /healthz prober each Sweep holds
+	// for its duration, re-admitting replicas that restart mid-sweep;
+	// <= 0 selects the router's health cooldown. The prober is shared per
+	// router (one goroutine however many holders), so the interval of the
+	// holder that starts it wins — cmd/route's process-lifetime prober
+	// takes precedence over per-sweep settings.
+	ProbeInterval time.Duration
 	// OnChunk, when set, observes every completed chunk as it lands —
-	// per-shard result streaming for progress reporting. It is called
-	// from the per-shard sweep goroutines and must be safe for concurrent
-	// use.
+	// per-shard result streaming for progress reporting. A chunk whose
+	// items were answered by more than one replica (partial-chunk
+	// completion) is announced once per contiguous replica segment. It is
+	// called from the per-shard sweep goroutines and must be safe for
+	// concurrent use.
 	OnChunk func(ChunkResult)
 
 	redispatches atomic.Uint64
+	salvaged     atomic.Uint64
 }
 
-// ChunkResult announces one completed chunk to OnChunk.
+// ChunkResult announces one completed chunk (or, after a partial-chunk
+// completion, one contiguous segment of it) to OnChunk.
 type ChunkResult struct {
 	// Shard owns the chunk; Replica answered it (different only after a
 	// re-dispatch through the failover ring).
 	Shard, Replica int
-	// Indices are the chunk's global item indices; Results[j] answers
+	// Indices are the segment's global item indices; Results[j] answers
 	// Indices[j].
 	Indices []int
 	Results []serve.SweepResult
@@ -80,15 +103,20 @@ type SweepResult struct {
 }
 
 // NewCoordinator builds a coordinator over the router's fleet, sharing its
-// clients, ownership partitioner, and failover accounting.
+// clients, ownership partitioner, health plane, and failover accounting.
 func NewCoordinator(r *Router) *Coordinator {
 	return &Coordinator{router: r}
 }
 
-// Redispatches counts chunks that left their owner: dispatch attempts that
-// succeeded on a ring hop past the first. The count is cumulative across
-// Sweep calls.
+// Redispatches counts chunks that left their owner: chunks any of whose
+// items were answered by a ring hop past the owner. The count is cumulative
+// across Sweep calls.
 func (c *Coordinator) Redispatches() uint64 { return c.redispatches.Load() }
+
+// PartialSalvages counts items whose results were kept from a chunk that
+// failed partway — work the partial-chunk completion path did not have to
+// re-execute. Cumulative across Sweep calls.
+func (c *Coordinator) PartialSalvages() uint64 { return c.salvaged.Load() }
 
 func (c *Coordinator) chunkSize() int {
 	if c.ChunkSize <= 0 {
@@ -104,12 +132,28 @@ func (c *Coordinator) attempts() int {
 	return c.MaxAttempts
 }
 
+// request builds the wire chunk, forwarding the coordinator's knobs so a
+// router proxying /sweep for this "replica" re-chunks with the caller's
+// chunk size and attempt budget instead of silently resetting to defaults.
+func (c *Coordinator) request(items []serve.SweepItem) serve.SweepRequest {
+	return serve.SweepRequest{Tune: c.Tune, Chunk: c.ChunkSize, Attempts: c.MaxAttempts, Items: items}
+}
+
 // Sweep tunes/executes the whole grid across the fleet and merges the
 // per-shard results back into input order: results[i] answers items[i], the
 // same deterministic global order SweepBatch and engine.Batch return. On
 // failure the error with the lowest failing global item index is reported
 // as "sweep item <index>: ...", regardless of which shards finished first.
 func (c *Coordinator) Sweep(items []serve.SweepItem) ([]SweepResult, error) {
+	// Probe dead replicas in the background for the sweep's duration: a
+	// replica that restarts mid-sweep is re-admitted and reclaims its
+	// owned shard instead of staying failed-over until the sweep ends.
+	// The prober is shared and refcounted: concurrent sweeps (and
+	// cmd/route's process-lifetime holder) share one goroutine, and it
+	// outlives this sweep if anyone else still holds it.
+	stopProber := c.router.StartProber(c.ProbeInterval)
+	defer stopProber()
+
 	byOwner := make([][]int, len(c.router.clients))
 	for i, it := range items {
 		k := c.router.part.Owner(it.Shape())
@@ -124,7 +168,7 @@ func (c *Coordinator) Sweep(items []serve.SweepItem) ([]SweepResult, error) {
 			for j, gi := range chunk {
 				sub[j] = items[gi]
 			}
-			results, replica, err := c.dispatch(k, serve.SweepRequest{Tune: c.Tune, Items: sub})
+			results, replicas, err := c.dispatch(k, sub)
 			if err != nil {
 				// Attribute the failure to the item the replica
 				// named, translated to the global grid; a chunk-level
@@ -137,14 +181,28 @@ func (c *Coordinator) Sweep(items []serve.SweepItem) ([]SweepResult, error) {
 				}
 				return at, err
 			}
-			if len(results) != len(chunk) {
-				return chunk[0], fmt.Errorf("shard: replica %d answered %d of %d chunk items", replica, len(results), len(chunk))
-			}
+			left := false
 			for j, gi := range chunk {
-				out[gi] = SweepResult{SweepResult: results[j], Owner: k, Replica: replica}
+				out[gi] = SweepResult{SweepResult: results[j], Owner: k, Replica: replicas[j]}
+				if replicas[j] != k {
+					left = true
+				}
+			}
+			if left {
+				c.redispatches.Add(1)
+				c.router.failovers.Add(1)
 			}
 			if c.OnChunk != nil {
-				c.OnChunk(ChunkResult{Shard: k, Replica: replica, Indices: chunk, Results: results})
+				// One announcement per contiguous replica segment; a
+				// chunk answered whole by one replica is one segment.
+				for lo := 0; lo < len(chunk); {
+					hi := lo + 1
+					for hi < len(chunk) && replicas[hi] == replicas[lo] {
+						hi++
+					}
+					c.OnChunk(ChunkResult{Shard: k, Replica: replicas[lo], Indices: chunk[lo:hi], Results: results[lo:hi]})
+					lo = hi
+				}
 			}
 		}
 		return 0, nil
@@ -155,32 +213,189 @@ func (c *Coordinator) Sweep(items []serve.SweepItem) ([]SweepResult, error) {
 	return out, nil
 }
 
+// offsetChunkError translates a chunk-local failure index past the items
+// already salvaged from earlier partial completions, preserving the
+// QueryError classification so retryability survives the rebuild.
+func offsetChunkError(err error, base int) error {
+	if base == 0 {
+		return err
+	}
+	var ce *serve.ChunkError
+	if !errors.As(err, &ce) {
+		return err
+	}
+	translated := &serve.ChunkError{Index: base + ce.Index, Err: ce.Err}
+	var qe *QueryError
+	if errors.As(err, &qe) {
+		return &QueryError{Status: qe.Status, Err: translated}
+	}
+	return translated
+}
+
 // dispatch sends one chunk, walking the failover ring from the owner until
-// a replica answers or the attempt budget is spent. Deterministic
-// rejections (non-retryable QueryErrors) return immediately. The error
-// after an exhausted budget is the first (owner's) failure — the most
-// diagnostic one — with the budget noted.
-func (c *Coordinator) dispatch(owner int, req serve.SweepRequest) ([]serve.SweepResult, int, error) {
+// every item is answered or the attempt budget is spent. replicas[j] names
+// the replica that answered results[j] — more than one after a
+// partial-chunk completion, where a chunk failing at item i keeps
+// results[0..i) and re-dispatches only the unanswered suffix. Replicas the
+// health plane marks dead are skipped without paying a timeout; a failed
+// attempt marks its replica dead for every later chunk and query.
+// Deterministic rejections (non-retryable QueryErrors) return immediately.
+// The error after an exhausted budget is the first attempt's failure — the
+// most diagnostic one — with the budget noted.
+func (c *Coordinator) dispatch(owner int, items []serve.SweepItem) ([]serve.SweepResult, []int, error) {
 	n := len(c.router.clients)
 	budget := c.attempts()
+	done := make([]serve.SweepResult, 0, len(items))
+	replicas := make([]int, 0, len(items))
+	remaining := items
 	var firstErr error
-	for a := 0; a < budget; a++ {
-		replica := (owner + a) % n
-		results, err := c.router.clients[replica].Sweep(req)
-		if err == nil {
-			if a > 0 {
-				c.redispatches.Add(1)
-				c.router.failovers.Add(1)
+	firstErrAt := -1 // firstErr's chunk-local item index; -1 = chunk-level
+	var credits []salvageCredit
+	attempts, pos, skipped := 0, 0, 0
+	for attempts < budget {
+		replica := (owner + pos) % n
+		pos++
+		if !c.router.health.Allow(replica) {
+			// Known dead within its cooldown: skip without burning a
+			// timeout or an attempt.
+			skipped++
+			if skipped < n {
+				continue
 			}
-			c.router.routed[replica].Add(uint64(len(req.Items)))
-			return results, replica, nil
+			// A full ring of skips: no replica is admissible right now.
+			// The default budget (<= one try per replica) fails fast,
+			// as a dead fleet should — but not while another
+			// goroutine's trial is in flight: that trial may re-admit
+			// a replica this chunk can use milliseconds from now, and
+			// a fleet that is genuinely dead has no suspects once its
+			// trials resolve.
+			if budget <= n {
+				if !c.router.health.anySuspect() {
+					break
+				}
+				// Wait for the in-flight trial to resolve, polling with
+				// non-counting peeks (like the budget>n branch below)
+				// so the wait neither claims slots nor inflates the
+				// avoided-attempt counter.
+				for c.router.health.anySuspect() && !c.router.health.anyDue() {
+					time.Sleep(healthWaitStep(c.router.health.Cooldown()))
+				}
+				skipped = 0
+				continue
+			}
+			// A larger budget is the operator opting into wrap-around
+			// retries, and those wait out the cooldown — a trial slot
+			// opens once per replica per window, and the prober may
+			// re-admit a restarted replica sooner — instead of
+			// aborting with budget unspent. Poll with a non-counting
+			// peek: waiting must neither claim trial slots it may not
+			// use nor inflate the avoided-attempt counter.
+			for !c.router.health.anyDue() {
+				time.Sleep(healthWaitStep(c.router.health.Cooldown()))
+			}
+			skipped = 0
+			continue
+		}
+		skipped = 0
+		attempts++
+		results, err := c.router.clients[replica].Sweep(c.request(remaining))
+		if err == nil {
+			if len(results) != len(remaining) {
+				// Malformed but answered: resolve the trial so the
+				// replica is not parked in suspect with no probe in
+				// flight.
+				c.router.health.MarkHealthy(replica)
+				return nil, nil, fmt.Errorf("shard: replica %d answered %d of %d chunk items", replica, len(results), len(remaining))
+			}
+			c.router.health.MarkHealthy(replica)
+			done = append(done, results...)
+			for range results {
+				replicas = append(replicas, replica)
+			}
+			// Credit the counters only now that the chunk is whole: a
+			// salvage a failed dispatch would have discarded must not
+			// inflate PartialSalvages or the per-replica item counters.
+			c.router.routedSweepItems[replica].Add(uint64(len(results)))
+			for _, cr := range credits {
+				c.router.routedSweepItems[cr.replica].Add(uint64(cr.items))
+				c.salvaged.Add(uint64(cr.items))
+			}
+			return done, replicas, nil
+		}
+		err = offsetChunkError(err, len(done))
+		if !retryable(err) {
+			// A deterministic rejection is still an answer: the replica
+			// is provably alive, so a suspect trial resolves healthy
+			// instead of leaving the replica benched.
+			c.router.health.MarkHealthy(replica)
+			return nil, nil, err
+		}
+		// Bench only on transport-level failures (connection refused,
+		// timeout, truncated body): those are the ones whose retry
+		// would cost a timeout. An answered error — structured 5xx or
+		// item-attributed ChunkError — is a live replica responding
+		// quickly, and it resolves any in-flight trial; benching on it
+		// would let a poison item that 5xxes identically everywhere
+		// walk the ring marking the whole fleet dead and black out
+		// unrelated /query traffic for a cooldown.
+		if replicaAnswered(err) {
+			c.router.health.MarkHealthy(replica)
+		} else {
+			c.router.health.MarkFailed(replica)
+		}
+		var ce *serve.ChunkError
+		errors.As(err, &ce)
+		// Partial-chunk completion: when the error names the failing item
+		// and the replica answered exactly the prefix before it, keep
+		// those results and re-dispatch only the suffix. (SweepChunk
+		// processes in order, so the prefix is final.)
+		if ce != nil && len(results) > 0 && ce.Index == len(done)+len(results) && len(results) < len(remaining) {
+			done = append(done, results...)
+			for range results {
+				replicas = append(replicas, replica)
+			}
+			credits = append(credits, salvageCredit{replica: replica, items: len(results)})
+			remaining = remaining[len(results):]
+		}
+		// Remember the failure an exhausted budget reports: the earliest
+		// one still naming an unanswered item. A failure a later salvage
+		// answered would misdirect the operator to a cell that is fine.
+		// An index-less (chunk-level) failure pins to the chunk's first
+		// item, so any salvage at all supersedes it.
+		if firstErr != nil && max(firstErrAt, 0) < len(done) {
+			firstErr, firstErrAt = nil, -1
 		}
 		if firstErr == nil {
-			firstErr = err
-		}
-		if !retryable(err) {
-			return nil, replica, err
+			firstErr, firstErrAt = err, -1
+			var fce *serve.ChunkError
+			if errors.As(err, &fce) {
+				firstErrAt = fce.Index
+			}
 		}
 	}
-	return nil, owner, fmt.Errorf("shard: chunk exhausted its re-dispatch budget (%d attempts): %w", budget, firstErr)
+	if attempts == 0 {
+		return nil, nil, fmt.Errorf("shard: chunk found no admissible replica (all %d marked dead within the health cooldown; re-dispatch budget %d unspent)", n, budget)
+	}
+	return nil, nil, fmt.Errorf("shard: chunk exhausted its re-dispatch budget (%d of %d attempts): %w", attempts, budget, firstErr)
+}
+
+// salvageCredit defers counter updates for a salvaged prefix until its
+// chunk completes: replica executed items results a failed dispatch would
+// have thrown away.
+type salvageCredit struct {
+	replica, items int
+}
+
+// healthWaitStep bounds how often a dispatch waiting on a fully cooled-down
+// ring rechecks it: responsive for test-scale cooldowns without
+// busy-polling production ones.
+func healthWaitStep(cooldown time.Duration) time.Duration {
+	step := cooldown / 10
+	if step < time.Millisecond {
+		step = time.Millisecond
+	}
+	if step > 250*time.Millisecond {
+		step = 250 * time.Millisecond
+	}
+	return step
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -159,6 +160,173 @@ func TestCoordinatorSweepSurvivesChurnMidSweep(t *testing.T) {
 	}
 	if st := r.Stats(); st.Failovers == 0 {
 		t.Fatal("router stats did not record the re-dispatches")
+	}
+}
+
+// The PR 5 extension of the churn story: kill -> failover (as above) ->
+// restart -> mid-sweep re-admission. A replica that comes back while the
+// sweep is still running must be re-admitted by the background /healthz
+// prober and reclaim its owned shard before the sweep ends, with the merge
+// still byte-identical to single-process engine.Batch.
+func TestCoordinatorSweepReadmitsRestartedReplicaMidSweep(t *testing.T) {
+	const n = 3
+	items := coordItems()
+	part := NewPartitioner(n)
+	counts := make([]int, n)
+	for _, it := range items {
+		counts[part.Owner(it.Shape())]++
+	}
+	victim := 0
+	for k, c := range counts {
+		if c > counts[victim] {
+			victim = k
+		}
+	}
+	if counts[victim] < 2 {
+		t.Fatal("no shard owns two quick-grid shapes; extend the grid")
+	}
+	// Guarantee work after the re-admission: the tail repeats a
+	// victim-owned shape, so its chunks run once the victim is back.
+	var tail serve.SweepItem
+	for _, it := range items {
+		if part.Owner(it.Shape()) == victim {
+			tail = it
+			break
+		}
+	}
+	for i := 0; i < 4; i++ {
+		items = append(items, tail)
+	}
+	refJSON := coordReference(t, items)
+
+	// A restartable fleet: each replica listens on an address the test
+	// owns, so the victim can be brought back on the same URL.
+	services := make([]*serve.Service, n)
+	addrs := make([]string, n)
+	srvs := make([]*http.Server, n)
+	listen := func(k, retries int) error {
+		addr := addrs[k]
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		var ln net.Listener
+		var err error
+		for try := 0; ; try++ {
+			ln, err = net.Listen("tcp", addr)
+			if err == nil {
+				break
+			}
+			if try >= retries {
+				return err
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		addrs[k] = ln.Addr().String()
+		srv := &http.Server{Handler: serve.Handler(services[k])}
+		srvs[k] = srv
+		go func() { _ = srv.Serve(ln) }()
+		return nil
+	}
+	for k := 0; k < n; k++ {
+		a := Assignment{Index: k, Count: n}
+		svc, err := serve.New(serve.Config{
+			Plat:           hw.RTX4090PCIe(),
+			NGPUs:          2,
+			CandidateLimit: 64,
+			Owns:           a.Owns,
+			Shard:          a.String(),
+			Curves:         sharedCurves(t),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		services[k] = svc
+		if err := listen(k, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, srv := range srvs {
+			if srv != nil {
+				_ = srv.Close()
+			}
+		}
+	})
+	httpClient := &http.Client{Timeout: 5 * time.Second}
+	clients := make([]Client, n)
+	for k := 0; k < n; k++ {
+		clients[k] = &HTTPClient{Base: "http://" + addrs[k], HTTP: httpClient}
+	}
+	r, err := NewRouter(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Health().SetCooldown(200 * time.Millisecond)
+
+	co := NewCoordinator(r)
+	co.ChunkSize = 1                         // the kill and the restart land between chunks
+	co.ProbeInterval = 10 * time.Millisecond // re-admit fast enough to matter mid-sweep
+
+	var kill, restart sync.Once
+	readmitted := make(chan struct{})
+	co.OnChunk = func(cr ChunkResult) {
+		if cr.Shard != victim {
+			return
+		}
+		if cr.Replica == victim {
+			kill.Do(func() { _ = srvs[victim].Close() })
+			return
+		}
+		// Failover observed: bring the victim back on its old address and
+		// block this shard's sweep goroutine until the prober re-admits
+		// it, so the remaining chunks run against a healthy owner.
+		restart.Do(func() {
+			if err := listen(victim, 50); err != nil {
+				t.Errorf("restarting victim: %v", err)
+				return
+			}
+			// Drop any pooled connections to the dead incarnation so the
+			// next dispatch dials the restarted one.
+			httpClient.CloseIdleConnections()
+			deadline := time.Now().Add(10 * time.Second)
+			for r.Health().State(victim) != Healthy {
+				if time.Now().After(deadline) {
+					t.Error("victim not re-admitted within 10s of restarting")
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			close(readmitted)
+		})
+	}
+
+	results, err := co.Sweep(items)
+	if err != nil {
+		t.Fatalf("sweep across kill+restart of replica %d: %v", victim, err)
+	}
+	select {
+	case <-readmitted:
+	default:
+		t.Fatal("sweep finished without the victim being killed, failed over, and re-admitted")
+	}
+	if !bytes.Equal(mergedJSON(t, results), refJSON) {
+		t.Fatal("merged results diverge from single-process engine.Batch across kill+restart")
+	}
+	// The tail chunks ran after the blocking re-admission wait, so the
+	// recovered victim must have reclaimed them.
+	last := results[len(results)-1]
+	if last.Owner != victim || last.Replica != victim {
+		t.Fatalf("final victim-owned item answered by replica %d, want the re-admitted owner %d", last.Replica, victim)
+	}
+	if co.Redispatches() == 0 {
+		t.Fatal("no chunk left the victim while it was down")
+	}
+	st := r.Stats()
+	if st.Readmissions == 0 {
+		t.Fatal("router stats recorded no re-admission")
+	}
+	if st.PerShard[victim].Health != "healthy" {
+		t.Fatalf("victim health = %q after re-admission, want healthy", st.PerShard[victim].Health)
 	}
 }
 

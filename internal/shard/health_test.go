@@ -1,0 +1,776 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/serve"
+)
+
+// stubClient is a scriptable Client for health/dispatch tests; nil hooks
+// fall back to benign defaults.
+type stubClient struct {
+	query   func(serve.Query) (serve.Answer, error)
+	sweep   func(serve.SweepRequest) ([]serve.SweepResult, error)
+	healthz func() error
+}
+
+func (c *stubClient) Query(q serve.Query) (serve.Answer, error) {
+	if c.query == nil {
+		return serve.Answer{}, errors.New("stub: no query hook")
+	}
+	return c.query(q)
+}
+
+func (c *stubClient) Sweep(req serve.SweepRequest) ([]serve.SweepResult, error) {
+	if c.sweep == nil {
+		return nil, errors.New("stub: no sweep hook")
+	}
+	return c.sweep(req)
+}
+
+func (c *stubClient) Stats() (serve.Stats, error) { return serve.Stats{}, nil }
+
+func (c *stubClient) Healthz() error {
+	if c.healthz == nil {
+		return nil
+	}
+	return c.healthz()
+}
+
+// The health state machine: failures bench a replica for the cooldown, the
+// first caller after the window claims a single trial slot (suspect), and
+// only a reported success re-admits. This is what caps a degraded fleet's
+// cost at one probe timeout per replica per cooldown window.
+func TestHealthStateMachine(t *testing.T) {
+	h := NewHealth(2)
+	h.SetCooldown(time.Minute)
+	now := time.Unix(1000, 0)
+	h.now = func() time.Time { return now }
+
+	if !h.Allow(0) || h.State(0) != Healthy {
+		t.Fatal("fresh replica not admissible")
+	}
+	h.MarkFailed(0)
+	if h.State(0) != Dead {
+		t.Fatalf("state after failure = %v, want dead", h.State(0))
+	}
+	if h.Allow(0) {
+		t.Fatal("dead replica admitted inside its cooldown")
+	}
+	if h.Skips() != 1 {
+		t.Fatalf("skips = %d, want 1", h.Skips())
+	}
+	// Replica 1 is unaffected by replica 0's state.
+	if !h.Allow(1) {
+		t.Fatal("healthy neighbor of a dead replica not admissible")
+	}
+
+	// Cooldown elapses: exactly one trial slot per window.
+	now = now.Add(time.Minute + time.Second)
+	if !h.Allow(0) {
+		t.Fatal("cooled-down replica not granted a trial")
+	}
+	if h.State(0) != Suspect {
+		t.Fatalf("state during trial = %v, want suspect", h.State(0))
+	}
+	if h.Allow(0) {
+		t.Fatal("second caller admitted while a trial is in flight")
+	}
+
+	// A failed trial benches it for a fresh window.
+	h.MarkFailed(0)
+	if h.Allow(0) {
+		t.Fatal("replica admitted right after a failed trial")
+	}
+	now = now.Add(time.Minute + time.Second)
+	if !h.Allow(0) {
+		t.Fatal("replica not granted a trial after the refreshed cooldown")
+	}
+	h.MarkHealthy(0)
+	if h.State(0) != Healthy || !h.Allow(0) {
+		t.Fatal("successful trial did not re-admit the replica")
+	}
+	if h.Readmissions() != 1 {
+		t.Fatalf("readmissions = %d, want 1", h.Readmissions())
+	}
+	// Repeated successes on a healthy replica are not re-admissions.
+	h.MarkHealthy(0)
+	if h.Readmissions() != 1 {
+		t.Fatalf("readmissions after healthy no-op = %d, want 1", h.Readmissions())
+	}
+}
+
+// The wall-clock regression the PR fixes: sweeping a fleet with one
+// pre-dead replica must pay ~one probe timeout total, not one per chunk.
+// The dead replica's stub instruments the cost — every call burns `delay`
+// — so the call count is exactly the number of probe timeouts paid.
+func TestSweepOverPreDeadReplicaPaysOneProbeTimeout(t *testing.T) {
+	items := coordItems()
+	refJSON := coordReference(t, items)
+	part := NewPartitioner(2)
+	counts := make([]int, 2)
+	for _, it := range items {
+		counts[part.Owner(it.Shape())]++
+	}
+	dead := 0
+	if counts[1] > counts[0] {
+		dead = 1 // kill the shard owning more items: more chunks at risk
+	}
+	if counts[dead] < 2 {
+		t.Fatalf("shard %d owns %d quick-grid shapes; need >= 2 chunks", dead, counts[dead])
+	}
+
+	const delay = 150 * time.Millisecond
+	var deadCalls atomic.Int64
+	deadStub := &stubClient{
+		sweep: func(serve.SweepRequest) ([]serve.SweepResult, error) {
+			deadCalls.Add(1)
+			time.Sleep(delay) // the instrumented "client timeout"
+			return nil, errors.New("stub: replica is down")
+		},
+		healthz: func() error { return errors.New("stub: replica is down") },
+	}
+	healthy, err := serve.New(serve.Config{Plat: hw.RTX4090PCIe(), NGPUs: 2, CandidateLimit: 64, Curves: sharedCurves(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]Client, 2)
+	clients[dead] = deadStub
+	clients[1-dead] = &LocalClient{Svc: healthy}
+	r, err := NewRouter(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	co := NewCoordinator(r)
+	co.ChunkSize = 1 // one chunk per item: every owned item is a chance to stall
+	results, err := co.Sweep(items)
+	if err != nil {
+		t.Fatalf("sweep with a pre-dead replica: %v", err)
+	}
+	if got := deadCalls.Load(); got != 1 {
+		t.Fatalf("dead replica probed %d times (%v of stall), want exactly 1 probe timeout total", got, time.Duration(got)*delay)
+	}
+	if !bytes.Equal(mergedJSON(t, results), refJSON) {
+		t.Fatal("degraded merge diverges from single-process engine.Batch")
+	}
+	if got := int(co.Redispatches()); got != counts[dead] {
+		t.Fatalf("%d re-dispatches, want %d (every chunk the dead shard owned)", got, counts[dead])
+	}
+	if r.Health().State(dead) != Dead {
+		t.Fatalf("dead replica state = %v after the sweep", r.Health().State(dead))
+	}
+	if r.Health().Skips() == 0 {
+		t.Fatal("health plane recorded no skipped attempts; every chunk paid the probe")
+	}
+}
+
+// Routed queries obey the same plane: after a dead replica burns its one
+// probe, later queries for its shapes skip straight to the failover
+// replica without another timeout.
+func TestRouterQuerySkipsKnownDeadReplica(t *testing.T) {
+	shape := quickGridShapes()[0]
+	owner := NewPartitioner(2).Owner(shape)
+	var deadCalls atomic.Int64
+	deadStub := &stubClient{
+		query: func(serve.Query) (serve.Answer, error) {
+			deadCalls.Add(1)
+			return serve.Answer{}, errors.New("stub: replica is down")
+		},
+	}
+	healthy, err := serve.New(serve.Config{Plat: hw.RTX4090PCIe(), NGPUs: 2, CandidateLimit: 64, Curves: sharedCurves(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make([]Client, 2)
+	clients[owner] = deadStub
+	clients[1-owner] = &LocalClient{Svc: healthy}
+	r, err := NewRouter(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		ans, err := r.Query(serve.Query{Shape: shape, Prim: hw.AllReduce})
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if ans.Replica == owner {
+			t.Fatalf("query %d attributed to the dead owner", i)
+		}
+	}
+	if got := deadCalls.Load(); got != 1 {
+		t.Fatalf("dead owner probed %d times across 5 queries, want 1", got)
+	}
+}
+
+// Probe re-admission respects the cooldown: a zombie replica whose
+// /healthz answers while its work path keeps failing must not oscillate
+// dead -> healthy faster than once per window — that would burn one
+// dispatch attempt per probe interval instead of per cooldown.
+func TestProbeRespectsCooldownForZombies(t *testing.T) {
+	zombie := &stubClient{} // nil healthz hook: /healthz always answers ok
+	r, err := NewRouter([]Client{zombie, &stubClient{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := r.Health()
+	h.SetCooldown(time.Minute)
+	now := time.Unix(1000, 0)
+	h.now = func() time.Time { return now }
+
+	h.MarkFailed(0)
+	if n := r.Probe(); n != 0 {
+		t.Fatalf("freshly dead zombie re-admitted (%d replicas) before its cooldown", n)
+	}
+	if h.State(0) != Dead {
+		t.Fatalf("state after rejected probe = %v, want dead", h.State(0))
+	}
+	now = now.Add(time.Minute + time.Second)
+	if n := r.Probe(); n != 1 {
+		t.Fatalf("cooled-down replica not re-admitted by the probe (%d replicas)", n)
+	}
+	if h.State(0) != Healthy {
+		t.Fatalf("state after due probe = %v, want healthy", h.State(0))
+	}
+}
+
+// The background prober is shared and refcounted: the first of two
+// concurrent holders stopping must not strip the survivor of its mid-sweep
+// re-admission probes; only the last stop ends the goroutine.
+func TestProberSurvivesUntilLastHolderStops(t *testing.T) {
+	var probes atomic.Int64
+	dead := &stubClient{healthz: func() error {
+		probes.Add(1)
+		return errors.New("stub: replica is down")
+	}}
+	r, err := NewRouter([]Client{dead, &stubClient{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Health().SetCooldown(time.Millisecond) // trial-due almost immediately
+	r.Health().MarkFailed(0)                 // give the prober something to probe
+	stop1 := r.StartProber(5 * time.Millisecond)
+	stop2 := r.StartProber(5 * time.Millisecond)
+	stop1()
+	before := probes.Load()
+	deadline := time.Now().Add(2 * time.Second)
+	for probes.Load() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("prober died with the first holder's stop; the second sweep lost re-admission")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop2()
+	time.Sleep(30 * time.Millisecond) // drain any in-flight tick
+	final := probes.Load()
+	time.Sleep(50 * time.Millisecond)
+	if got := probes.Load(); got != final {
+		t.Fatalf("prober still probing after the last stop (%d -> %d)", final, got)
+	}
+}
+
+// An attempt budget beyond the fleet size opts into wrap-around retries: a
+// dispatch that finds the whole ring inside its cooldown (one replica dead,
+// the other hit by a transient blip) must wait the cooldown out and retry
+// instead of aborting with most of its budget unspent — the sweep survives
+// the blip.
+func TestDispatchWaitsOutCooldownWhenBudgetExceedsFleet(t *testing.T) {
+	part := NewPartitioner(2)
+	var owned []serve.SweepItem
+	for _, s := range quickGridShapes() {
+		if part.Owner(s) == 0 {
+			owned = append(owned, serve.SweepItem{M: s.M, N: s.N, K: s.K, Prim: "AR"})
+		}
+	}
+	if len(owned) == 0 {
+		t.Fatal("shard 0 owns no quick-grid shapes")
+	}
+	refJSON := coordReference(t, owned)
+
+	dead := &stubClient{
+		sweep: func(serve.SweepRequest) ([]serve.SweepResult, error) {
+			return nil, errors.New("stub: replica is down")
+		},
+		healthz: func() error { return errors.New("stub: replica is down") },
+	}
+	svc, err := serve.New(serve.Config{Plat: hw.RTX4090PCIe(), NGPUs: 2, CandidateLimit: 64, Curves: sharedCurves(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := &LocalClient{Svc: svc}
+	var blipped atomic.Bool
+	flaky := &stubClient{
+		sweep: func(req serve.SweepRequest) ([]serve.SweepResult, error) {
+			if blipped.CompareAndSwap(false, true) {
+				return nil, errors.New("stub: transient failure")
+			}
+			return inner.Sweep(req)
+		},
+	}
+	r, err := NewRouter([]Client{dead, flaky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Health().SetCooldown(30 * time.Millisecond)
+	co := NewCoordinator(r)
+	co.ChunkSize = len(owned) // a single chunk owned by the dead replica
+	co.MaxAttempts = 6        // > fleet size: opt into wrap-around retries
+
+	results, err := co.Sweep(owned)
+	if err != nil {
+		t.Fatalf("sweep across a transient blip with budget > fleet size: %v", err)
+	}
+	if !bytes.Equal(mergedJSON(t, results), refJSON) {
+		t.Fatal("merge diverges from single-process engine.Batch after the waited retry")
+	}
+	for i, res := range results {
+		if res.Replica != 1 {
+			t.Fatalf("item %d answered by replica %d, want the recovered flaky replica 1", i, res.Replica)
+		}
+	}
+	if co.Redispatches() != 1 {
+		t.Fatalf("redispatches = %d, want 1", co.Redispatches())
+	}
+}
+
+// A deterministic structured 5xx (a "poison" query every replica fails
+// identically) must not bench the fleet: the replicas answered, and
+// marking them dead would black out all routed traffic for a cooldown.
+func TestPoisonQueryDoesNotBenchFleet(t *testing.T) {
+	shape := quickGridShapes()[0]
+	poison := func() *stubClient {
+		return &stubClient{query: func(serve.Query) (serve.Answer, error) {
+			return serve.Answer{}, &ReplyError{Status: 500, Err: errors.New("stub: deterministic internal failure")}
+		}}
+	}
+	r, err := NewRouter([]Client{poison(), poison()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		_, err := r.Query(serve.Query{Shape: shape, Prim: hw.AllReduce})
+		if err == nil {
+			t.Fatal("poison query succeeded")
+		}
+		if strings.Contains(err.Error(), "marked dead") {
+			t.Fatalf("query %d hit the benched-fleet fast-fail: %v (answered 5xx errors benched the fleet)", i, err)
+		}
+	}
+	for k := 0; k < 2; k++ {
+		if got := r.Health().State(k); got != Healthy {
+			t.Fatalf("replica %d = %v after answered 5xx failures, want healthy", k, got)
+		}
+	}
+}
+
+// A trial request answered with a deterministic 4xx proves the replica is
+// alive: the suspect trial must resolve healthy, not leave the replica
+// benched for another cooldown (where a stream of malformed queries could
+// keep a recovered replica out of rotation indefinitely).
+func TestBadQueryTrialResolvesSuspectHealthy(t *testing.T) {
+	shape := quickGridShapes()[0]
+	owner := NewPartitioner(2).Owner(shape)
+	rejecting := &stubClient{query: func(serve.Query) (serve.Answer, error) {
+		return serve.Answer{}, &QueryError{Err: errors.New("stub: bad query")}
+	}}
+	clients := make([]Client, 2)
+	clients[owner] = rejecting
+	clients[1-owner] = &stubClient{}
+	r, err := NewRouter(clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Health().SetCooldown(20 * time.Millisecond)
+	r.Health().MarkFailed(owner)
+	time.Sleep(30 * time.Millisecond) // cooldown elapses: next request is the trial
+	if _, err := r.Query(serve.Query{Shape: shape, Prim: hw.AllReduce}); err == nil {
+		t.Fatal("rejected query accepted")
+	}
+	if got := r.Health().State(owner); got != Healthy {
+		t.Fatalf("owner state after a 4xx trial = %v, want healthy (the replica answered)", got)
+	}
+}
+
+// Partial-chunk completion: a chunk that fails at item i keeps the
+// completed prefix results[0..i) and re-dispatches only the unanswered
+// suffix — the failover replica must never re-execute salvaged work, and
+// the merge must stay byte-identical to the single-process reference.
+func TestCoordinatorSalvagesPartialChunk(t *testing.T) {
+	part := NewPartitioner(2)
+	var owned []serve.SweepItem
+	for _, s := range quickGridShapes() {
+		if part.Owner(s) == 0 {
+			owned = append(owned, serve.SweepItem{M: s.M, N: s.N, K: s.K, Prim: "AR"})
+		}
+	}
+	if len(owned) == 0 {
+		t.Fatal("shard 0 owns no quick-grid shapes")
+	}
+	// One four-item chunk, all owned by shard 0.
+	items := []serve.SweepItem{owned[0], owned[len(owned)-1], owned[0], owned[len(owned)-1]}
+	refJSON := coordReference(t, items)
+
+	newSvc := func() *serve.Service {
+		svc, err := serve.New(serve.Config{Plat: hw.RTX4090PCIe(), NGPUs: 2, CandidateLimit: 64, Curves: sharedCurves(t)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return svc
+	}
+	// Replica 0 computes the whole chunk but "crashes" after item 2,
+	// reporting the completed prefix alongside the ChunkError — the shape
+	// of a 5xx /sweep reply naming the failing item.
+	inner0 := &LocalClient{Svc: newSvc()}
+	crashing := &stubClient{
+		sweep: func(req serve.SweepRequest) ([]serve.SweepResult, error) {
+			res, err := inner0.Sweep(req)
+			if err != nil {
+				return res, err
+			}
+			return res[:2], &serve.ChunkError{Index: 2, Err: errors.New("injected crash after item 2")}
+		},
+	}
+	// Replica 1 records what it is asked to execute.
+	inner1 := &LocalClient{Svc: newSvc()}
+	var mu sync.Mutex
+	var suffixCalls [][]int
+	recording := &stubClient{
+		sweep: func(req serve.SweepRequest) ([]serve.SweepResult, error) {
+			mu.Lock()
+			sizes := []int{len(req.Items)}
+			suffixCalls = append(suffixCalls, sizes)
+			mu.Unlock()
+			return inner1.Sweep(req)
+		},
+	}
+	r, err := NewRouter([]Client{crashing, recording})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(r)
+	co.ChunkSize = len(items)
+	var segments []ChunkResult
+	co.OnChunk = func(cr ChunkResult) { segments = append(segments, cr) }
+
+	results, err := co.Sweep(items)
+	if err != nil {
+		t.Fatalf("sweep with a partial chunk failure: %v", err)
+	}
+	if !bytes.Equal(mergedJSON(t, results), refJSON) {
+		t.Fatal("salvaged merge diverges from single-process engine.Batch")
+	}
+	for i, res := range results {
+		want := 0
+		if i >= 2 {
+			want = 1 // suffix re-dispatched to the failover replica
+		}
+		if res.Replica != want {
+			t.Fatalf("item %d attributed to replica %d, want %d", i, res.Replica, want)
+		}
+	}
+	if got := co.PartialSalvages(); got != 2 {
+		t.Fatalf("salvaged %d items, want 2", got)
+	}
+	if co.Redispatches() != 1 {
+		t.Fatalf("redispatches = %d, want 1 (one chunk left its owner)", co.Redispatches())
+	}
+	if len(suffixCalls) != 1 || suffixCalls[0][0] != 2 {
+		t.Fatalf("failover replica saw calls %v, want exactly one 2-item suffix", suffixCalls)
+	}
+	if len(segments) != 2 || len(segments[0].Indices) != 2 || len(segments[1].Indices) != 2 ||
+		segments[0].Replica != 0 || segments[1].Replica != 1 {
+		t.Fatalf("OnChunk segments %+v, want a 2-item owner prefix then a 2-item failover suffix", segments)
+	}
+}
+
+// An exhausted budget must attribute the failure to an item that is still
+// unanswered: a failure index that a later partial salvage answered would
+// send the operator to a cell that is fine.
+func TestExhaustedBudgetNamesUnansweredItemAfterSalvage(t *testing.T) {
+	part := NewPartitioner(2)
+	var shape serve.SweepItem
+	found := false
+	for _, s := range quickGridShapes() {
+		if part.Owner(s) == 0 {
+			shape = serve.SweepItem{M: s.M, N: s.N, K: s.K, Prim: "AR"}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("shard 0 owns no quick-grid shapes")
+	}
+	// Eight copies of one shard-0 shape: a single chunk, every salvage
+	// boundary deterministic.
+	items := make([]serve.SweepItem, 8)
+	for i := range items {
+		items[i] = shape
+	}
+	newSalvagingStub := func() *stubClient {
+		svc, err := serve.New(serve.Config{Plat: hw.RTX4090PCIe(), NGPUs: 2, CandidateLimit: 64, Curves: sharedCurves(t)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner := &LocalClient{Svc: svc}
+		return &stubClient{sweep: func(req serve.SweepRequest) ([]serve.SweepResult, error) {
+			res, err := inner.Sweep(req)
+			if err != nil {
+				return res, err
+			}
+			// Answer the first 3 items of whatever suffix arrives, then
+			// "crash" at the fourth.
+			return res[:3], &serve.ChunkError{Index: 3, Err: errors.New("injected crash after 3 items")}
+		}}
+	}
+	r, err := NewRouter([]Client{newSalvagingStub(), newSalvagingStub()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(r)
+	co.ChunkSize = len(items) // budget 2 (fleet size): A salvages 0-2, B 3-5, exhausted at 6
+	_, err = co.Sweep(items)
+	if err == nil {
+		t.Fatal("sweep succeeded with every attempt failing partway")
+	}
+	if !strings.Contains(err.Error(), "re-dispatch budget") {
+		t.Fatalf("error %q does not name the exhausted budget", err)
+	}
+	if want := "sweep item 6:"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name %q, the first still-unanswered failing item", err, want)
+	}
+	if co.PartialSalvages() != 0 {
+		t.Fatalf("failed sweep reported %d salvaged items; salvage was discarded", co.PartialSalvages())
+	}
+	// Structured ChunkErrors are live replicas answering quickly: a
+	// poison item that 5xxes identically everywhere must not bench the
+	// whole fleet and black out unrelated query traffic for a cooldown.
+	for k := 0; k < 2; k++ {
+		if got := r.Health().State(k); got != Healthy {
+			t.Fatalf("replica %d = %v after structured chunk failures, want healthy (only transport failures bench)", k, got)
+		}
+	}
+
+	// The index-less variant: a chunk-level transport failure pins to the
+	// chunk's first item, so a later salvage must supersede it too — the
+	// budget error names the first still-unanswered item, not item 0.
+	transport := &stubClient{sweep: func(serve.SweepRequest) ([]serve.SweepResult, error) {
+		return nil, errors.New("stub: connection refused")
+	}}
+	r2, err := NewRouter([]Client{transport, newSalvagingStub()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	co2 := NewCoordinator(r2)
+	co2.ChunkSize = len(items)
+	_, err = co2.Sweep(items)
+	if err == nil {
+		t.Fatal("sweep succeeded with every attempt failing")
+	}
+	if want := "sweep item 3:"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name %q (the chunk-level failure was not superseded by the salvage)", err, want)
+	}
+	if got := r2.Health().State(0); got != Dead {
+		t.Fatalf("transport-failing replica = %v, want dead", got)
+	}
+}
+
+// The wire form of partial-chunk completion: a non-OK /sweep reply carrying
+// the completed prefix under "results" must surface both the rebuilt
+// *serve.ChunkError and the salvage.
+func TestHTTPClientSweepRebuildsPartialResults(t *testing.T) {
+	prefix := []serve.SweepResult{
+		{Shape: "2048x8192x4096", Primitive: "AllReduce"},
+		{Shape: "4096x8192x4096", Primitive: "AllReduce"},
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"error":   "engine crashed mid-chunk",
+			"index":   2,
+			"results": prefix,
+		})
+	}))
+	defer srv.Close()
+
+	c := &HTTPClient{Base: srv.URL}
+	got, err := c.Sweep(serve.SweepRequest{Items: make([]serve.SweepItem, 4)})
+	if err == nil {
+		t.Fatal("500 reply did not surface an error")
+	}
+	var ce *serve.ChunkError
+	if !errors.As(err, &ce) || ce.Index != 2 {
+		t.Fatalf("error %v does not carry chunk index 2", err)
+	}
+	if !retryable(err) {
+		t.Fatalf("5xx partial failure classified non-retryable: %v", err)
+	}
+	if len(got) != 2 || got[0].Shape != prefix[0].Shape || got[1].Shape != prefix[1].Shape {
+		t.Fatalf("salvaged prefix %+v, want the 2 completed results", got)
+	}
+}
+
+// The router's /sweep proxy must honor the forwarded chunk size and attempt
+// budget instead of silently rebuilding a coordinator with defaults.
+func TestRouterSweepProxyHonorsForwardedKnobs(t *testing.T) {
+	items := coordItems()
+
+	// Chunk: every dispatch the proxy makes must respect the caller's
+	// chunk size, splitting a shard's sub-grid into several calls.
+	t.Run("chunk", func(t *testing.T) {
+		var mu sync.Mutex
+		var calls []int
+		clients := make([]Client, 2)
+		for k := range clients {
+			svc, err := serve.New(serve.Config{Plat: hw.RTX4090PCIe(), NGPUs: 2, CandidateLimit: 64, Curves: sharedCurves(t)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			inner := &LocalClient{Svc: svc}
+			clients[k] = &stubClient{sweep: func(req serve.SweepRequest) ([]serve.SweepResult, error) {
+				mu.Lock()
+				calls = append(calls, len(req.Items))
+				mu.Unlock()
+				return inner.Sweep(req)
+			}}
+		}
+		r, err := NewRouter(clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		front := httptest.NewServer(r.Handler())
+		defer front.Close()
+
+		body, err := json.Marshal(serve.SweepRequest{Chunk: 2, Items: items})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(front.URL+"/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status = %d", resp.StatusCode)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if len(calls) <= 2 {
+			t.Fatalf("proxy made %d dispatches for %d items at chunk 2; forwarded chunk size ignored", len(calls), len(items))
+		}
+		for _, n := range calls {
+			if n > 2 {
+				t.Fatalf("proxy dispatched a %d-item chunk, want <= 2 (forwarded chunk size)", n)
+			}
+		}
+	})
+
+	// A remote-supplied budget is clamped to twice the fleet size: an
+	// absurd attempts value over a dead fleet must fail within a couple
+	// of cooldown windows, not wedge the proxy goroutine indefinitely.
+	t.Run("attempts-clamped", func(t *testing.T) {
+		down := func() *stubClient {
+			return &stubClient{
+				sweep: func(serve.SweepRequest) ([]serve.SweepResult, error) {
+					return nil, errors.New("stub: replica is down")
+				},
+				healthz: func() error { return errors.New("stub: replica is down") },
+			}
+		}
+		r, err := NewRouter([]Client{down(), down()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Health().SetCooldown(30 * time.Millisecond)
+		front := httptest.NewServer(r.Handler())
+		defer front.Close()
+
+		body, err := json.Marshal(serve.SweepRequest{Attempts: 1 << 20, Items: items})
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		resp, err := http.Post(front.URL+"/sweep", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatal("sweep over a dead fleet succeeded")
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("clamped budget took %v; the proxy goroutine was wedged by the remote attempts value", elapsed)
+		}
+	})
+
+	// Attempts: a budget of 1 must fail the proxied sweep when the owner
+	// is down (no failover budget), while 2 fails over and succeeds.
+	for _, tc := range []struct {
+		attempts int
+		wantOK   bool
+	}{{1, false}, {2, true}} {
+		t.Run(fmt.Sprintf("attempts=%d", tc.attempts), func(t *testing.T) {
+			part := NewPartitioner(2)
+			var sub []serve.SweepItem
+			for _, it := range items {
+				if part.Owner(it.Shape()) == 0 {
+					sub = append(sub, it)
+				}
+			}
+			if len(sub) == 0 {
+				t.Fatal("shard 0 owns no quick-grid items")
+			}
+			svc, err := serve.New(serve.Config{Plat: hw.RTX4090PCIe(), NGPUs: 2, CandidateLimit: 64, Curves: sharedCurves(t)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			downOwner := &stubClient{sweep: func(serve.SweepRequest) ([]serve.SweepResult, error) {
+				return nil, errors.New("stub: owner is down")
+			}}
+			r, err := NewRouter([]Client{downOwner, &LocalClient{Svc: svc}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			front := httptest.NewServer(r.Handler())
+			defer front.Close()
+
+			body, err := json.Marshal(serve.SweepRequest{Attempts: tc.attempts, Items: sub})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.Post(front.URL+"/sweep", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if tc.wantOK && resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d with failover budget, want 200", resp.StatusCode)
+			}
+			if !tc.wantOK {
+				if resp.StatusCode == http.StatusOK {
+					t.Fatal("sweep succeeded with attempts=1 and a dead owner; forwarded budget ignored")
+				}
+				var eb struct {
+					Error string `json:"error"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+					t.Fatal(err)
+				}
+				if !strings.Contains(eb.Error, "re-dispatch budget") {
+					t.Fatalf("error %q does not name the exhausted budget", eb.Error)
+				}
+			}
+		})
+	}
+}

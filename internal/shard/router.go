@@ -2,9 +2,11 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strings"
@@ -19,10 +21,17 @@ import (
 
 // Client is one replica endpoint a Router fans out to: either a remote
 // cmd/serve process (HTTPClient) or an in-process service (LocalClient).
+// Sweep may return a non-empty completed prefix of results alongside a
+// *serve.ChunkError — partial-chunk completion; callers must treat any
+// non-nil error as a failed chunk and the results as salvage, never as a
+// full answer.
 type Client interface {
 	Query(q serve.Query) (serve.Answer, error)
 	Sweep(req serve.SweepRequest) ([]serve.SweepResult, error)
 	Stats() (serve.Stats, error)
+	// Healthz is the lightweight liveness probe behind dead-replica
+	// re-admission: nil means the replica is up and serving.
+	Healthz() error
 }
 
 // QueryError marks an error the query itself caused (a malformed request, an
@@ -41,6 +50,32 @@ func (e *QueryError) Unwrap() error { return e.Err }
 func retryable(err error) bool {
 	var qe *QueryError
 	return !errors.As(err, &qe)
+}
+
+// ReplyError marks a failure the replica itself reported over a live
+// connection — a structured 5xx reply. Retryable (another replica may
+// succeed), but proof of liveness: the health plane must not bench the
+// sender as if it had timed out.
+type ReplyError struct {
+	Status int // HTTP status when the error came over the wire; 0 locally
+	Err    error
+}
+
+func (e *ReplyError) Error() string { return e.Err.Error() }
+func (e *ReplyError) Unwrap() error { return e.Err }
+
+// replicaAnswered reports whether err proves the replica is alive and
+// answering — a structured reply (4xx rejection, 5xx reply body, or an
+// item-attributed chunk failure) as opposed to a transport-level failure
+// (connection refused, timeout, truncated body). Benching is reserved for
+// the latter: those are the failures whose retry costs a timeout, and
+// benching on answered errors would let one deterministic-5xx poison
+// query/item walk the ring and mark the whole fleet dead.
+func replicaAnswered(err error) bool {
+	var re *ReplyError
+	var qe *QueryError
+	var ce *serve.ChunkError
+	return errors.As(err, &re) || errors.As(err, &qe) || errors.As(err, &ce)
 }
 
 // DefaultTimeout bounds requests of the package-default HTTP client: long
@@ -122,7 +157,8 @@ func (c *HTTPClient) get(path string, out any) error {
 			// another replica would too.
 			return &QueryError{Status: resp.StatusCode, Err: err}
 		}
-		return err
+		// A structured 5xx is the replica answering, not dying.
+		return &ReplyError{Status: resp.StatusCode, Err: err}
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("shard: %s%s: decoding reply: %w", c.Base, path, err)
@@ -168,8 +204,9 @@ func (c *HTTPClient) Sweep(req serve.SweepRequest) ([]serve.SweepResult, error) 
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		var eb struct {
-			Error string `json:"error"`
-			Index *int   `json:"index"`
+			Error   string              `json:"error"`
+			Index   *int                `json:"index"`
+			Results []serve.SweepResult `json:"results"`
 		}
 		_ = json.NewDecoder(resp.Body).Decode(&eb)
 		if eb.Error == "" {
@@ -182,9 +219,17 @@ func (c *HTTPClient) Sweep(req serve.SweepRequest) ([]serve.SweepResult, error) 
 		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
 			// The replica understood the chunk and rejected it;
 			// another replica would too.
-			return nil, &QueryError{Status: resp.StatusCode, Err: cause}
+			return eb.Results, &QueryError{Status: resp.StatusCode, Err: cause}
 		}
-		return nil, cause
+		// eb.Results is the completed prefix of the chunk (items the
+		// replica answered before failing): partial-chunk completion lets
+		// the coordinator re-dispatch only the unanswered suffix. The
+		// structured reply (indexed or not) marks the replica as having
+		// answered, not died.
+		if eb.Index == nil || *eb.Index < 0 {
+			cause = &ReplyError{Status: resp.StatusCode, Err: cause}
+		}
+		return eb.Results, cause
 	}
 	var sr serve.SweepResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
@@ -200,6 +245,35 @@ func (c *HTTPClient) Stats() (serve.Stats, error) {
 		return serve.Stats{}, err
 	}
 	return st, nil
+}
+
+// HealthzTimeout bounds a liveness probe independently of the heavyweight
+// per-request client timeout (which must cover whole tuned sweep chunks).
+// A replica that cannot answer /healthz in this window is not re-admittable
+// anyway, and a black-holed corpse must not stall a probe round for the
+// 30s-2m work timeout — that would starve other replicas' re-admission.
+const HealthzTimeout = 2 * time.Second
+
+// Healthz probes the replica's GET /healthz liveness endpoint. Any
+// transport error, timeout (HealthzTimeout), or non-200 status means the
+// replica is not (yet) ready to be re-admitted.
+func (c *HTTPClient) Healthz() error {
+	ctx, cancel := context.WithTimeout(context.Background(), HealthzTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("shard: %s: %w", c.Base, err)
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return fmt.Errorf("shard: %s: %w", c.Base, err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard: %s/healthz: %s", c.Base, resp.Status)
+	}
+	return nil
 }
 
 // LocalClient adapts an in-process *serve.Service to the Client interface
@@ -218,24 +292,27 @@ func (c *LocalClient) Query(q serve.Query) (serve.Answer, error) {
 		if serve.IsBadQuery(err) {
 			return serve.Answer{}, &QueryError{Err: err}
 		}
-		return serve.Answer{}, err
+		// An in-process service cannot have transport failures: every
+		// error is the replica answering, mirroring the HTTP 5xx path.
+		return serve.Answer{}, &ReplyError{Err: err}
 	}
 	return ans, nil
 }
 
-// Sweep processes one sweep chunk on the in-process service.
+// Sweep processes one sweep chunk on the in-process service. On failure
+// the completed prefix rides along with the error, like the HTTP path.
 func (c *LocalClient) Sweep(req serve.SweepRequest) ([]serve.SweepResult, error) {
 	res, err := c.Svc.SweepChunk(req)
-	if err != nil {
-		if serve.IsBadQuery(err) {
-			return nil, &QueryError{Err: err}
-		}
-		return nil, err
+	if err != nil && serve.IsBadQuery(err) {
+		return res, &QueryError{Err: err}
 	}
-	return res, nil
+	return res, err
 }
 
 func (c *LocalClient) Stats() (serve.Stats, error) { return c.Svc.Stats(), nil }
+
+// Healthz reports an in-process service as always alive.
+func (c *LocalClient) Healthz() error { return nil }
 
 // Answer is a routed reply: the replica's answer plus where it came from.
 type Answer struct {
@@ -251,40 +328,63 @@ type Answer struct {
 type Router struct {
 	part    Partitioner
 	clients []Client
+	health  *Health
 
-	routed    []atomic.Uint64 // per-replica answered queries
-	failovers atomic.Uint64
+	routedQueries    []atomic.Uint64 // per-replica answered /query requests
+	routedSweepItems []atomic.Uint64 // per-replica answered sweep items
+	failovers        atomic.Uint64
+
+	proberMu   sync.Mutex // guards the shared prober's refcount lifecycle
+	proberRefs int
+	proberStop chan struct{}
 }
 
 // NewRouter builds a router over the replica fleet; ownership follows
-// NewPartitioner(len(clients)).
+// NewPartitioner(len(clients)). The router owns the fleet's health plane,
+// shared with every Coordinator built over it.
 func NewRouter(clients []Client) (*Router, error) {
 	if len(clients) == 0 {
 		return nil, fmt.Errorf("shard: router needs at least one replica")
 	}
 	return &Router{
-		part:    NewPartitioner(len(clients)),
-		clients: clients,
-		routed:  make([]atomic.Uint64, len(clients)),
+		part:             NewPartitioner(len(clients)),
+		clients:          clients,
+		health:           NewHealth(len(clients)),
+		routedQueries:    make([]atomic.Uint64, len(clients)),
+		routedSweepItems: make([]atomic.Uint64, len(clients)),
 	}, nil
 }
 
 // Partitioner exposes the ownership mapping the router fans out with.
 func (r *Router) Partitioner() Partitioner { return r.part }
 
+// Health exposes the fleet's shared health plane (cooldown tuning, state
+// inspection). Coordinators built over this router share it, so a replica
+// one sweep discovered dead is skipped by routed queries too.
+func (r *Router) Health() *Health { return r.health }
+
 // Query forwards q to the owning replica. If the owner fails with a
 // replica-level error (connection refused, 5xx), the query retries on the
 // next shards in ring order until one answers; a query-level rejection (4xx)
-// returns immediately. The error after exhausting the fleet is the owner's.
+// returns immediately. Replicas the health plane marks dead are skipped
+// without paying a timeout — at most one trial request per cooldown window
+// probes a dead replica. The error after exhausting the fleet is the
+// owner's (or the first attempted replica's).
 func (r *Router) Query(q serve.Query) (Answer, error) {
 	owner := r.part.Owner(q.Shape)
 	var firstErr error
+	attempted := 0
 	for hop := 0; hop < len(r.clients); hop++ {
 		replica := (owner + hop) % len(r.clients)
+		if !r.health.Allow(replica) {
+			continue
+		}
+		attempted++
 		ans, err := r.clients[replica].Query(q)
 		if err == nil {
-			r.routed[replica].Add(1)
-			if hop > 0 {
+			r.health.MarkHealthy(replica)
+			r.routedQueries[replica].Add(1)
+			if replica != owner {
 				r.failovers.Add(1)
 			}
 			return Answer{Answer: ans, Owner: owner, Replica: replica}, nil
@@ -292,18 +392,118 @@ func (r *Router) Query(q serve.Query) (Answer, error) {
 		if firstErr == nil {
 			firstErr = err
 		}
+		// Bench only on transport-level failures — the ones whose retry
+		// costs a timeout. Any answered error (4xx rejection, structured
+		// 5xx) proves liveness and resolves a suspect trial healthy;
+		// benching on answered 5xx would let one deterministic-5xx
+		// poison query walk the ring and mark the whole fleet dead.
+		if replicaAnswered(err) {
+			r.health.MarkHealthy(replica)
+		} else {
+			r.health.MarkFailed(replica)
+		}
 		if !retryable(err) {
 			return Answer{}, err
 		}
 	}
+	if attempted == 0 {
+		return Answer{}, fmt.Errorf("shard: all %d replicas are marked dead within their health cooldown (%v)",
+			len(r.clients), r.health.Cooldown())
+	}
 	return Answer{}, fmt.Errorf("shard: all %d replicas failed: %w", len(r.clients), firstErr)
+}
+
+// Probe checks trial-due dead replicas' /healthz once, concurrently, and
+// re-admits the replicas that answer. The probe competes for the same
+// single trial slot per cooldown window as in-band dispatch (an atomic
+// claimTrial), so a zombie whose /healthz answers while its work path
+// keeps failing re-enters rotation at most once per window and never
+// right after failing a claimed in-band trial.
+// A probe that fails resolves its claimed trial dead — that restamps the
+// cooldown only once per window, so in-band trials and later probes keep
+// getting their turn. It returns the number of replicas re-admitted. k
+// dead replicas cost one bounded HealthzTimeout, not k stacked ones.
+func (r *Router) Probe() int {
+	var wg sync.WaitGroup
+	var readmitted atomic.Int64
+	for i, c := range r.clients {
+		if !r.health.claimTrial(i) {
+			// Healthy, inside its cooldown, or the window's slot went
+			// to an in-band dispatch: nothing to probe.
+			continue
+		}
+		wg.Add(1)
+		go func(i int, c Client) {
+			defer wg.Done()
+			if err := c.Healthz(); err == nil {
+				r.health.MarkHealthy(i)
+				readmitted.Add(1)
+			} else {
+				r.health.MarkFailed(i)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	return int(readmitted.Load())
+}
+
+// StartProber acquires the router's shared background prober and returns a
+// stop function releasing it. The prober — a single goroutine no matter how
+// many holders — probes dead replicas' /healthz every interval (<= 0
+// selects the health cooldown; the interval of the holder that starts the
+// goroutine wins) and runs until the last holder stops, so one sweep
+// finishing cannot strip a concurrent sweep of its mid-sweep re-admission.
+// cmd/route holds it for the process lifetime; Coordinator.Sweep holds it
+// per sweep, so a replica restarted mid-sweep is re-admitted and reclaims
+// its owned shard before the sweep ends.
+func (r *Router) StartProber(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = r.health.Cooldown()
+	}
+	r.proberMu.Lock()
+	r.proberRefs++
+	if r.proberRefs == 1 {
+		done := make(chan struct{})
+		r.proberStop = done
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-t.C:
+					r.Probe()
+				}
+			}
+		}()
+	}
+	r.proberMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			r.proberMu.Lock()
+			defer r.proberMu.Unlock()
+			r.proberRefs--
+			if r.proberRefs == 0 {
+				close(r.proberStop)
+				r.proberStop = nil
+			}
+		})
+	}
 }
 
 // ReplicaStats is one replica's slice of a router stats snapshot.
 type ReplicaStats struct {
 	Replica int `json:"replica"`
-	// Routed counts queries this replica answered through the router.
-	Routed uint64 `json:"routed"`
+	// Health is the replica's health-plane state: healthy, suspect, dead.
+	Health string `json:"health"`
+	// RoutedQueries counts /query requests this replica answered through
+	// the router; RoutedSweepItems counts sweep items it executed for a
+	// coordinator. They are separate units — the old single "routed"
+	// counter conflated one query with one sweep item.
+	RoutedQueries    uint64 `json:"routed_queries"`
+	RoutedSweepItems uint64 `json:"routed_sweep_items"`
 	// Error is set when the replica's /stats was unreachable; Stats is
 	// then zero and excluded from the merge.
 	Error string      `json:"error,omitempty"`
@@ -312,10 +512,18 @@ type ReplicaStats struct {
 
 // Stats is the router's merged fleet view plus the per-replica breakdown.
 type RouterStats struct {
-	Replicas  int            `json:"replicas"`
-	Failovers uint64         `json:"failovers"`
-	Merged    serve.Stats    `json:"merged"`
-	PerShard  []ReplicaStats `json:"per_shard"`
+	Replicas int `json:"replicas"`
+	// Failovers counts ring departures: one per query answered off-owner
+	// plus one per sweep chunk any of whose items left the owner
+	// (chunk-granular, matching Coordinator.Redispatches) — a rate
+	// signal for "how often is ownership being dodged", not an item
+	// count; RoutedSweepItems carries the per-item accounting.
+	Failovers uint64 `json:"failovers"`
+	// Readmissions counts dead replicas brought back: successful trial
+	// dispatches after a cooldown plus /healthz probe re-admissions.
+	Readmissions uint64         `json:"readmissions"`
+	Merged       serve.Stats    `json:"merged"`
+	PerShard     []ReplicaStats `json:"per_shard"`
 }
 
 // Stats polls every replica concurrently and merges the reachable
@@ -325,16 +533,23 @@ type RouterStats struct {
 // client timeout, not k stacked ones.
 func (r *Router) Stats() RouterStats {
 	st := RouterStats{
-		Replicas:  len(r.clients),
-		Failovers: r.failovers.Load(),
-		PerShard:  make([]ReplicaStats, len(r.clients)),
+		Replicas:     len(r.clients),
+		Failovers:    r.failovers.Load(),
+		Readmissions: r.health.Readmissions(),
+		PerShard:     make([]ReplicaStats, len(r.clients)),
 	}
+	states := r.health.States()
 	var wg sync.WaitGroup
 	for i, c := range r.clients {
 		wg.Add(1)
 		go func(i int, c Client) {
 			defer wg.Done()
-			rs := ReplicaStats{Replica: i, Routed: r.routed[i].Load()}
+			rs := ReplicaStats{
+				Replica:          i,
+				Health:           states[i].String(),
+				RoutedQueries:    r.routedQueries[i].Load(),
+				RoutedSweepItems: r.routedSweepItems[i].Load(),
+			}
 			s, err := c.Stats()
 			if err != nil {
 				rs.Error = err.Error()
@@ -370,7 +585,7 @@ type RoutedSweepResponse struct {
 }
 
 // Handler mounts the router on an HTTP mux with the same surface as a
-// replica — /query, /sweep, and /stats — so clients cannot tell a router
+// replica — /query, /sweep, /stats, and /healthz — so clients cannot tell a router
 // from a single serve process (except for the extra attribution fields).
 // /sweep is proxied through a Coordinator over the fleet, which means a
 // cmd/sweep pointed at a router as a one-replica "fleet" transparently fans
@@ -424,8 +639,18 @@ func (r *Router) Handler() http.Handler {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("shard: sweep request has no items"))
 			return
 		}
+		// Honor the caller's forwarded knobs: a sweep driver pointed at
+		// this router as a one-replica fleet chose its own chunk size and
+		// attempt budget, and silently resetting them to defaults here
+		// would change how much work one crash re-executes. The attempt
+		// budget is remote-supplied, so it is clamped to twice the fleet
+		// size: budgets beyond the fleet wait out health cooldowns
+		// between ring wraps, and an absurd value would wedge this
+		// handler goroutine for the cooldown-wait loop's duration.
 		co := NewCoordinator(r)
 		co.Tune = sr.Tune
+		co.ChunkSize = sr.Chunk
+		co.MaxAttempts = min(sr.Attempts, 2*len(r.clients))
 		results, err := co.Sweep(sr.Items)
 		if err != nil {
 			status := http.StatusBadGateway
@@ -440,7 +665,12 @@ func (r *Router) Handler() http.Handler {
 			// like a replica's /sweep does, so an outer coordinator
 			// driving this router as a one-replica fleet re-attributes
 			// the failure to its own global index instead of blaming
-			// the chunk's first item.
+			// the chunk's first item. Partial-chunk salvage is
+			// single-level: Coordinator.Sweep returns no results on
+			// failure, so unlike a replica this proxy cannot hand the
+			// outer coordinator a completed prefix — an outer re-dispatch
+			// re-executes the whole chunk (cheap: the inner fleet's own
+			// salvage already bounded the lost work).
 			idx := -1
 			var fe *fanError
 			if errors.As(err, &fe) {
@@ -455,6 +685,12 @@ func (r *Router) Handler() http.Handler {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, r.Stats())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		// The router's own liveness: an outer coordinator driving this
+		// router as a one-replica fleet probes it for re-admission like
+		// any replica.
+		writeJSON(w, map[string]string{"status": "ok"})
 	})
 	return mux
 }

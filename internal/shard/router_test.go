@@ -97,8 +97,14 @@ func TestRouterRoutesToOwner(t *testing.T) {
 		if served != owned[k] {
 			t.Errorf("replica %d served %d queries, want %d (disjoint ownership)", k, served, owned[k])
 		}
-		if st.PerShard[k].Routed != owned[k] {
-			t.Errorf("router counted %d for replica %d, want %d", st.PerShard[k].Routed, k, owned[k])
+		if st.PerShard[k].RoutedQueries != owned[k] {
+			t.Errorf("router counted %d routed queries for replica %d, want %d", st.PerShard[k].RoutedQueries, k, owned[k])
+		}
+		if st.PerShard[k].RoutedSweepItems != 0 {
+			t.Errorf("replica %d counted %d sweep items on a query-only workload", k, st.PerShard[k].RoutedSweepItems)
+		}
+		if st.PerShard[k].Health != "healthy" {
+			t.Errorf("replica %d health = %q on a healthy fleet", k, st.PerShard[k].Health)
 		}
 		totalServed += served
 	}
