@@ -28,6 +28,17 @@
 // cell is first answered through the replica's tuned-shape cache
 // (singleflight misses) and then executed with the tuned partition.
 //
+// -fidelity selects what executes on the replicas. "des" (the default) runs
+// every cell through the deterministic event simulator; "analytic" evaluates
+// every cell with the Algorithm 1 predictor over offline bandwidth curves —
+// orders of magnitude cheaper, no event simulation; "mixed" sweeps the whole
+// grid analytically, ranks cells per quantized shape bucket, and re-runs
+// only the top -topk per bucket through the simulator — the fast-path sweep
+// for large grids where only the winners need simulator-grade confirmation.
+// Every result carries its fidelity label, and -verify understands all three
+// modes: DES results are byte-compared against a local simulator replay and
+// analytic results against a local predictor evaluation.
+//
 // sweep also composes with cmd/route: pointing -replicas at a single
 // router URL treats the router as a one-replica fleet, and the router's
 // /sweep proxy fans the grid out across the real one.
@@ -56,6 +67,8 @@ func main() {
 		primsArg  = flag.String("prims", "AR", "comma-separated primitives to cross with the shapes: AR, RS, A2A")
 		imbalance = flag.Float64("imbalance", 0, "All-to-All max/mean load factor (0 = balanced)")
 		tune      = flag.Bool("tune", false, "tune each cell through the replica's shape cache and execute the tuned partition (default: untuned per-wave baseline)")
+		fidelity  = flag.String("fidelity", "des", "execution fidelity: des (event simulator), analytic (Algorithm 1 predictor, no simulation), or mixed (analytic grid + DES re-run of the top -topk per shape bucket)")
+		topK      = flag.Int("topk", 0, "mixed fidelity only: DES confirmations per rank bucket (0 = engine default)")
 		chunk     = flag.Int("chunk", 0, "items per dispatched chunk (0 = shard.DefaultChunkSize)")
 		attempts  = flag.Int("attempts", 0, "re-dispatch budget per chunk across the failover ring (0 = fleet size); a budget beyond the fleet size does not hammer dead replicas back-to-back — wrap-around retries wait out -health-cooldown, so extra budget helps only when a replica recovers mid-dispatch")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-chunk replica timeout (covers a chunk of tunes + simulations)")
@@ -97,6 +110,12 @@ func main() {
 	co.MaxAttempts = *attempts
 	co.Tune = *tune
 	co.ProbeInterval = *probe
+	if *fidelity != serve.FidelityDES {
+		// The default stays off the wire ("" dispatch) so old fleets keep
+		// answering old clients byte-identically.
+		co.Fidelity = *fidelity
+	}
+	co.TopK = *topK
 	if !*quiet {
 		co.OnChunk = func(cr shard.ChunkResult) {
 			suffix := ""
@@ -126,8 +145,8 @@ func main() {
 		enc.SetIndent("", "  ")
 		fatal(enc.Encode(results))
 	} else {
-		fmt.Printf("%-20s %-14s %-16s %6s %14s %14s %8s  %s\n",
-			"shape", "primitive", "partition", "waves", "predicted", "measured", "source", "owner->replica")
+		fmt.Printf("%-20s %-14s %-16s %6s %9s %14s %14s %8s  %s\n",
+			"shape", "primitive", "partition", "waves", "fidelity", "predicted", "measured", "source", "owner->replica")
 		for _, res := range results {
 			pred, src := "-", "-"
 			if res.PredictedNs > 0 {
@@ -136,18 +155,26 @@ func main() {
 			if res.Source != "" {
 				src = res.Source
 			}
-			fmt.Printf("%-20s %-14s %-16s %6d %14s %14s %8s  %d->%d\n",
-				res.Shape, res.Primitive, partitionString(res.Partition), res.Waves,
+			fmt.Printf("%-20s %-14s %-16s %6d %9s %14s %14s %8s  %d->%d\n",
+				res.Shape, res.Primitive, partitionString(res.Partition), res.Waves, res.Fidelity,
 				pred, time.Duration(res.Result.Latency), src, res.Owner, res.Replica)
 		}
 	}
 	perItem := elapsed / time.Duration(len(items))
-	log.Printf("swept %d items across %d replicas in %v (%v/item, %d re-dispatches, %d items salvaged from partial chunks)",
-		len(items), len(urls), elapsed.Round(time.Millisecond), perItem.Round(time.Microsecond), co.Redispatches(), co.PartialSalvages())
+	nDES, nAnalytic := 0, 0
+	for _, res := range results {
+		if res.Fidelity == serve.FidelityAnalytic {
+			nAnalytic++
+		} else {
+			nDES++
+		}
+	}
+	log.Printf("swept %d items (%d des, %d analytic) across %d replicas in %v (%v/item, %d re-dispatches, %d items salvaged from partial chunks)",
+		len(items), nDES, nAnalytic, len(urls), elapsed.Round(time.Millisecond), perItem.Round(time.Microsecond), co.Redispatches(), co.PartialSalvages())
 
 	if *verify {
 		fatal(verifyAgainstLocal(*platName, *gpus, items, results))
-		log.Printf("verify: merged results byte-identical to local engine.Batch over %d runs", len(items))
+		log.Printf("verify: merged results byte-identical to local engine.Batch over %d runs (%d des, %d analytic)", len(items), nDES, nAnalytic)
 	}
 }
 
@@ -155,7 +182,10 @@ func main() {
 // the serialized results byte for byte — the same determinism check the
 // shard package pins in tests, but across real hosts. Tuned sweeps replay
 // with the partitions the fleet chose, so the check still validates
-// cross-host execution determinism.
+// cross-host execution determinism. Each item replays at the fidelity the
+// fleet reported for it, so a mixed sweep verifies both tiers: the DES
+// refine tier against a local simulator, the analytic tier against a local
+// predictor evaluation over independently sampled (deterministic) curves.
 func verifyAgainstLocal(platName string, gpus int, items []serve.SweepItem, results []shard.SweepResult) error {
 	plat, err := hw.ByName(platName)
 	if err != nil {
@@ -167,7 +197,7 @@ func verifyAgainstLocal(platName string, gpus int, items []serve.SweepItem, resu
 		if err != nil {
 			return err
 		}
-		runs[i] = core.Options{Plat: plat, NGPUs: gpus, Shape: q.Shape, Prim: q.Prim, Imbalance: q.Imbalance}
+		runs[i] = core.Options{Plat: plat, NGPUs: gpus, Shape: q.Shape, Prim: q.Prim, Imbalance: q.Imbalance, Fidelity: core.Fidelity(results[i].Fidelity)}
 		if len(results[i].Partition) > 0 && results[i].Source != "" {
 			// Tuned sweep: replay the fleet's partition choice.
 			runs[i].Partition = append([]int(nil), results[i].Partition...)

@@ -1,0 +1,52 @@
+package comm
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/hw"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// SampleCurve performs the offline stage's bandwidth sampling (Alg. 1
+// line 5): it issues one collective per sample size on an otherwise idle
+// cluster and records (bytes, latency). Profiling runs average away
+// measurement noise, modeled by disabling the jitter amplitude. The returned
+// curve maps per-rank payload bytes to latency in nanoseconds.
+//
+// Sampling is deterministic: the same (platform, group size, primitive,
+// sizes) always yields the same curve, which is what lets independent
+// replicas — and the engine's lazily sampled analytic backend — agree
+// byte-for-byte without sharing state. It lives here rather than in the
+// tuner because the execution engine's analytic backend needs it too, and
+// the tuner sits above the engine.
+func SampleCurve(plat hw.Platform, nGPUs int, prim hw.Primitive, sizes []int64) *stats.Curve {
+	if len(sizes) == 0 {
+		sizes = DefaultSampleSizes()
+	}
+	pts := make([]stats.Point, 0, len(sizes))
+	quiet := plat
+	quiet.JitterAmplitude = 0
+	for _, size := range sizes {
+		cluster := gpu.NewCluster(quiet, nGPUs)
+		cm := New(cluster)
+		perRank := make([]int64, nGPUs)
+		for i := range perRank {
+			perRank[i] = size
+		}
+		var latency sim.Time
+		cm.Collective("probe", prim, perRank, nil).Wait(func(at sim.Time) { latency = at })
+		cluster.Sim.Run()
+		pts = append(pts, stats.Point{X: float64(size), Y: float64(latency)})
+	}
+	return stats.NewCurve(pts)
+}
+
+// DefaultSampleSizes returns log-spaced payload sizes from 16 KiB to 1 GiB,
+// dense enough that interpolation error stays small across the Fig. 8 cliff.
+func DefaultSampleSizes() []int64 {
+	var out []int64
+	for s := int64(16 << 10); s <= 1<<30; s *= 2 {
+		out = append(out, s, s+s/2)
+	}
+	return out
+}

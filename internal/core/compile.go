@@ -84,6 +84,10 @@ type Variant struct {
 	Trace bool
 	// DeviceSlowdown gives per-device GEMM slowdown factors (>= 1).
 	DeviceSlowdown []float64
+	// Fidelity selects the execution backend. Exec runs FidelityDES (and
+	// the "" default); FidelityAnalytic must go through ExecAnalytic,
+	// which needs the bandwidth curve Exec does not have.
+	Fidelity Fidelity
 }
 
 // VariantOf extracts the per-execution knobs of o, leaving the plan-level
@@ -97,6 +101,7 @@ func VariantOf(o Options) Variant {
 		Routing:          o.Routing,
 		Trace:            o.Trace,
 		DeviceSlowdown:   o.DeviceSlowdown,
+		Fidelity:         o.Fidelity,
 	}
 }
 
@@ -108,7 +113,11 @@ func (c *Compiled) DefaultVariant() Variant { return VariantOf(c.opts) }
 // simulator and cluster every time, so repeated and concurrent executions
 // are independent and deterministic.
 func (c *Compiled) Exec(v Variant) (*Result, error) {
+	if v.Fidelity == FidelityAnalytic {
+		return nil, fmt.Errorf("core: analytic execution needs a bandwidth curve: use Compiled.ExecAnalytic or the engine's analytic backend")
+	}
 	o := c.opts
+	o.Fidelity = v.Fidelity
 	o.Seed = v.Seed
 	o.Imbalance = v.Imbalance
 	o.WaveSizeOverride = v.WaveSizeOverride

@@ -9,6 +9,30 @@ import (
 	"repro/internal/sim"
 )
 
+// Fidelity selects how an execution is evaluated: through the
+// discrete-event simulator (the ground truth) or through the Algorithm 1
+// analytic predictor over an offline-sampled bandwidth curve (orders of
+// magnitude cheaper, ~2% mean error on the Fig. 15 shapes). Every Result
+// carries the fidelity that produced it, so mixed-fidelity sweeps stay
+// auditable after merging.
+type Fidelity string
+
+const (
+	// FidelityDES is the discrete-event simulation path; the empty string
+	// selects it too, keeping zero-valued Options on the ground-truth path.
+	FidelityDES Fidelity = "des"
+	// FidelityAnalytic evaluates the compiled plan with the Algorithm 1
+	// predictor and a bandwidth curve, never touching the event simulator.
+	FidelityAnalytic Fidelity = "analytic"
+)
+
+// known reports whether f names a fidelity the core can execute ("" means
+// DES). The sweep planes layer a "mixed" mode on top, but that is a
+// scheduling policy — every individual execution is DES or analytic.
+func (f Fidelity) known() bool {
+	return f == "" || f == FidelityDES || f == FidelityAnalytic
+}
+
 // Options configures one overlapped GEMM+collective execution.
 type Options struct {
 	// Plat is the hardware profile; NGPUs the parallel group size.
@@ -46,6 +70,11 @@ type Options struct {
 	WaveSizeOverride int
 	// Trace records kernel spans (Result.Trace) for timeline inspection.
 	Trace bool
+	// Fidelity selects the execution backend: FidelityDES (also the zero
+	// value) or FidelityAnalytic. Analytic execution needs a bandwidth
+	// curve, so it is reachable through Compiled.ExecAnalytic or the
+	// engine's analytic backend, not through Run.
+	Fidelity Fidelity
 	// DeviceSlowdown optionally gives per-device GEMM slowdown factors
 	// (>= 1), modeling thermal throttling or resource contention on part
 	// of the group (§4.2.3). The wave pattern is preserved — the whole
@@ -112,6 +141,9 @@ func (o *Options) normalize() (*gemm.Plan, int, error) {
 // validateVariant checks the per-execution knobs — the Options fields a
 // Variant may replace on an already-compiled plan.
 func (o *Options) validateVariant() error {
+	if !o.Fidelity.known() {
+		return fmt.Errorf("core: unknown fidelity %q (want %q or %q)", o.Fidelity, FidelityDES, FidelityAnalytic)
+	}
 	if o.Prim == hw.AllToAll && o.Functional && len(o.Routing) != o.NGPUs {
 		return fmt.Errorf("core: functional AllToAll needs %d routing tables, got %d", o.NGPUs, len(o.Routing))
 	}
@@ -153,6 +185,11 @@ type Result struct {
 	// GEMMEnd is when the compute kernel finished (max across devices).
 	GEMMEnd sim.Time
 	Groups  []GroupTiming
+	// Fidelity names the backend that produced this result: FidelityDES
+	// for a simulated timeline, FidelityAnalytic for an Algorithm 1
+	// prediction. Always set, so merged mixed-fidelity sweeps stay
+	// auditable per item.
+	Fidelity Fidelity
 	// Trace holds per-kernel spans when Options.Trace was set.
 	Trace []gpu.Span
 

@@ -61,6 +61,7 @@ func execute(o *Options, plan *gemm.Plan, cm gemm.CostModel, bounds []gemm.Group
 		WaveSize:  assumedWave,
 		Waves:     plan.Waves(assumedWave),
 		Groups:    make([]GroupTiming, len(bounds)),
+		Fidelity:  FidelityDES,
 		funcState: fs,
 	}
 	for g, b := range bounds {

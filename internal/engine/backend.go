@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/stats"
+)
+
+// Fidelity re-exports core.Fidelity: callers configuring engine runs should
+// not need a second import just for the label type.
+type Fidelity = core.Fidelity
+
+// The execution fidelities the engine dispatches on.
+const (
+	FidelityDES      = core.FidelityDES
+	FidelityAnalytic = core.FidelityAnalytic
+)
+
+// Backend executes a compiled plan at one fidelity. The engine owns two:
+// the DES backend runs the discrete-event simulator (ground truth), the
+// analytic backend evaluates the Algorithm 1 predictor over an
+// offline-sampled bandwidth curve without touching the simulator. Both are
+// deterministic, so sweeps stay byte-reproducible at any fidelity mix.
+type Backend interface {
+	// Fidelity names the label stamped on results this backend produces.
+	Fidelity() core.Fidelity
+	// Exec runs one evaluation of the compiled plan under the variant.
+	Exec(p *Plan, v core.Variant) (*core.Result, error)
+}
+
+// desBackend is the simulator path — the engine's historical behavior.
+type desBackend struct{}
+
+func (desBackend) Fidelity() core.Fidelity { return core.FidelityDES }
+func (desBackend) Exec(p *Plan, v core.Variant) (*core.Result, error) {
+	return p.c.Exec(v)
+}
+
+// analyticBackend evaluates plans with core.ExecAnalytic, resolving the
+// bandwidth curve from the engine's per-(platform, group, primitive) cache.
+type analyticBackend struct{ e *Engine }
+
+func (b analyticBackend) Fidelity() core.Fidelity { return core.FidelityAnalytic }
+func (b analyticBackend) Exec(p *Plan, v core.Variant) (*core.Result, error) {
+	o := p.c.Options()
+	return p.c.ExecAnalytic(v, b.e.curve(o.Plat, o.NGPUs, o.Prim))
+}
+
+// backend resolves the variant's fidelity to an execution backend; "" is
+// DES, keeping zero-valued options on the ground-truth path.
+func (e *Engine) backend(f core.Fidelity) (Backend, error) {
+	switch f {
+	case "", core.FidelityDES:
+		return desBackend{}, nil
+	case core.FidelityAnalytic:
+		return analyticBackend{e: e}, nil
+	}
+	return nil, fmt.Errorf("engine: unknown fidelity %q", f)
+}
+
+// curveKey identifies one offline bandwidth curve. hw.Platform is a plain
+// scalar struct, so the composite key is comparable.
+type curveKey struct {
+	plat  hw.Platform
+	nGPUs int
+	prim  hw.Primitive
+}
+
+// curveCache lazily samples and memoizes bandwidth curves. Sampling is
+// deterministic (comm.SampleCurve with jitter disabled), so independent
+// engines — one per replica across a fleet — converge on identical curves
+// without coordination, and analytic results merge byte-identically no
+// matter which engine evaluated them.
+type curveCache struct {
+	mu     sync.Mutex
+	curves map[curveKey]*stats.Curve
+}
+
+// get returns the cached curve, sampling it on first use. The lock is held
+// across sampling: a cold curve costs a few hundred simulated collectives
+// once per (platform, group, primitive), and racing duplicates would waste
+// exactly that work to produce an identical curve.
+func (cc *curveCache) get(k curveKey) *stats.Curve {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if c := cc.curves[k]; c != nil {
+		return c
+	}
+	if cc.curves == nil {
+		cc.curves = make(map[curveKey]*stats.Curve)
+	}
+	c := comm.SampleCurve(k.plat, k.nGPUs, k.prim, nil)
+	cc.curves[k] = c
+	return c
+}
+
+// seed installs a pre-sampled curve without sampling.
+func (cc *curveCache) seed(k curveKey, c *stats.Curve) {
+	if c == nil {
+		return
+	}
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.curves == nil {
+		cc.curves = make(map[curveKey]*stats.Curve)
+	}
+	cc.curves[k] = c
+}
+
+// curve returns the engine's bandwidth curve for the triple, sampling
+// lazily on first use.
+func (e *Engine) curve(plat hw.Platform, nGPUs int, prim hw.Primitive) *stats.Curve {
+	return e.curves.get(curveKey{plat: plat, nGPUs: nGPUs, prim: prim})
+}
+
+// SeedCurve installs a pre-sampled bandwidth curve for the analytic
+// backend, skipping the lazy offline sampling for that (platform, group
+// size, primitive). The serving layer seeds its engine from Config.Curves
+// so one sampled curve feeds both the tuner and analytic execution; the
+// curve must have been sampled on the same triple (with default sizes) or
+// analytic results will diverge across the fleet.
+func (e *Engine) SeedCurve(plat hw.Platform, nGPUs int, prim hw.Primitive, c *stats.Curve) {
+	e.curves.seed(curveKey{plat: plat, nGPUs: nGPUs, prim: prim}, c)
+}

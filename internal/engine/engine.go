@@ -83,8 +83,11 @@ type Plan struct {
 }
 
 // Compile builds a plan outside any cache (the cold path; Engine.Plan is the
-// cached equivalent).
+// cached equivalent). Plans are fidelity-neutral: the same compiled plan
+// backs DES and analytic executions, so the fidelity is stripped before
+// compiling (it is a variant knob, like the seed).
 func Compile(o core.Options) (*Plan, error) {
+	o.Fidelity = ""
 	c, err := core.Compile(o)
 	if err != nil {
 		return nil, err
@@ -112,6 +115,9 @@ const DefaultCacheSize = 512
 type Engine struct {
 	workers int
 	cache   *planCache
+	// curves backs the analytic fidelity: one lazily sampled (or seeded)
+	// bandwidth curve per (platform, group size, primitive).
+	curves curveCache
 
 	hits, misses atomic.Uint64
 }
@@ -163,14 +169,25 @@ func (e *Engine) Plan(o core.Options) (*Plan, error) {
 }
 
 // Exec runs o through the plan cache: compile (or reuse) the plan, then
-// execute o's variant. It is the drop-in replacement for core.Run in sweep
-// loops.
+// execute o's variant on the backend its Fidelity selects. It is the
+// drop-in replacement for core.Run in sweep loops.
 func (e *Engine) Exec(o core.Options) (*core.Result, error) {
 	p, err := e.Plan(o)
 	if err != nil {
 		return nil, err
 	}
-	return p.c.Exec(core.VariantOf(o))
+	return e.ExecPlan(p, core.VariantOf(o))
+}
+
+// ExecPlan executes one variant of an already-compiled plan, dispatching on
+// the variant's fidelity: DES (the default) simulates, analytic evaluates
+// the Algorithm 1 predictor against the engine's bandwidth-curve cache.
+func (e *Engine) ExecPlan(p *Plan, v core.Variant) (*core.Result, error) {
+	b, err := e.backend(v.Fidelity)
+	if err != nil {
+		return nil, err
+	}
+	return b.Exec(p, v)
 }
 
 // RunError is the error Batch returns: the failing run's input index plus

@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/gemm"
+	"repro/internal/sim"
+)
+
+// Mixed-fidelity sweep defaults.
+const (
+	// DefaultTopK is how many candidates per rank cell the mixed sweep
+	// confirms on the simulator. One suffices when the analytic model's
+	// ~2% error is small against the latency spread inside a cell, which
+	// holds at DefaultRankQuantum granularity on the Table 3 grids.
+	DefaultTopK = 1
+	// DefaultRankQuantum is the rank-cell edge in log2 units — 8x coarser
+	// than the shard ownership lattice (shard.DefaultQuantum), because
+	// ranking wants cells with several competing candidates while
+	// ownership wants cells fine enough to keep caches disjoint.
+	DefaultRankQuantum = 4.0
+)
+
+// RankTopK groups items by the quantized (log2 M·N, log2 K) cell of their
+// shape and returns the global indices of the k analytically fastest items
+// of every cell, ascending — the candidate set a mixed-fidelity sweep
+// re-runs at DES fidelity. Ties break toward the lower index, and cells
+// with at most k items are taken whole, so the selection is deterministic
+// and independent of how the grid was sharded. k <= 0 selects DefaultTopK;
+// quantum <= 0 selects DefaultRankQuantum.
+func RankTopK(shapes []gemm.Shape, latencies []sim.Time, k int, quantum float64) []int {
+	if len(shapes) != len(latencies) {
+		panic("engine: RankTopK shape/latency length mismatch")
+	}
+	if k <= 0 {
+		k = DefaultTopK
+	}
+	if quantum <= 0 {
+		quantum = DefaultRankQuantum
+	}
+	type cell struct{ qx, qy int64 }
+	byCell := make(map[cell][]int)
+	for i, s := range shapes {
+		qx, qy := s.LogCell(quantum)
+		c := cell{qx, qy}
+		byCell[c] = append(byCell[c], i)
+	}
+	var refine []int
+	for _, idxs := range byCell {
+		sort.Slice(idxs, func(a, b int) bool {
+			if latencies[idxs[a]] != latencies[idxs[b]] {
+				return latencies[idxs[a]] < latencies[idxs[b]]
+			}
+			return idxs[a] < idxs[b]
+		})
+		take := k
+		if take > len(idxs) {
+			take = len(idxs)
+		}
+		refine = append(refine, idxs[:take]...)
+	}
+	sort.Ints(refine)
+	return refine
+}
+
+// MixedBatch is the mixed-fidelity sweep over one engine: the whole grid
+// runs analytically first (orders of magnitude cheaper than simulation),
+// the candidates are ranked per RankTopK cell, and only the top k per cell
+// re-run through the simulator, splicing the DES results over the analytic
+// ones. results[i] answers runs[i] with a fidelity label saying which tier
+// produced it; refined lists the indices that got DES confirmation,
+// ascending. The DES tier is byte-identical to a full-DES Batch restricted
+// to the same indices — refinement changes which items pay for simulation,
+// never what a simulation returns.
+//
+// Fidelity labels already present on runs are an error: the split is the
+// policy MixedBatch itself implements.
+func (e *Engine) MixedBatch(runs []core.Options, topK int, quantum float64) (results []*core.Result, refined []int, err error) {
+	for i, o := range runs {
+		if o.Fidelity != "" {
+			return nil, nil, &RunError{Index: i, Err: fmt.Errorf("engine: mixed batch run carries fidelity %q; the mixed policy assigns fidelities itself", o.Fidelity)}
+		}
+	}
+	analytic := make([]core.Options, len(runs))
+	for i, o := range runs {
+		o.Fidelity = core.FidelityAnalytic
+		analytic[i] = o
+	}
+	results, err = e.Batch(analytic)
+	if err != nil {
+		return nil, nil, err
+	}
+	shapes := make([]gemm.Shape, len(runs))
+	latencies := make([]sim.Time, len(runs))
+	for i, r := range results {
+		shapes[i] = runs[i].Shape
+		latencies[i] = r.Latency
+	}
+	refined = RankTopK(shapes, latencies, topK, quantum)
+	des := make([]core.Options, len(refined))
+	for j, gi := range refined {
+		o := runs[gi]
+		o.Fidelity = core.FidelityDES
+		des[j] = o
+	}
+	desResults, err := e.Batch(des)
+	if err != nil {
+		// Translate the refine-batch index back to the caller's grid.
+		var re *RunError
+		if errors.As(err, &re) && re.Index >= 0 && re.Index < len(refined) {
+			err = &RunError{Index: refined[re.Index], Err: re.Err}
+		}
+		return nil, nil, err
+	}
+	for j, gi := range refined {
+		results[gi] = desResults[j]
+	}
+	return results, refined, nil
+}

@@ -10,6 +10,7 @@ package gemm
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/hw"
 	"repro/internal/sim"
@@ -29,6 +30,18 @@ func (s Shape) Flops() float64 { return 2 * float64(s.M) * float64(s.N) * float6
 
 // OutputBytes returns the size of C in the paper's half precision.
 func (s Shape) OutputBytes() int64 { return int64(s.M) * int64(s.N) * 2 }
+
+// LogCell quantizes the shape's (log2 M·N, log2 K) coordinates — the plane
+// the tuner's nearest-neighbor cache matches in (§4.2.2) — to quantum-wide
+// cells. Shapes in one cell are "the same size" at that granularity: the
+// shard partitioner hashes half-log cells into replica ownership, and the
+// mixed-fidelity sweep ranks analytic candidates within coarser cells
+// before picking which to confirm on the simulator.
+func (s Shape) LogCell(quantum float64) (qx, qy int64) {
+	lmn := math.Log2(float64(s.M) * float64(s.N))
+	lk := math.Log2(float64(s.K))
+	return int64(math.Round(lmn / quantum)), int64(math.Round(lk / quantum))
+}
 
 // Validate rejects non-positive dimensions.
 func (s Shape) Validate() error {

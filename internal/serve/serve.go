@@ -124,14 +124,19 @@ type Answer struct {
 type Stats struct {
 	// Shard is the replica's slice label ("1/4") in a sharded deployment;
 	// empty when unsharded.
-	Shard        string       `json:"shard,omitempty"`
-	Hits         uint64       `json:"hits"`
-	Misses       uint64       `json:"misses"`
-	Collapsed    uint64       `json:"collapsed"`
-	Tunes        uint64       `json:"tunes"`
-	ShapesCached int          `json:"shapes_cached"`
-	Primitives   []string     `json:"primitives"`
-	Engine       engine.Stats `json:"engine"`
+	Shard        string `json:"shard,omitempty"`
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	Collapsed    uint64 `json:"collapsed"`
+	Tunes        uint64 `json:"tunes"`
+	ShapesCached int    `json:"shapes_cached"`
+	// SweptItemsAnalytic and SweptItemsDES split successfully executed
+	// sweep items by fidelity, so operators can read the fidelity mix of
+	// live traffic off /stats (a mixed sweep counts into both).
+	SweptItemsAnalytic uint64       `json:"swept_items_analytic"`
+	SweptItemsDES      uint64       `json:"swept_items_des"`
+	Primitives         []string     `json:"primitives"`
+	Engine             engine.Stats `json:"engine"`
 }
 
 // Merge accumulates another replica's snapshot: counters sum, primitive sets
@@ -145,12 +150,14 @@ func (s Stats) Merge(o Stats) Stats {
 		prims[p] = true
 	}
 	merged := Stats{
-		Hits:         s.Hits + o.Hits,
-		Misses:       s.Misses + o.Misses,
-		Collapsed:    s.Collapsed + o.Collapsed,
-		Tunes:        s.Tunes + o.Tunes,
-		ShapesCached: s.ShapesCached + o.ShapesCached,
-		Engine:       s.Engine.Add(o.Engine),
+		Hits:               s.Hits + o.Hits,
+		Misses:             s.Misses + o.Misses,
+		Collapsed:          s.Collapsed + o.Collapsed,
+		Tunes:              s.Tunes + o.Tunes,
+		ShapesCached:       s.ShapesCached + o.ShapesCached,
+		SweptItemsAnalytic: s.SweptItemsAnalytic + o.SweptItemsAnalytic,
+		SweptItemsDES:      s.SweptItemsDES + o.SweptItemsDES,
+		Engine:             s.Engine.Add(o.Engine),
 	}
 	for p := range prims {
 		merged.Primitives = append(merged.Primitives, p)
@@ -172,6 +179,7 @@ type Service struct {
 	tuneFlight  flightGroup // collapses concurrent misses per (prim, shape, imbalance)
 
 	hits, misses, collapsed, tunes atomic.Uint64
+	sweptAnalytic, sweptDES        atomic.Uint64
 
 	// tuneHook, when set (tests only), runs inside the singleflight'd
 	// search, letting a test hold the flight open while more queries pile
@@ -192,9 +200,16 @@ func New(cfg Config) (*Service, error) {
 	if cfg.CandidateLimit <= 0 {
 		cfg.CandidateLimit = 512
 	}
+	eng := engine.New(cfg.Workers, cfg.PlanCacheSize)
+	// Seed the engine's analytic backend with the same curves the tuners
+	// get: one offline sampling feeds prediction and analytic execution,
+	// and a fleet sharing Config.Curves stays byte-identical on both.
+	for p, curve := range cfg.Curves {
+		eng.SeedCurve(cfg.Plat, cfg.NGPUs, p, curve)
+	}
 	return &Service{
 		cfg:    cfg,
-		eng:    engine.New(cfg.Workers, cfg.PlanCacheSize),
+		eng:    eng,
 		tuners: make(map[hw.Primitive]*tuner.Tuner),
 	}, nil
 }
@@ -378,16 +393,28 @@ func (s *Service) Warm(prims []hw.Primitive, shapes []gemm.Shape, imbalance floa
 	return nil
 }
 
+// countSwept attributes one successfully executed sweep item to its
+// fidelity tier.
+func (s *Service) countSwept(f core.Fidelity) {
+	if f == core.FidelityAnalytic {
+		s.sweptAnalytic.Add(1)
+	} else {
+		s.sweptDES.Add(1)
+	}
+}
+
 // Stats snapshots the service counters. Counters are read independently, so
 // a snapshot under concurrent load is approximate; each counter is exact.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Shard:     s.cfg.Shard,
-		Hits:      s.hits.Load(),
-		Misses:    s.misses.Load(),
-		Collapsed: s.collapsed.Load(),
-		Tunes:     s.tunes.Load(),
-		Engine:    s.eng.Stats(),
+		Shard:              s.cfg.Shard,
+		Hits:               s.hits.Load(),
+		Misses:             s.misses.Load(),
+		Collapsed:          s.collapsed.Load(),
+		Tunes:              s.tunes.Load(),
+		SweptItemsAnalytic: s.sweptAnalytic.Load(),
+		SweptItemsDES:      s.sweptDES.Load(),
+		Engine:             s.eng.Stats(),
 	}
 	s.mu.RLock()
 	for p, tn := range s.tuners {

@@ -1,10 +1,24 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gemm"
+	"repro/internal/sim"
+)
+
+// Wire-level fidelity labels. FidelityDES and FidelityAnalytic name the two
+// execution backends (see core.Fidelity); FidelityMixed is a sweep-level
+// policy — run the grid analytically, confirm the top-k per rank cell on
+// the simulator — valid on a SweepRequest but never on an individual item
+// or result, since every execution is ultimately one of the two backends.
+const (
+	FidelityDES      = string(core.FidelityDES)
+	FidelityAnalytic = string(core.FidelityAnalytic)
+	FidelityMixed    = "mixed"
 )
 
 // SweepItem is one (shape, primitive, imbalance) cell of a sweep chunk, in
@@ -15,6 +29,10 @@ type SweepItem struct {
 	K         int     `json:"k"`
 	Prim      string  `json:"prim"`
 	Imbalance float64 `json:"imbalance,omitempty"`
+	// Fidelity selects this item's execution backend: "des", "analytic",
+	// or "" to inherit the request's default. A mixed-fidelity coordinator
+	// stamps items individually, so a chunk can carry both tiers.
+	Fidelity string `json:"fidelity,omitempty"`
 }
 
 // Shape returns the item's GEMM shape (the coordinate the shard partitioner
@@ -40,6 +58,25 @@ func (it SweepItem) Query() (Query, error) {
 	return q, nil
 }
 
+// fidelity resolves the item's effective execution fidelity under the
+// request-level default. Only the two backend fidelities are legal per
+// item: "mixed" is a grid policy, not an execution.
+func (it SweepItem) fidelity(requestDefault string) (core.Fidelity, error) {
+	f := it.Fidelity
+	if f == "" {
+		f = requestDefault
+	}
+	switch f {
+	case "", FidelityDES:
+		return core.FidelityDES, nil
+	case FidelityAnalytic:
+		return core.FidelityAnalytic, nil
+	case FidelityMixed:
+		return "", badQueryf("serve: item fidelity %q is a sweep policy; items execute as %q or %q", f, FidelityDES, FidelityAnalytic)
+	}
+	return "", badQueryf("serve: unknown fidelity %q (want %q, %q, or %q)", f, FidelityDES, FidelityAnalytic, FidelityMixed)
+}
+
 // SweepRequest is the JSON body of POST /sweep: one chunk of a (possibly
 // fleet-wide) sweep grid, processed in order on the replica.
 type SweepRequest struct {
@@ -57,9 +94,18 @@ type SweepRequest struct {
 	// and re-dispatches with them instead of silently resetting the
 	// caller's choices to defaults. Zero selects the proxy's defaults,
 	// which keeps old clients byte-compatible on the wire.
-	Chunk    int         `json:"chunk,omitempty"`
-	Attempts int         `json:"attempts,omitempty"`
-	Items    []SweepItem `json:"items"`
+	Chunk    int `json:"chunk,omitempty"`
+	Attempts int `json:"attempts,omitempty"`
+	// Fidelity is the default for items that do not carry their own label:
+	// "des" (also the "" default), "analytic", or "mixed". Mixed runs the
+	// posted grid analytically, ranks per quantized shape cell, and
+	// re-runs the top TopK per cell on the simulator before replying —
+	// items under a mixed request must not carry per-item labels.
+	Fidelity string `json:"fidelity,omitempty"`
+	// TopK bounds the per-cell DES confirmations of a mixed request;
+	// <= 0 selects engine.DefaultTopK.
+	TopK  int         `json:"topk,omitempty"`
+	Items []SweepItem `json:"items"`
 }
 
 // SweepResult is one item's outcome: the partition the run used (tuned or
@@ -70,6 +116,10 @@ type SweepResult struct {
 	Primitive string `json:"primitive"`
 	Partition []int  `json:"partition"`
 	Waves     int    `json:"waves"`
+	// Fidelity labels the backend that produced Result: "des" or
+	// "analytic", mirroring Result.Fidelity for callers that only read
+	// the wire envelope.
+	Fidelity string `json:"fidelity"`
 	// PredictedNs and Source are set only on tuned sweeps; Source is
 	// SourceCache or SourceTuned, like a /query answer.
 	PredictedNs int64        `json:"predicted_ns,omitempty"`
@@ -103,17 +153,39 @@ func (e *ChunkError) Unwrap() error { return e.Err }
 // so a coordinator re-dispatches only the unanswered suffix instead of
 // re-executing work the replica already finished.
 //
-// Every execution runs through the service's engine with a private
-// deterministic simulator, so untuned results are byte-identical no matter
-// which replica of an identically configured fleet executes the chunk — the
-// property that lets a coordinator re-dispatch chunks through the failover
-// ring without perturbing the merged sweep.
+// Each item executes at its resolved fidelity (item label, else the
+// request default): DES through a private deterministic simulator, analytic
+// through the Algorithm 1 predictor over the engine's bandwidth-curve
+// cache. Both are byte-identical no matter which replica of an identically
+// configured fleet executes the chunk — the property that lets a
+// coordinator re-dispatch chunks through the failover ring without
+// perturbing the merged sweep. A request-level "mixed" fidelity runs the
+// whole posted grid analytically, ranks per engine.RankTopK cell, re-runs
+// the top TopK per cell at DES fidelity, and splices; a mixed chunk that
+// fails returns no partial prefix (the tiers interleave, so no prefix of
+// the reply would be final).
 func (s *Service) SweepChunk(req SweepRequest) ([]SweepResult, error) {
+	switch req.Fidelity {
+	case "", FidelityDES, FidelityAnalytic:
+		return s.sweepChunkFlat(req)
+	case FidelityMixed:
+		return s.sweepChunkMixed(req)
+	}
+	return nil, &ChunkError{Index: 0, Err: badQueryf("serve: unknown sweep fidelity %q (want %q, %q, or %q)", req.Fidelity, FidelityDES, FidelityAnalytic, FidelityMixed)}
+}
+
+// sweepChunkFlat is the single-tier chunk loop: every item executes at its
+// own resolved fidelity.
+func (s *Service) sweepChunkFlat(req SweepRequest) ([]SweepResult, error) {
 	out := make([]SweepResult, len(req.Items))
 	for i, it := range req.Items {
 		q, err := it.Query()
 		if err != nil {
 			return out[:i], &ChunkError{Index: i, Err: &BadQueryError{Err: err}}
+		}
+		fid, err := it.fidelity(req.Fidelity)
+		if err != nil {
+			return out[:i], &ChunkError{Index: i, Err: err}
 		}
 		opts := core.Options{
 			Plat:      s.cfg.Plat,
@@ -121,6 +193,7 @@ func (s *Service) SweepChunk(req SweepRequest) ([]SweepResult, error) {
 			Shape:     q.Shape,
 			Prim:      q.Prim,
 			Imbalance: q.Imbalance,
+			Fidelity:  fid,
 		}
 		res := SweepResult{Shape: q.Shape.String(), Primitive: q.Prim.String()}
 		if req.Tune {
@@ -136,10 +209,56 @@ func (s *Service) SweepChunk(req SweepRequest) ([]SweepResult, error) {
 		if err != nil {
 			return out[:i], &ChunkError{Index: i, Err: err}
 		}
+		s.countSwept(r.Fidelity)
 		res.Partition = r.Partition
 		res.Waves = r.Waves
+		res.Fidelity = string(r.Fidelity)
 		res.Result = r
 		out[i] = res
+	}
+	return out, nil
+}
+
+// sweepChunkMixed runs the request's grid at mixed fidelity within this
+// replica: analytic pass, per-cell ranking, DES confirmation of the top-k,
+// splice. The coordinator never sends this (it orchestrates the tiers
+// itself, stamping items); it serves direct /sweep clients, so a single
+// replica and a router proxy answer the same wire request the same way.
+func (s *Service) sweepChunkMixed(req SweepRequest) ([]SweepResult, error) {
+	for i, it := range req.Items {
+		if it.Fidelity != "" {
+			return nil, &ChunkError{Index: i, Err: badQueryf("serve: mixed sweep item carries fidelity %q; the mixed policy assigns fidelities itself", it.Fidelity)}
+		}
+	}
+	analytic := req
+	analytic.Fidelity = FidelityAnalytic
+	out, err := s.sweepChunkFlat(analytic)
+	if err != nil {
+		// Drop the partial prefix: the mixed reply interleaves tiers, so
+		// an analytic prefix is not a final prefix of the answer.
+		return nil, err
+	}
+	shapes := make([]gemm.Shape, len(out))
+	latencies := make([]sim.Time, len(out))
+	for i, r := range out {
+		shapes[i] = req.Items[i].Shape()
+		latencies[i] = r.Result.Latency
+	}
+	refined := engine.RankTopK(shapes, latencies, req.TopK, engine.DefaultRankQuantum)
+	des := SweepRequest{Tune: req.Tune, Fidelity: FidelityDES, Items: make([]SweepItem, len(refined))}
+	for j, gi := range refined {
+		des.Items[j] = req.Items[gi]
+	}
+	desOut, err := s.sweepChunkFlat(des)
+	if err != nil {
+		var ce *ChunkError
+		if errors.As(err, &ce) && ce.Index >= 0 && ce.Index < len(refined) {
+			err = &ChunkError{Index: refined[ce.Index], Err: ce.Err}
+		}
+		return nil, err
+	}
+	for j, gi := range refined {
+		out[gi] = desOut[j]
 	}
 	return out, nil
 }

@@ -6,7 +6,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/engine"
+	"repro/internal/gemm"
 	"repro/internal/serve"
+	"repro/internal/sim"
 )
 
 // DefaultChunkSize bounds the items per dispatched sweep chunk when the
@@ -77,6 +80,21 @@ type Coordinator struct {
 	// called from the per-shard sweep goroutines and must be safe for
 	// concurrent use.
 	OnChunk func(ChunkResult)
+	// Fidelity selects the sweep's execution fidelity: "" dispatches each
+	// item with whatever label it already carries (DES by default),
+	// serve.FidelityDES / serve.FidelityAnalytic stamp every item with
+	// that backend, and serve.FidelityMixed orchestrates two tiers — the
+	// whole grid analytically, then the top TopK per rank cell through
+	// the simulator. Mixed phases dispatch per-item-stamped items, so a
+	// router proxied as a replica passes them through untouched instead
+	// of re-ranking a sub-grid.
+	Fidelity string
+	// TopK bounds the mixed sweep's per-cell DES confirmations; <= 0
+	// selects engine.DefaultTopK.
+	TopK int
+	// RankQuantum is the mixed sweep's rank-cell edge in log2 units; <= 0
+	// selects engine.DefaultRankQuantum.
+	RankQuantum float64
 
 	redispatches atomic.Uint64
 	salvaged     atomic.Uint64
@@ -144,6 +162,14 @@ func (c *Coordinator) request(items []serve.SweepItem) serve.SweepRequest {
 // same deterministic global order SweepBatch and engine.Batch return. On
 // failure the error with the lowest failing global item index is reported
 // as "sweep item <index>: ...", regardless of which shards finished first.
+//
+// The Fidelity knob selects what executes: a flat sweep (every item at one
+// backend fidelity, or each item's own label when Fidelity is "") dispatches
+// the grid once; a mixed sweep dispatches twice — the whole grid analytic,
+// then the engine.RankTopK winners at DES — with both phases enjoying the
+// same churn tolerance, partial-chunk salvage, and deterministic merge
+// order. Every result carries its fidelity label and the Owner/Replica
+// attribution of the phase that produced it.
 func (c *Coordinator) Sweep(items []serve.SweepItem) ([]SweepResult, error) {
 	// Probe dead replicas in the background for the sweep's duration: a
 	// replica that restarts mid-sweep is re-admitted and reclaims its
@@ -154,6 +180,85 @@ func (c *Coordinator) Sweep(items []serve.SweepItem) ([]SweepResult, error) {
 	stopProber := c.router.StartProber(c.ProbeInterval)
 	defer stopProber()
 
+	var out []SweepResult
+	var err error
+	switch c.Fidelity {
+	case "", serve.FidelityDES, serve.FidelityAnalytic:
+		out, err = c.sweepGrid(stampItems(items, c.Fidelity))
+	case serve.FidelityMixed:
+		out, err = c.sweepMixed(items)
+	default:
+		return nil, &QueryError{Err: fmt.Errorf("shard: unknown sweep fidelity %q (want %q, %q, or %q)", c.Fidelity, serve.FidelityDES, serve.FidelityAnalytic, serve.FidelityMixed)}
+	}
+	if err != nil {
+		return nil, fmt.Errorf("shard: sweep item %w", err)
+	}
+	return out, nil
+}
+
+// stampItems returns items with every fidelity label forced to f; f == ""
+// passes the grid through with whatever labels the caller set.
+func stampItems(items []serve.SweepItem, f string) []serve.SweepItem {
+	if f == "" {
+		return items
+	}
+	out := make([]serve.SweepItem, len(items))
+	for i, it := range items {
+		it.Fidelity = f
+		out[i] = it
+	}
+	return out
+}
+
+// sweepMixed is the fleet-wide mixed-fidelity orchestration: the whole grid
+// analytically (cheap — no event simulation), rank per quantized shape cell
+// over the merged latencies, then confirm only the top TopK per cell on the
+// simulator. Both phases stamp per-item fidelities, so replicas (and router
+// proxies acting as replicas) execute exactly what the coordinator ranked —
+// no replica re-ranks its local sub-grid. Refined results overwrite their
+// analytic counterparts in place, Owner/Replica attribution included.
+func (c *Coordinator) sweepMixed(items []serve.SweepItem) ([]SweepResult, error) {
+	for i, it := range items {
+		if it.Fidelity != "" {
+			return nil, &fanError{At: i, Err: &QueryError{Err: fmt.Errorf("shard: mixed sweep item carries fidelity %q; the mixed policy assigns fidelities itself", it.Fidelity)}}
+		}
+	}
+	out, err := c.sweepGrid(stampItems(items, serve.FidelityAnalytic))
+	if err != nil {
+		return nil, err
+	}
+	shapes := make([]gemm.Shape, len(out))
+	latencies := make([]sim.Time, len(out))
+	for i, r := range out {
+		shapes[i] = items[i].Shape()
+		latencies[i] = r.Result.Latency
+	}
+	refined := engine.RankTopK(shapes, latencies, c.TopK, c.RankQuantum)
+	des := make([]serve.SweepItem, len(refined))
+	for j, gi := range refined {
+		des[j] = items[gi]
+	}
+	desOut, err := c.sweepGrid(stampItems(des, serve.FidelityDES))
+	if err != nil {
+		// The refine phase named an index into its sub-grid; translate it
+		// back to the caller's grid.
+		var fe *fanError
+		if errors.As(err, &fe) && fe.At >= 0 && fe.At < len(refined) {
+			err = &fanError{At: refined[fe.At], Err: fe.Err}
+		}
+		return nil, err
+	}
+	for j, gi := range refined {
+		out[gi] = desOut[j]
+	}
+	return out, nil
+}
+
+// sweepGrid dispatches one already-stamped grid across the fleet — the
+// chunking, failover, and merge loop shared by every fidelity mode. Failures
+// surface as the raw *fanError (lowest failing global index) so callers can
+// translate sub-grid indices before the user-facing wrap.
+func (c *Coordinator) sweepGrid(items []serve.SweepItem) ([]SweepResult, error) {
 	byOwner := make([][]int, len(c.router.clients))
 	for i, it := range items {
 		k := c.router.part.Owner(it.Shape())
@@ -208,7 +313,7 @@ func (c *Coordinator) Sweep(items []serve.SweepItem) ([]SweepResult, error) {
 		return 0, nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("shard: sweep item %w", err)
+		return nil, err
 	}
 	return out, nil
 }

@@ -330,6 +330,201 @@ func TestCoordinatorSweepReadmitsRestartedReplicaMidSweep(t *testing.T) {
 	}
 }
 
+// coordMixedReference runs the grid through one in-process engine.MixedBatch
+// at the default knobs — the unsharded single-process mixed sweep the
+// fleet-wide orchestration must reproduce byte for byte. Returns the
+// serialized results plus the refined (DES-confirmed) index set.
+func coordMixedReference(t *testing.T, items []serve.SweepItem) ([]byte, []int) {
+	t.Helper()
+	runs := make([]core.Options, len(items))
+	for i, it := range items {
+		runs[i] = core.Options{Plat: hw.RTX4090PCIe(), NGPUs: 2, Shape: it.Shape(), Prim: hw.AllReduce}
+	}
+	ref, refined, err := engine.New(0, 0).MixedBatch(runs, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return refJSON, refined
+}
+
+// checkMixedLabels asserts every result of a mixed sweep carries the
+// fidelity tier the reference ranking assigned it: DES on the refined
+// indices, analytic everywhere else — on both the wire envelope and the
+// embedded execution result.
+func checkMixedLabels(t *testing.T, results []SweepResult, refined []int) {
+	t.Helper()
+	isRefined := make(map[int]bool, len(refined))
+	for _, gi := range refined {
+		isRefined[gi] = true
+	}
+	for i, res := range results {
+		want := serve.FidelityAnalytic
+		if isRefined[i] {
+			want = serve.FidelityDES
+		}
+		if res.Fidelity != want || string(res.Result.Fidelity) != want {
+			t.Fatalf("item %d labeled (%q, %q), want %q", i, res.Fidelity, res.Result.Fidelity, want)
+		}
+	}
+	if len(refined) == 0 || len(refined) == len(results) {
+		t.Fatalf("%d of %d items refined; the mixed grid must exercise both tiers", len(refined), len(results))
+	}
+}
+
+// The mixed-fidelity acceptance property at the fleet level: a coordinator
+// sweeping at FidelityMixed merges byte-identically to single-process
+// engine.MixedBatch at every shard count, every result carries its tier's
+// label, and the replicas' /stats split the item counts by fidelity.
+func TestCoordinatorMixedSweepMatchesMixedBatchByteForByte(t *testing.T) {
+	items := coordItems()
+	refJSON, refined := coordMixedReference(t, items)
+	for n := 1; n <= 3; n++ {
+		r, _, _ := testFleet(t, n)
+		co := NewCoordinator(r)
+		co.ChunkSize = 2
+		co.Fidelity = serve.FidelityMixed
+		results, err := co.Sweep(items)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(mergedJSON(t, results), refJSON) {
+			t.Fatalf("n=%d: mixed sweep diverges from single-process engine.MixedBatch", n)
+		}
+		checkMixedLabels(t, results, refined)
+		st := r.Stats()
+		if got, want := int(st.Merged.SweptItemsAnalytic), len(items); got != want {
+			t.Fatalf("n=%d: merged swept_items_analytic = %d, want %d", n, got, want)
+		}
+		if got, want := int(st.Merged.SweptItemsDES), len(refined); got != want {
+			t.Fatalf("n=%d: merged swept_items_des = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// The DES refine tier of a mixed sweep must be byte-identical to a full-DES
+// sweep of the same fleet restricted to the refined candidates — mixed mode
+// changes which items get simulator-grade answers, never the answers.
+func TestCoordinatorMixedRefineTierMatchesFullDES(t *testing.T) {
+	items := coordItems()
+	_, refined := coordMixedReference(t, items)
+	r, _, _ := testFleet(t, 2)
+	co := NewCoordinator(r)
+	co.Fidelity = serve.FidelityMixed
+	mixed, err := co.Sweep(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desItems := make([]serve.SweepItem, len(refined))
+	for j, gi := range refined {
+		desItems[j] = items[gi]
+	}
+	des := NewCoordinator(r)
+	des.Fidelity = serve.FidelityDES
+	full, err := des.Sweep(desItems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refinedMixed := make([]SweepResult, len(refined))
+	for j, gi := range refined {
+		refinedMixed[j] = mixed[gi]
+	}
+	if !bytes.Equal(mergedJSON(t, refinedMixed), mergedJSON(t, full)) {
+		t.Fatal("mixed refine tier diverges from a full-DES sweep of the same candidates")
+	}
+}
+
+// A pre-labeled item under a mixed sweep is a contradiction (the policy
+// assigns tiers itself) and must be rejected deterministically with the
+// item's global index, burning no failover budget.
+func TestCoordinatorMixedSweepRejectsPreLabeledItems(t *testing.T) {
+	items := coordItems()
+	items[2].Fidelity = serve.FidelityDES
+	r, _, _ := testFleet(t, 2)
+	co := NewCoordinator(r)
+	co.Fidelity = serve.FidelityMixed
+	_, err := co.Sweep(items)
+	if err == nil {
+		t.Fatal("pre-labeled item accepted under a mixed sweep")
+	}
+	if want := "sweep item 2:"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name %q", err, want)
+	}
+	if retryable(err) {
+		t.Fatalf("deterministic mixed rejection classified retryable: %v", err)
+	}
+	if co.Redispatches() != 0 {
+		t.Fatal("mixed rejection burned failover retries")
+	}
+	bad := NewCoordinator(r)
+	bad.Fidelity = "nope"
+	if _, err := bad.Sweep(coordItems()); err == nil {
+		t.Fatal("unknown coordinator fidelity accepted")
+	} else if retryable(err) {
+		t.Fatalf("unknown-fidelity failure classified retryable: %v", err)
+	}
+}
+
+// Churn survival for the mixed pipeline: a replica killed after its first
+// analytic chunk must not fail the sweep or scramble the tiers — both
+// phases re-dispatch through the failover ring, the merge stays
+// byte-identical to single-process engine.MixedBatch, and every result
+// keeps its tier's fidelity label.
+func TestCoordinatorMixedSweepSurvivesChurnMidSweep(t *testing.T) {
+	items := coordItems()
+	refJSON, refined := coordMixedReference(t, items)
+	const n = 3
+	r, servers, _ := testFleet(t, n)
+
+	counts := make([]int, n)
+	for _, it := range items {
+		counts[r.Partitioner().Owner(it.Shape())]++
+	}
+	victim := -1
+	for k, c := range counts {
+		if c >= 2 {
+			victim = k
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no shard owns two quick-grid shapes; extend the grid")
+	}
+
+	co := NewCoordinator(r)
+	co.ChunkSize = 1 // one item per chunk: the kill lands between chunks
+	co.Fidelity = serve.FidelityMixed
+	var kill sync.Once
+	co.OnChunk = func(cr ChunkResult) {
+		if cr.Shard == victim {
+			kill.Do(func() { servers[victim].Close() })
+		}
+	}
+	results, err := co.Sweep(items)
+	if err != nil {
+		t.Fatalf("mixed sweep with replica %d killed mid-sweep: %v", victim, err)
+	}
+	if !bytes.Equal(mergedJSON(t, results), refJSON) {
+		t.Fatal("merged mixed results diverge from single-process engine.MixedBatch after churn")
+	}
+	checkMixedLabels(t, results, refined)
+	if co.Redispatches() == 0 {
+		t.Fatal("victim's remaining chunks were not re-dispatched")
+	}
+	redirected := 0
+	for _, res := range results {
+		if res.Owner == victim && res.Replica != victim {
+			redirected++
+		}
+	}
+	if redirected == 0 {
+		t.Fatal("no item attributed to a failover replica after the kill")
+	}
+}
+
 // When every replica is gone the sweep must fail with the bounded budget
 // exhausted — not hang — and name the first unreachable item globally.
 func TestCoordinatorSweepExhaustsBudget(t *testing.T) {

@@ -651,6 +651,12 @@ func (r *Router) Handler() http.Handler {
 		co.Tune = sr.Tune
 		co.ChunkSize = sr.Chunk
 		co.MaxAttempts = min(sr.Attempts, 2*len(r.clients))
+		// A request-level fidelity makes this router the mixed-fidelity
+		// orchestrator for its fleet: rank over the whole posted grid, then
+		// refine. Items stamped per-item (as an outer mixed coordinator
+		// sends them) pass through under the "" default instead.
+		co.Fidelity = sr.Fidelity
+		co.TopK = sr.TopK
 		results, err := co.Sweep(sr.Items)
 		if err != nil {
 			status := http.StatusBadGateway

@@ -15,7 +15,6 @@ package shard
 
 import (
 	"fmt"
-	"math"
 	"strconv"
 	"strings"
 
@@ -59,10 +58,7 @@ func (p Partitioner) quantum() float64 {
 // coordinates — the tuner cache's matching plane — quantized to Quantum-wide
 // cells.
 func (p Partitioner) Cell(s gemm.Shape) (qx, qy int64) {
-	q := p.quantum()
-	lmn := math.Log2(float64(s.M) * float64(s.N))
-	lk := math.Log2(float64(s.K))
-	return int64(math.Round(lmn / q)), int64(math.Round(lk / q))
+	return s.LogCell(p.quantum())
 }
 
 // splitmix64 is the SplitMix64 finalizer: a full-avalanche 64-bit mixer, so

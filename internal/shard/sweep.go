@@ -9,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/gemm"
 	"repro/internal/serve"
+	"repro/internal/sim"
 )
 
 // Engines builds one engine per shard, each with its own plan cache — the
@@ -68,6 +69,59 @@ func SweepBatch(p Partitioner, engines []*engine.Engine, runs []core.Options) ([
 		return nil, fmt.Errorf("shard: global run %w", err)
 	}
 	return results, nil
+}
+
+// SweepBatchMixed is the sharded engine.MixedBatch: the whole grid runs
+// analytically across the shard engines, candidates are ranked per
+// engine.RankTopK cell over the merged analytic latencies, and only the top
+// k per cell re-run at DES fidelity — again sharded by ownership. results[i]
+// answers runs[i] with its fidelity label; refined lists the DES-confirmed
+// indices, ascending. Because analytic sampling is deterministic and the
+// ranking runs over the merged global order, the output is byte-identical
+// to the unsharded MixedBatch at any shard count, and the DES tier is
+// byte-identical to a full-DES sweep restricted to the same candidates.
+func SweepBatchMixed(p Partitioner, engines []*engine.Engine, runs []core.Options, topK int, quantum float64) (results []*core.Result, refined []int, err error) {
+	for i, o := range runs {
+		if o.Fidelity != "" {
+			return nil, nil, fmt.Errorf("shard: global run %d: mixed sweep run carries fidelity %q; the mixed policy assigns fidelities itself", i, o.Fidelity)
+		}
+	}
+	analytic := make([]core.Options, len(runs))
+	for i, o := range runs {
+		o.Fidelity = core.FidelityAnalytic
+		analytic[i] = o
+	}
+	results, err = SweepBatch(p, engines, analytic)
+	if err != nil {
+		return nil, nil, err
+	}
+	shapes := make([]gemm.Shape, len(runs))
+	latencies := make([]sim.Time, len(runs))
+	for i, r := range results {
+		shapes[i] = runs[i].Shape
+		latencies[i] = r.Latency
+	}
+	refined = engine.RankTopK(shapes, latencies, topK, quantum)
+	des := make([]core.Options, len(refined))
+	for j, gi := range refined {
+		o := runs[gi]
+		o.Fidelity = core.FidelityDES
+		des[j] = o
+	}
+	desResults, err := SweepBatch(p, engines, des)
+	if err != nil {
+		// SweepBatch named an index into the refined sub-grid; translate
+		// it back to the caller's grid.
+		var fe *fanError
+		if errors.As(err, &fe) && fe.At >= 0 && fe.At < len(refined) {
+			err = fmt.Errorf("shard: global run %w", &fanError{At: refined[fe.At], Err: fe.Err})
+		}
+		return nil, nil, err
+	}
+	for j, gi := range refined {
+		results[gi] = desResults[j]
+	}
+	return results, refined, nil
 }
 
 // fanError is fanShards' failure: the winning (lowest) global index plus

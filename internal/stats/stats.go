@@ -53,9 +53,20 @@ func (c *Curve) Eval(x float64) float64 {
 	if x >= last.X {
 		return last.Y
 	}
-	// Binary search for the first point with X >= x.
-	i := sort.Search(len(pts), func(i int) bool { return pts[i].X >= x })
-	lo, hi := pts[i-1], pts[i]
+	// Hand-rolled binary search for the bracketing segment — sort.Search
+	// would allocate its closure on this hot path (Eval is the inner loop
+	// of analytic sweeps). Invariant: pts[i].X < x <= pts[j].X, so the
+	// interpolated pair matches "first point with X >= x" exactly.
+	i, j := 0, len(pts)-1
+	for j-i > 1 {
+		m := int(uint(i+j) >> 1)
+		if pts[m].X < x {
+			i = m
+		} else {
+			j = m
+		}
+	}
+	lo, hi := pts[i], pts[j]
 	frac := (x - lo.X) / (hi.X - lo.X)
 	return lo.Y + frac*(hi.Y-lo.Y)
 }

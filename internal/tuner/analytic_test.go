@@ -1,0 +1,90 @@
+package tuner
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/gemm"
+	"repro/internal/hw"
+)
+
+// The analytic backend IS Algorithm 1: for every Fig. 15 shape, platform,
+// and parallelism, an engine execution at FidelityAnalytic must return
+// exactly the latency Predictor.Predict computes for the same partition —
+// not approximately, since both run the same integer recurrence over the
+// same offline bandwidth curve. This is the contract that lets the mixed
+// sweep rank on analytic numbers and trust the predictor's Fig. 15 error
+// envelope for the unrefined tier.
+func TestAnalyticBackendAgreesWithPredictorExactly(t *testing.T) {
+	shapes := []gemm.Shape{
+		{M: 2048, N: 8192, K: 4096},
+		{M: 4096, N: 8192, K: 8192},
+		{M: 8192, N: 8192, K: 2048},
+	}
+	for _, plat := range []hw.Platform{hw.RTX4090PCIe(), hw.A800NVLink()} {
+		for _, n := range []int{2, 4} {
+			curve := SampleBandwidthCurve(plat, n, hw.AllReduce, nil)
+			eng := engine.New(1, 0)
+			eng.SeedCurve(plat, n, hw.AllReduce, curve)
+			for _, shape := range shapes {
+				pred, err := NewPredictor(plat, shape, gemm.Config{}, curve, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cands := Candidates(pred.Waves, DefaultS1, DefaultSP, 256)
+				step := len(cands)/8 + 1
+				for ci := 0; ci < len(cands); ci += step {
+					part := cands[ci]
+					want, err := pred.Predict(part)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := eng.Exec(core.Options{
+						Plat:      plat,
+						NGPUs:     n,
+						Shape:     shape,
+						Prim:      hw.AllReduce,
+						Partition: part.Clone(),
+						Fidelity:  core.FidelityAnalytic,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res.Fidelity != core.FidelityAnalytic {
+						t.Fatalf("analytic execution labeled %q", res.Fidelity)
+					}
+					if res.Latency != want {
+						t.Fatalf("%s n=%d %v part %v: analytic backend %v, predictor %v",
+							plat.Name, n, shape, part, res.Latency, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// An engine with no seeded curve samples one itself; sampling is
+// deterministic (jitter off), so the lazily sampled engine must agree with
+// a seeded one bit for bit — the property that makes independently
+// configured replicas byte-identical on the analytic tier.
+func TestAnalyticLazyCurveMatchesSeeded(t *testing.T) {
+	plat := hw.RTX4090PCIe()
+	shape := gemm.Shape{M: 4096, N: 8192, K: 8192}
+	opts := core.Options{Plat: plat, NGPUs: 2, Shape: shape, Prim: hw.AllReduce, Fidelity: core.FidelityAnalytic}
+
+	seeded := engine.New(1, 0)
+	seeded.SeedCurve(plat, 2, hw.AllReduce, SampleBandwidthCurve(plat, 2, hw.AllReduce, nil))
+	want, err := seeded.Exec(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy := engine.New(1, 0)
+	got, err := lazy.Exec(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Latency != want.Latency {
+		t.Fatalf("lazily sampled engine %v, seeded engine %v", got.Latency, want.Latency)
+	}
+}

@@ -16,48 +16,22 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/gemm"
-	"repro/internal/gpu"
 	"repro/internal/hw"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
 // SampleBandwidthCurve performs the offline stage's bandwidth sampling
-// (Alg. 1 line 5): it issues one collective per sample size on an otherwise
-// idle cluster and records (bytes, latency). Profiling runs average away
-// measurement noise, modeled by disabling the jitter amplitude. The
-// returned curve maps per-rank payload bytes to latency in nanoseconds.
+// (Alg. 1 line 5). It is comm.SampleCurve, re-exported under the tuner's
+// historical name: the sampling itself lives below the engine so the
+// analytic execution backend can sample lazily without importing the tuner.
 func SampleBandwidthCurve(plat hw.Platform, nGPUs int, prim hw.Primitive, sizes []int64) *stats.Curve {
-	if len(sizes) == 0 {
-		sizes = DefaultSampleSizes()
-	}
-	pts := make([]stats.Point, 0, len(sizes))
-	quiet := plat
-	quiet.JitterAmplitude = 0
-	for _, size := range sizes {
-		cluster := gpu.NewCluster(quiet, nGPUs)
-		cm := comm.New(cluster)
-		perRank := make([]int64, nGPUs)
-		for i := range perRank {
-			perRank[i] = size
-		}
-		var latency sim.Time
-		cm.Collective("probe", prim, perRank, nil).Wait(func(at sim.Time) { latency = at })
-		cluster.Sim.Run()
-		pts = append(pts, stats.Point{X: float64(size), Y: float64(latency)})
-	}
-	return stats.NewCurve(pts)
+	return comm.SampleCurve(plat, nGPUs, prim, sizes)
 }
 
 // DefaultSampleSizes returns log-spaced payload sizes from 16 KiB to 1 GiB,
 // dense enough that interpolation error stays small across the Fig. 8 cliff.
-func DefaultSampleSizes() []int64 {
-	var out []int64
-	for s := int64(16 << 10); s <= 1<<30; s *= 2 {
-		out = append(out, s, s+s/2)
-	}
-	return out
-}
+func DefaultSampleSizes() []int64 { return comm.DefaultSampleSizes() }
 
 // Predictor is the Algorithm 1 latency model for one (platform, GEMM,
 // primitive, parallelism) point. It sees only offline-profiled quantities:
@@ -113,16 +87,28 @@ func (p *Predictor) groupBytes(b gemm.GroupBound) float64 {
 // 10-22): computation accumulates per group; each group's communication
 // starts at max(accumulated computation at its signal, accumulated
 // communication) and the final group's communication is appended last.
+//
+// The group bounds arithmetic is inlined rather than materialized through
+// part.Bounds: Predict is the per-item cost of analytic sweeps, and the
+// bounds slice was its only allocation. The inlined positions are exactly
+// Bounds' (PosLo = WaveLo*WaveSize, PosHi clamped to the tile count), so
+// predictions are bit-identical to the slice-based path.
 func (p *Predictor) Predict(part gemm.Partition) (sim.Time, error) {
 	if err := part.Validate(p.Waves); err != nil {
 		return 0, err
 	}
-	bounds := part.Bounds(p.Plan, p.WaveSize)
 	var accP, accM sim.Time
-	for _, b := range bounds {
-		accP += p.PerWave * sim.Time(int64(b.WaveHi-b.WaveLo)) // t_p of this group
-		tm := sim.Time(p.Curve.Eval(p.groupBytes(b)))
-		accM = sim.Max(accP, accM) + tm
+	wave := 0
+	for _, g := range part {
+		posLo := wave * p.WaveSize
+		wave += g
+		posHi := wave * p.WaveSize
+		if posHi > p.Plan.Tiles {
+			posHi = p.Plan.Tiles
+		}
+		accP += p.PerWave * sim.Time(int64(g)) // t_p of this group
+		bytes := float64(int64(posHi-posLo)*p.TileBytes) * p.Imbalance
+		accM = sim.Max(accP, accM) + sim.Time(p.Curve.Eval(bytes))
 	}
 	return accM, nil
 }
