@@ -15,6 +15,7 @@ package repro
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -647,7 +648,7 @@ func BenchmarkCoordinatorSweep(b *testing.B) {
 		b.Fatal(err)
 	}
 	co := shard.NewCoordinator(router)
-	co.ChunkSize = 4
+	co.Spec.Chunk = 4
 	var items []serve.SweepItem
 	for _, grid := range expt.Table3Grids(true) {
 		if grid.Prim != hw.AllReduce {
@@ -680,16 +681,106 @@ func BenchmarkCoordinatorSweep(b *testing.B) {
 	b.ReportMetric(shards, "shards")
 }
 
+// Streaming sweep cost: the v2 iterator path (Coordinator.Stream emitting
+// each item as its chunk completes) over an in-process fleet at the analytic
+// fast path, where per-item work is small enough that the streaming
+// machinery's own cost shows. stream-sweep-ns/item is the latency headline;
+// stream-sweep-bytes/item (TotalAlloc delta per item) pins the bounded-
+// memory claim — the coordinator must allocate O(chunk) per item in flight,
+// not O(grid), so the figure may not grow with the grid.
+func BenchmarkStreamingSweep(b *testing.B) {
+	const shards = 4
+	curve := tuner.SampleBandwidthCurve(hw.RTX4090PCIe(), 2, hw.AllReduce, nil)
+	clients := make([]shard.Client, shards)
+	for k := range clients {
+		a := shard.Assignment{Index: k, Count: shards}
+		svc, err := serve.New(serve.Config{
+			Plat:           hw.RTX4090PCIe(),
+			NGPUs:          2,
+			CandidateLimit: 128,
+			Owns:           a.Owns,
+			Shard:          a.String(),
+			Curves:         map[hw.Primitive]*stats.Curve{hw.AllReduce: curve},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients[k] = &shard.LocalClient{Svc: svc}
+	}
+	router, err := shard.NewRouter(clients)
+	if err != nil {
+		b.Fatal(err)
+	}
+	co := shard.NewCoordinator(router)
+	co.Spec.Chunk = 4
+	co.Spec.Fidelity = serve.FidelityAnalytic
+	var items []serve.SweepItem
+	for _, grid := range expt.Table3Grids(true) {
+		if grid.Prim != hw.AllReduce {
+			continue
+		}
+		for _, s := range grid.Shapes {
+			items = append(items, serve.SweepItem{M: s.M, N: s.N, K: s.K, Prim: "AR"})
+		}
+	}
+	// Warm the replicas' analytic predictor caches so the steady-state
+	// streaming path is what gets measured.
+	if _, err := co.Sweep(items); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	bestNs := int64(1<<63 - 1)
+	var allocBytes, sweeps uint64
+	for i := 0; i < b.N; i++ {
+		// Min-of-batches for the latency (stable at -benchtime 1x), mean
+		// for the allocation (TotalAlloc is monotonic and deterministic).
+		const batches = 4
+		for batch := 0; batch < batches; batch++ {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			n := 0
+			seen := make([]bool, len(items))
+			err := co.Stream(items, func(idx int, res shard.SweepResult) error {
+				// Emissions interleave across shards by completion; each
+				// index must still arrive exactly once.
+				if seen[idx] {
+					b.Errorf("index %d emitted twice", idx)
+				}
+				seen[idx] = true
+				n++
+				return nil
+			})
+			elapsed := time.Since(start).Nanoseconds()
+			runtime.ReadMemStats(&after)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n != len(items) {
+				b.Fatalf("%d emissions for %d items", n, len(items))
+			}
+			if elapsed < bestNs {
+				bestNs = elapsed
+			}
+			allocBytes += after.TotalAlloc - before.TotalAlloc
+			sweeps++
+		}
+	}
+	b.ReportMetric(float64(bestNs)/float64(len(items)), "stream-sweep-ns/item")
+	b.ReportMetric(float64(allocBytes)/float64(sweeps)/float64(len(items)), "stream-sweep-bytes/item")
+	b.ReportMetric(shards, "shards")
+}
+
 // deadClient refuses every request instantly: the degraded-fleet
 // benchmark's pre-dead replica.
 type deadClient struct{}
 
 var errDeadReplica = errors.New("bench: replica is down")
 
-func (deadClient) Query(serve.Query) (serve.Answer, error)               { return serve.Answer{}, errDeadReplica }
-func (deadClient) Sweep(serve.SweepRequest) ([]serve.SweepResult, error) { return nil, errDeadReplica }
-func (deadClient) Stats() (serve.Stats, error)                           { return serve.Stats{}, errDeadReplica }
-func (deadClient) Healthz() error                                        { return errDeadReplica }
+func (deadClient) Query(serve.Query) (serve.Answer, error)         { return serve.Answer{}, errDeadReplica }
+func (deadClient) Sweep(serve.SweepRequest, serve.SweepSink) error { return errDeadReplica }
+func (deadClient) Stats() (serve.Stats, error)                     { return serve.Stats{}, errDeadReplica }
+func (deadClient) Healthz() error                                  { return errDeadReplica }
 
 // BenchmarkCoordinatorSweepDegraded sweeps the same grid with one replica
 // of the fleet dead from the start: the health plane must absorb the loss
@@ -743,7 +834,7 @@ func BenchmarkCoordinatorSweepDegraded(b *testing.B) {
 			b.Fatal(err)
 		}
 		co := shard.NewCoordinator(router)
-		co.ChunkSize = 1 // chunk per item: every dead-owned item is a chance to stall
+		co.Spec.Chunk = 1 // chunk per item: every dead-owned item is a chance to stall
 		start := time.Now()
 		results, err := co.Sweep(items)
 		if err != nil {

@@ -23,14 +23,18 @@ type headline struct {
 }
 
 // headlines are the metrics the ROADMAP's perf trajectory is judged on: the
-// engine's plan-cache speedup, the serving layer's warm-query latency, and
-// the sweep plane's analytic and mixed-fidelity per-item costs. All four are
-// ratios or min-of-batches latencies, stable at -benchtime 1x.
+// engine's plan-cache speedup, the serving layer's warm-query latency, the
+// sweep plane's analytic and mixed-fidelity per-item costs, and the v2
+// streaming sweep's per-item latency and allocation. All are ratios,
+// min-of-batches latencies, or deterministic allocation counts, stable at
+// -benchtime 1x.
 var headlines = []headline{
 	{Bench: "BenchmarkEnginePlanCacheSpeedup", Metric: "plan-cache-speedup", HigherBetter: true, Label: "plan-cache speedup"},
 	{Bench: "BenchmarkServeWarmQuery", Metric: "warm-ns/query", HigherBetter: false, Label: "serve warm-query latency"},
 	{Bench: "BenchmarkEngineAnalyticExec", Metric: "analytic-ns/item", HigherBetter: false, Label: "analytic fast-path latency"},
 	{Bench: "BenchmarkMixedFidelitySweep", Metric: "mixed-sweep-ns/item", HigherBetter: false, Label: "mixed-fidelity sweep latency"},
+	{Bench: "BenchmarkStreamingSweep", Metric: "stream-sweep-ns/item", HigherBetter: false, Label: "streaming sweep latency"},
+	{Bench: "BenchmarkStreamingSweep", Metric: "stream-sweep-bytes/item", HigherBetter: false, Label: "streaming sweep allocation"},
 }
 
 func loadReport(path string) (Report, error) {

@@ -13,6 +13,17 @@
 // timeout per -health-cooldown window instead of one timeout per query or
 // chunk — and a background prober hits dead replicas' GET /healthz every
 // -health-probe interval, re-admitting a replica the moment it restarts.
+// A replica dead past -rebalance-after cooldown windows is evicted from the
+// consistent-hash ownership ring: its cells rebalance to the surviving
+// replicas (queries and chunks route there directly, no failover hop) until
+// re-admission hands exactly those cells back. /stats reports the eviction
+// and hand-back counters plus each replica's evicted flag.
+//
+// /sweep speaks both protocol generations: a plain POST answers with the
+// buffered v1 JSON body, while a client sending Accept: application/x-ndjson
+// (or "stream": true in the request) gets the v2 NDJSON frame stream —
+// result frames as the fleet's chunks complete, then a terminal done or
+// error frame — so whole-grid sweeps proxy without buffering the grid.
 //
 // Example (two replicas on one host):
 //
@@ -40,11 +51,12 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "HTTP listen address")
-		replicas = flag.String("replicas", "", "comma-separated replica base URLs, in shard order (replica i runs -shard i/n)")
-		timeout  = flag.Duration("timeout", 30*time.Second, "per-request replica timeout (covers a cold-shape tune)")
-		cooldown = flag.Duration("health-cooldown", shard.DefaultHealthCooldown, "how long a failed replica is skipped before one trial request is allowed through (must be > 0: benching cannot be disabled)")
-		probe    = flag.Duration("health-probe", 0, "background /healthz probe interval for dead-replica re-admission (0 = the health cooldown)")
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		replicas  = flag.String("replicas", "", "comma-separated replica base URLs, in shard order (replica i runs -shard i/n)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request replica timeout (covers a cold-shape tune)")
+		cooldown  = flag.Duration("health-cooldown", shard.DefaultHealthCooldown, "how long a failed replica is skipped before one trial request is allowed through (must be > 0: benching cannot be disabled)")
+		probe     = flag.Duration("health-probe", 0, "background /healthz probe interval for dead-replica re-admission (0 = the health cooldown)")
+		rebalance = flag.Int("rebalance-after", shard.DefaultEvictAfter, "cooldown windows a replica must stay dead before its ring cells rebalance to the survivors (0 disables eviction)")
 	)
 	flag.Parse()
 
@@ -69,6 +81,7 @@ func main() {
 	router, err := shard.NewRouter(clients)
 	fatal(err)
 	router.Health().SetCooldown(*cooldown)
+	router.Health().SetEvictAfter(*rebalance)
 	// Probe dead replicas for the process lifetime: a replica that
 	// restarts is re-admitted and reclaims its shard slice without
 	// waiting for an in-band trial request.

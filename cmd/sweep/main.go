@@ -69,11 +69,13 @@ func main() {
 		tune      = flag.Bool("tune", false, "tune each cell through the replica's shape cache and execute the tuned partition (default: untuned per-wave baseline)")
 		fidelity  = flag.String("fidelity", "des", "execution fidelity: des (event simulator), analytic (Algorithm 1 predictor, no simulation), or mixed (analytic grid + DES re-run of the top -topk per shape bucket)")
 		topK      = flag.Int("topk", 0, "mixed fidelity only: DES confirmations per rank bucket (0 = engine default)")
+		rankQ     = flag.Float64("rank-quantum", 0, "mixed fidelity only: log2 cell edge of the rank buckets (0 = engine default)")
 		chunk     = flag.Int("chunk", 0, "items per dispatched chunk (0 = shard.DefaultChunkSize)")
 		attempts  = flag.Int("attempts", 0, "re-dispatch budget per chunk across the failover ring (0 = fleet size); a budget beyond the fleet size does not hammer dead replicas back-to-back — wrap-around retries wait out -health-cooldown, so extra budget helps only when a replica recovers mid-dispatch")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-chunk replica timeout (covers a chunk of tunes + simulations)")
 		cooldown  = flag.Duration("health-cooldown", shard.DefaultHealthCooldown, "how long a failed replica is skipped before one trial dispatch is allowed through (must be > 0: benching cannot be disabled)")
 		probe     = flag.Duration("health-probe", 0, "background /healthz probe interval for mid-sweep dead-replica re-admission (0 = -health-cooldown)")
+		rebalance = flag.Int("rebalance-after", shard.DefaultEvictAfter, "cooldown windows a replica must stay dead before its ring cells rebalance to the survivors (0 disables eviction)")
 		verify    = flag.Bool("verify", false, "re-run the grid on a local engine and require byte-identical results (needs -platform/-gpus to match the fleet)")
 		platName  = flag.String("platform", "4090", "fleet hardware profile, for -verify: 4090, a800, ascend, h100")
 		gpus      = flag.Int("gpus", 4, "fleet parallel group size, for -verify")
@@ -104,18 +106,22 @@ func main() {
 	}
 	router, err := shard.NewRouter(clients)
 	fatal(err)
-	router.Health().SetCooldown(*cooldown)
+	router.Health().SetEvictAfter(*rebalance)
 	co := shard.NewCoordinator(router)
-	co.ChunkSize = *chunk
-	co.MaxAttempts = *attempts
-	co.Tune = *tune
-	co.ProbeInterval = *probe
+	co.Spec = shard.SweepSpec{
+		Tune:           *tune,
+		Chunk:          *chunk,
+		Attempts:       *attempts,
+		TopK:           *topK,
+		RankQuantum:    *rankQ,
+		HealthCooldown: *cooldown,
+		ProbeInterval:  *probe,
+	}
 	if *fidelity != serve.FidelityDES {
 		// The default stays off the wire ("" dispatch) so old fleets keep
 		// answering old clients byte-identically.
-		co.Fidelity = *fidelity
+		co.Spec.Fidelity = *fidelity
 	}
-	co.TopK = *topK
 	if !*quiet {
 		co.OnChunk = func(cr shard.ChunkResult) {
 			suffix := ""

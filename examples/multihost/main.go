@@ -141,7 +141,7 @@ func main() {
 		}
 	}
 	co := shard.NewCoordinator(router)
-	co.ChunkSize = 1 // chunk per item, so the kill lands mid-sweep
+	co.Spec.Chunk = 1 // chunk per item, so the kill lands mid-sweep
 	var kill sync.Once
 	co.OnChunk = func(cr shard.ChunkResult) {
 		if cr.Shard == victim {
@@ -215,7 +215,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}()
-	body, err := json.Marshal(serve.SweepRequest{Tune: true, Items: items[:2]})
+	body, err := json.Marshal(serve.SweepRequest{SweepSpec: serve.SweepSpec{Tune: true}, Items: items[:2]})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -224,11 +224,9 @@ func main() {
 		log.Fatal(err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		var eb struct {
-			Error string `json:"error"`
-		}
-		_ = json.NewDecoder(resp.Body).Decode(&eb)
-		log.Fatalf("router /sweep replied %s: %s", resp.Status, eb.Error)
+		var env serve.ErrorEnvelope
+		_ = json.NewDecoder(resp.Body).Decode(&env)
+		log.Fatalf("router /sweep replied %s: %s", resp.Status, env.Error.Message)
 	}
 	var rs shard.RoutedSweepResponse
 	if err := json.NewDecoder(resp.Body).Decode(&rs); err != nil {

@@ -49,7 +49,7 @@ func TestHandlerSweepPerItemFidelity(t *testing.T) {
 	}
 
 	// A request-level default applies to unlabeled items only.
-	resp2 := postSweep(t, srv.URL, SweepRequest{Fidelity: FidelityAnalytic, Items: []SweepItem{
+	resp2 := postSweep(t, srv.URL, SweepRequest{SweepSpec: SweepSpec{Fidelity: FidelityAnalytic}, Items: []SweepItem{
 		{M: 2048, N: 8192, K: 4096, Prim: "AR"},
 		{M: 4096, N: 8192, K: 8192, Prim: "AR", Fidelity: FidelityDES},
 	}})
@@ -81,7 +81,7 @@ func TestHandlerSweepMixed(t *testing.T) {
 		{M: 4096, N: 8192, K: 8192, Prim: "AR"},
 		{M: 8192, N: 8192, K: 4096, Prim: "AR"},
 	}
-	resp := postSweep(t, srv.URL, SweepRequest{Fidelity: FidelityMixed, Items: items})
+	resp := postSweep(t, srv.URL, SweepRequest{SweepSpec: SweepSpec{Fidelity: FidelityMixed}, Items: items})
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
@@ -107,7 +107,7 @@ func TestHandlerSweepMixed(t *testing.T) {
 	if nDES == 0 || nAnalytic == 0 {
 		t.Fatalf("mixed sweep produced %d des and %d analytic results; both tiers must appear", nDES, nAnalytic)
 	}
-	ref, err := s.SweepChunk(SweepRequest{Fidelity: FidelityMixed, Items: items})
+	ref, err := s.CollectSweep(SweepRequest{SweepSpec: SweepSpec{Fidelity: FidelityMixed}, Items: items})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,17 +134,17 @@ func TestHandlerSweepFidelityRejections(t *testing.T) {
 	defer srv.Close()
 
 	for name, req := range map[string]SweepRequest{
-		"unknown request fidelity": {Fidelity: "nope", Items: []SweepItem{{M: 2048, N: 8192, K: 4096, Prim: "AR"}}},
+		"unknown request fidelity": {SweepSpec: SweepSpec{Fidelity: "nope"}, Items: []SweepItem{{M: 2048, N: 8192, K: 4096, Prim: "AR"}}},
 		"unknown item fidelity":    {Items: []SweepItem{{M: 2048, N: 8192, K: 4096, Prim: "AR", Fidelity: "nope"}}},
 		"mixed as item fidelity":   {Items: []SweepItem{{M: 2048, N: 8192, K: 4096, Prim: "AR", Fidelity: FidelityMixed}}},
-		"pre-labeled under mixed":  {Fidelity: FidelityMixed, Items: []SweepItem{{M: 2048, N: 8192, K: 4096, Prim: "AR", Fidelity: FidelityDES}}},
+		"pre-labeled under mixed":  {SweepSpec: SweepSpec{Fidelity: FidelityMixed}, Items: []SweepItem{{M: 2048, N: 8192, K: 4096, Prim: "AR", Fidelity: FidelityDES}}},
 	} {
 		resp := postSweep(t, srv.URL, req)
 		if resp.StatusCode < 400 || resp.StatusCode >= 500 {
 			t.Errorf("%s: status = %d, want 4xx", name, resp.StatusCode)
 		}
 		resp.Body.Close()
-		chunk, err := s.SweepChunk(req)
+		chunk, err := s.CollectSweep(req)
 		if err == nil {
 			t.Errorf("%s: in-process SweepChunk accepted", name)
 		} else if !IsBadQuery(err) {

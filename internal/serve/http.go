@@ -7,6 +7,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"repro/internal/gemm"
 )
@@ -21,6 +22,95 @@ type QueryResponse struct {
 	Source      string `json:"source"`
 }
 
+// ContentTypeNDJSON is the media type of a v2 /sweep frame stream:
+// newline-delimited JSON, one SweepFrame per line. A client requests it via
+// the Accept header (or the request body's stream field); servers that
+// predate v2 ignore both and reply with the buffered v1 SweepResponse, so
+// negotiation degrades by content type, never by error.
+const ContentTypeNDJSON = "application/x-ndjson"
+
+// SweepFrame kinds. A v2 stream is any number of result frames followed by
+// exactly one terminal frame — done on success, error on failure.
+const (
+	FrameResult = "result"
+	FrameDone   = "done"
+	FrameError  = "error"
+)
+
+// SweepFrame is one NDJSON line of a v2 /sweep stream.
+type SweepFrame struct {
+	// Frame discriminates the line: FrameResult, FrameDone, or FrameError.
+	Frame string `json:"frame"`
+	// Index is a result frame's item index into the posted grid. (With
+	// omitempty an index of 0 is elided; decoders zero-default it back.)
+	Index int `json:"index,omitempty"`
+	// Fidelity mirrors Result.Fidelity on result frames, so stream
+	// consumers can split tiers without opening the result object.
+	Fidelity string       `json:"fidelity,omitempty"`
+	Result   *SweepResult `json:"result,omitempty"`
+	// Count is a done frame's total number of result frames streamed.
+	Count int `json:"count,omitempty"`
+	// Salvaged is an error frame's count of result frames streamed before
+	// the failure — results the consumer may keep (partial-chunk salvage);
+	// only the unanswered remainder needs re-dispatching.
+	Salvaged int `json:"salvaged,omitempty"`
+	// Error is an error frame's structured failure, the same envelope body
+	// non-streaming endpoints wrap under {"error": ...}.
+	Error *ErrorBody `json:"error,omitempty"`
+}
+
+// ErrorBody is the one error schema every endpoint speaks — /query, /sweep,
+// /stats, /healthz, the router's proxied forms, and v2 error frames —
+// replacing the ad-hoc per-endpoint shapes (bare {"error": string},
+// {"error", "index"}, {"error", "index", "results"}).
+type ErrorBody struct {
+	Message string `json:"message"`
+	// Retryable mirrors the status-class split: false for deterministic
+	// request rejections (4xx — every replica rejects identically, so
+	// routers must not fail over), true for replica-specific failures
+	// (5xx — another replica may be healthy). Stream consumers rely on it:
+	// an error frame arrives after the 200 status line, so the flag is the
+	// only classification left on the wire.
+	Retryable bool `json:"retryable"`
+	// Index is the failing item's index for /sweep failures (into the
+	// posted grid); nil when the failure is not attributable to an item.
+	Index *int `json:"index,omitempty"`
+	// Results is the completed prefix of a buffered (v1) /sweep failure —
+	// partial-chunk salvage riding along with the error. A v2 stream has
+	// already delivered the salvage as result frames and reports only the
+	// Salvaged count.
+	Results []SweepResult `json:"results,omitempty"`
+}
+
+// ErrorEnvelope is the JSON error reply of every non-streaming endpoint:
+// {"error": {"message", "retryable", ...}}.
+type ErrorEnvelope struct {
+	Error ErrorBody `json:"error"`
+}
+
+// WriteError writes the unified error envelope with the given status,
+// deriving Retryable from the status class. Exported so the shard router's
+// endpoints reply byte-identically to a replica's.
+func WriteError(w http.ResponseWriter, status int, err error) {
+	WriteErrorBody(w, status, ErrorBody{Message: err.Error(), Retryable: status >= 500})
+}
+
+// WriteErrorBody writes a fully caller-built error envelope (for /sweep
+// failures carrying an item index or a salvage prefix).
+func WriteErrorBody(w http.ResponseWriter, status int, body ErrorBody) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(ErrorEnvelope{Error: body})
+}
+
+// StreamRequested reports whether a /sweep request negotiated the v2 NDJSON
+// stream: an Accept header naming ContentTypeNDJSON, or the decoded
+// request's Stream field. Exported so the router's proxy negotiates
+// identically to a replica.
+func StreamRequested(r *http.Request, req SweepRequest) bool {
+	return req.Stream || strings.Contains(r.Header.Get("Accept"), ContentTypeNDJSON)
+}
+
 // Handler mounts the service on an HTTP mux:
 //
 //	GET  /query?m=4096&n=8192&k=8192&prim=AR[&imbalance=1.2]
@@ -28,28 +118,37 @@ type QueryResponse struct {
 //	GET  /stats
 //	GET  /healthz
 //
-// All endpoints reply with JSON; errors reply {"error": ...}. The status
-// classifies the failure: 4xx for deterministic request rejections (every
-// replica would reject the same request identically, so routers must not
-// fail over), 5xx for internal failures (replica-specific — a router's
-// failover ring retries them elsewhere). /sweep errors additionally carry
-// the chunk-local "index" of the failing item, so a coordinator can
-// attribute the failure to a global grid index, plus the completed prefix
-// under "results" so the coordinator re-dispatches only the unanswered
-// suffix. /healthz is the liveness probe behind dead-replica re-admission:
-// a 200 means the process is up and serving. The handler is safe for
-// concurrent use, like the service itself.
+// All endpoints reply with JSON; errors reply with the unified envelope
+// {"error": {"message", "retryable", ...}}. The status classifies the
+// failure: 4xx for deterministic request rejections (every replica would
+// reject the same request identically, so routers must not fail over), 5xx
+// for internal failures (replica-specific — a router's failover ring
+// retries them elsewhere).
+//
+// POST /sweep speaks two protocol versions. v1 (the default) buffers the
+// whole chunk and replies a JSON SweepResponse; failures carry the failing
+// item's chunk-local index plus the completed prefix under the envelope's
+// "index"/"results", so a coordinator re-dispatches only the unanswered
+// suffix. v2 — negotiated via "Accept: application/x-ndjson" or the
+// request's "stream" field — replies an NDJSON stream of SweepFrame lines:
+// one result frame per item as it completes, then a terminal done frame (or
+// an error frame carrying the envelope body plus the salvaged count), so
+// neither side ever materializes a whole grid.
+//
+// /healthz is the liveness probe behind dead-replica re-admission: a 200
+// means the process is up and serving. The handler is safe for concurrent
+// use, like the service itself.
 func Handler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		q, err := ParseQuery(r)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, err)
+			WriteError(w, http.StatusBadRequest, err)
 			return
 		}
 		ans, err := s.Query(q)
 		if err != nil {
-			httpError(w, errStatus(err), err)
+			WriteError(w, errStatus(err), err)
 			return
 		}
 		writeJSON(w, QueryResponse{
@@ -64,37 +163,39 @@ func Handler(s *Service) http.Handler {
 	mux.HandleFunc("/sweep", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
-			httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: /sweep takes POST, got %s", r.Method))
+			WriteError(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: /sweep takes POST, got %s", r.Method))
 			return
 		}
 		var req SweepRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding sweep request: %w", err))
+			WriteError(w, http.StatusBadRequest, fmt.Errorf("serve: decoding sweep request: %w", err))
 			return
 		}
 		if len(req.Items) == 0 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("serve: sweep request has no items"))
+			WriteError(w, http.StatusBadRequest, fmt.Errorf("serve: sweep request has no items"))
 			return
 		}
-		results, err := s.SweepChunk(req)
+		if StreamRequested(r, req) {
+			streamSweep(w, s, req)
+			return
+		}
+		results, err := s.CollectSweep(req)
 		if err != nil {
 			// Serialize the cause and the chunk-local index separately;
 			// the coordinator's client rebuilds the ChunkError from them.
 			// The completed prefix (partial-chunk completion) rides along
 			// so the coordinator can keep it and re-dispatch only the
 			// unanswered suffix.
-			idx := -1
+			body := ErrorBody{Results: results}
 			var ce *ChunkError
 			if errors.As(err, &ce) {
-				idx, err = ce.Index, ce.Err
+				idx := ce.Index
+				body.Index, err = &idx, ce.Err
 			}
-			body := map[string]any{"error": err.Error(), "index": idx}
-			if len(results) > 0 {
-				body["results"] = results
-			}
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(errStatus(err))
-			_ = json.NewEncoder(w).Encode(body)
+			status := errStatus(err)
+			body.Message = err.Error()
+			body.Retryable = status >= 500
+			WriteErrorBody(w, status, body)
 			return
 		}
 		writeJSON(w, SweepResponse{Results: results})
@@ -108,6 +209,46 @@ func Handler(s *Service) http.Handler {
 		writeJSON(w, map[string]string{"status": "ok", "shard": s.cfg.Shard})
 	})
 	return mux
+}
+
+// streamSweep answers a v2-negotiated /sweep: result frames as items
+// complete, then the terminal frame. The status line is committed before
+// execution starts, so failures surface as error frames, not statuses —
+// the frame's Retryable bit carries the classification a buffered reply
+// would encode in the status class.
+func streamSweep(w http.ResponseWriter, s *Service, req SweepRequest) {
+	w.Header().Set("Content-Type", ContentTypeNDJSON)
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	count := 0
+	err := s.SweepChunk(req, func(i int, res SweepResult) error {
+		if err := enc.Encode(SweepFrame{Frame: FrameResult, Index: i, Fidelity: res.Fidelity, Result: &res}); err != nil {
+			return err
+		}
+		if flusher != nil {
+			// Per-frame flush is the bounded-memory contract: a frame
+			// buffered server-side is a frame the coordinator cannot
+			// release yet.
+			flusher.Flush()
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		// A sink (write) failure means the client is gone — encoding the
+		// terminal frame then fails identically and harmlessly.
+		body := ErrorBody{Retryable: errStatus(err) >= 500}
+		var ce *ChunkError
+		if errors.As(err, &ce) {
+			idx := ce.Index
+			body.Index, err = &idx, ce.Err
+		}
+		body.Message = err.Error()
+		_ = enc.Encode(SweepFrame{Frame: FrameError, Salvaged: count, Error: &body})
+		return
+	}
+	_ = enc.Encode(SweepFrame{Frame: FrameDone, Count: count})
 }
 
 // errStatus maps a Service error to its HTTP status: deterministic request
@@ -174,10 +315,4 @@ func writeJSON(w http.ResponseWriter, v any) {
 	// Encoding these fixed response types cannot fail; a broken connection
 	// surfaces in the server's error log, not here.
 	_ = enc.Encode(v)
-}
-
-func httpError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }

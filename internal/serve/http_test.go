@@ -76,16 +76,19 @@ func TestHandlerRejectsBadRequests(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var body map[string]string
-		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		var env ErrorEnvelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 			t.Fatalf("%s: non-JSON error body: %v", url, err)
 		}
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s: status = %d, want 400", url, resp.StatusCode)
 		}
-		if body["error"] == "" {
+		if env.Error.Message == "" {
 			t.Errorf("%s: empty error message", url)
+		}
+		if env.Error.Retryable {
+			t.Errorf("%s: deterministic rejection marked retryable", url)
 		}
 	}
 }
@@ -111,12 +114,15 @@ func TestHandlerClassifiesInternalErrorsAs5xx(t *testing.T) {
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("internal tuning failure status = %d, want 500", resp.StatusCode)
 	}
-	var body map[string]string
-	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+	var env ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(body["error"], "injected tuner failure") {
-		t.Fatalf("error body %q does not name the cause", body["error"])
+	if !strings.Contains(env.Error.Message, "injected tuner failure") {
+		t.Fatalf("error body %q does not name the cause", env.Error.Message)
+	}
+	if !env.Error.Retryable {
+		t.Fatal("internal failure not marked retryable in the envelope")
 	}
 }
 
@@ -174,7 +180,7 @@ func TestHandlerSweep(t *testing.T) {
 	if len(sr.Results) != len(items) {
 		t.Fatalf("%d results for %d items", len(sr.Results), len(items))
 	}
-	ref, err := s.SweepChunk(SweepRequest{Items: items})
+	ref, err := s.CollectSweep(SweepRequest{Items: items})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +220,7 @@ func TestHandlerSweepTuned(t *testing.T) {
 		{M: 2048, N: 8192, K: 4096, Prim: "AR"},
 		{M: 2048, N: 8192, K: 4096, Prim: "AR"}, // duplicate: second must be a cache hit
 	}
-	resp := postSweep(t, srv.URL, SweepRequest{Tune: true, Items: items})
+	resp := postSweep(t, srv.URL, SweepRequest{SweepSpec: SweepSpec{Tune: true}, Items: items})
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status = %d", resp.StatusCode)
@@ -268,35 +274,39 @@ func TestHandlerSweepErrors(t *testing.T) {
 		{M: 2048, N: 8192, K: 4096, Prim: "AR"},
 		{M: 0, N: 8192, K: 4096, Prim: "AR"},
 	}})
-	var eb struct {
-		Error string `json:"error"`
-		Index int    `json:"index"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+	var env ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Fatalf("bad item status = %d, want 422", resp.StatusCode)
 	}
-	if eb.Index != 1 {
-		t.Fatalf("failing item index = %d, want 1", eb.Index)
+	if env.Error.Index == nil || *env.Error.Index != 1 {
+		t.Fatalf("failing item index = %v, want 1", env.Error.Index)
+	}
+	if env.Error.Retryable {
+		t.Fatal("deterministic item rejection marked retryable")
 	}
 
 	// An internal failure is 5xx, still attributed to its item.
 	s.tuneHook = func() error { return errors.New("injected tuner failure") }
-	resp = postSweep(t, srv.URL, SweepRequest{Tune: true, Items: []SweepItem{
+	resp = postSweep(t, srv.URL, SweepRequest{SweepSpec: SweepSpec{Tune: true}, Items: []SweepItem{
 		{M: 1024, N: 8192, K: 4096, Prim: "AR"},
 	}})
-	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+	env = ErrorEnvelope{}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("internal failure status = %d, want 500", resp.StatusCode)
 	}
-	if eb.Index != 0 || !strings.Contains(eb.Error, "injected tuner failure") {
-		t.Fatalf("internal failure body = %+v, want index 0 naming the cause", eb)
+	if env.Error.Index == nil || *env.Error.Index != 0 || !strings.Contains(env.Error.Message, "injected tuner failure") {
+		t.Fatalf("internal failure body = %+v, want index 0 naming the cause", env.Error)
+	}
+	if !env.Error.Retryable {
+		t.Fatal("internal item failure not marked retryable")
 	}
 }
 
@@ -317,7 +327,7 @@ func TestSweepChunkKeepsCompletedPrefixOnFailure(t *testing.T) {
 		{M: 4096, N: 8192, K: 8192, Prim: "AR"}, // distinct shape: second tune fails
 	}
 
-	partial, err := s.SweepChunk(SweepRequest{Tune: true, Items: items})
+	partial, err := s.CollectSweep(SweepRequest{SweepSpec: SweepSpec{Tune: true}, Items: items})
 	var ce *ChunkError
 	if !errors.As(err, &ce) || ce.Index != 1 {
 		t.Fatalf("error %v does not name chunk item 1", err)
@@ -333,24 +343,20 @@ func TestSweepChunkKeepsCompletedPrefixOnFailure(t *testing.T) {
 	// "results". Item 0 is now a cache hit (no tune), item 1 still fails.
 	srv := httptest.NewServer(Handler(s))
 	defer srv.Close()
-	resp := postSweep(t, srv.URL, SweepRequest{Tune: true, Items: items})
+	resp := postSweep(t, srv.URL, SweepRequest{SweepSpec: SweepSpec{Tune: true}, Items: items})
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want 500", resp.StatusCode)
 	}
-	var eb struct {
-		Error   string        `json:"error"`
-		Index   int           `json:"index"`
-		Results []SweepResult `json:"results"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+	var env ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		t.Fatal(err)
 	}
-	if eb.Index != 1 || len(eb.Results) != 1 {
-		t.Fatalf("error body index %d with %d results, want index 1 with the 1-item prefix", eb.Index, len(eb.Results))
+	if env.Error.Index == nil || *env.Error.Index != 1 || len(env.Error.Results) != 1 {
+		t.Fatalf("error body index %v with %d results, want index 1 with the 1-item prefix", env.Error.Index, len(env.Error.Results))
 	}
-	if eb.Results[0].Shape != items[0].Shape().String() {
-		t.Fatalf("prefix answers %q, want item 0 (%q)", eb.Results[0].Shape, items[0].Shape())
+	if env.Error.Results[0].Shape != items[0].Shape().String() {
+		t.Fatalf("prefix answers %q, want item 0 (%q)", env.Error.Results[0].Shape, items[0].Shape())
 	}
 }
 

@@ -3,6 +3,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -77,9 +78,14 @@ func (it SweepItem) fidelity(requestDefault string) (core.Fidelity, error) {
 	return "", badQueryf("serve: unknown fidelity %q (want %q, %q, or %q)", f, FidelityDES, FidelityAnalytic, FidelityMixed)
 }
 
-// SweepRequest is the JSON body of POST /sweep: one chunk of a (possibly
-// fleet-wide) sweep grid, processed in order on the replica.
-type SweepRequest struct {
+// SweepSpec is the one options struct every sweep knob lives in — shared by
+// the wire request, the shard coordinator, the router's /sweep proxy, and
+// cmd/sweep's flags, so a knob added here is automatically forwarded at
+// every hop instead of silently resetting to a default mid-path. The wire
+// fields marshal inside SweepRequest's JSON body; the health fields are
+// driver-local (marked json:"-"): a fleet's health windows belong to the
+// fleet's operator, not to whichever remote client posts a sweep.
+type SweepSpec struct {
 	// Tune selects the tuned pipeline: each item is first answered through
 	// Service.Query (shape cache, singleflight) and then executed once
 	// with the tuned partition. When false, each item runs the untuned
@@ -104,8 +110,30 @@ type SweepRequest struct {
 	Fidelity string `json:"fidelity,omitempty"`
 	// TopK bounds the per-cell DES confirmations of a mixed request;
 	// <= 0 selects engine.DefaultTopK.
-	TopK  int         `json:"topk,omitempty"`
-	Items []SweepItem `json:"items"`
+	TopK int `json:"topk,omitempty"`
+	// RankQuantum is the mixed sweep's rank-cell edge in log2 units; <= 0
+	// selects engine.DefaultRankQuantum.
+	RankQuantum float64 `json:"rank_quantum,omitempty"`
+	// HealthCooldown and ProbeInterval tune the driving coordinator's
+	// health plane: how long a failed replica is benched, and how often
+	// the background /healthz prober runs. Never serialized — a router
+	// proxy applies its own fleet's windows, not a remote caller's.
+	HealthCooldown time.Duration `json:"-"`
+	ProbeInterval  time.Duration `json:"-"`
+}
+
+// SweepRequest is the JSON body of POST /sweep: one chunk of a (possibly
+// fleet-wide) sweep grid, processed in order on the replica, plus the
+// embedded SweepSpec knobs. The v1 body is unchanged field for field; the
+// only addition is Stream, the in-body form of v2 protocol negotiation.
+type SweepRequest struct {
+	SweepSpec
+	// Stream requests the v2 NDJSON frame-stream reply in the request body
+	// itself — equivalent to sending "Accept: application/x-ndjson".
+	// Absent (the v1 default) the reply is the buffered JSON SweepResponse,
+	// byte-compatible with pre-v2 servers and clients.
+	Stream bool        `json:"stream,omitempty"`
+	Items  []SweepItem `json:"items"`
 }
 
 // SweepResult is one item's outcome: the partition the run used (tuned or
@@ -127,7 +155,7 @@ type SweepResult struct {
 	Result      *core.Result `json:"result"`
 }
 
-// SweepResponse is the JSON reply of POST /sweep.
+// SweepResponse is the buffered (v1) JSON reply of POST /sweep.
 type SweepResponse struct {
 	Results []SweepResult `json:"results"`
 }
@@ -145,13 +173,27 @@ type ChunkError struct {
 func (e *ChunkError) Error() string { return fmt.Sprintf("chunk item %d: %v", e.Index, e.Err) }
 func (e *ChunkError) Unwrap() error { return e.Err }
 
+// SweepSink consumes one completed sweep result. index names the item the
+// result answers (its position in the posted Items); a non-nil return
+// aborts the chunk and surfaces verbatim from SweepChunk — the seam that
+// lets an HTTP handler stop executing the moment its client hangs up.
+type SweepSink func(index int, res SweepResult) error
+
 // SweepChunk processes one sweep chunk in input order — serially, preserving
-// the cache-warming locality a replica's owned slice is partitioned for.
-// results[i] answers req.Items[i]; on failure the first failing item's
-// chunk-local index is reported as a *ChunkError, and the completed prefix
-// results[0..Index) rides along with the error — partial-chunk completion,
-// so a coordinator re-dispatches only the unanswered suffix instead of
-// re-executing work the replica already finished.
+// the cache-warming locality a replica's owned slice is partitioned for —
+// and emits each result into sink as it completes, so the chunk's memory
+// footprint is O(1) results however long the chunk: the execution core of
+// the v2 streaming wire protocol.
+//
+// Flat (single-tier) chunks emit in ascending index order; on failure,
+// exactly the completed prefix [0, Index) has been emitted — the emitted
+// results are the partial-chunk salvage — and the failing item's
+// chunk-local index is reported as a *ChunkError. A request-level "mixed"
+// fidelity runs the whole posted grid analytically, ranks per
+// engine.RankTopK cell, re-runs the top TopK per cell at DES fidelity, and
+// splices; the tiers interleave, so a mixed chunk emits only once every
+// result is final (still in ascending index order) and a failed mixed chunk
+// emits nothing.
 //
 // Each item executes at its resolved fidelity (item label, else the
 // request default): DES through a private deterministic simulator, analytic
@@ -159,33 +201,40 @@ func (e *ChunkError) Unwrap() error { return e.Err }
 // cache. Both are byte-identical no matter which replica of an identically
 // configured fleet executes the chunk — the property that lets a
 // coordinator re-dispatch chunks through the failover ring without
-// perturbing the merged sweep. A request-level "mixed" fidelity runs the
-// whole posted grid analytically, ranks per engine.RankTopK cell, re-runs
-// the top TopK per cell at DES fidelity, and splices; a mixed chunk that
-// fails returns no partial prefix (the tiers interleave, so no prefix of
-// the reply would be final).
-func (s *Service) SweepChunk(req SweepRequest) ([]SweepResult, error) {
+// perturbing the merged sweep.
+func (s *Service) SweepChunk(req SweepRequest, sink SweepSink) error {
 	switch req.Fidelity {
 	case "", FidelityDES, FidelityAnalytic:
-		return s.sweepChunkFlat(req)
+		return s.sweepChunkFlat(req, sink)
 	case FidelityMixed:
-		return s.sweepChunkMixed(req)
+		return s.sweepChunkMixed(req, sink)
 	}
-	return nil, &ChunkError{Index: 0, Err: badQueryf("serve: unknown sweep fidelity %q (want %q, %q, or %q)", req.Fidelity, FidelityDES, FidelityAnalytic, FidelityMixed)}
+	return &ChunkError{Index: 0, Err: badQueryf("serve: unknown sweep fidelity %q (want %q, %q, or %q)", req.Fidelity, FidelityDES, FidelityAnalytic, FidelityMixed)}
+}
+
+// CollectSweep runs SweepChunk into a slice: the buffered (v1) form. On
+// failure the completed prefix rides along with the error, preserving the
+// partial-chunk salvage for callers that still materialize replies.
+func (s *Service) CollectSweep(req SweepRequest) ([]SweepResult, error) {
+	out := make([]SweepResult, 0, len(req.Items))
+	err := s.SweepChunk(req, func(_ int, res SweepResult) error {
+		out = append(out, res)
+		return nil
+	})
+	return out, err
 }
 
 // sweepChunkFlat is the single-tier chunk loop: every item executes at its
-// own resolved fidelity.
-func (s *Service) sweepChunkFlat(req SweepRequest) ([]SweepResult, error) {
-	out := make([]SweepResult, len(req.Items))
+// own resolved fidelity and is emitted as soon as it completes.
+func (s *Service) sweepChunkFlat(req SweepRequest, sink SweepSink) error {
 	for i, it := range req.Items {
 		q, err := it.Query()
 		if err != nil {
-			return out[:i], &ChunkError{Index: i, Err: &BadQueryError{Err: err}}
+			return &ChunkError{Index: i, Err: &BadQueryError{Err: err}}
 		}
 		fid, err := it.fidelity(req.Fidelity)
 		if err != nil {
-			return out[:i], &ChunkError{Index: i, Err: err}
+			return &ChunkError{Index: i, Err: err}
 		}
 		opts := core.Options{
 			Plat:      s.cfg.Plat,
@@ -199,7 +248,7 @@ func (s *Service) sweepChunkFlat(req SweepRequest) ([]SweepResult, error) {
 		if req.Tune {
 			ans, err := s.Query(q)
 			if err != nil {
-				return out[:i], &ChunkError{Index: i, Err: err}
+				return &ChunkError{Index: i, Err: err}
 			}
 			opts.Partition = ans.Partition
 			res.PredictedNs = int64(ans.Predicted)
@@ -207,16 +256,29 @@ func (s *Service) sweepChunkFlat(req SweepRequest) ([]SweepResult, error) {
 		}
 		r, err := s.eng.Exec(opts)
 		if err != nil {
-			return out[:i], &ChunkError{Index: i, Err: err}
+			return &ChunkError{Index: i, Err: err}
 		}
 		s.countSwept(r.Fidelity)
 		res.Partition = r.Partition
 		res.Waves = r.Waves
 		res.Fidelity = string(r.Fidelity)
 		res.Result = r
-		out[i] = res
+		if err := sink(i, res); err != nil {
+			return err
+		}
 	}
-	return out, nil
+	return nil
+}
+
+// collectFlat buffers a flat sub-chunk — the mixed orchestration needs the
+// whole analytic tier in hand before it can rank.
+func (s *Service) collectFlat(req SweepRequest) ([]SweepResult, error) {
+	out := make([]SweepResult, 0, len(req.Items))
+	err := s.sweepChunkFlat(req, func(_ int, res SweepResult) error {
+		out = append(out, res)
+		return nil
+	})
+	return out, err
 }
 
 // sweepChunkMixed runs the request's grid at mixed fidelity within this
@@ -224,19 +286,22 @@ func (s *Service) sweepChunkFlat(req SweepRequest) ([]SweepResult, error) {
 // splice. The coordinator never sends this (it orchestrates the tiers
 // itself, stamping items); it serves direct /sweep clients, so a single
 // replica and a router proxy answer the same wire request the same way.
-func (s *Service) sweepChunkMixed(req SweepRequest) ([]SweepResult, error) {
+// Ranking is global over the posted grid, so the mixed path inherently
+// buffers O(grid) before emitting — the streaming bound applies to the
+// flat tiers a coordinator dispatches.
+func (s *Service) sweepChunkMixed(req SweepRequest, sink SweepSink) error {
 	for i, it := range req.Items {
 		if it.Fidelity != "" {
-			return nil, &ChunkError{Index: i, Err: badQueryf("serve: mixed sweep item carries fidelity %q; the mixed policy assigns fidelities itself", it.Fidelity)}
+			return &ChunkError{Index: i, Err: badQueryf("serve: mixed sweep item carries fidelity %q; the mixed policy assigns fidelities itself", it.Fidelity)}
 		}
 	}
 	analytic := req
 	analytic.Fidelity = FidelityAnalytic
-	out, err := s.sweepChunkFlat(analytic)
+	// A failure drops the partial prefix: the mixed reply interleaves
+	// tiers, so an analytic prefix is not a final prefix of the answer.
+	out, err := s.collectFlat(analytic)
 	if err != nil {
-		// Drop the partial prefix: the mixed reply interleaves tiers, so
-		// an analytic prefix is not a final prefix of the answer.
-		return nil, err
+		return err
 	}
 	shapes := make([]gemm.Shape, len(out))
 	latencies := make([]sim.Time, len(out))
@@ -244,21 +309,30 @@ func (s *Service) sweepChunkMixed(req SweepRequest) ([]SweepResult, error) {
 		shapes[i] = req.Items[i].Shape()
 		latencies[i] = r.Result.Latency
 	}
-	refined := engine.RankTopK(shapes, latencies, req.TopK, engine.DefaultRankQuantum)
-	des := SweepRequest{Tune: req.Tune, Fidelity: FidelityDES, Items: make([]SweepItem, len(refined))}
+	quantum := req.RankQuantum
+	if quantum <= 0 {
+		quantum = engine.DefaultRankQuantum
+	}
+	refined := engine.RankTopK(shapes, latencies, req.TopK, quantum)
+	des := SweepRequest{SweepSpec: SweepSpec{Tune: req.Tune, Fidelity: FidelityDES}, Items: make([]SweepItem, len(refined))}
 	for j, gi := range refined {
 		des.Items[j] = req.Items[gi]
 	}
-	desOut, err := s.sweepChunkFlat(des)
+	desOut, err := s.collectFlat(des)
 	if err != nil {
 		var ce *ChunkError
 		if errors.As(err, &ce) && ce.Index >= 0 && ce.Index < len(refined) {
 			err = &ChunkError{Index: refined[ce.Index], Err: ce.Err}
 		}
-		return nil, err
+		return err
 	}
 	for j, gi := range refined {
 		out[gi] = desOut[j]
 	}
-	return out, nil
+	for i, res := range out {
+		if err := sink(i, res); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -3,6 +3,7 @@ package shard
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -20,14 +21,22 @@ import (
 // between dispatches.
 const DefaultChunkSize = 8
 
+// SweepSpec is the one options struct every sweep knob lives in, shared
+// with the wire layer (it is serve.SweepSpec): cmd/sweep's flags fill one,
+// the router's /sweep proxy rebuilds one from the posted request, and
+// Coordinator.request forwards its wire fields on every dispatched chunk —
+// so a knob added to the spec is carried through every hop instead of
+// silently resetting to a default at the first proxy.
+type SweepSpec = serve.SweepSpec
+
 // Coordinator drives a grid sweep across a replica fleet — the multi-host
 // analogue of SweepBatch, where the "engines" are remote cmd/serve
 // processes reached over the Client interface. It partitions the grid by
 // shape ownership (each replica sweeps the slice of the (log M·N, log K)
 // plane its caches are warm for), splits every shard's sub-grid into
 // fixed-size chunks, dispatches them over /sweep, and streams per-shard
-// results back into the deterministic global order: results[i] answers
-// items[i] at any fleet size.
+// results back — each item's result is released to the caller as its chunk
+// completes, so the coordinator holds O(chunk), not O(grid), in flight.
 //
 // The coordinator survives replica churn mid-sweep: a chunk whose replica
 // dies (connection refused, timeout, 5xx) is re-dispatched through the
@@ -35,44 +44,31 @@ const DefaultChunkSize = 8
 // instead of failing the sweep. The router's shared health plane makes the
 // degraded path cheap and recoverable: a replica that failed is marked dead
 // and skipped by every later chunk until its cooldown elapses (at most one
-// probe timeout per replica per cooldown window, not one per chunk), and a
+// probe timeout per replica per cooldown window, not one per chunk), a
 // background /healthz prober re-admits a replica that restarts mid-sweep so
-// it reclaims its owned shard. A chunk that fails partway keeps its
-// completed prefix and re-dispatches only the unanswered suffix. Untuned
-// sweep results are deterministic and cache-history-free on any replica of
-// an identically configured fleet, so re-dispatch cannot perturb the merged
+// it reclaims its owned shard, and a replica dead past the health plane's
+// eviction window surrenders its ring ownership entirely — its cells
+// rebalance to the survivors (chunks start dispatch there directly, no
+// failover hop) until re-admission hands them back, mid-sweep included:
+// every chunk re-resolves its dispatch origin against the current eviction
+// state. A chunk that fails partway keeps whatever items its replica
+// streamed back and re-dispatches only the unanswered rest. Untuned sweep
+// results are deterministic and cache-history-free on any replica of an
+// identically configured fleet, so re-dispatch cannot perturb the merged
 // output. Deterministic rejections (4xx QueryErrors) are not retried: every
 // replica would reject the chunk identically, and the failure is attributed
 // to its global item index via the serve.ChunkError convention (the remote
 // cousin of engine.RunError).
 //
-// A Coordinator is safe for concurrent Sweep calls; the knob fields must be
-// set before the first call.
+// A Coordinator is safe for concurrent Sweep/Stream calls; Spec and OnChunk
+// must be set before the first call.
 type Coordinator struct {
 	router *Router
 
-	// ChunkSize bounds the items per dispatched chunk; <= 0 selects
-	// DefaultChunkSize.
-	ChunkSize int
-	// MaxAttempts bounds dispatch attempts per chunk, walking the
-	// failover ring from the owner; <= 0 selects the fleet size (one try
-	// per replica). A budget beyond the fleet size does not hammer dead
-	// replicas back-to-back: wrap-around retries are admitted only after
-	// the replica's health cooldown elapses, so the extra budget helps
-	// exactly when a replica recovers (or is re-admitted by the prober)
-	// mid-dispatch.
-	MaxAttempts int
-	// Tune selects the tuned sweep pipeline on the replicas (see
-	// serve.SweepRequest.Tune); false sweeps the untuned per-wave
-	// baseline, whose merged results are byte-identical to engine.Batch.
-	Tune bool
-	// ProbeInterval paces the background /healthz prober each Sweep holds
-	// for its duration, re-admitting replicas that restart mid-sweep;
-	// <= 0 selects the router's health cooldown. The prober is shared per
-	// router (one goroutine however many holders), so the interval of the
-	// holder that starts it wins — cmd/route's process-lifetime prober
-	// takes precedence over per-sweep settings.
-	ProbeInterval time.Duration
+	// Spec carries every sweep knob: chunk size, attempt budget, tuned
+	// pipeline, fidelity policy, rank-cell geometry, and the driver-local
+	// health windows. Zero fields select the documented defaults.
+	Spec SweepSpec
 	// OnChunk, when set, observes every completed chunk as it lands —
 	// per-shard result streaming for progress reporting. A chunk whose
 	// items were answered by more than one replica (partial-chunk
@@ -80,21 +76,6 @@ type Coordinator struct {
 	// called from the per-shard sweep goroutines and must be safe for
 	// concurrent use.
 	OnChunk func(ChunkResult)
-	// Fidelity selects the sweep's execution fidelity: "" dispatches each
-	// item with whatever label it already carries (DES by default),
-	// serve.FidelityDES / serve.FidelityAnalytic stamp every item with
-	// that backend, and serve.FidelityMixed orchestrates two tiers — the
-	// whole grid analytically, then the top TopK per rank cell through
-	// the simulator. Mixed phases dispatch per-item-stamped items, so a
-	// router proxied as a replica passes them through untouched instead
-	// of re-ranking a sub-grid.
-	Fidelity string
-	// TopK bounds the mixed sweep's per-cell DES confirmations; <= 0
-	// selects engine.DefaultTopK.
-	TopK int
-	// RankQuantum is the mixed sweep's rank-cell edge in log2 units; <= 0
-	// selects engine.DefaultRankQuantum.
-	RankQuantum float64
 
 	redispatches atomic.Uint64
 	salvaged     atomic.Uint64
@@ -120,6 +101,13 @@ type SweepResult struct {
 	Replica int `json:"replica"`
 }
 
+// StreamSink consumes merged sweep results as their chunks complete. index
+// is the item's global position in the swept grid; within one shard indices
+// arrive in ascending order, across shards they interleave by completion.
+// The coordinator serializes calls, so a sink writing one output stream
+// needs no locking of its own; a non-nil return aborts the sweep.
+type StreamSink func(index int, res SweepResult) error
+
 // NewCoordinator builds a coordinator over the router's fleet, sharing its
 // clients, ownership partitioner, health plane, and failover accounting.
 func NewCoordinator(r *Router) *Coordinator {
@@ -137,63 +125,102 @@ func (c *Coordinator) Redispatches() uint64 { return c.redispatches.Load() }
 func (c *Coordinator) PartialSalvages() uint64 { return c.salvaged.Load() }
 
 func (c *Coordinator) chunkSize() int {
-	if c.ChunkSize <= 0 {
+	if c.Spec.Chunk <= 0 {
 		return DefaultChunkSize
 	}
-	return c.ChunkSize
+	return c.Spec.Chunk
 }
 
 func (c *Coordinator) attempts() int {
-	if c.MaxAttempts <= 0 {
+	if c.Spec.Attempts <= 0 {
 		return len(c.router.clients)
 	}
-	return c.MaxAttempts
+	return c.Spec.Attempts
 }
 
-// request builds the wire chunk, forwarding the coordinator's knobs so a
-// router proxying /sweep for this "replica" re-chunks with the caller's
+// request builds the wire chunk, forwarding the spec's coordinator knobs so
+// a router proxying /sweep for this "replica" re-chunks with the caller's
 // chunk size and attempt budget instead of silently resetting to defaults.
+// The fidelity-policy fields stay off dispatched chunks: items are already
+// stamped per-item, and forwarding "mixed" would make an inner proxy
+// re-rank a sub-grid the coordinator has already ranked globally.
 func (c *Coordinator) request(items []serve.SweepItem) serve.SweepRequest {
-	return serve.SweepRequest{Tune: c.Tune, Chunk: c.ChunkSize, Attempts: c.MaxAttempts, Items: items}
+	return serve.SweepRequest{
+		SweepSpec: serve.SweepSpec{Tune: c.Spec.Tune, Chunk: c.Spec.Chunk, Attempts: c.Spec.Attempts},
+		Items:     items,
+	}
 }
 
 // Sweep tunes/executes the whole grid across the fleet and merges the
 // per-shard results back into input order: results[i] answers items[i], the
-// same deterministic global order SweepBatch and engine.Batch return. On
-// failure the error with the lowest failing global item index is reported
-// as "sweep item <index>: ...", regardless of which shards finished first.
-//
-// The Fidelity knob selects what executes: a flat sweep (every item at one
-// backend fidelity, or each item's own label when Fidelity is "") dispatches
-// the grid once; a mixed sweep dispatches twice — the whole grid analytic,
-// then the engine.RankTopK winners at DES — with both phases enjoying the
-// same churn tolerance, partial-chunk salvage, and deterministic merge
-// order. Every result carries its fidelity label and the Owner/Replica
-// attribution of the phase that produced it.
+// same deterministic global order SweepBatch and engine.Batch return — the
+// buffered form of Stream, for callers that want the materialized grid.
 func (c *Coordinator) Sweep(items []serve.SweepItem) ([]SweepResult, error) {
-	// Probe dead replicas in the background for the sweep's duration: a
-	// replica that restarts mid-sweep is re-admitted and reclaims its
-	// owned shard instead of staying failed-over until the sweep ends.
-	// The prober is shared and refcounted: concurrent sweeps (and
-	// cmd/route's process-lifetime holder) share one goroutine, and it
-	// outlives this sweep if anyone else still holds it.
-	stopProber := c.router.StartProber(c.ProbeInterval)
-	defer stopProber()
-
-	var out []SweepResult
-	var err error
-	switch c.Fidelity {
-	case "", serve.FidelityDES, serve.FidelityAnalytic:
-		out, err = c.sweepGrid(stampItems(items, c.Fidelity))
-	case serve.FidelityMixed:
-		out, err = c.sweepMixed(items)
-	default:
-		return nil, &QueryError{Err: fmt.Errorf("shard: unknown sweep fidelity %q (want %q, %q, or %q)", c.Fidelity, serve.FidelityDES, serve.FidelityAnalytic, serve.FidelityMixed)}
-	}
+	out := make([]SweepResult, len(items))
+	err := c.Stream(items, func(i int, res SweepResult) error {
+		out[i] = res
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("shard: sweep item %w", err)
+		return nil, err
 	}
 	return out, nil
+}
+
+// Stream tunes/executes the whole grid across the fleet, emitting each
+// item's result into sink as its chunk completes — the coordinator's
+// bounded-memory sweep: at no point does it hold more than O(chunk) results
+// per shard in flight. On failure the error with the lowest failing global
+// item index is reported as "sweep item <index>: ...", regardless of which
+// shards finished first; results already emitted stay emitted (they are
+// deterministic and final — a retrying caller may keep them).
+//
+// The Spec.Fidelity knob selects what executes: a flat sweep (every item at
+// one backend fidelity, or each item's own label when Fidelity is "")
+// dispatches the grid once; a mixed sweep dispatches twice — the whole grid
+// analytic, then the engine.RankTopK winners at DES — with both phases
+// enjoying the same churn tolerance, partial-chunk salvage, and
+// deterministic attribution. Mixed ranking is global, so the analytic tier
+// is buffered O(grid) inside the coordinator before any emission (inherent
+// to the policy); analytic keepers emit as soon as ranking resolves and DES
+// refinements stream as they complete.
+func (c *Coordinator) Stream(items []serve.SweepItem, sink StreamSink) error {
+	// Apply the driver-local health windows before the prober starts (a
+	// zero probe interval inherits the cooldown).
+	if c.Spec.HealthCooldown > 0 {
+		c.router.health.SetCooldown(c.Spec.HealthCooldown)
+	}
+	// Probe dead replicas in the background for the sweep's duration: a
+	// replica that restarts mid-sweep is re-admitted — reclaiming its
+	// owned shard, evicted cells included — instead of staying failed-over
+	// until the sweep ends. The prober is shared and refcounted:
+	// concurrent sweeps (and cmd/route's process-lifetime holder) share
+	// one goroutine, and it outlives this sweep if anyone else still
+	// holds it.
+	stopProber := c.router.StartProber(c.Spec.ProbeInterval)
+	defer stopProber()
+
+	// Serialize the sink: per-shard goroutines emit concurrently, and the
+	// natural consumer is a single output stream.
+	var mu sync.Mutex
+	locked := func(i int, res SweepResult) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return sink(i, res)
+	}
+	var err error
+	switch c.Spec.Fidelity {
+	case "", serve.FidelityDES, serve.FidelityAnalytic:
+		err = c.sweepGrid(stampItems(items, c.Spec.Fidelity), locked)
+	case serve.FidelityMixed:
+		err = c.sweepMixed(items, locked)
+	default:
+		return &QueryError{Err: fmt.Errorf("shard: unknown sweep fidelity %q (want %q, %q, or %q)", c.Spec.Fidelity, serve.FidelityDES, serve.FidelityAnalytic, serve.FidelityMixed)}
+	}
+	if err != nil {
+		return fmt.Errorf("shard: sweep item %w", err)
+	}
+	return nil
 }
 
 // stampItems returns items with every fidelity label forced to f; f == ""
@@ -215,30 +242,52 @@ func stampItems(items []serve.SweepItem, f string) []serve.SweepItem {
 // over the merged latencies, then confirm only the top TopK per cell on the
 // simulator. Both phases stamp per-item fidelities, so replicas (and router
 // proxies acting as replicas) execute exactly what the coordinator ranked —
-// no replica re-ranks its local sub-grid. Refined results overwrite their
-// analytic counterparts in place, Owner/Replica attribution included.
-func (c *Coordinator) sweepMixed(items []serve.SweepItem) ([]SweepResult, error) {
+// no replica re-ranks its local sub-grid. Analytic results that survive the
+// ranking unrefined emit as soon as the ranking resolves; DES refinements
+// emit as their chunks complete, overwriting nothing (each index emits
+// exactly once).
+func (c *Coordinator) sweepMixed(items []serve.SweepItem, sink StreamSink) error {
 	for i, it := range items {
 		if it.Fidelity != "" {
-			return nil, &fanError{At: i, Err: &QueryError{Err: fmt.Errorf("shard: mixed sweep item carries fidelity %q; the mixed policy assigns fidelities itself", it.Fidelity)}}
+			return &fanError{At: i, Err: &QueryError{Err: fmt.Errorf("shard: mixed sweep item carries fidelity %q; the mixed policy assigns fidelities itself", it.Fidelity)}}
 		}
 	}
-	out, err := c.sweepGrid(stampItems(items, serve.FidelityAnalytic))
+	// The analytic tier buffers: ranking is global over the grid, so the
+	// mixed policy's coordinator footprint is inherently O(grid) — the
+	// O(chunk) streaming bound applies to the flat tiers it dispatches.
+	out := make([]SweepResult, len(items))
+	err := c.sweepGrid(stampItems(items, serve.FidelityAnalytic), func(i int, res SweepResult) error {
+		out[i] = res
+		return nil
+	})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	shapes := make([]gemm.Shape, len(out))
-	latencies := make([]sim.Time, len(out))
+	shapes := make([]gemm.Shape, len(items))
+	latencies := make([]sim.Time, len(items))
 	for i, r := range out {
 		shapes[i] = items[i].Shape()
 		latencies[i] = r.Result.Latency
 	}
-	refined := engine.RankTopK(shapes, latencies, c.TopK, c.RankQuantum)
+	refined := engine.RankTopK(shapes, latencies, c.Spec.TopK, c.Spec.RankQuantum)
+	inRefined := make([]bool, len(items))
+	for _, gi := range refined {
+		inRefined[gi] = true
+	}
+	for i := range out {
+		if !inRefined[i] {
+			if err := sink(i, out[i]); err != nil {
+				return &fanError{At: i, Err: err}
+			}
+		}
+	}
 	des := make([]serve.SweepItem, len(refined))
 	for j, gi := range refined {
 		des[j] = items[gi]
 	}
-	desOut, err := c.sweepGrid(stampItems(des, serve.FidelityDES))
+	err = c.sweepGrid(stampItems(des, serve.FidelityDES), func(j int, res SweepResult) error {
+		return sink(refined[j], res)
+	})
 	if err != nil {
 		// The refine phase named an index into its sub-grid; translate it
 		// back to the caller's grid.
@@ -246,34 +295,40 @@ func (c *Coordinator) sweepMixed(items []serve.SweepItem) ([]SweepResult, error)
 		if errors.As(err, &fe) && fe.At >= 0 && fe.At < len(refined) {
 			err = &fanError{At: refined[fe.At], Err: fe.Err}
 		}
-		return nil, err
+		return err
 	}
-	for j, gi := range refined {
-		out[gi] = desOut[j]
-	}
-	return out, nil
+	return nil
 }
 
 // sweepGrid dispatches one already-stamped grid across the fleet — the
-// chunking, failover, and merge loop shared by every fidelity mode. Failures
-// surface as the raw *fanError (lowest failing global index) so callers can
-// translate sub-grid indices before the user-facing wrap.
-func (c *Coordinator) sweepGrid(items []serve.SweepItem) ([]SweepResult, error) {
+// chunking, failover, and emit loop shared by every fidelity mode. Items
+// are bucketed by their current owner (the ring mapping with evicted
+// replicas rebalanced away), and every chunk re-resolves its dispatch
+// origin at dispatch time, so an eviction or a hand-back lands mid-sweep
+// instead of waiting for the next one. Failures surface as the raw
+// *fanError (lowest failing global index) so callers can translate
+// sub-grid indices before the user-facing wrap.
+func (c *Coordinator) sweepGrid(items []serve.SweepItem, sink StreamSink) error {
 	byOwner := make([][]int, len(c.router.clients))
 	for i, it := range items {
-		k := c.router.part.Owner(it.Shape())
+		k := c.router.Owner(it.Shape())
 		byOwner[k] = append(byOwner[k], i)
 	}
-	out := make([]SweepResult, len(items))
 	size := c.chunkSize()
-	err := fanShards(byOwner, func(k int, list []int) (int, error) {
+	return fanShards(byOwner, func(k int, list []int) (int, error) {
 		for start := 0; start < len(list); start += size {
 			chunk := list[start:min(start+size, len(list))]
 			sub := make([]serve.SweepItem, len(chunk))
 			for j, gi := range chunk {
 				sub[j] = items[gi]
 			}
-			results, replicas, err := c.dispatch(k, sub)
+			// Re-resolve the dispatch origin now, not at bucketing time:
+			// if this chunk's owner was evicted since (dispatch starts at
+			// its ring successor) or an evicted owner was re-admitted
+			// (dispatch hands the cells straight back), the change takes
+			// effect mid-sweep.
+			origin := c.router.Owner(items[chunk[0]].Shape())
+			results, replicas, err := c.dispatch(origin, sub)
 			if err != nil {
 				// Attribute the failure to the item the replica
 				// named, translated to the global grid; a chunk-level
@@ -287,15 +342,21 @@ func (c *Coordinator) sweepGrid(items []serve.SweepItem) ([]SweepResult, error) 
 				return at, err
 			}
 			left := false
-			for j, gi := range chunk {
-				out[gi] = SweepResult{SweepResult: results[j], Owner: k, Replica: replicas[j]}
-				if replicas[j] != k {
+			for j := range chunk {
+				if replicas[j] != origin {
 					left = true
 				}
 			}
 			if left {
 				c.redispatches.Add(1)
 				c.router.failovers.Add(1)
+			}
+			// Emit the chunk, then let it go: the merged stream holds
+			// O(chunk) results per shard, never the grid.
+			for j, gi := range chunk {
+				if err := sink(gi, SweepResult{SweepResult: results[j], Owner: origin, Replica: replicas[j]}); err != nil {
+					return gi, err
+				}
 			}
 			if c.OnChunk != nil {
 				// One announcement per contiguous replica segment; a
@@ -305,31 +366,25 @@ func (c *Coordinator) sweepGrid(items []serve.SweepItem) ([]SweepResult, error) 
 					for hi < len(chunk) && replicas[hi] == replicas[lo] {
 						hi++
 					}
-					c.OnChunk(ChunkResult{Shard: k, Replica: replicas[lo], Indices: chunk[lo:hi], Results: results[lo:hi]})
+					c.OnChunk(ChunkResult{Shard: origin, Replica: replicas[lo], Indices: chunk[lo:hi], Results: results[lo:hi]})
 					lo = hi
 				}
 			}
 		}
 		return 0, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }
 
-// offsetChunkError translates a chunk-local failure index past the items
-// already salvaged from earlier partial completions, preserving the
-// QueryError classification so retryability survives the rebuild.
-func offsetChunkError(err error, base int) error {
-	if base == 0 {
-		return err
-	}
+// translateChunkError maps a failing index relative to the dispatched
+// sub-chunk back to the chunk's own index space (past items already
+// salvaged from earlier partial completions), preserving the QueryError
+// classification so retryability survives the rebuild.
+func translateChunkError(err error, remainIdx []int) error {
 	var ce *serve.ChunkError
-	if !errors.As(err, &ce) {
+	if !errors.As(err, &ce) || ce.Index < 0 || ce.Index >= len(remainIdx) || remainIdx[ce.Index] == ce.Index {
 		return err
 	}
-	translated := &serve.ChunkError{Index: base + ce.Index, Err: ce.Err}
+	translated := &serve.ChunkError{Index: remainIdx[ce.Index], Err: ce.Err}
 	var qe *QueryError
 	if errors.As(err, &qe) {
 		return &QueryError{Status: qe.Status, Err: translated}
@@ -337,28 +392,35 @@ func offsetChunkError(err error, base int) error {
 	return translated
 }
 
-// dispatch sends one chunk, walking the failover ring from the owner until
-// every item is answered or the attempt budget is spent. replicas[j] names
-// the replica that answered results[j] — more than one after a
-// partial-chunk completion, where a chunk failing at item i keeps
-// results[0..i) and re-dispatches only the unanswered suffix. Replicas the
-// health plane marks dead are skipped without paying a timeout; a failed
-// attempt marks its replica dead for every later chunk and query.
-// Deterministic rejections (non-retryable QueryErrors) return immediately.
-// The error after an exhausted budget is the first attempt's failure — the
-// most diagnostic one — with the budget noted.
-func (c *Coordinator) dispatch(owner int, items []serve.SweepItem) ([]serve.SweepResult, []int, error) {
+// dispatch sends one chunk, walking the failover ring from the dispatch
+// origin until every item is answered or the attempt budget is spent.
+// replicas[j] names the replica that answered results[j] — more than one
+// after a partial-chunk completion, where the items a failing replica
+// streamed back before dying are kept and only the unanswered rest is
+// re-dispatched. Replicas the health plane marks dead are skipped without
+// paying a timeout; a failed attempt marks its replica dead for every later
+// chunk and query. Deterministic rejections (non-retryable QueryErrors)
+// return immediately. The error after an exhausted budget is the earliest
+// failure still naming an unanswered item — the most diagnostic one — with
+// the budget noted.
+func (c *Coordinator) dispatch(origin int, items []serve.SweepItem) ([]serve.SweepResult, []int, error) {
 	n := len(c.router.clients)
 	budget := c.attempts()
-	done := make([]serve.SweepResult, 0, len(items))
-	replicas := make([]int, 0, len(items))
-	remaining := items
-	var firstErr error
-	firstErrAt := -1 // firstErr's chunk-local item index; -1 = chunk-level
+	results := make([]serve.SweepResult, len(items))
+	replicas := make([]int, len(items))
+	answered := make([]bool, len(items))
+	nAnswered := 0
+	remainIdx := make([]int, len(items)) // chunk-local indices still unanswered
+	for i := range remainIdx {
+		remainIdx[i] = i
+	}
 	var credits []salvageCredit
+	var firstErr error
+	firstErrAt := -1  // firstErr's chunk-local item index; -1 = chunk-level
+	firstErrSeen := 0 // answered count when firstErr was recorded
 	attempts, pos, skipped := 0, 0, 0
 	for attempts < budget {
-		replica := (owner + pos) % n
+		replica := (origin + pos) % n
 		pos++
 		if !c.router.health.Allow(replica) {
 			// Known dead within its cooldown: skip without burning a
@@ -403,31 +465,52 @@ func (c *Coordinator) dispatch(owner int, items []serve.SweepItem) ([]serve.Swee
 		}
 		skipped = 0
 		attempts++
-		results, err := c.router.clients[replica].Sweep(c.request(remaining))
+		sub := make([]serve.SweepItem, len(remainIdx))
+		for j, li := range remainIdx {
+			sub[j] = items[li]
+		}
+		got := 0
+		var malformed error
+		err := c.router.clients[replica].Sweep(c.request(sub), func(j int, res serve.SweepResult) error {
+			if j < 0 || j >= len(remainIdx) {
+				malformed = fmt.Errorf("shard: replica %d answered item %d of a %d-item chunk", replica, j, len(sub))
+				return malformed
+			}
+			li := remainIdx[j]
+			if answered[li] {
+				malformed = fmt.Errorf("shard: replica %d answered chunk item %d twice", replica, j)
+				return malformed
+			}
+			results[li] = res
+			replicas[li] = replica
+			answered[li] = true
+			nAnswered++
+			got++
+			return nil
+		})
+		if malformed != nil {
+			// Malformed but answered: resolve the trial so the replica is
+			// not parked in suspect with no probe in flight.
+			c.router.health.MarkHealthy(replica)
+			return nil, nil, malformed
+		}
 		if err == nil {
-			if len(results) != len(remaining) {
-				// Malformed but answered: resolve the trial so the
-				// replica is not parked in suspect with no probe in
-				// flight.
+			if got != len(sub) {
 				c.router.health.MarkHealthy(replica)
-				return nil, nil, fmt.Errorf("shard: replica %d answered %d of %d chunk items", replica, len(results), len(remaining))
+				return nil, nil, fmt.Errorf("shard: replica %d answered %d of %d chunk items", replica, got, len(sub))
 			}
 			c.router.health.MarkHealthy(replica)
-			done = append(done, results...)
-			for range results {
-				replicas = append(replicas, replica)
-			}
 			// Credit the counters only now that the chunk is whole: a
 			// salvage a failed dispatch would have discarded must not
 			// inflate PartialSalvages or the per-replica item counters.
-			c.router.routedSweepItems[replica].Add(uint64(len(results)))
+			c.router.routedSweepItems[replica].Add(uint64(got))
 			for _, cr := range credits {
 				c.router.routedSweepItems[cr.replica].Add(uint64(cr.items))
 				c.salvaged.Add(uint64(cr.items))
 			}
-			return done, replicas, nil
+			return results, replicas, nil
 		}
-		err = offsetChunkError(err, len(done))
+		err = translateChunkError(err, remainIdx)
 		if !retryable(err) {
 			// A deterministic rejection is still an answer: the replica
 			// is provably alive, so a suspect trial resolves healthy
@@ -436,7 +519,7 @@ func (c *Coordinator) dispatch(owner int, items []serve.SweepItem) ([]serve.Swee
 			return nil, nil, err
 		}
 		// Bench only on transport-level failures (connection refused,
-		// timeout, truncated body): those are the ones whose retry
+		// timeout, truncated stream): those are the ones whose retry
 		// would cost a timeout. An answered error — structured 5xx or
 		// item-attributed ChunkError — is a live replica responding
 		// quickly, and it resolves any in-flight trial; benching on it
@@ -448,30 +531,38 @@ func (c *Coordinator) dispatch(owner int, items []serve.SweepItem) ([]serve.Swee
 		} else {
 			c.router.health.MarkFailed(replica)
 		}
-		var ce *serve.ChunkError
-		errors.As(err, &ce)
-		// Partial-chunk completion: when the error names the failing item
-		// and the replica answered exactly the prefix before it, keep
-		// those results and re-dispatch only the suffix. (SweepChunk
-		// processes in order, so the prefix is final.)
-		if ce != nil && len(results) > 0 && ce.Index == len(done)+len(results) && len(results) < len(remaining) {
-			done = append(done, results...)
-			for range results {
-				replicas = append(replicas, replica)
+		if got > 0 {
+			// Partial-chunk completion: the items the replica streamed
+			// back before failing are final (deterministic on any
+			// replica); keep them and re-dispatch only the unanswered
+			// rest. Streaming generalizes the old prefix-only salvage:
+			// whatever arrived counts, however the failure ended the
+			// stream.
+			credits = append(credits, salvageCredit{replica: replica, items: got})
+			rest := make([]int, 0, len(remainIdx)-got)
+			for _, li := range remainIdx {
+				if !answered[li] {
+					rest = append(rest, li)
+				}
 			}
-			credits = append(credits, salvageCredit{replica: replica, items: len(results)})
-			remaining = remaining[len(results):]
+			remainIdx = rest
 		}
 		// Remember the failure an exhausted budget reports: the earliest
 		// one still naming an unanswered item. A failure a later salvage
 		// answered would misdirect the operator to a cell that is fine.
-		// An index-less (chunk-level) failure pins to the chunk's first
-		// item, so any salvage at all supersedes it.
-		if firstErr != nil && max(firstErrAt, 0) < len(done) {
-			firstErr, firstErrAt = nil, -1
+		// A chunk-level failure (no index) is superseded by any salvage
+		// progress at all.
+		if firstErr != nil {
+			superseded := nAnswered > firstErrSeen
+			if firstErrAt >= 0 && firstErrAt < len(answered) {
+				superseded = answered[firstErrAt]
+			}
+			if superseded {
+				firstErr, firstErrAt = nil, -1
+			}
 		}
 		if firstErr == nil {
-			firstErr, firstErrAt = err, -1
+			firstErr, firstErrAt, firstErrSeen = err, -1, nAnswered
 			var fce *serve.ChunkError
 			if errors.As(err, &fce) {
 				firstErrAt = fce.Index
@@ -484,9 +575,9 @@ func (c *Coordinator) dispatch(owner int, items []serve.SweepItem) ([]serve.Swee
 	return nil, nil, fmt.Errorf("shard: chunk exhausted its re-dispatch budget (%d of %d attempts): %w", attempts, budget, firstErr)
 }
 
-// salvageCredit defers counter updates for a salvaged prefix until its
-// chunk completes: replica executed items results a failed dispatch would
-// have thrown away.
+// salvageCredit defers counter updates for a salvaged partial chunk until
+// its chunk completes: replica executed items results a failed dispatch
+// would have thrown away.
 type salvageCredit struct {
 	replica, items int
 }

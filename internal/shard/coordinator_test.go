@@ -73,7 +73,7 @@ func TestCoordinatorSweepMatchesEngineBatchByteForByte(t *testing.T) {
 	for n := 1; n <= 3; n++ {
 		r, _, _ := testFleet(t, n)
 		co := NewCoordinator(r)
-		co.ChunkSize = 2 // several chunks per shard, exercising the chunk loop
+		co.Spec.Chunk = 2 // several chunks per shard, exercising the chunk loop
 		results, err := co.Sweep(items)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
@@ -124,7 +124,7 @@ func TestCoordinatorSweepSurvivesChurnMidSweep(t *testing.T) {
 	}
 
 	co := NewCoordinator(r)
-	co.ChunkSize = 1 // one item per chunk: the kill lands between chunks
+	co.Spec.Chunk = 1 // one item per chunk: the kill lands between chunks
 	var kill sync.Once
 	co.OnChunk = func(cr ChunkResult) {
 		if cr.Shard == victim {
@@ -264,8 +264,8 @@ func TestCoordinatorSweepReadmitsRestartedReplicaMidSweep(t *testing.T) {
 	r.Health().SetCooldown(200 * time.Millisecond)
 
 	co := NewCoordinator(r)
-	co.ChunkSize = 1                         // the kill and the restart land between chunks
-	co.ProbeInterval = 10 * time.Millisecond // re-admit fast enough to matter mid-sweep
+	co.Spec.Chunk = 1                             // the kill and the restart land between chunks
+	co.Spec.ProbeInterval = 10 * time.Millisecond // re-admit fast enough to matter mid-sweep
 
 	var kill, restart sync.Once
 	readmitted := make(chan struct{})
@@ -385,8 +385,8 @@ func TestCoordinatorMixedSweepMatchesMixedBatchByteForByte(t *testing.T) {
 	for n := 1; n <= 3; n++ {
 		r, _, _ := testFleet(t, n)
 		co := NewCoordinator(r)
-		co.ChunkSize = 2
-		co.Fidelity = serve.FidelityMixed
+		co.Spec.Chunk = 2
+		co.Spec.Fidelity = serve.FidelityMixed
 		results, err := co.Sweep(items)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
@@ -413,7 +413,7 @@ func TestCoordinatorMixedRefineTierMatchesFullDES(t *testing.T) {
 	_, refined := coordMixedReference(t, items)
 	r, _, _ := testFleet(t, 2)
 	co := NewCoordinator(r)
-	co.Fidelity = serve.FidelityMixed
+	co.Spec.Fidelity = serve.FidelityMixed
 	mixed, err := co.Sweep(items)
 	if err != nil {
 		t.Fatal(err)
@@ -423,7 +423,7 @@ func TestCoordinatorMixedRefineTierMatchesFullDES(t *testing.T) {
 		desItems[j] = items[gi]
 	}
 	des := NewCoordinator(r)
-	des.Fidelity = serve.FidelityDES
+	des.Spec.Fidelity = serve.FidelityDES
 	full, err := des.Sweep(desItems)
 	if err != nil {
 		t.Fatal(err)
@@ -445,7 +445,7 @@ func TestCoordinatorMixedSweepRejectsPreLabeledItems(t *testing.T) {
 	items[2].Fidelity = serve.FidelityDES
 	r, _, _ := testFleet(t, 2)
 	co := NewCoordinator(r)
-	co.Fidelity = serve.FidelityMixed
+	co.Spec.Fidelity = serve.FidelityMixed
 	_, err := co.Sweep(items)
 	if err == nil {
 		t.Fatal("pre-labeled item accepted under a mixed sweep")
@@ -460,7 +460,7 @@ func TestCoordinatorMixedSweepRejectsPreLabeledItems(t *testing.T) {
 		t.Fatal("mixed rejection burned failover retries")
 	}
 	bad := NewCoordinator(r)
-	bad.Fidelity = "nope"
+	bad.Spec.Fidelity = "nope"
 	if _, err := bad.Sweep(coordItems()); err == nil {
 		t.Fatal("unknown coordinator fidelity accepted")
 	} else if retryable(err) {
@@ -495,8 +495,8 @@ func TestCoordinatorMixedSweepSurvivesChurnMidSweep(t *testing.T) {
 	}
 
 	co := NewCoordinator(r)
-	co.ChunkSize = 1 // one item per chunk: the kill lands between chunks
-	co.Fidelity = serve.FidelityMixed
+	co.Spec.Chunk = 1 // one item per chunk: the kill lands between chunks
+	co.Spec.Fidelity = serve.FidelityMixed
 	var kill sync.Once
 	co.OnChunk = func(cr ChunkResult) {
 		if cr.Shard == victim {
@@ -554,7 +554,7 @@ func TestCoordinatorSweepBadItemKeepsGlobalIndex(t *testing.T) {
 	items[bad].M = 0
 	r, _, _ := testFleet(t, 2)
 	co := NewCoordinator(r)
-	co.ChunkSize = 2
+	co.Spec.Chunk = 2
 	_, err := co.Sweep(items)
 	if err == nil {
 		t.Fatal("invalid item accepted")

@@ -42,34 +42,56 @@ func (s HealthState) String() string {
 // benched for long.
 const DefaultHealthCooldown = 15 * time.Second
 
+// DefaultEvictAfter is how many whole cooldown windows a replica must stay
+// continuously dead before it is evicted from the ownership ring — its
+// cells rebalance to the ring survivors until it comes back. More than one
+// window so a crash-and-restart (the common churn) never moves ownership;
+// few enough that a genuinely gone replica stops costing a failover hop on
+// every one of its cells within a minute at the default cooldown.
+const DefaultEvictAfter = 3
+
 // Health is the per-replica health plane a Router and its Coordinators
 // share: dispatch outcomes drive the healthy/suspect/dead state machine,
 // and both query routing and sweep dispatch consult it to skip replicas
 // known to be dead instead of burning a client timeout per chunk or query.
 // All methods are safe for concurrent use.
 type Health struct {
-	mu       sync.Mutex
-	cooldown time.Duration
-	now      func() time.Time // injectable clock (tests)
-	replicas []replicaHealth
+	mu         sync.Mutex
+	cooldown   time.Duration
+	evictAfter int              // cooldown windows continuously dead before eviction; <= 0 disables
+	now        func() time.Time // injectable clock (tests)
+	replicas   []replicaHealth
 
 	readmissions uint64 // dead/suspect -> healthy transitions
 	skips        uint64 // attempts avoided on replicas inside their cooldown
+	evictions    uint64 // replicas that surrendered ring ownership
+	handbacks    uint64 // evicted replicas re-admitted and handed their cells back
 }
 
 type replicaHealth struct {
 	state HealthState
 	since time.Time // when the replica entered its current state
+	// deadSince is when the replica's current unbroken spell of failure
+	// began. Unlike since it survives suspect trials (a failed trial does
+	// not reset the eviction clock — only an actual recovery does), so it
+	// measures "dead past N cooldowns" for the eviction predicate. Zero
+	// while the replica is healthy.
+	deadSince time.Time
+	// evicted latches once deadSince ages past evictAfter cooldowns; only
+	// MarkHealthy clears it. While set, the replica owns no cells — the
+	// ring rebalances its slice of the plane onto the survivors.
+	evicted bool
 }
 
 // NewHealth builds a health plane over n replicas, all initially healthy,
-// with the default cooldown. Router construction calls this; tests and
-// CLIs adjust the cooldown through SetCooldown.
+// with the default cooldown and eviction window. Router construction calls
+// this; tests and CLIs adjust through SetCooldown and SetEvictAfter.
 func NewHealth(n int) *Health {
 	return &Health{
-		cooldown: DefaultHealthCooldown,
-		now:      time.Now,
-		replicas: make([]replicaHealth, n),
+		cooldown:   DefaultHealthCooldown,
+		evictAfter: DefaultEvictAfter,
+		now:        time.Now,
+		replicas:   make([]replicaHealth, n),
 	}
 }
 
@@ -89,6 +111,42 @@ func (h *Health) Cooldown() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.cooldown
+}
+
+// SetEvictAfter sets how many whole cooldown windows a replica must stay
+// continuously dead before it is evicted from the ownership ring. 0 (or
+// negative) disables eviction: dead replicas then ride the failover ring
+// forever, the pre-rebalance behavior.
+func (h *Health) SetEvictAfter(windows int) {
+	h.mu.Lock()
+	h.evictAfter = windows
+	h.mu.Unlock()
+}
+
+// EvictAfter returns the eviction window in cooldown counts (<= 0 when
+// eviction is disabled).
+func (h *Health) EvictAfter() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.evictAfter
+}
+
+// Evicted reports whether replica i has been dead long enough (evictAfter
+// whole cooldown windows, uninterrupted by any recovery) to surrender its
+// ring ownership. The flag latches on the first observation past the
+// window — counting one eviction — and only MarkHealthy clears it, counting
+// a hand-back; suspect trials that fail neither reset the clock nor the
+// flag, so a zombie cannot flap ownership once per probe.
+func (h *Health) Evicted(i int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := &h.replicas[i]
+	if !r.evicted && h.evictAfter > 0 && !r.deadSince.IsZero() &&
+		h.now().Sub(r.deadSince) >= time.Duration(h.evictAfter)*h.cooldown {
+		r.evicted = true
+		h.evictions++
+	}
+	return r.evicted
 }
 
 // Allow reports whether an attempt on replica i is admissible right now.
@@ -125,6 +183,13 @@ func (h *Health) MarkHealthy(i int) {
 		r.since = h.now()
 		h.readmissions++
 	}
+	if r.evicted {
+		// Re-admission hands the replica its owned cells back: the ring
+		// never moved, so the same cells that rebalanced away return.
+		r.evicted = false
+		h.handbacks++
+	}
+	r.deadSince = time.Time{}
 }
 
 // claimTrial atomically claims replica i's per-window trial slot for the
@@ -184,8 +249,14 @@ func (h *Health) anySuspect() bool {
 func (h *Health) MarkFailed(i int) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.replicas[i].state = Dead
-	h.replicas[i].since = h.now()
+	r := &h.replicas[i]
+	r.state = Dead
+	r.since = h.now()
+	if r.deadSince.IsZero() {
+		// First failure of this spell starts the eviction clock; a failed
+		// suspect trial later in the spell must not restart it.
+		r.deadSince = h.now()
+	}
 }
 
 // State returns replica i's current health state.
@@ -221,4 +292,20 @@ func (h *Health) Skips() uint64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.skips
+}
+
+// Evictions counts replicas that stayed dead past the eviction window and
+// surrendered their ring ownership to the survivors.
+func (h *Health) Evictions() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.evictions
+}
+
+// Handbacks counts evicted replicas that were re-admitted and handed their
+// owned cells back.
+func (h *Health) Handbacks() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.handbacks
 }

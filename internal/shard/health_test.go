@@ -32,11 +32,20 @@ func (c *stubClient) Query(q serve.Query) (serve.Answer, error) {
 	return c.query(q)
 }
 
-func (c *stubClient) Sweep(req serve.SweepRequest) ([]serve.SweepResult, error) {
+// Sweep adapts the buffered scripting hook to the streaming interface:
+// whatever prefix the hook returns is delivered through the sink before the
+// hook's error — exactly the salvage semantics a real replica streams.
+func (c *stubClient) Sweep(req serve.SweepRequest, sink serve.SweepSink) error {
 	if c.sweep == nil {
-		return nil, errors.New("stub: no sweep hook")
+		return errors.New("stub: no sweep hook")
 	}
-	return c.sweep(req)
+	res, err := c.sweep(req)
+	for i, r := range res {
+		if serr := sink(i, r); serr != nil {
+			return serr
+		}
+	}
+	return err
 }
 
 func (c *stubClient) Stats() (serve.Stats, error) { return serve.Stats{}, nil }
@@ -46,6 +55,18 @@ func (c *stubClient) Healthz() error {
 		return nil
 	}
 	return c.healthz()
+}
+
+// collectClient buffers a streaming client's sweep back into the slice form
+// the scripting hooks speak. Flat chunks emit in ascending order, so the
+// append preserves chunk-local indexing.
+func collectClient(c Client, req serve.SweepRequest) ([]serve.SweepResult, error) {
+	var res []serve.SweepResult
+	err := c.Sweep(req, func(_ int, r serve.SweepResult) error {
+		res = append(res, r)
+		return nil
+	})
+	return res, err
 }
 
 // The health state machine: failures bench a replica for the cooldown, the
@@ -154,7 +175,7 @@ func TestSweepOverPreDeadReplicaPaysOneProbeTimeout(t *testing.T) {
 	}
 
 	co := NewCoordinator(r)
-	co.ChunkSize = 1 // one chunk per item: every owned item is a chance to stall
+	co.Spec.Chunk = 1 // one chunk per item: every owned item is a chance to stall
 	results, err := co.Sweep(items)
 	if err != nil {
 		t.Fatalf("sweep with a pre-dead replica: %v", err)
@@ -315,7 +336,7 @@ func TestDispatchWaitsOutCooldownWhenBudgetExceedsFleet(t *testing.T) {
 			if blipped.CompareAndSwap(false, true) {
 				return nil, errors.New("stub: transient failure")
 			}
-			return inner.Sweep(req)
+			return collectClient(inner, req)
 		},
 	}
 	r, err := NewRouter([]Client{dead, flaky})
@@ -324,8 +345,8 @@ func TestDispatchWaitsOutCooldownWhenBudgetExceedsFleet(t *testing.T) {
 	}
 	r.Health().SetCooldown(30 * time.Millisecond)
 	co := NewCoordinator(r)
-	co.ChunkSize = len(owned) // a single chunk owned by the dead replica
-	co.MaxAttempts = 6        // > fleet size: opt into wrap-around retries
+	co.Spec.Chunk = len(owned) // a single chunk owned by the dead replica
+	co.Spec.Attempts = 6       // > fleet size: opt into wrap-around retries
 
 	results, err := co.Sweep(owned)
 	if err != nil {
@@ -434,7 +455,7 @@ func TestCoordinatorSalvagesPartialChunk(t *testing.T) {
 	inner0 := &LocalClient{Svc: newSvc()}
 	crashing := &stubClient{
 		sweep: func(req serve.SweepRequest) ([]serve.SweepResult, error) {
-			res, err := inner0.Sweep(req)
+			res, err := collectClient(inner0, req)
 			if err != nil {
 				return res, err
 			}
@@ -451,7 +472,7 @@ func TestCoordinatorSalvagesPartialChunk(t *testing.T) {
 			sizes := []int{len(req.Items)}
 			suffixCalls = append(suffixCalls, sizes)
 			mu.Unlock()
-			return inner1.Sweep(req)
+			return collectClient(inner1, req)
 		},
 	}
 	r, err := NewRouter([]Client{crashing, recording})
@@ -459,7 +480,7 @@ func TestCoordinatorSalvagesPartialChunk(t *testing.T) {
 		t.Fatal(err)
 	}
 	co := NewCoordinator(r)
-	co.ChunkSize = len(items)
+	co.Spec.Chunk = len(items)
 	var segments []ChunkResult
 	co.OnChunk = func(cr ChunkResult) { segments = append(segments, cr) }
 
@@ -524,7 +545,7 @@ func TestExhaustedBudgetNamesUnansweredItemAfterSalvage(t *testing.T) {
 		}
 		inner := &LocalClient{Svc: svc}
 		return &stubClient{sweep: func(req serve.SweepRequest) ([]serve.SweepResult, error) {
-			res, err := inner.Sweep(req)
+			res, err := collectClient(inner, req)
 			if err != nil {
 				return res, err
 			}
@@ -538,7 +559,7 @@ func TestExhaustedBudgetNamesUnansweredItemAfterSalvage(t *testing.T) {
 		t.Fatal(err)
 	}
 	co := NewCoordinator(r)
-	co.ChunkSize = len(items) // budget 2 (fleet size): A salvages 0-2, B 3-5, exhausted at 6
+	co.Spec.Chunk = len(items) // budget 2 (fleet size): A salvages 0-2, B 3-5, exhausted at 6
 	_, err = co.Sweep(items)
 	if err == nil {
 		t.Fatal("sweep succeeded with every attempt failing partway")
@@ -572,7 +593,7 @@ func TestExhaustedBudgetNamesUnansweredItemAfterSalvage(t *testing.T) {
 		t.Fatal(err)
 	}
 	co2 := NewCoordinator(r2)
-	co2.ChunkSize = len(items)
+	co2.Spec.Chunk = len(items)
 	_, err = co2.Sweep(items)
 	if err == nil {
 		t.Fatal("sweep succeeded with every attempt failing")
@@ -594,18 +615,18 @@ func TestHTTPClientSweepRebuildsPartialResults(t *testing.T) {
 		{Shape: "4096x8192x4096", Primitive: "AllReduce"},
 	}
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusInternalServerError)
-		_ = json.NewEncoder(w).Encode(map[string]any{
-			"error":   "engine crashed mid-chunk",
-			"index":   2,
-			"results": prefix,
+		idx := 2
+		serve.WriteErrorBody(w, http.StatusInternalServerError, serve.ErrorBody{
+			Message:   "engine crashed mid-chunk",
+			Retryable: true,
+			Index:     &idx,
+			Results:   prefix,
 		})
 	}))
 	defer srv.Close()
 
 	c := &HTTPClient{Base: srv.URL}
-	got, err := c.Sweep(serve.SweepRequest{Items: make([]serve.SweepItem, 4)})
+	got, err := collectClient(c, serve.SweepRequest{Items: make([]serve.SweepItem, 4)})
 	if err == nil {
 		t.Fatal("500 reply did not surface an error")
 	}
@@ -642,7 +663,7 @@ func TestRouterSweepProxyHonorsForwardedKnobs(t *testing.T) {
 				mu.Lock()
 				calls = append(calls, len(req.Items))
 				mu.Unlock()
-				return inner.Sweep(req)
+				return collectClient(inner, req)
 			}}
 		}
 		r, err := NewRouter(clients)
@@ -652,7 +673,7 @@ func TestRouterSweepProxyHonorsForwardedKnobs(t *testing.T) {
 		front := httptest.NewServer(r.Handler())
 		defer front.Close()
 
-		body, err := json.Marshal(serve.SweepRequest{Chunk: 2, Items: items})
+		body, err := json.Marshal(serve.SweepRequest{SweepSpec: serve.SweepSpec{Chunk: 2}, Items: items})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -696,7 +717,7 @@ func TestRouterSweepProxyHonorsForwardedKnobs(t *testing.T) {
 		front := httptest.NewServer(r.Handler())
 		defer front.Close()
 
-		body, err := json.Marshal(serve.SweepRequest{Attempts: 1 << 20, Items: items})
+		body, err := json.Marshal(serve.SweepRequest{SweepSpec: serve.SweepSpec{Attempts: 1 << 20}, Items: items})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -745,7 +766,7 @@ func TestRouterSweepProxyHonorsForwardedKnobs(t *testing.T) {
 			front := httptest.NewServer(r.Handler())
 			defer front.Close()
 
-			body, err := json.Marshal(serve.SweepRequest{Attempts: tc.attempts, Items: sub})
+			body, err := json.Marshal(serve.SweepRequest{SweepSpec: serve.SweepSpec{Attempts: tc.attempts}, Items: sub})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -761,14 +782,15 @@ func TestRouterSweepProxyHonorsForwardedKnobs(t *testing.T) {
 				if resp.StatusCode == http.StatusOK {
 					t.Fatal("sweep succeeded with attempts=1 and a dead owner; forwarded budget ignored")
 				}
-				var eb struct {
-					Error string `json:"error"`
-				}
-				if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+				var env serve.ErrorEnvelope
+				if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 					t.Fatal(err)
 				}
-				if !strings.Contains(eb.Error, "re-dispatch budget") {
-					t.Fatalf("error %q does not name the exhausted budget", eb.Error)
+				if !strings.Contains(env.Error.Message, "re-dispatch budget") {
+					t.Fatalf("error %q does not name the exhausted budget", env.Error.Message)
+				}
+				if !env.Error.Retryable {
+					t.Fatal("exhausted budget not marked retryable in the envelope")
 				}
 			}
 		})

@@ -1,0 +1,221 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gemm"
+)
+
+// syntheticShapes spans a wide swath of the (log M·N, log K) plane — many
+// more distinct cells than the quick Table 3 grid — so the remap tests see
+// the ring's behavior across a population, not a handful of cells.
+func syntheticShapes() []gemm.Shape {
+	var out []gemm.Shape
+	for m := 256; m <= 16384; m *= 2 {
+		for n := 1024; n <= 16384; n *= 2 {
+			for k := 512; k <= 32768; k *= 2 {
+				out = append(out, gemm.Shape{M: m, N: n, K: k})
+			}
+		}
+	}
+	return out
+}
+
+// Evicting one member from the ring is a structural O(1/n) remap: cells the
+// evicted member owned land on survivors, every other cell keeps its owner
+// bit-for-bit, and readmission (alive admitting everyone again) restores the
+// static mapping exactly — the hand-back is the same cells that left.
+func TestRingEvictionRemapsOnlyEvictedCells(t *testing.T) {
+	shapes := syntheticShapes()
+	if len(shapes) < 100 {
+		t.Fatalf("only %d synthetic shapes; population too small to be meaningful", len(shapes))
+	}
+	for n := 3; n <= 8; n++ {
+		p := NewPartitioner(n)
+		base := make([]int, len(shapes))
+		for i, s := range shapes {
+			base[i] = p.Owner(s)
+		}
+		for dead := 0; dead < n; dead++ {
+			alive := func(m int) bool { return m != dead }
+			moved := 0
+			for i, s := range shapes {
+				got := p.OwnerAmong(s, alive)
+				if got == dead {
+					t.Fatalf("n=%d: %v assigned to the evicted member %d", n, s, dead)
+				}
+				if base[i] != dead && got != base[i] {
+					t.Fatalf("n=%d dead=%d: %v moved %d -> %d though its owner survived",
+						n, dead, s, base[i], got)
+				}
+				if base[i] == dead {
+					moved++
+				}
+			}
+			if moved == 0 {
+				t.Fatalf("n=%d: member %d owned no synthetic cells; remap test vacuous", n, dead)
+			}
+			// The O(1/n) bound: the moved set is exactly the evicted
+			// member's share of the plane, which the ring keeps balanced.
+			if moved > 2*len(shapes)/n {
+				t.Fatalf("n=%d dead=%d: %d of %d cells moved, beyond 2/n — ring badly unbalanced",
+					n, dead, moved, len(shapes))
+			}
+			for i, s := range shapes {
+				if got := p.OwnerAmong(s, func(int) bool { return true }); got != base[i] {
+					t.Fatalf("n=%d dead=%d: hand-back moved %v to %d, want its original owner %d",
+						n, dead, s, got, base[i])
+				}
+			}
+		}
+	}
+}
+
+// Two simultaneous evictions compose: only cells owned by one of the two
+// evicted members move, and each lands on one of the survivors.
+func TestRingDoubleEvictionLandsOnSurvivors(t *testing.T) {
+	shapes := syntheticShapes()
+	const n = 5
+	p := NewPartitioner(n)
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			alive := func(m int) bool { return m != a && m != b }
+			for _, s := range shapes {
+				was := p.Owner(s)
+				got := p.OwnerAmong(s, alive)
+				if got == a || got == b {
+					t.Fatalf("dead={%d,%d}: %v assigned to an evicted member (%d)", a, b, s, got)
+				}
+				if was != a && was != b && got != was {
+					t.Fatalf("dead={%d,%d}: %v moved %d -> %d though its owner survived", a, b, s, was, got)
+				}
+			}
+		}
+	}
+}
+
+// The eviction latch, on an injected clock: a replica must stay continuously
+// dead for evictAfter whole cooldowns before Evicted trips; failed suspect
+// trials mid-spell do not reset the clock; the flag latches (counted once),
+// only MarkHealthy clears it (counted as a hand-back), and a fresh death
+// spell starts a fresh clock.
+func TestHealthEvictionLatchAndHandback(t *testing.T) {
+	h := NewHealth(2)
+	h.SetCooldown(time.Second)
+	h.SetEvictAfter(3)
+	now := time.Unix(1_000_000, 0)
+	h.now = func() time.Time { return now }
+
+	if h.Evicted(0) {
+		t.Fatal("healthy replica reads evicted")
+	}
+	h.MarkFailed(0)
+	now = now.Add(2900 * time.Millisecond)
+	if h.Evicted(0) {
+		t.Fatal("evicted before three whole cooldowns elapsed")
+	}
+	// A suspect trial that fails restarts the cooldown but must not restart
+	// the eviction clock — the spell has been unbroken since the first
+	// failure.
+	h.MarkFailed(0)
+	now = now.Add(200 * time.Millisecond)
+	if !h.Evicted(0) {
+		t.Fatal("not evicted 3.1s into an unbroken death spell (3×1s window)")
+	}
+	if got := h.Evictions(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	h.Evicted(0) // observing again must not recount
+	if got := h.Evictions(); got != 1 {
+		t.Fatalf("evictions recounted on re-observation: %d", got)
+	}
+	if h.Evicted(1) {
+		t.Fatal("the healthy peer got evicted too")
+	}
+
+	h.MarkHealthy(0)
+	if h.Evicted(0) {
+		t.Fatal("re-admission did not clear the eviction latch")
+	}
+	if got := h.Handbacks(); got != 1 {
+		t.Fatalf("handbacks = %d, want 1", got)
+	}
+
+	// The next death spell starts its own clock: two seconds dead is not
+	// enough even though the replica was evicted minutes ago.
+	h.MarkFailed(0)
+	now = now.Add(2 * time.Second)
+	if h.Evicted(0) {
+		t.Fatal("previous spell's age leaked into the new one")
+	}
+	now = now.Add(1100 * time.Millisecond)
+	if !h.Evicted(0) {
+		t.Fatal("second spell did not evict past its own window")
+	}
+	h.MarkHealthy(0)
+
+	// SetEvictAfter(0) disables eviction outright: dead forever, never
+	// evicted — the pre-rebalance behavior.
+	h.SetEvictAfter(0)
+	h.MarkFailed(0)
+	now = now.Add(24 * time.Hour)
+	if h.Evicted(0) {
+		t.Fatal("eviction disabled but the latch tripped anyway")
+	}
+	if h.Evictions() != 2 || h.Handbacks() != 2 {
+		t.Fatalf("counters = (%d evictions, %d handbacks), want (2, 2)", h.Evictions(), h.Handbacks())
+	}
+}
+
+// Router.Owner consults the eviction predicate: once a replica's death spell
+// ages past the window, ownership of its cells moves to the survivors with
+// no failover hop, and MarkHealthy hands the exact cells back.
+func TestRouterOwnerRebalancesAroundEvictedReplica(t *testing.T) {
+	r, _, _ := testFleet(t, 3)
+	h := r.Health()
+	h.SetCooldown(time.Second)
+	h.SetEvictAfter(1)
+	now := time.Unix(1_000_000, 0)
+	h.now = func() time.Time { return now }
+
+	shapes := quickGridShapes()
+	part := r.Partitioner()
+	base := make([]int, len(shapes))
+	for i, s := range shapes {
+		base[i] = part.Owner(s)
+		if got := r.Owner(s); got != base[i] {
+			t.Fatalf("healthy fleet: Router.Owner(%v) = %d, want static owner %d", s, got, base[i])
+		}
+	}
+
+	const victim = 1
+	h.MarkFailed(victim)
+	now = now.Add(1100 * time.Millisecond)
+	for i, s := range shapes {
+		got := r.Owner(s)
+		if got == victim {
+			t.Fatalf("%v still owned by the evicted replica", s)
+		}
+		if base[i] != victim && got != base[i] {
+			t.Fatalf("%v moved %d -> %d though its owner is alive", s, base[i], got)
+		}
+	}
+	st := r.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("stats evictions = %d, want 1", st.Evictions)
+	}
+	if !st.PerShard[victim].Evicted {
+		t.Fatal("stats do not flag the victim as evicted")
+	}
+
+	h.MarkHealthy(victim)
+	for i, s := range shapes {
+		if got := r.Owner(s); got != base[i] {
+			t.Fatalf("after hand-back %v owned by %d, want %d", s, got, base[i])
+		}
+	}
+	if st := r.Stats(); st.Handbacks != 1 {
+		t.Fatalf("stats handbacks = %d, want 1", st.Handbacks)
+	}
+}

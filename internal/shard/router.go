@@ -21,13 +21,14 @@ import (
 
 // Client is one replica endpoint a Router fans out to: either a remote
 // cmd/serve process (HTTPClient) or an in-process service (LocalClient).
-// Sweep may return a non-empty completed prefix of results alongside a
-// *serve.ChunkError — partial-chunk completion; callers must treat any
-// non-nil error as a failed chunk and the results as salvage, never as a
-// full answer.
+// Sweep streams each answered item into sink as it completes and returns
+// only the chunk's fate: nil once every item was delivered, an error
+// otherwise. Items already delivered before a failure are salvage — final
+// results the caller may keep (deterministic on any replica) while
+// re-dispatching the rest; a failed chunk never redelivers them.
 type Client interface {
 	Query(q serve.Query) (serve.Answer, error)
-	Sweep(req serve.SweepRequest) ([]serve.SweepResult, error)
+	Sweep(req serve.SweepRequest, sink serve.SweepSink) error
 	Stats() (serve.Stats, error)
 	// Healthz is the lightweight liveness probe behind dead-replica
 	// re-admission: nil means the replica is up and serving.
@@ -53,9 +54,9 @@ func retryable(err error) bool {
 }
 
 // ReplyError marks a failure the replica itself reported over a live
-// connection — a structured 5xx reply. Retryable (another replica may
-// succeed), but proof of liveness: the health plane must not bench the
-// sender as if it had timed out.
+// connection — a structured 5xx reply or a v2 error frame. Retryable
+// (another replica may succeed), but proof of liveness: the health plane
+// must not bench the sender as if it had timed out.
 type ReplyError struct {
 	Status int // HTTP status when the error came over the wire; 0 locally
 	Err    error
@@ -65,12 +66,13 @@ func (e *ReplyError) Error() string { return e.Err.Error() }
 func (e *ReplyError) Unwrap() error { return e.Err }
 
 // replicaAnswered reports whether err proves the replica is alive and
-// answering — a structured reply (4xx rejection, 5xx reply body, or an
-// item-attributed chunk failure) as opposed to a transport-level failure
-// (connection refused, timeout, truncated body). Benching is reserved for
-// the latter: those are the failures whose retry costs a timeout, and
-// benching on answered errors would let one deterministic-5xx poison
-// query/item walk the ring and mark the whole fleet dead.
+// answering — a structured reply (4xx rejection, 5xx reply body, an error
+// frame, or an item-attributed chunk failure) as opposed to a
+// transport-level failure (connection refused, timeout, truncated stream).
+// Benching is reserved for the latter: those are the failures whose retry
+// costs a timeout, and benching on answered errors would let one
+// deterministic-5xx poison query/item walk the ring and mark the whole
+// fleet dead.
 func replicaAnswered(err error) bool {
 	var re *ReplyError
 	var qe *QueryError
@@ -137,6 +139,26 @@ func ParseReplicas(raw string) ([]string, error) {
 	return urls, nil
 }
 
+// decodeWireError parses a non-200 reply body: the unified error envelope
+// {"error": {"message", "retryable", ...}}, with a fallback for the legacy
+// bare-string form {"error": "..."} older replicas wrote. Garbage bodies
+// yield a zero ErrorBody; callers default the message to the HTTP status.
+func decodeWireError(r io.Reader) serve.ErrorBody {
+	var raw struct {
+		Error json.RawMessage `json:"error"`
+	}
+	_ = json.NewDecoder(r).Decode(&raw)
+	var body serve.ErrorBody
+	if len(raw.Error) > 0 {
+		if raw.Error[0] == '"' {
+			_ = json.Unmarshal(raw.Error, &body.Message)
+		} else {
+			_ = json.Unmarshal(raw.Error, &body)
+		}
+	}
+	return body
+}
+
 func (c *HTTPClient) get(path string, out any) error {
 	resp, err := c.client().Get(c.Base + path)
 	if err != nil {
@@ -144,14 +166,11 @@ func (c *HTTPClient) get(path string, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var body struct {
-			Error string `json:"error"`
+		eb := decodeWireError(resp.Body)
+		if eb.Message == "" {
+			eb.Message = resp.Status
 		}
-		_ = json.NewDecoder(resp.Body).Decode(&body)
-		if body.Error == "" {
-			body.Error = resp.Status
-		}
-		err := fmt.Errorf("shard: %s%s: %s", c.Base, path, body.Error)
+		err := fmt.Errorf("shard: %s%s: %s", c.Base, path, eb.Message)
 		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
 			// The replica understood the request and rejected it;
 			// another replica would too.
@@ -188,54 +207,122 @@ func (c *HTTPClient) Query(q serve.Query) (serve.Answer, error) {
 	}, nil
 }
 
-// Sweep posts one sweep chunk to the replica's /sweep endpoint. A non-OK
-// reply carrying a chunk-local item index is rebuilt as a
+// Sweep posts one sweep chunk to the replica's /sweep endpoint, negotiating
+// the v2 NDJSON stream (Accept: application/x-ndjson) and feeding each
+// result frame into sink as it arrives — the replica's completed items
+// reach the coordinator even when the replica dies mid-chunk. A v1 replica
+// that answers with a buffered JSON reply is detected by Content-Type and
+// fed through the same sink, so the client speaks to either generation.
+// Failures carrying a chunk-local item index are rebuilt as
 // *serve.ChunkError, so coordinators attribute remote failures exactly like
 // local ones.
-func (c *HTTPClient) Sweep(req serve.SweepRequest) ([]serve.SweepResult, error) {
+func (c *HTTPClient) Sweep(req serve.SweepRequest, sink serve.SweepSink) error {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return nil, fmt.Errorf("shard: encoding sweep chunk: %w", err)
+		return fmt.Errorf("shard: encoding sweep chunk: %w", err)
 	}
-	resp, err := c.client().Post(c.Base+"/sweep", "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequest(http.MethodPost, c.Base+"/sweep", bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("shard: %s: %w", c.Base, err)
+		return fmt.Errorf("shard: %s: %w", c.Base, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", serve.ContentTypeNDJSON)
+	resp, err := c.client().Do(hreq)
+	if err != nil {
+		return fmt.Errorf("shard: %s: %w", c.Base, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var eb struct {
-			Error   string              `json:"error"`
-			Index   *int                `json:"index"`
-			Results []serve.SweepResult `json:"results"`
+		eb := decodeWireError(resp.Body)
+		if eb.Message == "" {
+			eb.Message = resp.Status
 		}
-		_ = json.NewDecoder(resp.Body).Decode(&eb)
-		if eb.Error == "" {
-			eb.Error = resp.Status
+		// Deliver the envelope's salvage prefix through the sink first —
+		// the buffered-path equivalent of the result frames a v2 stream
+		// would already have delivered before its error frame.
+		for i, r := range eb.Results {
+			if serr := sink(i, r); serr != nil {
+				return serr
+			}
 		}
-		cause := fmt.Errorf("shard: %s/sweep: %s", c.Base, eb.Error)
+		cause := error(fmt.Errorf("shard: %s/sweep: %s", c.Base, eb.Message))
 		if eb.Index != nil && *eb.Index >= 0 {
 			cause = &serve.ChunkError{Index: *eb.Index, Err: cause}
 		}
 		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
 			// The replica understood the chunk and rejected it;
 			// another replica would too.
-			return eb.Results, &QueryError{Status: resp.StatusCode, Err: cause}
+			return &QueryError{Status: resp.StatusCode, Err: cause}
 		}
-		// eb.Results is the completed prefix of the chunk (items the
-		// replica answered before failing): partial-chunk completion lets
-		// the coordinator re-dispatch only the unanswered suffix. The
-		// structured reply (indexed or not) marks the replica as having
-		// answered, not died.
+		// The structured reply (indexed or not) marks the replica as
+		// having answered, not died.
 		if eb.Index == nil || *eb.Index < 0 {
 			cause = &ReplyError{Status: resp.StatusCode, Err: cause}
 		}
-		return eb.Results, cause
+		return cause
 	}
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), serve.ContentTypeNDJSON) {
+		return c.sweepFrames(resp.Body, sink)
+	}
+	// A v1 replica ignored the Accept header and buffered: decode the
+	// whole reply, then feed it through the sink in order.
 	var sr serve.SweepResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return nil, fmt.Errorf("shard: %s/sweep: decoding reply: %w", c.Base, err)
+		return fmt.Errorf("shard: %s/sweep: decoding reply: %w", c.Base, err)
 	}
-	return sr.Results, nil
+	for i, r := range sr.Results {
+		if err := sink(i, r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepFrames consumes a v2 NDJSON sweep stream: result frames feed the
+// sink as they arrive, a done frame completes the chunk, and an error frame
+// is rebuilt into the same error taxonomy the status-coded path uses — the
+// stream committed its 200 before executing, so the frame's retryable bit
+// carries the 4xx/5xx split instead of the status line.
+func (c *HTTPClient) sweepFrames(body io.Reader, sink serve.SweepSink) error {
+	dec := json.NewDecoder(body)
+	for {
+		var fr serve.SweepFrame
+		if err := dec.Decode(&fr); err != nil {
+			// Truncation before the terminal frame is a transport
+			// failure: the replica died mid-stream. Items already
+			// delivered stand as salvage.
+			return fmt.Errorf("shard: %s/sweep: stream ended before its terminal frame: %w", c.Base, err)
+		}
+		switch fr.Frame {
+		case serve.FrameResult:
+			if fr.Result == nil {
+				return fmt.Errorf("shard: %s/sweep: result frame without a result", c.Base)
+			}
+			if err := sink(fr.Index, *fr.Result); err != nil {
+				return err
+			}
+		case serve.FrameDone:
+			return nil
+		case serve.FrameError:
+			eb := fr.Error
+			if eb == nil {
+				eb = &serve.ErrorBody{Message: "error frame without a body"}
+			}
+			cause := error(fmt.Errorf("shard: %s/sweep: %s", c.Base, eb.Message))
+			if eb.Index != nil && *eb.Index >= 0 {
+				cause = &serve.ChunkError{Index: *eb.Index, Err: cause}
+			}
+			if !eb.Retryable {
+				return &QueryError{Err: cause}
+			}
+			if eb.Index == nil || *eb.Index < 0 {
+				cause = &ReplyError{Err: cause}
+			}
+			return cause
+		default:
+			return fmt.Errorf("shard: %s/sweep: unknown frame %q", c.Base, fr.Frame)
+		}
+	}
 }
 
 // Stats fetches the replica's /stats snapshot.
@@ -299,14 +386,15 @@ func (c *LocalClient) Query(q serve.Query) (serve.Answer, error) {
 	return ans, nil
 }
 
-// Sweep processes one sweep chunk on the in-process service. On failure
-// the completed prefix rides along with the error, like the HTTP path.
-func (c *LocalClient) Sweep(req serve.SweepRequest) ([]serve.SweepResult, error) {
-	res, err := c.Svc.SweepChunk(req)
+// Sweep processes one sweep chunk on the in-process service, streaming each
+// item into sink as it completes — items delivered before a failure are
+// salvage, like the HTTP path's result frames.
+func (c *LocalClient) Sweep(req serve.SweepRequest, sink serve.SweepSink) error {
+	err := c.Svc.SweepChunk(req, sink)
 	if err != nil && serve.IsBadQuery(err) {
-		return res, &QueryError{Err: err}
+		return &QueryError{Err: err}
 	}
-	return res, err
+	return err
 }
 
 func (c *LocalClient) Stats() (serve.Stats, error) { return c.Svc.Stats(), nil }
@@ -363,15 +451,27 @@ func (r *Router) Partitioner() Partitioner { return r.part }
 // one sweep discovered dead is skipped by routed queries too.
 func (r *Router) Health() *Health { return r.health }
 
+// Owner returns the replica that currently owns the shape: the static ring
+// owner unless the health plane has evicted it (dead past the eviction
+// window), in which case ownership falls clockwise to the nearest surviving
+// ring member. The consistent-hash ring makes the remap O(1/n): cells whose
+// owner is alive never move, and re-admission hands the evicted cells back
+// exactly.
+func (r *Router) Owner(s gemm.Shape) int {
+	return r.part.OwnerAmong(s, func(m int) bool { return !r.health.Evicted(m) })
+}
+
 // Query forwards q to the owning replica. If the owner fails with a
 // replica-level error (connection refused, 5xx), the query retries on the
 // next shards in ring order until one answers; a query-level rejection (4xx)
 // returns immediately. Replicas the health plane marks dead are skipped
 // without paying a timeout — at most one trial request per cooldown window
-// probes a dead replica. The error after exhausting the fleet is the
-// owner's (or the first attempted replica's).
+// probes a dead replica — and replicas dead past the eviction window stop
+// being the owner at all: their cells route straight to the ring survivors,
+// no failover hop, until re-admission hands them back. The error after
+// exhausting the fleet is the owner's (or the first attempted replica's).
 func (r *Router) Query(q serve.Query) (Answer, error) {
-	owner := r.part.Owner(q.Shape)
+	owner := r.Owner(q.Shape)
 	var firstErr error
 	attempted := 0
 	for hop := 0; hop < len(r.clients); hop++ {
@@ -453,7 +553,7 @@ func (r *Router) Probe() int {
 // selects the health cooldown; the interval of the holder that starts the
 // goroutine wins) and runs until the last holder stops, so one sweep
 // finishing cannot strip a concurrent sweep of its mid-sweep re-admission.
-// cmd/route holds it for the process lifetime; Coordinator.Sweep holds it
+// cmd/route holds it for the process lifetime; Coordinator.Stream holds it
 // per sweep, so a replica restarted mid-sweep is re-admitted and reclaims
 // its owned shard before the sweep ends.
 func (r *Router) StartProber(interval time.Duration) (stop func()) {
@@ -498,6 +598,9 @@ type ReplicaStats struct {
 	Replica int `json:"replica"`
 	// Health is the replica's health-plane state: healthy, suspect, dead.
 	Health string `json:"health"`
+	// Evicted reports whether the replica is currently rebalanced out of
+	// the ownership ring (dead past the eviction window).
+	Evicted bool `json:"evicted,omitempty"`
 	// RoutedQueries counts /query requests this replica answered through
 	// the router; RoutedSweepItems counts sweep items it executed for a
 	// coordinator. They are separate units — the old single "routed"
@@ -521,9 +624,15 @@ type RouterStats struct {
 	Failovers uint64 `json:"failovers"`
 	// Readmissions counts dead replicas brought back: successful trial
 	// dispatches after a cooldown plus /healthz probe re-admissions.
-	Readmissions uint64         `json:"readmissions"`
-	Merged       serve.Stats    `json:"merged"`
-	PerShard     []ReplicaStats `json:"per_shard"`
+	Readmissions uint64 `json:"readmissions"`
+	// Evictions counts replicas that stayed dead past the eviction window
+	// and surrendered their ring cells to the survivors; Handbacks counts
+	// evicted replicas re-admitted and handed their cells back. Equal
+	// counters mean the ring is currently whole.
+	Evictions uint64         `json:"evictions"`
+	Handbacks uint64         `json:"handbacks"`
+	Merged    serve.Stats    `json:"merged"`
+	PerShard  []ReplicaStats `json:"per_shard"`
 }
 
 // Stats polls every replica concurrently and merges the reachable
@@ -545,8 +654,12 @@ func (r *Router) Stats() RouterStats {
 		go func(i int, c Client) {
 			defer wg.Done()
 			rs := ReplicaStats{
-				Replica:          i,
-				Health:           states[i].String(),
+				Replica: i,
+				Health:  states[i].String(),
+				// Evicted consults the lazily-latching predicate, so a
+				// stats poll observes an eviction even if no query or
+				// sweep has looked at the ring since the window elapsed.
+				Evicted:          r.health.Evicted(i),
 				RoutedQueries:    r.routedQueries[i].Load(),
 				RoutedSweepItems: r.routedSweepItems[i].Load(),
 			}
@@ -560,6 +673,11 @@ func (r *Router) Stats() RouterStats {
 		}(i, c)
 	}
 	wg.Wait()
+	// Read the counters after the per-replica Evicted calls above: a due
+	// eviction latches (and counts) during the poll, so the totals and the
+	// per-shard flags in one snapshot agree.
+	st.Evictions = r.health.Evictions()
+	st.Handbacks = r.health.Handbacks()
 	for _, rs := range st.PerShard {
 		if rs.Error == "" {
 			st.Merged = st.Merged.Merge(rs.Stats)
@@ -576,12 +694,27 @@ type RoutedResponse struct {
 	Replica int `json:"replica"`
 }
 
-// RoutedSweepResponse is the router's /sweep reply: per-item results with
-// routing attribution, plus the number of chunks this sweep re-dispatched
-// through the failover ring.
+// RoutedSweepResponse is the router's buffered (v1) /sweep reply: per-item
+// results with routing attribution, plus the number of chunks this sweep
+// re-dispatched through the failover ring.
 type RoutedSweepResponse struct {
 	Results      []SweepResult `json:"results"`
 	Redispatches uint64        `json:"redispatches"`
+}
+
+// routedFrame mirrors serve.SweepFrame with the router's attributed result
+// type: the same frame grammar on the wire, with owner/replica fields in
+// every result. Clients decoding into serve.SweepFrame simply ignore the
+// attribution, so a coordinator driving this router as a one-replica fleet
+// consumes the stream unchanged.
+type routedFrame struct {
+	Frame    string           `json:"frame"`
+	Index    int              `json:"index,omitempty"`
+	Fidelity string           `json:"fidelity,omitempty"`
+	Result   *SweepResult     `json:"result,omitempty"`
+	Count    int              `json:"count,omitempty"`
+	Salvaged int              `json:"salvaged,omitempty"`
+	Error    *serve.ErrorBody `json:"error,omitempty"`
 }
 
 // Handler mounts the router on an HTTP mux with the same surface as a
@@ -589,13 +722,15 @@ type RoutedSweepResponse struct {
 // from a single serve process (except for the extra attribution fields).
 // /sweep is proxied through a Coordinator over the fleet, which means a
 // cmd/sweep pointed at a router as a one-replica "fleet" transparently fans
-// out across the real one.
+// out across the real one — and a v2 client streaming from the router gets
+// result frames as the fleet's chunks complete, proxied without buffering
+// the grid.
 func (r *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, req *http.Request) {
 		q, err := serve.ParseQuery(req)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			serve.WriteError(w, http.StatusBadRequest, err)
 			return
 		}
 		ans, err := r.Query(q)
@@ -608,7 +743,7 @@ func (r *Router) Handler() http.Handler {
 					status = http.StatusUnprocessableEntity
 				}
 			}
-			writeError(w, status, err)
+			serve.WriteError(w, status, err)
 			return
 		}
 		writeJSON(w, RoutedResponse{
@@ -627,36 +762,36 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("/sweep", func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodPost {
 			w.Header().Set("Allow", http.MethodPost)
-			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("shard: /sweep takes POST, got %s", req.Method))
+			serve.WriteError(w, http.StatusMethodNotAllowed, fmt.Errorf("shard: /sweep takes POST, got %s", req.Method))
 			return
 		}
 		var sr serve.SweepRequest
 		if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("shard: decoding sweep request: %w", err))
+			serve.WriteError(w, http.StatusBadRequest, fmt.Errorf("shard: decoding sweep request: %w", err))
 			return
 		}
 		if len(sr.Items) == 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("shard: sweep request has no items"))
+			serve.WriteError(w, http.StatusBadRequest, fmt.Errorf("shard: sweep request has no items"))
 			return
 		}
-		// Honor the caller's forwarded knobs: a sweep driver pointed at
+		// Honor the caller's forwarded spec: a sweep driver pointed at
 		// this router as a one-replica fleet chose its own chunk size and
 		// attempt budget, and silently resetting them to defaults here
 		// would change how much work one crash re-executes. The attempt
 		// budget is remote-supplied, so it is clamped to twice the fleet
 		// size: budgets beyond the fleet wait out health cooldowns
 		// between ring wraps, and an absurd value would wedge this
-		// handler goroutine for the cooldown-wait loop's duration.
+		// handler goroutine for the cooldown-wait loop's duration. The
+		// health windows (HealthCooldown, ProbeInterval) are fleet-owned
+		// and never ride the wire — json:"-" on the spec — so a remote
+		// caller cannot re-tune this router's failure detector.
 		co := NewCoordinator(r)
-		co.Tune = sr.Tune
-		co.ChunkSize = sr.Chunk
-		co.MaxAttempts = min(sr.Attempts, 2*len(r.clients))
-		// A request-level fidelity makes this router the mixed-fidelity
-		// orchestrator for its fleet: rank over the whole posted grid, then
-		// refine. Items stamped per-item (as an outer mixed coordinator
-		// sends them) pass through under the "" default instead.
-		co.Fidelity = sr.Fidelity
-		co.TopK = sr.TopK
+		co.Spec = sr.SweepSpec
+		co.Spec.Attempts = min(sr.Attempts, 2*len(r.clients))
+		if serve.StreamRequested(req, sr) {
+			r.streamSweep(w, co, sr.Items)
+			return
+		}
 		results, err := co.Sweep(sr.Items)
 		if err != nil {
 			status := http.StatusBadGateway
@@ -671,20 +806,17 @@ func (r *Router) Handler() http.Handler {
 			// like a replica's /sweep does, so an outer coordinator
 			// driving this router as a one-replica fleet re-attributes
 			// the failure to its own global index instead of blaming
-			// the chunk's first item. Partial-chunk salvage is
-			// single-level: Coordinator.Sweep returns no results on
-			// failure, so unlike a replica this proxy cannot hand the
-			// outer coordinator a completed prefix — an outer re-dispatch
-			// re-executes the whole chunk (cheap: the inner fleet's own
-			// salvage already bounded the lost work).
-			idx := -1
+			// the chunk's first item. The buffered path carries no
+			// salvage (Coordinator.Sweep returns no results on failure);
+			// v2 streaming is what exposes the fleet's partial progress
+			// to the outer caller.
+			body := serve.ErrorBody{Message: err.Error(), Retryable: status >= 500}
 			var fe *fanError
 			if errors.As(err, &fe) {
-				idx = fe.At
+				idx := fe.At
+				body.Index = &idx
 			}
-			w.Header().Set("Content-Type", "application/json")
-			w.WriteHeader(status)
-			_ = json.NewEncoder(w).Encode(map[string]any{"error": err.Error(), "index": idx})
+			serve.WriteErrorBody(w, status, body)
 			return
 		}
 		writeJSON(w, RoutedSweepResponse{Results: results, Redispatches: co.Redispatches()})
@@ -701,15 +833,51 @@ func (r *Router) Handler() http.Handler {
 	return mux
 }
 
+// streamSweep proxies one v2 sweep over the fleet: Coordinator.Stream's
+// merged emissions become result frames flushed as each chunk completes, so
+// the router holds O(chunk) per shard — never the grid — between the
+// client and the fleet. The 200 is committed before the sweep runs;
+// failures surface as an error frame whose retryable bit carries the
+// 4xx/5xx classification and whose salvaged count tells the client how many
+// result frames preceded it.
+func (r *Router) streamSweep(w http.ResponseWriter, co *Coordinator, items []serve.SweepItem) {
+	w.Header().Set("Content-Type", serve.ContentTypeNDJSON)
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	count := 0
+	err := co.Stream(items, func(i int, res SweepResult) error {
+		if err := enc.Encode(routedFrame{Frame: serve.FrameResult, Index: i, Fidelity: res.Fidelity, Result: &res}); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		count++
+		return nil
+	})
+	if err != nil {
+		body := serve.ErrorBody{Message: err.Error(), Retryable: retryable(err)}
+		var fe *fanError
+		if errors.As(err, &fe) {
+			idx := fe.At
+			body.Index = &idx
+		}
+		_ = enc.Encode(routedFrame{Frame: serve.FrameError, Salvaged: count, Error: &body})
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return
+	}
+	_ = enc.Encode(routedFrame{Frame: serve.FrameDone, Count: count})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
 func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
