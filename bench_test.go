@@ -852,3 +852,131 @@ func BenchmarkCoordinatorSweepDegraded(b *testing.B) {
 	b.ReportMetric(float64(sweepNs)/(float64(b.N)*float64(len(items))), "degraded-ns/item")
 	b.ReportMetric(float64(skips)/float64(b.N), "skipped-attempts")
 }
+
+// Zero-alloc warm path: a query whose reply was pre-encoded at tune time is
+// answered by handing out cached bytes — no JSON rendering, no predictor
+// call, and (the headline) no allocations. warm-allocs/query must stay at 0;
+// the paired latency metric tracks the fast path against warm-ns/query's
+// slow-path rendering above.
+func BenchmarkServeWarmQueryEncoded(b *testing.B) {
+	svc, err := serve.New(serve.Config{Plat: hw.RTX4090PCIe(), NGPUs: 2, CandidateLimit: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	shapes := []gemm.Shape{
+		{M: 2048, N: 8192, K: 4096},
+		{M: 4096, N: 8192, K: 4096},
+		{M: 4096, N: 8192, K: 8192},
+	}
+	if err := svc.Warm([]hw.Primitive{hw.AllReduce}, shapes, 0); err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]serve.Query, len(shapes))
+	for i, s := range shapes {
+		queries[i] = serve.Query{Shape: s, Prim: hw.AllReduce}
+		if _, ok := svc.QueryEncoded(queries[i]); !ok {
+			b.Fatalf("warmed shape %v missed the encoded fast path", s)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := svc.QueryEncoded(queries[i%len(queries)]); !ok {
+			b.Fatal("encoded fast path went cold mid-benchmark")
+		}
+	}
+	b.StopTimer()
+	// Measured after ResetTimer: ResetTimer deletes user-reported metrics.
+	allocs := testing.AllocsPerRun(512, func() {
+		for _, q := range queries {
+			if _, ok := svc.QueryEncoded(q); !ok {
+				b.Fatal("encoded fast path went cold mid-benchmark")
+			}
+		}
+	})
+	b.ReportMetric(allocs/float64(len(queries)), "warm-allocs/query")
+	// Same min-of-batches discipline as warm-ns/query: stable at -benchtime 1x.
+	const batches, perBatch = 16, 4096
+	best := int64(1<<63 - 1)
+	for batch := 0; batch < batches; batch++ {
+		start := time.Now()
+		for i := 0; i < perBatch; i++ {
+			if _, ok := svc.QueryEncoded(queries[i%len(queries)]); !ok {
+				b.Fatal("encoded fast path went cold mid-benchmark")
+			}
+		}
+		if ns := time.Since(start).Nanoseconds(); ns < best {
+			best = ns
+		}
+	}
+	b.ReportMetric(float64(best)/perBatch, "warm-encoded-ns/query")
+}
+
+// Restart economics: booting a replica from a warm-state snapshot versus
+// re-tuning its working set from scratch. cold-restart-to-warm-ms is the
+// headline (snapshot boot: New + LoadSnapshotFile, after which every
+// snapshotted query answers warm on the fast path); retune-restart-to-warm-ms
+// is the same working set rebuilt with Warm, the cost a replica without a
+// snapshot pays on every restart.
+func BenchmarkSnapshotRestart(b *testing.B) {
+	cfg := serve.Config{Plat: hw.RTX4090PCIe(), NGPUs: 2, CandidateLimit: 128}
+	shapes := []gemm.Shape{
+		{M: 2048, N: 8192, K: 4096},
+		{M: 2048, N: 8192, K: 8192},
+		{M: 4096, N: 8192, K: 4096},
+		{M: 4096, N: 8192, K: 8192},
+		{M: 8192, N: 8192, K: 4096},
+		{M: 8192, N: 8192, K: 8192},
+	}
+	prims := []hw.Primitive{hw.AllReduce, hw.AllToAll}
+	src, err := serve.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := src.Warm(prims, shapes, 0); err != nil {
+		b.Fatal(err)
+	}
+	path := b.TempDir() + "/warm.json"
+	if err := src.SaveSnapshotFile(path); err != nil {
+		b.Fatal(err)
+	}
+	wantWarm := src.Stats().ShapesCached
+
+	const reps = 5
+	bestSnap, bestTune := int64(1<<63-1), int64(1<<63-1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
+			svc, err := serve.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n, err := svc.LoadSnapshotFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ns := time.Since(start).Nanoseconds(); ns < bestSnap {
+				bestSnap = ns
+			}
+			if n != wantWarm || svc.Stats().WarmEncoded != wantWarm {
+				b.Fatalf("snapshot boot restored %d entries (%d encoded), want %d", n, svc.Stats().WarmEncoded, wantWarm)
+			}
+
+			start = time.Now()
+			retuned, err := serve.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := retuned.Warm(prims, shapes, 0); err != nil {
+				b.Fatal(err)
+			}
+			if ns := time.Since(start).Nanoseconds(); ns < bestTune {
+				bestTune = ns
+			}
+		}
+	}
+	b.ReportMetric(float64(bestSnap)/1e6, "cold-restart-to-warm-ms")
+	b.ReportMetric(float64(bestTune)/1e6, "retune-restart-to-warm-ms")
+	b.ReportMetric(float64(bestTune)/float64(bestSnap), "restart-speedup-vs-retune")
+}

@@ -35,6 +35,8 @@ var headlines = []headline{
 	{Bench: "BenchmarkMixedFidelitySweep", Metric: "mixed-sweep-ns/item", HigherBetter: false, Label: "mixed-fidelity sweep latency"},
 	{Bench: "BenchmarkStreamingSweep", Metric: "stream-sweep-ns/item", HigherBetter: false, Label: "streaming sweep latency"},
 	{Bench: "BenchmarkStreamingSweep", Metric: "stream-sweep-bytes/item", HigherBetter: false, Label: "streaming sweep allocation"},
+	{Bench: "BenchmarkServeWarmQueryEncoded", Metric: "warm-allocs/query", HigherBetter: false, Label: "warm encoded-query allocations"},
+	{Bench: "BenchmarkSnapshotRestart", Metric: "cold-restart-to-warm-ms", HigherBetter: false, Label: "snapshot restart-to-warm time"},
 }
 
 func loadReport(path string) (Report, error) {

@@ -21,6 +21,14 @@
 // liveness probe a router or sweep coordinator uses to re-admit this
 // replica after a restart (the fleet's dead-replica recovery path).
 //
+// With -snapshot the server persists its warm state — tuned shape-cache
+// entries and sampled bandwidth curves — to a checksummed file on graceful
+// shutdown (and every -snapshot-interval while serving), and restores it on
+// the next boot, so a restarted replica re-admits warm and answers
+// byte-identically to its pre-restart self without re-tuning:
+//
+//	serve -addr :8081 -warm "$SHAPES" -snapshot /var/lib/repro/warm0.json
+//
 // The server shuts down gracefully on SIGINT/SIGTERM and exits non-zero when
 // the listener cannot be established.
 package main
@@ -30,6 +38,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"repro/internal/hw"
 	"repro/internal/serve"
@@ -48,6 +57,8 @@ func main() {
 		warm       = flag.String("warm", "", "comma-separated MxNxK list to pre-tune, e.g. 2048x8192x4096,4096x8192x8192")
 		warmPrims  = flag.String("warm-prims", "AR", "comma-separated primitives to pre-warm: AR, RS, A2A")
 		shardFlag  = flag.String("shard", "", "replica slice k/n of a sharded fleet (e.g. 0/4); empty = unsharded")
+		snapshot   = flag.String("snapshot", "", "warm-state snapshot file: loaded on boot if present, saved periodically and on graceful shutdown")
+		snapEvery  = flag.Duration("snapshot-interval", 5*time.Minute, "how often to save the snapshot while serving (0 = only on shutdown)")
 	)
 	flag.Parse()
 
@@ -69,6 +80,23 @@ func main() {
 	}
 	svc, err := serve.New(cfg)
 	fatal(err)
+
+	// Snapshot restore runs before -warm: restored entries re-admit warm,
+	// and any -warm shapes the snapshot already covers are simply re-tuned
+	// to the same answers (TuneGrid never short-circuits), so the two
+	// compose without surprises. A rejected or missing snapshot is a cold
+	// boot, never a crash.
+	if *snapshot != "" {
+		if _, statErr := os.Stat(*snapshot); statErr == nil {
+			if n, err := svc.LoadSnapshotFile(*snapshot); err != nil {
+				log.Printf("snapshot: %v (starting cold)", err)
+			} else {
+				log.Printf("snapshot: restored %d warm entries from %s", n, *snapshot)
+			}
+		} else {
+			log.Printf("snapshot: %s not found, starting cold", *snapshot)
+		}
+	}
 
 	if *warm != "" {
 		shapes, err := serve.ParseShapes(*warm)
@@ -102,7 +130,31 @@ func main() {
 	// Run exits nil only on a signal-triggered graceful shutdown; a listen
 	// failure (port in use, bad address) must reach the exit code so CI
 	// smoke-runs and process supervisors see it.
-	fatal(serve.Run(*addr, serve.Handler(svc)))
+	var onShutdown func()
+	if *snapshot != "" {
+		if *snapEvery > 0 {
+			ticker := time.NewTicker(*snapEvery)
+			defer ticker.Stop()
+			go func() {
+				for range ticker.C {
+					if err := svc.SaveSnapshotFile(*snapshot); err != nil {
+						log.Printf("snapshot: %v", err)
+					}
+				}
+			}()
+		}
+		// The final save happens after the graceful drain, so it captures
+		// every tune the server performed; SaveSnapshotFile renames over
+		// the target atomically, so racing the ticker is harmless.
+		onShutdown = func() {
+			if err := svc.SaveSnapshotFile(*snapshot); err != nil {
+				log.Printf("snapshot: %v", err)
+			} else {
+				log.Printf("snapshot: saved warm state to %s", *snapshot)
+			}
+		}
+	}
+	fatal(serve.RunWithShutdown(*addr, serve.Handler(svc), onShutdown))
 	log.Printf("shut down cleanly")
 }
 

@@ -16,9 +16,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -246,8 +249,78 @@ func main() {
 	}
 	fmt.Printf("router re-dispatches during the proxied sweep: %d\n", rs.Redispatches)
 
+	// Final act: warm-state persistence — the cmd/serve -snapshot story.
+	// The re-admitted victim (which tuned its shard slice during the sweeps
+	// above) saves its warm state, dies again, and a brand-new Service boots
+	// from the snapshot on the same address: it re-admits warm, answers
+	// byte-identically to its pre-restart self, and never re-tunes.
+	queryURL := fmt.Sprintf("http://%s/query?m=%d&n=%d&k=%d&prim=AR", addrs[victim], grid[0].M, grid[0].N, grid[0].K)
+	// Prime once so the captured reply is the steady-state cache hit (the
+	// first answer for an untuned shape reports source "tuned").
+	if _, err := getJSON(queryURL); err != nil {
+		log.Fatal(err)
+	}
+	before, err := getJSON(queryURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snapPath := filepath.Join(os.TempDir(), fmt.Sprintf("multihost-warm-%d.json", os.Getpid()))
+	defer os.Remove(snapPath)
+	if err := services[victim].SaveSnapshotFile(snapPath); err != nil {
+		log.Fatal(err)
+	}
+	_ = servers[victim].Close()
+	restarted, err := serve.New(serve.Config{
+		Plat:           plat,
+		NGPUs:          nGPUs,
+		CandidateLimit: 128,
+		Owns:           shard.Assignment{Index: victim, Count: nShards}.Owns,
+		Shard:          shard.Assignment{Index: victim, Count: nShards}.String(),
+		Curves:         curves,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nRestored, err := restarted.LoadSnapshotFile(snapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	services[victim] = restarted
+	listen(victim)
+	after, err := getJSON(queryURL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		log.Fatalf("snapshot-restored replica diverged from its pre-restart answer:\nbefore: %s\nafter:  %s", before, after)
+	}
+	st := restarted.Stats()
+	if st.Tunes != 0 {
+		log.Fatalf("snapshot-restored replica re-tuned %d times", st.Tunes)
+	}
+	fmt.Printf("\nsnapshot restart: replica %d rebooted from %d persisted entries, answered byte-identically with %d tunes (%d encoded fast-path hits)\n",
+		victim, nRestored, st.Tunes, st.EncodedHits)
+
 	_ = frontSrv.Close()
 	for _, srv := range servers {
 		_ = srv.Close()
 	}
+}
+
+// getJSON fetches url and returns the raw body bytes, failing on any
+// non-200 status — the byte-identity checks compare exact wire output.
+func getJSON(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return body, nil
 }

@@ -130,6 +130,19 @@ type Stats struct {
 	Collapsed    uint64 `json:"collapsed"`
 	Tunes        uint64 `json:"tunes"`
 	ShapesCached int    `json:"shapes_cached"`
+	// EncodedHits counts the subset of Hits answered from the pre-encoded
+	// warm fast path (no predictor, no JSON encode); WarmEncoded is the
+	// number of answers currently held pre-encoded. The gap between
+	// EncodedHits and Hits measures nearest-neighbor hits, which still pay
+	// the full answer path.
+	EncodedHits uint64 `json:"hits_encoded"`
+	WarmEncoded int    `json:"warm_encoded"`
+	// SnapshotRestored counts tuned entries re-admitted from a warm-state
+	// snapshot at boot; SnapshotRejects counts snapshot files refused
+	// (corrupt, truncated, or mismatched version/platform/config), each of
+	// which fell back to a cold start.
+	SnapshotRestored uint64 `json:"snapshot_restored"`
+	SnapshotRejects  uint64 `json:"snapshot_rejects"`
 	// SweptItemsAnalytic and SweptItemsDES split successfully executed
 	// sweep items by fidelity, so operators can read the fidelity mix of
 	// live traffic off /stats (a mixed sweep counts into both).
@@ -155,6 +168,10 @@ func (s Stats) Merge(o Stats) Stats {
 		Collapsed:          s.Collapsed + o.Collapsed,
 		Tunes:              s.Tunes + o.Tunes,
 		ShapesCached:       s.ShapesCached + o.ShapesCached,
+		EncodedHits:        s.EncodedHits + o.EncodedHits,
+		WarmEncoded:        s.WarmEncoded + o.WarmEncoded,
+		SnapshotRestored:   s.SnapshotRestored + o.SnapshotRestored,
+		SnapshotRejects:    s.SnapshotRejects + o.SnapshotRejects,
 		SweptItemsAnalytic: s.SweptItemsAnalytic + o.SweptItemsAnalytic,
 		SweptItemsDES:      s.SweptItemsDES + o.SweptItemsDES,
 		Engine:             s.Engine.Add(o.Engine),
@@ -178,7 +195,21 @@ type Service struct {
 	tunerFlight flightGroup // collapses concurrent offline stages per primitive
 	tuneFlight  flightGroup // collapses concurrent misses per (prim, shape, imbalance)
 
+	// answers holds the pre-encoded JSON /query reply for every tuned
+	// (prim, shape, imbalance) key: the §4.2.2 answer for a warm key is
+	// immutable until re-tune, so the bytes are encoded once — at tune,
+	// warm, or snapshot-restore time — and a warm hit writes them straight
+	// to the wire with no predictor, no clone, and no JSON encoder on the
+	// path. Entries invalidate in lockstep with the tuner caches through
+	// their OnEvict hooks, so the map is bounded by the shape caches'
+	// capacity.
+	ansMu   sync.RWMutex
+	answers map[encodedKey][]byte
+
 	hits, misses, collapsed, tunes atomic.Uint64
+	encodedHits                    atomic.Uint64
+	snapshotRestored               atomic.Uint64
+	snapshotRejects                atomic.Uint64
 	sweptAnalytic, sweptDES        atomic.Uint64
 
 	// tuneHook, when set (tests only), runs inside the singleflight'd
@@ -208,10 +239,77 @@ func New(cfg Config) (*Service, error) {
 		eng.SeedCurve(cfg.Plat, cfg.NGPUs, p, curve)
 	}
 	return &Service{
-		cfg:    cfg,
-		eng:    eng,
-		tuners: make(map[hw.Primitive]*tuner.Tuner),
+		cfg:     cfg,
+		eng:     eng,
+		tuners:  make(map[hw.Primitive]*tuner.Tuner),
+		answers: make(map[encodedKey][]byte),
 	}, nil
+}
+
+// encodedKey identifies one pre-encoded warm answer. Imbalance is stored
+// normalized (0 and anything below 1 mean balanced and key as 1, matching
+// the tuner cache), so /query?imbalance absent and imbalance=1 share one
+// entry.
+type encodedKey struct {
+	prim  hw.Primitive
+	shape gemm.Shape
+	imb   float64
+}
+
+func keyFor(q Query) encodedKey {
+	imb := q.Imbalance
+	if imb < 1 {
+		imb = 1
+	}
+	return encodedKey{prim: q.Prim, shape: q.Shape, imb: imb}
+}
+
+// QueryEncoded answers a warm query from the pre-encoded reply bytes: the
+// zero-allocation fast path behind /query. ok is false when the exact
+// (shape, primitive, imbalance) key has no tuned entry — nearest-neighbor
+// matches and misses take the full Query path. The returned bytes are the
+// complete JSON body a cold-path reply would encode, byte for byte; callers
+// must treat them as immutable.
+func (s *Service) QueryEncoded(q Query) ([]byte, bool) {
+	k := keyFor(q)
+	s.ansMu.RLock()
+	buf, ok := s.answers[k]
+	s.ansMu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	s.hits.Add(1)
+	s.encodedHits.Add(1)
+	return buf, true
+}
+
+// storeEncoded pre-encodes the warm reply for q. The stored Source is
+// always SourceCache: the bytes answer *future* queries, which by
+// definition hit the cache, so the fast path stays byte-identical to a
+// slow-path cache hit.
+func (s *Service) storeEncoded(q Query, ans Answer) {
+	buf, err := encodeAnswer(q, ans)
+	if err != nil {
+		return // unencodable answers just skip the fast path
+	}
+	s.ansMu.Lock()
+	s.answers[keyFor(q)] = buf
+	s.ansMu.Unlock()
+}
+
+// dropEncoded invalidates one pre-encoded answer; wired into each tuner's
+// OnEvict so encodings die with the tuned entries behind them. The tuner
+// reports the normalized imbalance, which is exactly how keyFor keys.
+func (s *Service) dropEncoded(prim hw.Primitive, shape gemm.Shape, imbalance float64) {
+	s.ansMu.Lock()
+	delete(s.answers, encodedKey{prim: prim, shape: shape, imb: imbalance})
+	s.ansMu.Unlock()
+}
+
+func (s *Service) encodedLen() int {
+	s.ansMu.RLock()
+	defer s.ansMu.RUnlock()
+	return len(s.answers)
 }
 
 // Engine exposes the service's execution engine (examples run measured
@@ -255,6 +353,12 @@ func (s *Service) tunerFor(p hw.Primitive) (*tuner.Tuner, error) {
 		tn.CandidateLimit = s.cfg.CandidateLimit
 		tn.CacheCapacity = s.cfg.ShapeCacheSize
 		tn.Workers = s.eng.Workers() // one Config.Workers knob bounds all CPU use
+		// Pre-encoded answers must die with the tuned entries behind them:
+		// a re-tune or LRU eviction in the shape cache invalidates the
+		// encoding before the replacement answer is stored.
+		tn.OnEvict = func(shape gemm.Shape, imbalance float64) {
+			s.dropEncoded(p, shape, imbalance)
+		}
 		s.mu.Lock()
 		s.tuners[p] = tn
 		s.mu.Unlock()
@@ -328,7 +432,15 @@ func (s *Service) Query(q Query) (Answer, error) {
 	}
 	// Every collapsed waiter receives the same underlying slice; clone so
 	// answers never alias each other (the cache-hit path clones too).
-	return s.answer(tn, q, v.(gemm.Partition).Clone(), SourceTuned)
+	ans, err := s.answer(tn, q, v.(gemm.Partition).Clone(), SourceTuned)
+	if err == nil {
+		// Pre-encode the immutable warm reply now, while the freshly
+		// tuned answer is in hand: the next query for this exact key is
+		// served from these bytes with no predictor or encoder on the
+		// path. Collapsed waiters store identical bytes; last write wins.
+		s.storeEncoded(q, ans)
+	}
+	return ans, err
 }
 
 // answer attaches the Alg. 1 prediction to a partition. The predictor is
@@ -389,6 +501,14 @@ func (s *Service) Warm(prims []hw.Primitive, shapes []gemm.Shape, imbalance floa
 		if _, err := s.eng.Batch(runs); err != nil {
 			return fmt.Errorf("serve: warming %v: %w", p, err)
 		}
+		// Pre-encode every warmed answer so the first real query for a
+		// warmed shape already takes the zero-alloc fast path.
+		for i, shape := range shapes {
+			q := Query{Shape: shape, Prim: p, Imbalance: imbalance}
+			if ans, err := s.answer(tn, q, parts[i], SourceCache); err == nil {
+				s.storeEncoded(q, ans)
+			}
+		}
 	}
 	return nil
 }
@@ -412,6 +532,10 @@ func (s *Service) Stats() Stats {
 		Misses:             s.misses.Load(),
 		Collapsed:          s.collapsed.Load(),
 		Tunes:              s.tunes.Load(),
+		EncodedHits:        s.encodedHits.Load(),
+		WarmEncoded:        s.encodedLen(),
+		SnapshotRestored:   s.snapshotRestored.Load(),
+		SnapshotRejects:    s.snapshotRejects.Load(),
 		SweptItemsAnalytic: s.sweptAnalytic.Load(),
 		SweptItemsDES:      s.sweptDES.Load(),
 		Engine:             s.eng.Stats(),

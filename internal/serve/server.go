@@ -20,6 +20,15 @@ const ShutdownGrace = 5 * time.Second
 // commands exit non-zero when the port was never bound (a CI smoke-run that
 // cannot listen must fail loudly, not log and hang).
 func Run(addr string, h http.Handler) error {
+	return RunWithShutdown(addr, h, nil)
+}
+
+// RunWithShutdown is Run with a hook that fires after a signal-triggered
+// graceful drain completes, before the function returns nil. It is the place
+// for last-gasp persistence — saving a warm-state snapshot — because it runs
+// once traffic has stopped, so the persisted state includes every request
+// the server ever answered. The hook is not called on listen/serve errors.
+func RunWithShutdown(addr string, h http.Handler, onShutdown func()) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM, os.Interrupt)
 	defer stop()
 
@@ -41,6 +50,9 @@ func Run(addr string, h http.Handler) error {
 		}
 		if err := <-errCh; !errors.Is(err, http.ErrServerClosed) {
 			return err
+		}
+		if onShutdown != nil {
+			onShutdown()
 		}
 		return nil
 	}

@@ -27,6 +27,12 @@ type shapeCache struct {
 	capacity int
 	order    *list.List // front = most recently used; values are *shapeEntry
 	byKey    map[shapeKey]*list.Element
+	// onEvict, when non-nil, observes every entry that stops being current:
+	// capacity evictions and put-replacements alike. It runs while the cache
+	// lock is held, so it must not call back into the cache; the serving
+	// layer uses it to drop derived state (pre-encoded answers) the moment
+	// the tuned entry behind it disappears.
+	onEvict func(shape gemm.Shape, imbalance float64)
 }
 
 // shapeKey identifies one tuned entry: the same shape tuned under different
@@ -80,14 +86,41 @@ func (c *shapeCache) put(shape gemm.Shape, imbalance float64, part gemm.Partitio
 	if el, ok := c.byKey[k]; ok {
 		el.Value = e
 		c.order.MoveToFront(el)
+		// A replacement invalidates whatever was derived from the old
+		// partition, even though the key survives.
+		if c.onEvict != nil {
+			c.onEvict(k.shape, k.imb)
+		}
 		return
 	}
 	c.byKey[k] = c.order.PushFront(e)
 	for c.order.Len() > c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.byKey, oldest.Value.(*shapeEntry).key)
+		old := oldest.Value.(*shapeEntry).key
+		delete(c.byKey, old)
+		if c.onEvict != nil {
+			c.onEvict(old.shape, old.imb)
+		}
 	}
+}
+
+// snapshot returns the cached entries in least-recently-used-first order, so
+// replaying them through put reproduces both contents and recency. Partitions
+// are cloned: the snapshot must not alias live cache state.
+func (c *shapeCache) snapshot() []CacheEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]CacheEntry, 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*shapeEntry)
+		out = append(out, CacheEntry{
+			Shape:     e.key.shape,
+			Imbalance: e.key.imb,
+			Partition: e.part.Clone(),
+		})
+	}
+	return out
 }
 
 // anyImbalance disables the imbalance filter in nearest (legacy Lookup

@@ -325,6 +325,13 @@ type Tuner struct {
 	// engine's worker width). A serving layer sets this to its own
 	// engine's width so one Config.Workers knob bounds all CPU use.
 	Workers int
+	// OnEvict, when set before the first Tune or Lookup, observes every
+	// tuned entry that stops being current — capacity evictions and
+	// re-tune replacements alike — so a layer caching state derived from
+	// an entry (the serving layer's pre-encoded answers) can invalidate in
+	// lockstep. It runs under the cache lock: it must be fast and must not
+	// call back into this tuner.
+	OnEvict func(shape gemm.Shape, imbalance float64)
 
 	cacheOnce sync.Once
 	cache     *shapeCache
@@ -360,8 +367,50 @@ func (t *Tuner) shapes() *shapeCache {
 			capacity = DefaultShapeCacheCapacity
 		}
 		t.cache = newShapeCache(capacity)
+		t.cache.onEvict = t.OnEvict
 	})
 	return t.cache
+}
+
+// CacheEntry is one tuned shape-cache row in portable form: the key the
+// entry answers and the partition it holds. Imbalance is stored normalized
+// (>= 1), exactly as the cache keys it.
+type CacheEntry struct {
+	Shape     gemm.Shape
+	Imbalance float64
+	Partition gemm.Partition
+}
+
+// CacheSnapshot exports the tuned entries in least-recently-used-first
+// order, so replaying them through SeedCache reproduces both the contents
+// and the LRU recency of this cache. The snapshot aliases nothing: it stays
+// valid however the tuner evolves afterwards.
+func (t *Tuner) CacheSnapshot() []CacheEntry {
+	return t.shapes().snapshot()
+}
+
+// SeedCache replays previously exported entries (least recently used first)
+// into the cache — the warm-restore half of CacheSnapshot. Every entry is
+// validated the way Lookup's transfer check would: the partition must total
+// exactly the wave count of the entry's shape on this tuner's platform, so a
+// corrupt or foreign snapshot is rejected before any entry lands. Entries
+// beyond the cache capacity evict in the usual LRU order.
+func (t *Tuner) SeedCache(entries []CacheEntry) error {
+	waveSize := t.Plat.GPU.SMs - t.Plat.CommSMs
+	for _, e := range entries {
+		plan, err := gemm.NewPlan(e.Shape, gemm.DefaultConfig(e.Shape))
+		if err != nil {
+			return fmt.Errorf("tuner: seeding shape %v: %w", e.Shape, err)
+		}
+		waves := plan.Waves(waveSize)
+		if err := e.Partition.Validate(waves); err != nil {
+			return fmt.Errorf("tuner: seeding shape %v: partition %v does not fit %d waves: %w", e.Shape, e.Partition, waves, err)
+		}
+	}
+	for _, e := range entries {
+		t.shapes().put(e.Shape, e.Imbalance, e.Partition)
+	}
+	return nil
 }
 
 // Tune runs the online stage for one GEMM size and caches the result.

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# check_docs.sh — the docs CI gate, no dependencies beyond bash + grep/sed.
+#
+# Asserts two invariants:
+#   1. Every relative markdown link in README.md and docs/*.md points at a
+#      file that exists (anchors are stripped; absolute http(s) links are
+#      not fetched — CI must not depend on external availability).
+#   2. Every flag defined by cmd/serve, cmd/route, and cmd/sweep appears as
+#      -flagname in docs/OPERATIONS.md, so a new flag cannot land without
+#      operator documentation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. relative markdown links resolve ---------------------------------
+# Grab every (target) of an inline [text](target) link. Process
+# substitution, not a pipe: `while` must run in this shell so $fail
+# survives the loop.
+while IFS=: read -r file link; do
+  target="${link%%#*}" # drop the fragment; we check file existence only
+  case "$target" in
+  http://* | https://* | mailto:* | "") continue ;;
+  esac
+  dir=$(dirname "$file")
+  if [ ! -e "$dir/$target" ] && [ ! -e "$target" ]; then
+    echo "BROKEN LINK: $file -> $link" >&2
+    fail=1
+  fi
+done < <(grep -oH '\[[^]]*\]([^)]*)' README.md docs/*.md | sed 's/^\([^:]*\):.*(\([^)]*\))$/\1:\2/')
+
+# --- 2. every binary flag is documented in docs/OPERATIONS.md -----------
+for cmd in serve route sweep; do
+  while read -r name; do
+    if ! grep -q -- "-${name}\b" docs/OPERATIONS.md; then
+      echo "UNDOCUMENTED FLAG: cmd/$cmd -$name missing from docs/OPERATIONS.md" >&2
+      fail=1
+    fi
+  done < <(grep -o 'flag\.[A-Za-z0-9]*("[a-z0-9-]*"' "cmd/$cmd/main.go" | sed 's/.*("\([a-z0-9-]*\)".*/\1/')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs check failed" >&2
+  exit 1
+fi
+echo "docs check passed: links resolve, all flags documented"
