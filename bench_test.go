@@ -13,6 +13,7 @@
 package repro
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -67,7 +68,7 @@ func BenchmarkFig8BandwidthCurve(b *testing.B) {
 func BenchmarkFig10OperatorSpeedup(b *testing.B) {
 	var mean float64
 	for i := 0; i < b.N; i++ {
-		groups, _, err := expt.Fig10(true)
+		groups, _, err := expt.Fig10(context.Background(), true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +84,7 @@ func BenchmarkFig10OperatorSpeedup(b *testing.B) {
 func BenchmarkFig11TypicalShapes(b *testing.B) {
 	var best float64
 	for i := 0; i < b.N; i++ {
-		cases, err := expt.Fig11(true)
+		cases, err := expt.Fig11(context.Background(), true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func BenchmarkFig11TypicalShapes(b *testing.B) {
 func BenchmarkFig12EndToEnd(b *testing.B) {
 	var sp float64
 	for i := 0; i < b.N; i++ {
-		results, err := expt.Fig12(64)
+		results, err := expt.Fig12(context.Background(), 64)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -111,7 +112,7 @@ func BenchmarkFig12EndToEnd(b *testing.B) {
 func BenchmarkFig13Heatmap(b *testing.B) {
 	var worst float64 = 1
 	for i := 0; i < b.N; i++ {
-		panels, err := expt.Fig13(true)
+		panels, err := expt.Fig13(context.Background(), true)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -131,7 +132,7 @@ func BenchmarkFig13Heatmap(b *testing.B) {
 func BenchmarkFig14Ablation(b *testing.B) {
 	var tuned float64
 	for i := 0; i < b.N; i++ {
-		cases, err := expt.Fig14()
+		cases, err := expt.Fig14(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func BenchmarkFig14Ablation(b *testing.B) {
 func BenchmarkFig15PredictionError(b *testing.B) {
 	var mean float64
 	for i := 0; i < b.N; i++ {
-		results, err := expt.Fig15(false)
+		results, err := expt.Fig15(context.Background(), false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -155,7 +156,7 @@ func BenchmarkFig15PredictionError(b *testing.B) {
 func BenchmarkFig16Ascend(b *testing.B) {
 	var best float64
 	for i := 0; i < b.N; i++ {
-		cases, err := expt.Fig16()
+		cases, err := expt.Fig16(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func BenchmarkTable5Overhead(b *testing.B) {
 
 func BenchmarkCorrectnessE1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		cases, err := expt.Correctness(6)
+		cases, err := expt.Correctness(context.Background(), 6)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -216,7 +217,7 @@ func BenchmarkAblationSignalGranularity(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var last float64
 			for i := 0; i < b.N; i++ {
-				res, err := engine.Default().Exec(core.Options{Plat: plat, NGPUs: 2, Shape: shape, Prim: hw.AllReduce, Partition: part.Clone()})
+				res, err := engine.Default().Exec(context.Background(), core.Options{Plat: plat, NGPUs: 2, Shape: shape, Prim: hw.AllReduce, Partition: part.Clone()})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -246,7 +247,7 @@ func BenchmarkAblationPruning(b *testing.B) {
 			var nCands int
 			for i := 0; i < b.N; i++ {
 				cands := tuner.Candidates(pred.Waves, bound[0], bound[1], 1<<14)
-				if _, err := tuner.PredictiveSearch(pred, cands); err != nil {
+				if _, err := tuner.PredictiveSearch(context.Background(), pred, cands); err != nil {
 					b.Fatal(err)
 				}
 				nCands = len(cands)
@@ -268,7 +269,7 @@ func BenchmarkAblationSwizzle(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				cfg := gemm.DefaultConfig(shape)
 				cfg.Swizzle = sw
-				res, err := engine.Default().Exec(core.Options{Plat: plat, NGPUs: 4, Shape: shape, Cfg: cfg, Prim: hw.AllReduce})
+				res, err := engine.Default().Exec(context.Background(), core.Options{Plat: plat, NGPUs: 4, Shape: shape, Cfg: cfg, Prim: hw.AllReduce})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -290,7 +291,7 @@ func BenchmarkAblationCommSMs(b *testing.B) {
 			plat.CommSMs = smCount
 			var last float64
 			for i := 0; i < b.N; i++ {
-				res, err := engine.Default().Exec(core.Options{Plat: plat, NGPUs: 4, Shape: shape, Prim: hw.ReduceScatter})
+				res, err := engine.Default().Exec(context.Background(), core.Options{Plat: plat, NGPUs: 4, Shape: shape, Prim: hw.ReduceScatter})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -313,7 +314,7 @@ func BenchmarkEnginePlanCacheSpeedup(b *testing.B) {
 	}
 	eng := engine.New(1, 0)  // one worker: isolate caching from parallelism
 	for _, o := range runs { // warm the plan cache
-		if _, err := eng.Exec(o); err != nil {
+		if _, err := eng.Exec(context.Background(), o); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -322,14 +323,14 @@ func BenchmarkEnginePlanCacheSpeedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		start := time.Now()
 		for _, o := range runs {
-			if _, err := core.Run(o); err != nil {
+			if _, err := core.Run(context.Background(), o); err != nil {
 				b.Fatal(err)
 			}
 		}
 		coldNs += time.Since(start).Nanoseconds()
 		start = time.Now()
 		for _, o := range runs {
-			if _, err := eng.Exec(o); err != nil {
+			if _, err := eng.Exec(context.Background(), o); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -356,7 +357,7 @@ func BenchmarkOverlapRunDES(b *testing.B) {
 	opts := core.Options{Plat: hw.RTX4090PCIe(), NGPUs: 4, Shape: gemm.Shape{M: 4096, N: 8192, K: 8192}, Prim: hw.AllReduce}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Run(opts); err != nil {
+		if _, err := core.Run(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -407,7 +408,7 @@ func BenchmarkEngineAnalyticExec(b *testing.B) {
 	}
 	eng := engine.New(1, 0)
 	for _, o := range runs {
-		if r, err := eng.Exec(o); err != nil {
+		if r, err := eng.Exec(context.Background(), o); err != nil {
 			b.Fatal(err)
 		} else if r.Fidelity != core.FidelityAnalytic {
 			b.Fatalf("analytic run came back labeled %q", r.Fidelity)
@@ -421,7 +422,7 @@ func BenchmarkEngineAnalyticExec(b *testing.B) {
 		for batch := 0; batch < batches; batch++ {
 			start := time.Now()
 			for _, o := range runs {
-				if _, err := eng.Exec(o); err != nil {
+				if _, err := eng.Exec(context.Background(), o); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -465,10 +466,10 @@ func BenchmarkMixedFidelitySweep(b *testing.B) {
 		desRuns[i] = o
 	}
 	// Warm both tiers' plan caches and the analytic curve caches.
-	if _, _, err := shard.SweepBatchMixed(part, engines, runs, 0, 0); err != nil {
+	if _, _, err := shard.SweepBatchMixed(context.Background(), part, engines, runs, 0, 0); err != nil {
 		b.Fatal(err)
 	}
-	if _, err := shard.SweepBatch(part, engines, desRuns); err != nil {
+	if _, err := shard.SweepBatch(context.Background(), part, engines, desRuns); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
@@ -479,7 +480,7 @@ func BenchmarkMixedFidelitySweep(b *testing.B) {
 		const batches = 4
 		for batch := 0; batch < batches; batch++ {
 			start := time.Now()
-			results, refined, err := shard.SweepBatchMixed(part, engines, runs, 0, 0)
+			results, refined, err := shard.SweepBatchMixed(context.Background(), part, engines, runs, 0, 0)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -493,7 +494,7 @@ func BenchmarkMixedFidelitySweep(b *testing.B) {
 				}
 			}
 			start = time.Now()
-			if _, err := shard.SweepBatch(part, engines, desRuns); err != nil {
+			if _, err := shard.SweepBatch(context.Background(), part, engines, desRuns); err != nil {
 				b.Fatal(err)
 			}
 			if ns := time.Since(start).Nanoseconds(); ns < bestDES {
@@ -520,13 +521,13 @@ func BenchmarkServeWarmQuery(b *testing.B) {
 		{M: 4096, N: 8192, K: 4096},
 		{M: 4096, N: 8192, K: 8192},
 	}
-	if err := svc.Warm([]hw.Primitive{hw.AllReduce}, shapes, 0); err != nil {
+	if err := svc.Warm(context.Background(), []hw.Primitive{hw.AllReduce}, shapes, 0); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ans, err := svc.Query(serve.Query{Shape: shapes[i%len(shapes)], Prim: hw.AllReduce})
+		ans, err := svc.Query(context.Background(), serve.Query{Shape: shapes[i%len(shapes)], Prim: hw.AllReduce})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -547,7 +548,7 @@ func BenchmarkServeWarmQuery(b *testing.B) {
 	for batch := 0; batch < batches; batch++ {
 		start := time.Now()
 		for i := 0; i < perBatch; i++ {
-			if _, err := svc.Query(serve.Query{Shape: shapes[i%len(shapes)], Prim: hw.AllReduce}); err != nil {
+			if _, err := svc.Query(context.Background(), serve.Query{Shape: shapes[i%len(shapes)], Prim: hw.AllReduce}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -575,7 +576,7 @@ func BenchmarkShardSweepBatch(b *testing.B) {
 	var sweepNs int64
 	for i := 0; i < b.N; i++ {
 		start := time.Now()
-		results, err := shard.SweepBatch(part, shard.Engines(shards, 0, 0), runs)
+		results, err := shard.SweepBatch(context.Background(), part, shard.Engines(shards, 0, 0), runs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -600,7 +601,7 @@ func BenchmarkServeConcurrentQuery(b *testing.B) {
 		{M: 4096, N: 8192, K: 4096},
 		{M: 4096, N: 8192, K: 8192},
 	}
-	if err := svc.Warm([]hw.Primitive{hw.AllReduce}, shapes, 0); err != nil {
+	if err := svc.Warm(context.Background(), []hw.Primitive{hw.AllReduce}, shapes, 0); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
@@ -608,7 +609,7 @@ func BenchmarkServeConcurrentQuery(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		i := 0
 		for pb.Next() {
-			if _, err := svc.Query(serve.Query{Shape: shapes[i%len(shapes)], Prim: hw.AllReduce}); err != nil {
+			if _, err := svc.Query(context.Background(), serve.Query{Shape: shapes[i%len(shapes)], Prim: hw.AllReduce}); err != nil {
 				// FailNow/Fatal must not run on a RunParallel worker.
 				b.Error(err)
 				return
@@ -665,7 +666,7 @@ func BenchmarkCoordinatorSweep(b *testing.B) {
 	var sweepNs int64
 	for i := 0; i < b.N; i++ {
 		start := time.Now()
-		results, err := co.Sweep(items)
+		results, err := co.Sweep(context.Background(), items)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -725,7 +726,7 @@ func BenchmarkStreamingSweep(b *testing.B) {
 	}
 	// Warm the replicas' analytic predictor caches so the steady-state
 	// streaming path is what gets measured.
-	if _, err := co.Sweep(items); err != nil {
+	if _, err := co.Sweep(context.Background(), items); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
@@ -741,7 +742,7 @@ func BenchmarkStreamingSweep(b *testing.B) {
 			start := time.Now()
 			n := 0
 			seen := make([]bool, len(items))
-			err := co.Stream(items, func(idx int, res shard.SweepResult) error {
+			err := co.Stream(context.Background(), items, func(idx int, res shard.SweepResult) error {
 				// Emissions interleave across shards by completion; each
 				// index must still arrive exactly once.
 				if seen[idx] {
@@ -777,10 +778,14 @@ type deadClient struct{}
 
 var errDeadReplica = errors.New("bench: replica is down")
 
-func (deadClient) Query(serve.Query) (serve.Answer, error)         { return serve.Answer{}, errDeadReplica }
-func (deadClient) Sweep(serve.SweepRequest, serve.SweepSink) error { return errDeadReplica }
-func (deadClient) Stats() (serve.Stats, error)                     { return serve.Stats{}, errDeadReplica }
-func (deadClient) Healthz() error                                  { return errDeadReplica }
+func (deadClient) Query(context.Context, serve.Query) (serve.Answer, error) {
+	return serve.Answer{}, errDeadReplica
+}
+func (deadClient) Sweep(context.Context, serve.SweepRequest, serve.SweepSink) error {
+	return errDeadReplica
+}
+func (deadClient) Stats(context.Context) (serve.Stats, error) { return serve.Stats{}, errDeadReplica }
+func (deadClient) Healthz(context.Context) error              { return errDeadReplica }
 
 // BenchmarkCoordinatorSweepDegraded sweeps the same grid with one replica
 // of the fleet dead from the start: the health plane must absorb the loss
@@ -836,7 +841,7 @@ func BenchmarkCoordinatorSweepDegraded(b *testing.B) {
 		co := shard.NewCoordinator(router)
 		co.Spec.Chunk = 1 // chunk per item: every dead-owned item is a chance to stall
 		start := time.Now()
-		results, err := co.Sweep(items)
+		results, err := co.Sweep(context.Background(), items)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -868,7 +873,7 @@ func BenchmarkServeWarmQueryEncoded(b *testing.B) {
 		{M: 4096, N: 8192, K: 4096},
 		{M: 4096, N: 8192, K: 8192},
 	}
-	if err := svc.Warm([]hw.Primitive{hw.AllReduce}, shapes, 0); err != nil {
+	if err := svc.Warm(context.Background(), []hw.Primitive{hw.AllReduce}, shapes, 0); err != nil {
 		b.Fatal(err)
 	}
 	queries := make([]serve.Query, len(shapes))
@@ -933,7 +938,7 @@ func BenchmarkSnapshotRestart(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	if err := src.Warm(prims, shapes, 0); err != nil {
+	if err := src.Warm(context.Background(), prims, shapes, 0); err != nil {
 		b.Fatal(err)
 	}
 	path := b.TempDir() + "/warm.json"
@@ -968,7 +973,7 @@ func BenchmarkSnapshotRestart(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if err := retuned.Warm(prims, shapes, 0); err != nil {
+			if err := retuned.Warm(context.Background(), prims, shapes, 0); err != nil {
 				b.Fatal(err)
 			}
 			if ns := time.Since(start).Nanoseconds(); ns < bestTune {

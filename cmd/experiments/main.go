@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -78,6 +79,7 @@ func writeCSV(dir, name string, fn func(w *os.File) error) error {
 }
 
 func run(name string, quick, full bool, csvDir string) error {
+	ctx := context.Background()
 	switch name {
 	case "fig3":
 		r, err := expt.Fig3()
@@ -97,14 +99,14 @@ func run(name string, quick, full bool, csvDir string) error {
 		fmt.Println(expt.FormatFig8(series))
 		return writeCSV(csvDir, "fig8", func(w *os.File) error { return expt.WriteFig8CSV(w, series) })
 	case "fig10":
-		groups, cases, err := expt.Fig10(quick)
+		groups, cases, err := expt.Fig10(ctx, quick)
 		if err != nil {
 			return err
 		}
 		fmt.Println(expt.FormatFig10(groups))
 		return writeCSV(csvDir, "fig10", func(w *os.File) error { return expt.WriteOperatorCSV(w, cases) })
 	case "fig11":
-		cases, err := expt.Fig11(quick)
+		cases, err := expt.Fig11(ctx, quick)
 		if err != nil {
 			return err
 		}
@@ -115,34 +117,34 @@ func run(name string, quick, full bool, csvDir string) error {
 		if quick {
 			limit = 96
 		}
-		results, err := expt.Fig12(limit)
+		results, err := expt.Fig12(ctx, limit)
 		if err != nil {
 			return err
 		}
 		fmt.Println(expt.FormatFig12(results))
 		return writeCSV(csvDir, "fig12", func(w *os.File) error { return expt.WriteFig12CSV(w, results) })
 	case "fig13":
-		panels, err := expt.Fig13(quick)
+		panels, err := expt.Fig13(ctx, quick)
 		if err != nil {
 			return err
 		}
 		fmt.Println(expt.FormatFig13(panels))
 		return writeCSV(csvDir, "fig13", func(w *os.File) error { return expt.WriteFig13CSV(w, panels) })
 	case "fig14":
-		cases, err := expt.Fig14()
+		cases, err := expt.Fig14(ctx)
 		if err != nil {
 			return err
 		}
 		fmt.Println(expt.FormatFig14(cases))
 	case "fig15":
-		results, err := expt.Fig15(full)
+		results, err := expt.Fig15(ctx, full)
 		if err != nil {
 			return err
 		}
 		fmt.Println(expt.FormatFig15(results))
 		return writeCSV(csvDir, "fig15", func(w *os.File) error { return expt.WriteFig15CSV(w, results) })
 	case "fig16":
-		cases, err := expt.Fig16()
+		cases, err := expt.Fig16(ctx)
 		if err != nil {
 			return err
 		}
@@ -155,7 +157,7 @@ func run(name string, quick, full bool, csvDir string) error {
 		}
 		fmt.Println(expt.FormatTable5(rows))
 	case "correctness":
-		cases, err := expt.Correctness(10)
+		cases, err := expt.Correctness(ctx, 10)
 		if err != nil {
 			return err
 		}

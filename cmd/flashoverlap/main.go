@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -48,7 +49,7 @@ func main() {
 	switch {
 	case *tune:
 		tn := tuner.NewTuner(plat, *gpus, prim)
-		p, err := tn.Tune(shape, *imb)
+		p, err := tn.Tune(context.Background(), shape, *imb)
 		fatal(err)
 		opts.Partition = p
 		fmt.Printf("tuned partition: %v\n", p)
@@ -58,7 +59,7 @@ func main() {
 		opts.Partition = p
 	}
 
-	res, err := core.Run(opts)
+	res, err := core.Run(context.Background(), opts)
 	fatal(err)
 	base, err := baselines.NonOverlap(baselines.Options{Plat: plat, NGPUs: *gpus, Shape: shape, Prim: prim, Imbalance: *imb})
 	fatal(err)

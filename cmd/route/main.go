@@ -38,6 +38,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -51,12 +52,13 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "HTTP listen address")
-		replicas  = flag.String("replicas", "", "comma-separated replica base URLs, in shard order (replica i runs -shard i/n)")
-		timeout   = flag.Duration("timeout", 30*time.Second, "per-request replica timeout (covers a cold-shape tune)")
-		cooldown  = flag.Duration("health-cooldown", shard.DefaultHealthCooldown, "how long a failed replica is skipped before one trial request is allowed through (must be > 0: benching cannot be disabled)")
-		probe     = flag.Duration("health-probe", 0, "background /healthz probe interval for dead-replica re-admission (0 = the health cooldown)")
-		rebalance = flag.Int("rebalance-after", shard.DefaultEvictAfter, "cooldown windows a replica must stay dead before its ring cells rebalance to the survivors (0 disables eviction)")
+		addr       = flag.String("addr", ":8080", "HTTP listen address")
+		replicas   = flag.String("replicas", "", "comma-separated replica base URLs, in shard order (replica i runs -shard i/n)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request replica timeout (covers a cold-shape tune)")
+		cooldown   = flag.Duration("health-cooldown", shard.DefaultHealthCooldown, "how long a failed replica is skipped before one trial request is allowed through (must be > 0: benching cannot be disabled)")
+		probe      = flag.Duration("health-probe", 0, "background /healthz probe interval for dead-replica re-admission (0 = the health cooldown)")
+		rebalance  = flag.Int("rebalance-after", shard.DefaultEvictAfter, "cooldown windows a replica must stay dead before its ring cells rebalance to the survivors (0 disables eviction)")
+		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline for proxied /query and /sweep (0 = none); a timed-out sweep aborts its in-flight replica chunks")
 	)
 	flag.Parse()
 
@@ -85,7 +87,7 @@ func main() {
 	// Probe dead replicas for the process lifetime: a replica that
 	// restarts is re-admitted and reclaims its shard slice without
 	// waiting for an in-band trial request.
-	stopProber := router.StartProber(*probe)
+	stopProber := router.StartProber(context.Background(), *probe)
 	defer stopProber()
 
 	log.Printf("routing %d shards on %s:", len(urls), *addr)
@@ -94,7 +96,7 @@ func main() {
 	}
 	// Like cmd/serve: nil only on graceful signal shutdown; listen errors
 	// exit non-zero.
-	fatal(serve.Run(*addr, router.Handler()))
+	fatal(serve.Run(*addr, router.HandlerWithTimeout(*reqTimeout)))
 	log.Printf("shut down cleanly")
 }
 

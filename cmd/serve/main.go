@@ -34,6 +34,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -59,6 +60,7 @@ func main() {
 		shardFlag  = flag.String("shard", "", "replica slice k/n of a sharded fleet (e.g. 0/4); empty = unsharded")
 		snapshot   = flag.String("snapshot", "", "warm-state snapshot file: loaded on boot if present, saved periodically and on graceful shutdown")
 		snapEvery  = flag.Duration("snapshot-interval", 5*time.Minute, "how often to save the snapshot while serving (0 = only on shutdown)")
+		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline for /query and /sweep (0 = none); timed-out requests return the retryable error envelope")
 	)
 	flag.Parse()
 
@@ -104,7 +106,7 @@ func main() {
 		prims, err := serve.ParsePrimitives(*warmPrims)
 		fatal(err)
 		log.Printf("warming %d shapes x %d primitives on %s x%d...", len(shapes), len(prims), plat.Name, *gpus)
-		fatal(svc.Warm(prims, shapes, 0))
+		fatal(svc.Warm(context.Background(), prims, shapes, 0))
 		st := svc.Stats()
 		if assign.Sharded() {
 			// ShapesCached counts cache entries across every warmed
@@ -154,7 +156,7 @@ func main() {
 			}
 		}
 	}
-	fatal(serve.RunWithShutdown(*addr, serve.Handler(svc), onShutdown))
+	fatal(serve.RunWithShutdown(*addr, serve.HandlerWithTimeout(svc, *reqTimeout), onShutdown))
 	log.Printf("shut down cleanly")
 }
 

@@ -45,6 +45,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -73,6 +74,7 @@ func main() {
 		chunk     = flag.Int("chunk", 0, "items per dispatched chunk (0 = shard.DefaultChunkSize)")
 		attempts  = flag.Int("attempts", 0, "re-dispatch budget per chunk across the failover ring (0 = fleet size); a budget beyond the fleet size does not hammer dead replicas back-to-back — wrap-around retries wait out -health-cooldown, so extra budget helps only when a replica recovers mid-dispatch")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-chunk replica timeout (covers a chunk of tunes + simulations)")
+		deadline  = flag.Duration("deadline", 0, "whole-sweep deadline (0 = none); on expiry every in-flight replica chunk is aborted and the sweep exits non-zero, leaving the fleet healthy")
 		cooldown  = flag.Duration("health-cooldown", shard.DefaultHealthCooldown, "how long a failed replica is skipped before one trial dispatch is allowed through (must be > 0: benching cannot be disabled)")
 		probe     = flag.Duration("health-probe", 0, "background /healthz probe interval for mid-sweep dead-replica re-admission (0 = -health-cooldown)")
 		rebalance = flag.Int("rebalance-after", shard.DefaultEvictAfter, "cooldown windows a replica must stay dead before its ring cells rebalance to the survivors (0 disables eviction)")
@@ -141,8 +143,15 @@ func main() {
 		}
 	}
 
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
 	start := time.Now()
-	results, err := co.Sweep(items)
+	results, err := co.Sweep(ctx, items)
 	fatal(err)
 	elapsed := time.Since(start)
 
@@ -209,7 +218,7 @@ func verifyAgainstLocal(platName string, gpus int, items []serve.SweepItem, resu
 			runs[i].Partition = append([]int(nil), results[i].Partition...)
 		}
 	}
-	local, err := engine.New(0, 0).Batch(runs)
+	local, err := engine.New(0, 0).Batch(context.Background(), runs)
 	if err != nil {
 		return fmt.Errorf("local replay failed (do -platform/-gpus match the fleet?): %w", err)
 	}

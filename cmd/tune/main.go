@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -60,17 +61,17 @@ func main() {
 	fmt.Printf("  %d candidates after pruning (|G1|<=%d, |GP|<=%d)\n",
 		len(cands), tuner.DefaultS1, tuner.DefaultSP)
 
-	res, err := tuner.PredictiveSearch(pred, cands)
+	res, err := tuner.PredictiveSearch(context.Background(), pred, cands)
 	fatal(err)
 	fmt.Printf("  predicted optimum: %v at %v\n", res.Partition, res.Latency)
 
 	if *validate {
 		opts := core.Options{Plat: plat, NGPUs: *gpus, Shape: shape, Prim: prim, Imbalance: *imb}
-		oracle, err := tuner.ExhaustiveSearch(opts, cands)
+		oracle, err := tuner.ExhaustiveSearch(context.Background(), opts, cands)
 		fatal(err)
 		run := opts
 		run.Partition = res.Partition
-		actual, err := core.Run(run)
+		actual, err := core.Run(context.Background(), run)
 		fatal(err)
 		fmt.Printf("  exhaustive optimum: %v at %v\n", oracle.Partition, oracle.Latency)
 		fmt.Printf("  searched partition measures %v -> %.2f%% of optimal\n",

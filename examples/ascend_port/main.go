@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	shape := gemm.Shape{M: 5120, N: 6912, K: 4096} // an LLM shape from Fig. 16
 	for _, plat := range []hw.Platform{
 		hw.Ascend910B(),
@@ -30,11 +32,11 @@ func main() {
 		const tp = 2
 		tn := tuner.NewTuner(plat, tp, hw.AllReduce)
 		tn.CandidateLimit = 256
-		part, err := tn.Tune(shape, 0)
+		part, err := tn.Tune(ctx, shape, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := core.Run(core.Options{
+		res, err := core.Run(ctx, core.Options{
 			Plat: plat, NGPUs: tp, Shape: shape, Prim: hw.AllReduce, Partition: part,
 		})
 		if err != nil {

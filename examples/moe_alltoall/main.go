@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	plat := hw.RTX4090PCIe()
 	plat.GPU.SMs = 8
 	plat.CommSMs = 2
@@ -39,7 +41,7 @@ func main() {
 		}
 	}
 
-	res, err := core.Run(core.Options{
+	res, err := core.Run(ctx, core.Options{
 		Plat:       plat,
 		NGPUs:      nGPUs,
 		Shape:      shape,
@@ -77,12 +79,12 @@ func main() {
 	// Timing-only runs show the imbalance cost at realistic scale.
 	big := core.Options{Plat: hw.RTX4090PCIe(), NGPUs: nGPUs,
 		Shape: gemm.Shape{M: 4096, N: 8192, K: 8192}, Prim: hw.AllToAll}
-	bal, err := core.Run(big)
+	bal, err := core.Run(ctx, big)
 	if err != nil {
 		log.Fatal(err)
 	}
 	big.Imbalance = 1.5
-	hot, err := core.Run(big)
+	hot, err := core.Run(ctx, big)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,6 +42,7 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	plat := hw.RTX4090PCIe()
 
 	// One offline bandwidth sampling for the whole fleet, like a
@@ -121,7 +123,7 @@ func main() {
 	}
 
 	// The single-process reference the distributed merge must reproduce.
-	reference, err := engine.New(0, 0).Batch(runs)
+	reference, err := engine.New(0, 0).Batch(ctx, runs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -156,7 +158,7 @@ func main() {
 	}
 
 	fmt.Printf("\ndistributed sweep over %d items (chunk size 1), killing replica %d mid-sweep:\n", len(items), victim)
-	results, err := co.Sweep(items)
+	results, err := co.Sweep(ctx, items)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -197,7 +199,7 @@ func main() {
 	// replica cannot be re-admitted more than once per window); poll
 	// until the window opens and the probe brings it back.
 	deadline := time.Now().Add(10 * time.Second)
-	for router.Probe() != 1 {
+	for router.Probe(ctx) != 1 {
 		if time.Now().After(deadline) {
 			log.Fatal("replica was not re-admitted within 10s of restarting")
 		}

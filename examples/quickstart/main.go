@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// A shrunken RTX 4090 profile lets a small, functionally verified
 	// matrix still execute in several waves.
 	plat := hw.RTX4090PCIe()
@@ -34,7 +36,7 @@ func main() {
 		Functional: true, // carry real float32 data end to end
 		Seed:       2024,
 	}
-	res, err := core.Run(opts)
+	res, err := core.Run(ctx, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func main() {
 	}
 	waves := plan.Waves(big.Plat.GPU.SMs - big.Plat.CommSMs)
 	big.Partition = gemm.EqualSized(waves, 3)
-	bigRes, err := core.Run(big)
+	bigRes, err := core.Run(ctx, big)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	svc, err := serve.New(serve.Config{
 		Plat:           hw.RTX4090PCIe(),
 		NGPUs:          2,
@@ -38,7 +40,7 @@ func main() {
 		{M: 4096, N: 8192, K: 4096},
 		{M: 4096, N: 8192, K: 8192},
 	}
-	if err := svc.Warm([]hw.Primitive{hw.AllReduce}, warm, 0); err != nil {
+	if err := svc.Warm(ctx, []hw.Primitive{hw.AllReduce}, warm, 0); err != nil {
 		log.Fatal(err)
 	}
 	warmStats := svc.Stats()

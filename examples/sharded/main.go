@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -30,6 +31,7 @@ import (
 const nShards = 3
 
 func main() {
+	ctx := context.Background()
 	plat := hw.RTX4090PCIe()
 	const nGPUs = 2
 
@@ -66,7 +68,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := svc.Warm([]hw.Primitive{hw.AllReduce}, representative, 0); err != nil {
+		if err := svc.Warm(ctx, []hw.Primitive{hw.AllReduce}, representative, 0); err != nil {
 			log.Fatal(err)
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -96,7 +98,7 @@ func main() {
 	for i, s := range representative {
 		queries[i] = serve.Query{Shape: s, Prim: hw.AllReduce}
 	}
-	answers, err := router.SweepQueries(queries)
+	answers, err := router.SweepQueries(ctx, queries)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -105,7 +107,7 @@ func main() {
 		fmt.Printf("  %-18v -> shard %d  partition %-12v source %s\n",
 			queries[i].Shape, ans.Replica, ans.Partition, ans.Source)
 	}
-	st := router.Stats()
+	st := router.Stats(ctx)
 	fmt.Printf("merged fleet stats: %d hits, %d misses, %d shapes cached across %d replicas\n",
 		st.Merged.Hits, st.Merged.Misses, st.Merged.ShapesCached, st.Replicas)
 
@@ -114,12 +116,12 @@ func main() {
 	victimShape := representative[0]
 	victim := part.Owner(victimShape)
 	_ = servers[victim].Close()
-	ans, err := router.Query(serve.Query{Shape: victimShape, Prim: hw.AllReduce})
+	ans, err := router.Query(ctx, serve.Query{Shape: victimShape, Prim: hw.AllReduce})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nreplica %d down: %v rerouted to replica %d (source %s, %d failovers recorded)\n",
-		victim, victimShape, ans.Replica, ans.Source, router.Stats().Failovers)
+		victim, victimShape, ans.Replica, ans.Source, router.Stats(ctx).Failovers)
 
 	// The sharded engine sweep: split the quick Table 3 grid across
 	// shard-local engines (disjoint plan caches, like separate processes)
@@ -128,11 +130,11 @@ func main() {
 	for i, s := range representative {
 		runs[i] = core.Options{Plat: plat, NGPUs: nGPUs, Shape: s, Prim: hw.AllReduce}
 	}
-	unsharded, err := engine.New(0, 0).Batch(runs)
+	unsharded, err := engine.New(0, 0).Batch(ctx, runs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sharded, err := shard.SweepBatch(part, shard.Engines(nShards, 0, 0), runs)
+	sharded, err := shard.SweepBatch(ctx, part, shard.Engines(nShards, 0, 0), runs)
 	if err != nil {
 		log.Fatal(err)
 	}

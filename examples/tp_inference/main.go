@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	plat := hw.A800NVLink()
 	model := workload.Llama3_70BInference(8, 16384)
 	fmt.Printf("%s (%s) on %s\n\n", model.Name, model.Setting, plat.Name)
@@ -38,11 +40,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		part, err := tn.Tune(op.Shape, 0)
+		part, err := tn.Tune(ctx, op.Shape, 0)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := core.Run(core.Options{
+		res, err := core.Run(ctx, core.Options{
 			Plat: plat, NGPUs: model.NGPUs, Shape: op.Shape, Prim: op.Prim, Partition: part,
 		})
 		if err != nil {
@@ -56,7 +58,7 @@ func main() {
 	}
 	fmt.Printf("GEMM+AR pairs per layer: %.2fx combined speedup\n", layerBase/layerOverlap)
 
-	e2e, err := workload.EndToEnd(model, plat, 128)
+	e2e, err := workload.EndToEnd(ctx, model, plat, 128)
 	if err != nil {
 		log.Fatal(err)
 	}

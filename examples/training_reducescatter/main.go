@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,13 +22,14 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	plat := hw.A800NVLink()
 	plat.GPU.SMs = 8
 	plat.CommSMs = 2
 	const nGPUs = 4
 
 	shape := gemm.Shape{M: 32, N: 48, K: 10}
-	res, err := core.Run(core.Options{
+	res, err := core.Run(ctx, core.Options{
 		Plat:       plat,
 		NGPUs:      nGPUs,
 		Shape:      shape,

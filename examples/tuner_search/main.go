@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -19,6 +20,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	plat := hw.RTX4090PCIe()
 	const nGPUs = 4
 	shape := gemm.Shape{M: 4096, N: 8192, K: 8192}
@@ -62,13 +64,13 @@ func main() {
 
 	// Validate against the oracle.
 	opts := core.Options{Plat: plat, NGPUs: nGPUs, Shape: shape, Prim: hw.AllReduce}
-	oracle, err := tuner.ExhaustiveSearch(opts, cands)
+	oracle, err := tuner.ExhaustiveSearch(ctx, opts, cands)
 	if err != nil {
 		log.Fatal(err)
 	}
 	run := opts
 	run.Partition = all[0].part
-	actual, err := core.Run(run)
+	actual, err := core.Run(ctx, run)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -36,7 +37,7 @@ func TestFullPipeline(t *testing.T) {
 			// Offline + online tuning against the shrunken platform.
 			tn := tuner.NewTuner(plat, n, prim)
 			tn.CandidateLimit = 64
-			part, err := tn.Tune(shape, 0)
+			part, err := tn.Tune(context.Background(), shape, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -65,7 +66,7 @@ func TestFullPipeline(t *testing.T) {
 					}
 				}
 			}
-			res, err := core.Run(opts)
+			res, err := core.Run(context.Background(), opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -132,12 +133,12 @@ func TestPipelineBeatsBaselineAtScale(t *testing.T) {
 		t.Run(plat.Name, func(t *testing.T) {
 			tn := tuner.NewTuner(plat, 2, hw.AllReduce)
 			tn.CandidateLimit = 128
-			part, err := tn.Tune(shape, 0)
+			part, err := tn.Tune(context.Background(), shape, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
 			opts := core.Options{Plat: plat, NGPUs: 2, Shape: shape, Prim: hw.AllReduce, Partition: part}
-			res, err := core.Run(opts)
+			res, err := core.Run(context.Background(), opts)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -158,7 +159,7 @@ func TestFusionCrossoverWithK(t *testing.T) {
 			t.Fatal(err)
 		}
 		trueSMs := plat.GPU.SMs - plat.CommSMs
-		res, err := core.Run(core.Options{
+		res, err := core.Run(context.Background(), core.Options{
 			Plat: plat, NGPUs: 4, Shape: s, Prim: hw.ReduceScatter,
 			Partition: gemm.EqualSized(plan.Waves(trueSMs), 2),
 		})
@@ -247,11 +248,11 @@ func TestTunedDecompositionStillLosesToFlashOverlap(t *testing.T) {
 	}
 	tn := tuner.NewTuner(o.Plat, o.NGPUs, o.Prim)
 	tn.CandidateLimit = 256
-	part, err := tn.Tune(o.Shape, 0)
+	part, err := tn.Tune(context.Background(), o.Shape, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Run(core.Options{
+	res, err := core.Run(context.Background(), core.Options{
 		Plat: o.Plat, NGPUs: o.NGPUs, Shape: o.Shape, Prim: o.Prim,
 		Partition: part,
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gemm"
@@ -111,8 +112,10 @@ func (c *Compiled) DefaultVariant() Variant { return VariantOf(c.opts) }
 
 // Exec runs one simulation of the compiled plan under the variant: a fresh
 // simulator and cluster every time, so repeated and concurrent executions
-// are independent and deterministic.
-func (c *Compiled) Exec(v Variant) (*Result, error) {
+// are independent and deterministic. ctx bounds the run: cancellation stops
+// the simulation between events (wave retirements and kernel completions,
+// never mid-kernel) and Exec returns ctx.Err().
+func (c *Compiled) Exec(ctx context.Context, v Variant) (*Result, error) {
 	if v.Fidelity == FidelityAnalytic {
 		return nil, fmt.Errorf("core: analytic execution needs a bandwidth curve: use Compiled.ExecAnalytic or the engine's analytic backend")
 	}
@@ -135,7 +138,7 @@ func (c *Compiled) Exec(v Variant) (*Result, error) {
 			return nil, err
 		}
 	}
-	return execute(&o, c.plan, c.cm, bounds, waveSize, c.trueSMs)
+	return execute(ctx, &o, c.plan, c.cm, bounds, waveSize, c.trueSMs)
 }
 
 // rebind recomputes the wave width and group bounds for an exec-time wave

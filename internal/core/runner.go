@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/comm"
@@ -27,19 +28,27 @@ import (
 //  3. the post-communication reorder is deferred to the consumer (fused
 //     into the next element-wise kernel; see Result accessors and the
 //     Table 5 overhead study).
-func Run(o Options) (*Result, error) {
+//
+// ctx bounds the execution: cancellation (or a deadline) stops the
+// simulation at the next event boundary — between wave retirements and
+// kernel completions, never mid-kernel — and Run returns ctx.Err().
+func Run(ctx context.Context, o Options) (*Result, error) {
 	c, err := Compile(o)
 	if err != nil {
 		return nil, err
 	}
-	return c.Exec(c.DefaultVariant())
+	return c.Exec(ctx, c.DefaultVariant())
 }
 
 // execute performs one simulation of a compiled plan. o is a private copy
 // whose variant fields have already been validated; plan, cm, bounds and the
 // wave widths come from the Compiled and are never mutated, so concurrent
-// executions of one plan are safe.
-func execute(o *Options, plan *gemm.Plan, cm gemm.CostModel, bounds []gemm.GroupBound, assumedWave, trueSMs int) (*Result, error) {
+// executions of one plan are safe. ctx cancellation aborts between simulator
+// events and surfaces as ctx.Err().
+func execute(ctx context.Context, o *Options, plan *gemm.Plan, cm gemm.CostModel, bounds []gemm.GroupBound, assumedWave, trueSMs int) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cluster := gpu.NewCluster(o.Plat, o.NGPUs)
 	if o.Trace {
 		cluster.EnableTrace()
@@ -157,7 +166,9 @@ func execute(o *Options, plan *gemm.Plan, cm gemm.CostModel, bounds []gemm.Group
 		})
 	}
 
-	cluster.Sim.Run()
+	if err := cluster.Sim.RunCtx(ctx); err != nil {
+		return nil, err
+	}
 
 	// Collect signal times (max across devices, like the paper's
 	// per-group release points).

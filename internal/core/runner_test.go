@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -49,7 +50,7 @@ func refSum(r *Result, n int) *tensor.Matrix {
 func TestAllReduceCorrectness(t *testing.T) {
 	for _, n := range []int{2, 4} {
 		o := smallOpts(hw.AllReduce, n)
-		res, err := Run(o)
+		res, err := Run(context.Background(), o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -67,7 +68,7 @@ func TestAllReduceCorrectnessAcrossPartitions(t *testing.T) {
 	for _, part := range []gemm.Partition{{2}, {1, 1}} {
 		o := smallOpts(hw.AllReduce, 2)
 		o.Partition = part.Clone()
-		res, err := Run(o)
+		res, err := Run(context.Background(), o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,7 +81,7 @@ func TestAllReduceCorrectnessAcrossPartitions(t *testing.T) {
 
 func TestAllReduceFusedRMSNorm(t *testing.T) {
 	o := smallOpts(hw.AllReduce, 2)
-	res, err := Run(o)
+	res, err := Run(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestAllReduceFusedRMSNorm(t *testing.T) {
 func TestReduceScatterCorrectness(t *testing.T) {
 	for _, n := range []int{2, 4} {
 		o := smallOpts(hw.ReduceScatter, n)
-		res, err := Run(o)
+		res, err := Run(context.Background(), o)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,7 +131,7 @@ func TestAllToAllCorrectness(t *testing.T) {
 			o.Routing[i][r] = (r + i) % n // deterministic mixed routing
 		}
 	}
-	res, err := Run(o)
+	res, err := Run(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestAllToAllCorrectness(t *testing.T) {
 func TestGroupTimelineOrdering(t *testing.T) {
 	o := smallOpts(hw.AllReduce, 2)
 	o.Partition = gemm.Partition{1, 1}
-	res, err := Run(o)
+	res, err := Run(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestOverlapBeatsSerial(t *testing.T) {
 
 	trueSMs := plat.GPU.SMs - plat.CommSMs
 	tWaves := plan.Waves(trueSMs)
-	res, err := Run(Options{
+	res, err := Run(context.Background(), Options{
 		Plat:      plat,
 		NGPUs:     2,
 		Shape:     shape,
@@ -230,14 +231,14 @@ func TestMisconfiguredWaveSizeDegrades(t *testing.T) {
 	// A head/tail-optimized partition like the tuner produces.
 	part := gemm.Partition{1, tWaves - 3, 2}
 	base := Options{Plat: plat, NGPUs: 2, Shape: shape, Prim: hw.AllReduce, Partition: part}
-	good, err := Run(base)
+	good, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	mis := base
 	mis.Partition = part.Clone()
 	mis.WaveSizeOverride = trueSMs + 20
-	bad, err := Run(mis)
+	bad, err := Run(context.Background(), mis)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +266,7 @@ func TestTheoreticalBoundIsLowerBound(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := Run(o)
+			res, err := Run(context.Background(), o)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -294,7 +295,7 @@ func TestOptionsValidation(t *testing.T) {
 		"tile-shape": func(o Options) Options { o.Cfg = gemm.Config{TileM: 5, TileN: 8}; return o },
 	}
 	for name, mut := range cases {
-		if _, err := Run(mut(valid)); err == nil {
+		if _, err := Run(context.Background(), mut(valid)); err == nil {
 			t.Errorf("%s: invalid options accepted", name)
 		}
 	}
@@ -302,11 +303,11 @@ func TestOptionsValidation(t *testing.T) {
 
 func TestRunDeterminism(t *testing.T) {
 	o := Options{Plat: hw.RTX4090PCIe(), NGPUs: 4, Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllReduce}
-	a, err := Run(o)
+	a, err := Run(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Run(o)
+	b, err := Run(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +318,7 @@ func TestRunDeterminism(t *testing.T) {
 
 func TestNonFunctionalAccessorsPanic(t *testing.T) {
 	o := Options{Plat: hw.RTX4090PCIe(), NGPUs: 2, Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllReduce}
-	res, err := Run(o)
+	res, err := Run(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,13 +332,13 @@ func TestNonFunctionalAccessorsPanic(t *testing.T) {
 
 func TestImbalancedA2ATakesLonger(t *testing.T) {
 	base := Options{Plat: hw.RTX4090PCIe(), NGPUs: 4, Shape: gemm.Shape{M: 4096, N: 8192, K: 4096}, Prim: hw.AllToAll}
-	bal, err := Run(base)
+	bal, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	hot := base
 	hot.Imbalance = 1.8
-	imb, err := Run(hot)
+	imb, err := Run(context.Background(), hot)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +370,7 @@ func TestFunctionalEquivalenceProperty(t *testing.T) {
 				}
 			}
 		}
-		res, err := Run(o)
+		res, err := Run(context.Background(), o)
 		if err != nil {
 			return false
 		}

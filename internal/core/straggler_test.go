@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gemm"
@@ -13,13 +14,13 @@ import (
 func TestStragglerStretchesLatency(t *testing.T) {
 	base := Options{Plat: hw.A800NVLink(), NGPUs: 4,
 		Shape: gemm.Shape{M: 4096, N: 8192, K: 8192}, Prim: hw.AllReduce}
-	even, err := Run(base)
+	even, err := Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	slow := base
 	slow.DeviceSlowdown = []float64{1, 1, 1.3, 1}
-	hot, err := Run(slow)
+	hot, err := Run(context.Background(), slow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestStragglerStretchesLatency(t *testing.T) {
 func TestStragglerPreservesCorrectness(t *testing.T) {
 	o := smallOpts(hw.AllReduce, 2)
 	o.DeviceSlowdown = []float64{1, 1.5}
-	res, err := Run(o)
+	res, err := Run(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,11 +53,11 @@ func TestStragglerValidation(t *testing.T) {
 	o := Options{Plat: hw.A800NVLink(), NGPUs: 2,
 		Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllReduce}
 	o.DeviceSlowdown = []float64{1}
-	if _, err := Run(o); err == nil {
+	if _, err := Run(context.Background(), o); err == nil {
 		t.Error("wrong slowdown count accepted")
 	}
 	o.DeviceSlowdown = []float64{1, 0.5}
-	if _, err := Run(o); err == nil {
+	if _, err := Run(context.Background(), o); err == nil {
 		t.Error("sub-unity slowdown accepted")
 	}
 }
@@ -69,7 +70,7 @@ func TestTraceCapturesOverlap(t *testing.T) {
 		t.Fatal(err)
 	}
 	o.Partition = gemm.EqualSized(plan.Waves(o.Plat.GPU.SMs-o.Plat.CommSMs), 3)
-	res, err := Run(o)
+	res, err := Run(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestTraceCapturesOverlap(t *testing.T) {
 	}
 	// Without Trace, spans stay nil.
 	o.Trace = false
-	res2, err := Run(o)
+	res2, err := Run(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}

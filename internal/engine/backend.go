@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -29,23 +30,28 @@ type Backend interface {
 	// Fidelity names the label stamped on results this backend produces.
 	Fidelity() core.Fidelity
 	// Exec runs one evaluation of the compiled plan under the variant.
-	Exec(p *Plan, v core.Variant) (*core.Result, error)
+	// ctx bounds the evaluation; a cancelled context stops a DES run
+	// between simulator events and surfaces as ctx.Err().
+	Exec(ctx context.Context, p *Plan, v core.Variant) (*core.Result, error)
 }
 
 // desBackend is the simulator path — the engine's historical behavior.
 type desBackend struct{}
 
 func (desBackend) Fidelity() core.Fidelity { return core.FidelityDES }
-func (desBackend) Exec(p *Plan, v core.Variant) (*core.Result, error) {
-	return p.c.Exec(v)
+func (desBackend) Exec(ctx context.Context, p *Plan, v core.Variant) (*core.Result, error) {
+	return p.c.Exec(ctx, v)
 }
 
 // analyticBackend evaluates plans with core.ExecAnalytic, resolving the
 // bandwidth curve from the engine's per-(platform, group, primitive) cache.
+// A single analytic evaluation is microseconds of pure arithmetic, so it
+// ignores ctx; cancellation of analytic sweeps is enforced between items by
+// Batch's per-claim check.
 type analyticBackend struct{ e *Engine }
 
 func (b analyticBackend) Fidelity() core.Fidelity { return core.FidelityAnalytic }
-func (b analyticBackend) Exec(p *Plan, v core.Variant) (*core.Result, error) {
+func (b analyticBackend) Exec(_ context.Context, p *Plan, v core.Variant) (*core.Result, error) {
 	o := p.c.Options()
 	return p.c.ExecAnalytic(v, b.e.curve(o.Plat, o.NGPUs, o.Prim))
 }

@@ -28,6 +28,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -98,12 +99,17 @@ func Compile(o core.Options) (*Plan, error) {
 // Compiled exposes the underlying core plan.
 func (p *Plan) Compiled() *core.Compiled { return p.c }
 
-// Exec runs one simulation of the plan under the variant.
-func (p *Plan) Exec(v core.Variant) (*core.Result, error) { return p.c.Exec(v) }
+// Exec runs one simulation of the plan under the variant. ctx cancellation
+// stops the simulation between events and returns ctx.Err().
+func (p *Plan) Exec(ctx context.Context, v core.Variant) (*core.Result, error) {
+	return p.c.Exec(ctx, v)
+}
 
 // Exec runs one simulation of a compiled plan — the online half of the
 // Compile/Exec split.
-func Exec(p *Plan, v core.Variant) (*core.Result, error) { return p.c.Exec(v) }
+func Exec(ctx context.Context, p *Plan, v core.Variant) (*core.Result, error) {
+	return p.c.Exec(ctx, v)
+}
 
 // DefaultCacheSize bounds the default engine's plan cache. A Table 3 grid
 // crossed with GPU counts and tuned partitions stays well under this, so
@@ -170,24 +176,25 @@ func (e *Engine) Plan(o core.Options) (*Plan, error) {
 
 // Exec runs o through the plan cache: compile (or reuse) the plan, then
 // execute o's variant on the backend its Fidelity selects. It is the
-// drop-in replacement for core.Run in sweep loops.
-func (e *Engine) Exec(o core.Options) (*core.Result, error) {
+// drop-in replacement for core.Run in sweep loops. ctx cancellation aborts
+// a DES execution between simulator events and surfaces as ctx.Err().
+func (e *Engine) Exec(ctx context.Context, o core.Options) (*core.Result, error) {
 	p, err := e.Plan(o)
 	if err != nil {
 		return nil, err
 	}
-	return e.ExecPlan(p, core.VariantOf(o))
+	return e.ExecPlan(ctx, p, core.VariantOf(o))
 }
 
 // ExecPlan executes one variant of an already-compiled plan, dispatching on
 // the variant's fidelity: DES (the default) simulates, analytic evaluates
 // the Algorithm 1 predictor against the engine's bandwidth-curve cache.
-func (e *Engine) ExecPlan(p *Plan, v core.Variant) (*core.Result, error) {
+func (e *Engine) ExecPlan(ctx context.Context, p *Plan, v core.Variant) (*core.Result, error) {
 	b, err := e.backend(v.Fidelity)
 	if err != nil {
 		return nil, err
 	}
-	return b.Exec(p, v)
+	return b.Exec(ctx, p, v)
 }
 
 // RunError is the error Batch returns: the failing run's input index plus
@@ -207,7 +214,12 @@ func (e *RunError) Unwrap() error { return e.Err }
 // execute or in which order they finish. On failure the lowest-index error
 // is returned as a *RunError (also independent of scheduling), so error
 // behavior matches a serial loop that stops at the first failing run.
-func (e *Engine) Batch(runs []core.Options) ([]*core.Result, error) {
+//
+// ctx cancellation stops the batch between items: workers check ctx before
+// claiming each run (and the in-flight runs abort between simulator
+// events), and a cancelled batch returns the bare ctx.Err() — not a
+// *RunError, because cancellation names no failing run.
+func (e *Engine) Batch(ctx context.Context, runs []core.Options) ([]*core.Result, error) {
 	results := make([]*core.Result, len(runs))
 	errs := make([]error, len(runs))
 	workers := e.workers
@@ -216,7 +228,13 @@ func (e *Engine) Batch(runs []core.Options) ([]*core.Result, error) {
 	}
 	if workers <= 1 {
 		for i := range runs {
-			if results[i], errs[i] = e.Exec(runs[i]); errs[i] != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if results[i], errs[i] = e.Exec(ctx, runs[i]); errs[i] != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, ctxErr
+				}
 				return nil, &RunError{Index: i, Err: errs[i]}
 			}
 		}
@@ -231,26 +249,30 @@ func (e *Engine) Batch(runs []core.Options) ([]*core.Result, error) {
 		go func() {
 			defer wg.Done()
 			for {
-				// Fail fast: once any run errors, stop claiming new
-				// indices. A claimed index always executes (checking
-				// failed after claiming could skip an index below the
-				// failing one), and claims are issued in increasing
-				// order, so every index below a failing one records its
-				// result — the lowest-index error stays deterministic.
-				if failed.Load() {
+				// Fail fast: once any run errors (or the context is
+				// done), stop claiming new indices. A claimed index
+				// always executes (checking failed after claiming could
+				// skip an index below the failing one), and claims are
+				// issued in increasing order, so every index below a
+				// failing one records its result — the lowest-index
+				// error stays deterministic.
+				if failed.Load() || ctx.Err() != nil {
 					return
 				}
 				i := int(next.Add(1))
 				if i >= len(runs) {
 					return
 				}
-				if results[i], errs[i] = e.Exec(runs[i]); errs[i] != nil {
+				if results[i], errs[i] = e.Exec(ctx, runs[i]); errs[i] != nil {
 					failed.Store(true)
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, &RunError{Index: i, Err: err}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -87,7 +88,7 @@ func TestBatchMatchesSerial(t *testing.T) {
 	runs := shapeGrid()
 	want := make([]string, len(runs))
 	for i, o := range runs {
-		res, err := core.Run(o)
+		res, err := core.Run(context.Background(), o)
 		if err != nil {
 			t.Fatalf("serial run %d: %v", i, err)
 		}
@@ -95,7 +96,7 @@ func TestBatchMatchesSerial(t *testing.T) {
 	}
 	for _, workers := range []int{1, 2, 4, 8, 32} {
 		e := New(workers, 0)
-		results, err := e.Batch(runs)
+		results, err := e.Batch(context.Background(), runs)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -120,7 +121,7 @@ func TestBatchMatchesSerial(t *testing.T) {
 func TestBatchReusesPlans(t *testing.T) {
 	runs := shapeGrid()
 	e := New(4, 0)
-	if _, err := e.Batch(runs); err != nil {
+	if _, err := e.Batch(context.Background(), runs); err != nil {
 		t.Fatal(err)
 	}
 	_, misses, size := e.CacheStats()
@@ -131,7 +132,7 @@ func TestBatchReusesPlans(t *testing.T) {
 		t.Errorf("cache size = %d, want %d", size, len(runs))
 	}
 	doubled := append(append([]core.Options{}, runs...), runs...)
-	if _, err := e.Batch(doubled); err != nil {
+	if _, err := e.Batch(context.Background(), doubled); err != nil {
 		t.Fatal(err)
 	}
 	hits, missesAfter, _ := e.CacheStats()
@@ -151,7 +152,7 @@ func TestBatchErrorIsLowestIndex(t *testing.T) {
 	runs[7].NGPUs = 0 // a later error that must not win
 	for _, workers := range []int{1, 8} {
 		e := New(workers, 0)
-		_, err := e.Batch(runs)
+		_, err := e.Batch(context.Background(), runs)
 		if err == nil {
 			t.Fatalf("workers=%d: expected error", workers)
 		}
@@ -185,11 +186,11 @@ func TestExecVariantOnCachedPlan(t *testing.T) {
 	// Timing variant with a misconfigured wave size, against core.Run.
 	mis := base
 	mis.WaveSizeOverride = trueSMs + 3
-	want, err := core.Run(mis)
+	want, err := core.Run(context.Background(), mis)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Exec(plan, core.Variant{WaveSizeOverride: trueSMs + 3})
+	got, err := Exec(context.Background(), plan, core.Variant{WaveSizeOverride: trueSMs + 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,11 +202,11 @@ func TestExecVariantOnCachedPlan(t *testing.T) {
 	fun := base
 	fun.Functional = true
 	fun.Seed = 77
-	wantF, err := core.Run(fun)
+	wantF, err := core.Run(context.Background(), fun)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gotF, err := Exec(plan, core.Variant{Functional: true, Seed: 77})
+	gotF, err := Exec(context.Background(), plan, core.Variant{Functional: true, Seed: 77})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestCacheEviction(t *testing.T) {
 	runs := shapeGrid()[:3]
 	e := New(1, 2)
 	for _, o := range runs {
-		if _, err := e.Exec(o); err != nil {
+		if _, err := e.Exec(context.Background(), o); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -230,14 +231,14 @@ func TestCacheEviction(t *testing.T) {
 	// runs[0] was evicted; re-running it must miss, then re-running
 	// runs[2] (still resident) must hit.
 	_, missesBefore, _ := e.CacheStats()
-	if _, err := e.Exec(runs[0]); err != nil {
+	if _, err := e.Exec(context.Background(), runs[0]); err != nil {
 		t.Fatal(err)
 	}
 	if _, misses, _ := e.CacheStats(); misses != missesBefore+1 {
 		t.Error("expected a miss after eviction of the oldest plan")
 	}
 	hitsBefore, _, _ := e.CacheStats()
-	if _, err := e.Exec(runs[2]); err != nil {
+	if _, err := e.Exec(context.Background(), runs[2]); err != nil {
 		t.Fatal(err)
 	}
 	if hits, _, _ := e.CacheStats(); hits != hitsBefore+1 {
@@ -280,7 +281,7 @@ func TestKeySeparatesPlans(t *testing.T) {
 func TestStatsSnapshot(t *testing.T) {
 	runs := shapeGrid()
 	e := New(3, 7)
-	if _, err := e.Batch(runs); err != nil {
+	if _, err := e.Batch(context.Background(), runs); err != nil {
 		t.Fatal(err)
 	}
 	hits, misses, size := e.CacheStats()

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -78,7 +79,10 @@ func RankTopK(shapes []gemm.Shape, latencies []sim.Time, k int, quantum float64)
 //
 // Fidelity labels already present on runs are an error: the split is the
 // policy MixedBatch itself implements.
-func (e *Engine) MixedBatch(runs []core.Options, topK int, quantum float64) (results []*core.Result, refined []int, err error) {
+//
+// ctx cancellation stops whichever tier is running between items (see
+// Batch) and returns the bare ctx.Err().
+func (e *Engine) MixedBatch(ctx context.Context, runs []core.Options, topK int, quantum float64) (results []*core.Result, refined []int, err error) {
 	for i, o := range runs {
 		if o.Fidelity != "" {
 			return nil, nil, &RunError{Index: i, Err: fmt.Errorf("engine: mixed batch run carries fidelity %q; the mixed policy assigns fidelities itself", o.Fidelity)}
@@ -89,7 +93,7 @@ func (e *Engine) MixedBatch(runs []core.Options, topK int, quantum float64) (res
 		o.Fidelity = core.FidelityAnalytic
 		analytic[i] = o
 	}
-	results, err = e.Batch(analytic)
+	results, err = e.Batch(ctx, analytic)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -106,7 +110,7 @@ func (e *Engine) MixedBatch(runs []core.Options, topK int, quantum float64) (res
 		o.Fidelity = core.FidelityDES
 		des[j] = o
 	}
-	desResults, err := e.Batch(des)
+	desResults, err := e.Batch(ctx, des)
 	if err != nil {
 		// Translate the refine-batch index back to the caller's grid.
 		var re *RunError

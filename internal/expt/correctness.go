@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -25,7 +26,7 @@ type CorrectnessCase struct {
 // Correctness runs randomized functional checks for all three primitives on
 // a shrunken platform (so small matrices still span multiple waves) and
 // compares every output element against a sequential reference.
-func Correctness(cases int) ([]CorrectnessCase, error) {
+func Correctness(ctx context.Context, cases int) ([]CorrectnessCase, error) {
 	plat := hw.RTX4090PCIe()
 	plat.GPU.SMs = 8
 	plat.CommSMs = 2
@@ -60,7 +61,7 @@ func Correctness(cases int) ([]CorrectnessCase, error) {
 		}
 		runs = append(runs, o)
 	}
-	results, err := engine.Default().Batch(runs)
+	results, err := engine.Default().Batch(ctx, runs)
 	if err != nil {
 		return nil, err
 	}

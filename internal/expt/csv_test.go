@@ -2,6 +2,7 @@ package expt
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"strconv"
 	"testing"
@@ -54,7 +55,7 @@ func TestWriteFig8CSV(t *testing.T) {
 }
 
 func TestWriteOperatorCSV(t *testing.T) {
-	cases, err := Fig16()
+	cases, err := Fig16(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestWriteOperatorCSV(t *testing.T) {
 }
 
 func TestWriteFig13CSV(t *testing.T) {
-	panels, err := Fig13(true)
+	panels, err := Fig13(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestWriteFig13CSV(t *testing.T) {
 }
 
 func TestWriteFig15CSV(t *testing.T) {
-	results, err := Fig15(false)
+	results, err := Fig15(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}

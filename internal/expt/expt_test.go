@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -128,7 +129,7 @@ func TestFig8Cliff(t *testing.T) {
 }
 
 func TestFig10QuickGrid(t *testing.T) {
-	groups, cases, err := Fig10(true)
+	groups, cases, err := Fig10(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestFig10QuickGrid(t *testing.T) {
 }
 
 func TestFig11Quick(t *testing.T) {
-	cases, err := Fig11(true)
+	cases, err := Fig11(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestFig11Quick(t *testing.T) {
 }
 
 func TestFig13Quick(t *testing.T) {
-	panels, err := Fig13(true)
+	panels, err := Fig13(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestFig13Quick(t *testing.T) {
 }
 
 func TestFig16AllCasesAccelerate(t *testing.T) {
-	cases, err := Fig16()
+	cases, err := Fig16(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestFig16AllCasesAccelerate(t *testing.T) {
 }
 
 func TestCorrectnessAllClose(t *testing.T) {
-	cases, err := Correctness(10)
+	cases, err := Correctness(context.Background(), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestTable5OverheadBounds(t *testing.T) {
 }
 
 func TestFig14Ablation(t *testing.T) {
-	cases, err := Fig14()
+	cases, err := Fig14(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +305,7 @@ func TestFig14Ablation(t *testing.T) {
 }
 
 func TestFig15ErrorAndQuality(t *testing.T) {
-	results, err := Fig15(false)
+	results, err := Fig15(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -45,7 +46,7 @@ type OperatorCase struct {
 // (the tuner's nearest-neighbor cache is stateful), the FlashOverlap runs
 // then execute as one engine batch across the worker pool, and the baseline
 // methods fill in per shape.
-func operatorCases(plat hw.Platform, prim hw.Primitive, n int, shapes []gemm.Shape, tn *tuner.Tuner) ([]OperatorCase, error) {
+func operatorCases(ctx context.Context, plat hw.Platform, prim hw.Primitive, n int, shapes []gemm.Shape, tn *tuner.Tuner) ([]OperatorCase, error) {
 	imb := 0.0
 	if prim == hw.AllToAll {
 		imb = a2aImbalance
@@ -53,7 +54,7 @@ func operatorCases(plat hw.Platform, prim hw.Primitive, n int, shapes []gemm.Sha
 	parts := make([]gemm.Partition, len(shapes))
 	runs := make([]core.Options, len(shapes))
 	for i, shape := range shapes {
-		part, err := tn.Tune(shape, imb)
+		part, err := tn.Tune(ctx, shape, imb)
 		if err != nil {
 			return nil, err
 		}
@@ -63,7 +64,7 @@ func operatorCases(plat hw.Platform, prim hw.Primitive, n int, shapes []gemm.Sha
 			Partition: part, Imbalance: imb,
 		}
 	}
-	flash, err := engine.Default().Batch(runs)
+	flash, err := engine.Default().Batch(ctx, runs)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +116,7 @@ type Fig10Group struct {
 // Fig10 runs the operator-level evaluation over the Table 3 grids for
 // 2/4/8 GPUs and summarizes each method's speedup (avg with min/max, as the
 // paper's "◦"/"⋄" markers).
-func Fig10(quick bool) ([]Fig10Group, []OperatorCase, error) {
+func Fig10(ctx context.Context, quick bool) ([]Fig10Group, []OperatorCase, error) {
 	var groups []Fig10Group
 	var cases []OperatorCase
 	counts := GPUCounts
@@ -127,7 +128,7 @@ func Fig10(quick bool) ([]Fig10Group, []OperatorCase, error) {
 			tn := tuner.NewTuner(grid.Plat, n, grid.Prim)
 			tn.CandidateLimit = 256
 			perMethod := map[string][]float64{}
-			ocs, err := operatorCases(grid.Plat, grid.Prim, n, grid.Shapes, tn)
+			ocs, err := operatorCases(ctx, grid.Plat, grid.Prim, n, grid.Shapes, tn)
 			if err != nil {
 				return nil, nil, fmt.Errorf("%s %s n=%d: %w", grid.Plat.Name, grid.Prim, n, err)
 			}
@@ -181,7 +182,7 @@ func Fig11Shapes() []gemm.Shape {
 }
 
 // Fig11 compares methods per shape for GEMM+RS on A800 across GPU counts.
-func Fig11(quick bool) ([]OperatorCase, error) {
+func Fig11(ctx context.Context, quick bool) ([]OperatorCase, error) {
 	plat := hw.A800NVLink()
 	shapes := Fig11Shapes()
 	counts := GPUCounts
@@ -193,7 +194,7 @@ func Fig11(quick bool) ([]OperatorCase, error) {
 	for _, n := range counts {
 		tn := tuner.NewTuner(plat, n, hw.ReduceScatter)
 		tn.CandidateLimit = 256
-		ocs, err := operatorCases(plat, hw.ReduceScatter, n, shapes, tn)
+		ocs, err := operatorCases(ctx, plat, hw.ReduceScatter, n, shapes, tn)
 		if err != nil {
 			return nil, err
 		}
@@ -239,13 +240,13 @@ func Fig16Shapes() []gemm.Shape {
 // Fig16 evaluates GEMM+AR with FlashOverlap on the Ascend 910B profile for
 // TP=2 and TP=4 (§6.7: the design ports because it only needs a counting
 // table and an API-callable collective library).
-func Fig16() ([]OperatorCase, error) {
+func Fig16(ctx context.Context) ([]OperatorCase, error) {
 	plat := hw.Ascend910B()
 	var cases []OperatorCase
 	for _, n := range []int{2, 4} {
 		tn := tuner.NewTuner(plat, n, hw.AllReduce)
 		tn.CandidateLimit = 256
-		ocs, err := operatorCases(plat, hw.AllReduce, n, Fig16Shapes(), tn)
+		ocs, err := operatorCases(ctx, plat, hw.AllReduce, n, Fig16Shapes(), tn)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -11,11 +12,11 @@ import (
 // Fig12 runs the end-to-end evaluation of Table 4's workloads on A800,
 // reporting the overall speedup and the applied-operator speedups
 // ("size 1"/"size 2" in the paper's bars).
-func Fig12(candLimit int) ([]workload.E2EResult, error) {
+func Fig12(ctx context.Context, candLimit int) ([]workload.E2EResult, error) {
 	plat := hw.A800NVLink()
 	var out []workload.E2EResult
 	for _, m := range workload.Table4Models() {
-		res, err := workload.EndToEnd(m, plat, candLimit)
+		res, err := workload.EndToEnd(ctx, m, plat, candLimit)
 		if err != nil {
 			return nil, err
 		}

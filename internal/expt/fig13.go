@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -34,7 +35,7 @@ type Fig13Panel struct {
 // Fig13 sweeps the (M·N, K) plane: GEMM+RS with TP=2 on RTX 4090 and
 // GEMM+AR with TP=4 on A800, reporting overlap speedup and the ratio to the
 // theoretical bound (§6.4). quick shrinks the 7x7 grid to 3x3.
-func Fig13(quick bool) ([]Fig13Panel, error) {
+func Fig13(ctx context.Context, quick bool) ([]Fig13Panel, error) {
 	type spec struct {
 		plat hw.Platform
 		prim hw.Primitive
@@ -66,14 +67,14 @@ func Fig13(quick bool) ([]Fig13Panel, error) {
 		for _, k := range ks {
 			for _, m := range ms {
 				shape := gemm.Shape{M: m, N: 8192, K: k}
-				part, err := tn.Tune(shape, 0)
+				part, err := tn.Tune(ctx, shape, 0)
 				if err != nil {
 					return nil, err
 				}
 				runs = append(runs, core.Options{Plat: sp.plat, NGPUs: sp.n, Shape: shape, Prim: sp.prim, Partition: part})
 			}
 		}
-		results, err := engine.Default().Batch(runs)
+		results, err := engine.Default().Batch(ctx, runs)
 		if err != nil {
 			return nil, err
 		}

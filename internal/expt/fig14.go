@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,7 +31,7 @@ type Fig14Case struct {
 // Fig14 reproduces the wave-grouping ablation: a deliberately misconfigured
 // wave size ("mw", +20 tiles), equally-sized groupings Egs=n, and the tuned
 // FlashOverlap, on GEMM+AR over 2x RTX 4090 and GEMM+RS over 4x A800.
-func Fig14() ([]Fig14Case, error) {
+func Fig14(ctx context.Context) ([]Fig14Case, error) {
 	type spec struct {
 		plat   hw.Platform
 		prim   hw.Primitive
@@ -73,7 +74,7 @@ func Fig14() ([]Fig14Case, error) {
 				return nil, err
 			}
 			t := plan.Waves(trueSMs)
-			tuned, err := tn.Tune(shape, 0)
+			tuned, err := tn.Tune(ctx, shape, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -106,7 +107,7 @@ func Fig14() ([]Fig14Case, error) {
 				add(fmt.Sprintf("Egs=%d", gs), o)
 			}
 		}
-		results, err := engine.Default().Batch(runs)
+		results, err := engine.Default().Batch(ctx, runs)
 		if err != nil {
 			return nil, err
 		}

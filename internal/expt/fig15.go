@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -34,7 +35,7 @@ type Fig15Result struct {
 // search quality (claims in §6.5 / A.4.2: avg error < 5%, quality > 99%).
 // full runs the paper-scale >250 combinations per platform; otherwise a
 // reduced set.
-func Fig15(full bool) ([]Fig15Result, error) {
+func Fig15(ctx context.Context, full bool) ([]Fig15Result, error) {
 	shapes := []gemm.Shape{
 		{M: 2048, N: 8192, K: 4096},
 		{M: 4096, N: 8192, K: 8192},
@@ -81,7 +82,7 @@ func Fig15(full bool) ([]Fig15Result, error) {
 					runs = append(runs, run)
 					predicted = append(predicted, want)
 				}
-				actuals, err := engine.Default().Batch(runs)
+				actuals, err := engine.Default().Batch(ctx, runs)
 				if err != nil {
 					return nil, err
 				}
@@ -90,17 +91,17 @@ func Fig15(full bool) ([]Fig15Result, error) {
 					res.ErrorsPct = append(res.ErrorsPct, e)
 				}
 				// Search quality for this (shape, n).
-				predBest, err := tuner.PredictiveSearch(pred, cands)
+				predBest, err := tuner.PredictiveSearch(ctx, pred, cands)
 				if err != nil {
 					return nil, err
 				}
-				oracle, err := tuner.ExhaustiveSearch(opts, cands)
+				oracle, err := tuner.ExhaustiveSearch(ctx, opts, cands)
 				if err != nil {
 					return nil, err
 				}
 				run := opts
 				run.Partition = predBest.Partition
-				actual, err := engine.Default().Exec(run)
+				actual, err := engine.Default().Exec(ctx, run)
 				if err != nil {
 					return nil, err
 				}

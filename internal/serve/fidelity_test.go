@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -107,7 +108,7 @@ func TestHandlerSweepMixed(t *testing.T) {
 	if nDES == 0 || nAnalytic == 0 {
 		t.Fatalf("mixed sweep produced %d des and %d analytic results; both tiers must appear", nDES, nAnalytic)
 	}
-	ref, err := s.CollectSweep(SweepRequest{SweepSpec: SweepSpec{Fidelity: FidelityMixed}, Items: items})
+	ref, err := s.CollectSweep(context.Background(), SweepRequest{SweepSpec: SweepSpec{Fidelity: FidelityMixed}, Items: items})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestHandlerSweepFidelityRejections(t *testing.T) {
 			t.Errorf("%s: status = %d, want 4xx", name, resp.StatusCode)
 		}
 		resp.Body.Close()
-		chunk, err := s.CollectSweep(req)
+		chunk, err := s.CollectSweep(context.Background(), req)
 		if err == nil {
 			t.Errorf("%s: in-process SweepChunk accepted", name)
 		} else if !IsBadQuery(err) {
@@ -160,7 +161,7 @@ func TestHandlerSweepFidelityRejections(t *testing.T) {
 // silently mispredicting them — here, through the serve layer's own engine.
 func TestAnalyticRejectsUnmodeledVariants(t *testing.T) {
 	s := testService(t)
-	if _, err := s.eng.Exec(core.Options{
+	if _, err := s.eng.Exec(context.Background(), core.Options{
 		Plat: s.cfg.Plat, NGPUs: s.cfg.NGPUs,
 		Shape: warmShapes[0], Prim: hw.AllReduce,
 		Fidelity: core.FidelityAnalytic, Trace: true,

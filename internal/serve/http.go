@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/gemm"
 )
@@ -140,7 +142,30 @@ func StreamRequested(r *http.Request, req SweepRequest) bool {
 // /healthz is the liveness probe behind dead-replica re-admission: a 200
 // means the process is up and serving. The handler is safe for concurrent
 // use, like the service itself.
-func Handler(s *Service) http.Handler {
+//
+// Every request executes under a context derived from r.Context(), so a
+// client that hangs up mid-/sweep stops the remaining chunk execution on
+// the replica. Handler applies no additional deadline; HandlerWithTimeout
+// adds one.
+func Handler(s *Service) http.Handler { return HandlerWithTimeout(s, 0) }
+
+// HandlerWithTimeout is Handler with a per-request execution deadline
+// (cmd/serve's -request-timeout): each request's context is r.Context()
+// plus, when timeout > 0, a deadline of that duration. A request that
+// exceeds it is abandoned between items/events and answered with the
+// retryable error envelope (or a v2 error frame carrying the salvage
+// count); the warm /query fast path never consults the context and stays
+// zero-alloc.
+func HandlerWithTimeout(s *Service, timeout time.Duration) http.Handler {
+	// reqCtx derives the request-scoped context. The warm fast path runs
+	// before any call to it, so timed-out-but-warm queries still answer —
+	// a cache hit is cheaper than an error reply.
+	reqCtx := func(r *http.Request) (context.Context, context.CancelFunc) {
+		if timeout <= 0 {
+			return r.Context(), func() {}
+		}
+		return context.WithTimeout(r.Context(), timeout)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		q, err := ParseQuery(r)
@@ -150,14 +175,16 @@ func Handler(s *Service) http.Handler {
 		}
 		// Warm fast path: a query whose exact key was tuned before is
 		// answered from the pre-encoded reply bytes — no predictor, no
-		// partition clone, no JSON encoder. The bytes are byte-identical
-		// to what the full path below would write.
+		// partition clone, no JSON encoder, and no context derivation. The
+		// bytes are byte-identical to what the full path below would write.
 		if buf, ok := s.QueryEncoded(q); ok {
 			w.Header().Set("Content-Type", "application/json")
 			_, _ = w.Write(buf)
 			return
 		}
-		ans, err := s.Query(q)
+		ctx, cancel := reqCtx(r)
+		defer cancel()
+		ans, err := s.Query(ctx, q)
 		if err != nil {
 			WriteError(w, errStatus(err), err)
 			return
@@ -186,11 +213,13 @@ func Handler(s *Service) http.Handler {
 			WriteError(w, http.StatusBadRequest, fmt.Errorf("serve: sweep request has no items"))
 			return
 		}
+		ctx, cancel := reqCtx(r)
+		defer cancel()
 		if StreamRequested(r, req) {
-			streamSweep(w, s, req)
+			streamSweep(ctx, w, s, req)
 			return
 		}
-		results, err := s.CollectSweep(req)
+		results, err := s.CollectSweep(ctx, req)
 		if err != nil {
 			// Serialize the cause and the chunk-local index separately;
 			// the coordinator's client rebuilds the ChunkError from them.
@@ -227,13 +256,13 @@ func Handler(s *Service) http.Handler {
 // execution starts, so failures surface as error frames, not statuses —
 // the frame's Retryable bit carries the classification a buffered reply
 // would encode in the status class.
-func streamSweep(w http.ResponseWriter, s *Service, req SweepRequest) {
+func streamSweep(ctx context.Context, w http.ResponseWriter, s *Service, req SweepRequest) {
 	w.Header().Set("Content-Type", ContentTypeNDJSON)
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	count := 0
-	err := s.SweepChunk(req, func(i int, res SweepResult) error {
+	err := s.SweepChunk(ctx, req, func(i int, res SweepResult) error {
 		if err := enc.Encode(SweepFrame{Frame: FrameResult, Index: i, Fidelity: res.Fidelity, Result: &res}); err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -17,7 +18,7 @@ import (
 func TestHandlerQueryAndStats(t *testing.T) {
 	s := testService(t)
 	shape := gemm.Shape{M: 2048, N: 8192, K: 4096}
-	if err := s.Warm([]hw.Primitive{hw.AllReduce}, []gemm.Shape{shape}, 0); err != nil {
+	if err := s.Warm(context.Background(), []hw.Primitive{hw.AllReduce}, []gemm.Shape{shape}, 0); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(Handler(s))
@@ -130,14 +131,14 @@ func TestHandlerClassifiesInternalErrorsAs5xx(t *testing.T) {
 // IsBadQuery, internal failures do not.
 func TestQueryErrorClassification(t *testing.T) {
 	s := testService(t)
-	if _, err := s.Query(Query{Shape: gemm.Shape{M: 0, N: 1, K: 1}, Prim: hw.AllReduce}); !IsBadQuery(err) {
+	if _, err := s.Query(context.Background(), Query{Shape: gemm.Shape{M: 0, N: 1, K: 1}, Prim: hw.AllReduce}); !IsBadQuery(err) {
 		t.Fatalf("invalid shape not classified as bad query: %v", err)
 	}
-	if _, err := s.Query(Query{Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllGather}); !IsBadQuery(err) {
+	if _, err := s.Query(context.Background(), Query{Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllGather}); !IsBadQuery(err) {
 		t.Fatalf("unsupported primitive not classified as bad query: %v", err)
 	}
 	s.tuneHook = func() error { return errors.New("boom") }
-	_, err := s.Query(Query{Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllReduce})
+	_, err := s.Query(context.Background(), Query{Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllReduce})
 	if err == nil || IsBadQuery(err) {
 		t.Fatalf("internal failure classified as bad query: %v", err)
 	}
@@ -180,7 +181,7 @@ func TestHandlerSweep(t *testing.T) {
 	if len(sr.Results) != len(items) {
 		t.Fatalf("%d results for %d items", len(sr.Results), len(items))
 	}
-	ref, err := s.CollectSweep(SweepRequest{Items: items})
+	ref, err := s.CollectSweep(context.Background(), SweepRequest{Items: items})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestSweepChunkKeepsCompletedPrefixOnFailure(t *testing.T) {
 		{M: 4096, N: 8192, K: 8192, Prim: "AR"}, // distinct shape: second tune fails
 	}
 
-	partial, err := s.CollectSweep(SweepRequest{SweepSpec: SweepSpec{Tune: true}, Items: items})
+	partial, err := s.CollectSweep(context.Background(), SweepRequest{SweepSpec: SweepSpec{Tune: true}, Items: items})
 	var ce *ChunkError
 	if !errors.As(err, &ce) || ce.Index != 1 {
 		t.Fatalf("error %v does not name chunk item 1", err)

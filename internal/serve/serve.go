@@ -13,6 +13,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -146,10 +147,18 @@ type Stats struct {
 	// SweptItemsAnalytic and SweptItemsDES split successfully executed
 	// sweep items by fidelity, so operators can read the fidelity mix of
 	// live traffic off /stats (a mixed sweep counts into both).
-	SweptItemsAnalytic uint64       `json:"swept_items_analytic"`
-	SweptItemsDES      uint64       `json:"swept_items_des"`
-	Primitives         []string     `json:"primitives"`
-	Engine             engine.Stats `json:"engine"`
+	SweptItemsAnalytic uint64 `json:"swept_items_analytic"`
+	SweptItemsDES      uint64 `json:"swept_items_des"`
+	// CancelledQueries counts /query requests abandoned on a context error
+	// (client disconnect or deadline); CancelledSweepItems counts sweep
+	// items whose execution or delivery was skipped because the request
+	// context ended mid-chunk; DeadlineExceeded is the subset of both whose
+	// context ended by deadline rather than explicit cancellation.
+	CancelledQueries    uint64       `json:"cancelled_queries"`
+	CancelledSweepItems uint64       `json:"cancelled_sweep_items"`
+	DeadlineExceeded    uint64       `json:"deadline_exceeded"`
+	Primitives          []string     `json:"primitives"`
+	Engine              engine.Stats `json:"engine"`
 }
 
 // Merge accumulates another replica's snapshot: counters sum, primitive sets
@@ -163,18 +172,21 @@ func (s Stats) Merge(o Stats) Stats {
 		prims[p] = true
 	}
 	merged := Stats{
-		Hits:               s.Hits + o.Hits,
-		Misses:             s.Misses + o.Misses,
-		Collapsed:          s.Collapsed + o.Collapsed,
-		Tunes:              s.Tunes + o.Tunes,
-		ShapesCached:       s.ShapesCached + o.ShapesCached,
-		EncodedHits:        s.EncodedHits + o.EncodedHits,
-		WarmEncoded:        s.WarmEncoded + o.WarmEncoded,
-		SnapshotRestored:   s.SnapshotRestored + o.SnapshotRestored,
-		SnapshotRejects:    s.SnapshotRejects + o.SnapshotRejects,
-		SweptItemsAnalytic: s.SweptItemsAnalytic + o.SweptItemsAnalytic,
-		SweptItemsDES:      s.SweptItemsDES + o.SweptItemsDES,
-		Engine:             s.Engine.Add(o.Engine),
+		Hits:                s.Hits + o.Hits,
+		Misses:              s.Misses + o.Misses,
+		Collapsed:           s.Collapsed + o.Collapsed,
+		Tunes:               s.Tunes + o.Tunes,
+		ShapesCached:        s.ShapesCached + o.ShapesCached,
+		EncodedHits:         s.EncodedHits + o.EncodedHits,
+		WarmEncoded:         s.WarmEncoded + o.WarmEncoded,
+		SnapshotRestored:    s.SnapshotRestored + o.SnapshotRestored,
+		SnapshotRejects:     s.SnapshotRejects + o.SnapshotRejects,
+		SweptItemsAnalytic:  s.SweptItemsAnalytic + o.SweptItemsAnalytic,
+		SweptItemsDES:       s.SweptItemsDES + o.SweptItemsDES,
+		CancelledQueries:    s.CancelledQueries + o.CancelledQueries,
+		CancelledSweepItems: s.CancelledSweepItems + o.CancelledSweepItems,
+		DeadlineExceeded:    s.DeadlineExceeded + o.DeadlineExceeded,
+		Engine:              s.Engine.Add(o.Engine),
 	}
 	for p := range prims {
 		merged.Primitives = append(merged.Primitives, p)
@@ -211,6 +223,9 @@ type Service struct {
 	snapshotRestored               atomic.Uint64
 	snapshotRejects                atomic.Uint64
 	sweptAnalytic, sweptDES        atomic.Uint64
+	cancelledQueries               atomic.Uint64
+	cancelledSweep                 atomic.Uint64
+	deadlineExceeded               atomic.Uint64
 
 	// tuneHook, when set (tests only), runs inside the singleflight'd
 	// search, letting a test hold the flight open while more queries pile
@@ -328,7 +343,10 @@ func supportedPrim(p hw.Primitive) bool {
 
 // tunerFor returns the primitive's tuner, running the offline stage at most
 // once per primitive no matter how many queries race on a cold service.
-func (s *Service) tunerFor(p hw.Primitive) (*tuner.Tuner, error) {
+// A cancelled ctx abandons only this caller's wait; the offline stage
+// itself runs detached (see flightGroup.do) so the tuner still lands for
+// the next query.
+func (s *Service) tunerFor(ctx context.Context, p hw.Primitive) (*tuner.Tuner, error) {
 	s.mu.RLock()
 	tn := s.tuners[p]
 	s.mu.RUnlock()
@@ -338,7 +356,7 @@ func (s *Service) tunerFor(p hw.Primitive) (*tuner.Tuner, error) {
 	if !supportedPrim(p) {
 		return nil, badQueryf("serve: unsupported primitive %v", p)
 	}
-	v, err, _ := s.tunerFlight.do(p.String(), func() (any, error) {
+	v, err, _ := s.tunerFlight.do(ctx, p.String(), func(context.Context) (any, error) {
 		s.mu.RLock()
 		tn := s.tuners[p]
 		s.mu.RUnlock()
@@ -402,11 +420,24 @@ func validateQuery(q Query) error {
 // concurrent misses on one key share a single search. Errors are classified:
 // deterministic rejections of the query itself satisfy IsBadQuery, anything
 // else is an internal failure another replica might not share.
-func (s *Service) Query(q Query) (Answer, error) {
+//
+// ctx cancellation abandons only this caller: an in-flight shared tune
+// still completes and fills the cache for the next query. Abandoned
+// requests return the ctx error (never a BadQueryError) and count into
+// cancelled_queries / deadline_exceeded.
+func (s *Service) Query(ctx context.Context, q Query) (ans Answer, err error) {
+	defer func() {
+		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			if errors.Is(err, context.DeadlineExceeded) {
+				s.deadlineExceeded.Add(1)
+			}
+			s.cancelledQueries.Add(1)
+		}
+	}()
 	if err := validateQuery(q); err != nil {
 		return Answer{}, err
 	}
-	tn, err := s.tunerFor(q.Prim)
+	tn, err := s.tunerFor(ctx, q.Prim)
 	if err != nil {
 		return Answer{}, err
 	}
@@ -415,16 +446,19 @@ func (s *Service) Query(q Query) (Answer, error) {
 		return s.answer(tn, q, part, SourceCache)
 	}
 	s.misses.Add(1)
-	v, err, shared := s.tuneFlight.do(flightKey(q), func() (any, error) {
+	v, err, shared := s.tuneFlight.do(ctx, flightKey(q), func(fctx context.Context) (any, error) {
 		if s.tuneHook != nil {
 			if err := s.tuneHook(); err != nil {
 				return nil, err
 			}
 		}
 		s.tunes.Add(1)
-		return tn.Tune(q.Shape, q.Imbalance)
+		return tn.Tune(fctx, q.Shape, q.Imbalance)
 	})
 	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return Answer{}, err
+		}
 		return Answer{}, fmt.Errorf("serve: tuning %v %v: %w", q.Prim, q.Shape, err)
 	}
 	if shared {
@@ -432,7 +466,7 @@ func (s *Service) Query(q Query) (Answer, error) {
 	}
 	// Every collapsed waiter receives the same underlying slice; clone so
 	// answers never alias each other (the cache-hit path clones too).
-	ans, err := s.answer(tn, q, v.(gemm.Partition).Clone(), SourceTuned)
+	ans, err = s.answer(tn, q, v.(gemm.Partition).Clone(), SourceTuned)
 	if err == nil {
 		// Pre-encode the immutable warm reply now, while the freshly
 		// tuned answer is in hand: the next query for this exact key is
@@ -464,7 +498,8 @@ func (s *Service) answer(tn *tuner.Tuner, q Query, part gemm.Partition, source s
 // paper's "pre-search representative sizes" step). In a sharded deployment
 // (Config.Owns set) only the owned slice of the list is warmed: each
 // replica's caches stay disjoint, and the fleet covers the full list.
-func (s *Service) Warm(prims []hw.Primitive, shapes []gemm.Shape, imbalance float64) error {
+// ctx cancellation stops warming between shapes; already-tuned entries stay.
+func (s *Service) Warm(ctx context.Context, prims []hw.Primitive, shapes []gemm.Shape, imbalance float64) error {
 	if s.cfg.Owns != nil {
 		owned := make([]gemm.Shape, 0, len(shapes))
 		for _, shape := range shapes {
@@ -478,11 +513,11 @@ func (s *Service) Warm(prims []hw.Primitive, shapes []gemm.Shape, imbalance floa
 		return nil
 	}
 	for _, p := range prims {
-		tn, err := s.tunerFor(p)
+		tn, err := s.tunerFor(ctx, p)
 		if err != nil {
 			return err
 		}
-		parts, err := tn.TuneGrid(shapes, imbalance)
+		parts, err := tn.TuneGrid(ctx, shapes, imbalance)
 		if err != nil {
 			return fmt.Errorf("serve: warming %v: %w", p, err)
 		}
@@ -498,7 +533,7 @@ func (s *Service) Warm(prims []hw.Primitive, shapes []gemm.Shape, imbalance floa
 				Imbalance: imbalance,
 			}
 		}
-		if _, err := s.eng.Batch(runs); err != nil {
+		if _, err := s.eng.Batch(ctx, runs); err != nil {
 			return fmt.Errorf("serve: warming %v: %w", p, err)
 		}
 		// Pre-encode every warmed answer so the first real query for a
@@ -527,18 +562,21 @@ func (s *Service) countSwept(f core.Fidelity) {
 // a snapshot under concurrent load is approximate; each counter is exact.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Shard:              s.cfg.Shard,
-		Hits:               s.hits.Load(),
-		Misses:             s.misses.Load(),
-		Collapsed:          s.collapsed.Load(),
-		Tunes:              s.tunes.Load(),
-		EncodedHits:        s.encodedHits.Load(),
-		WarmEncoded:        s.encodedLen(),
-		SnapshotRestored:   s.snapshotRestored.Load(),
-		SnapshotRejects:    s.snapshotRejects.Load(),
-		SweptItemsAnalytic: s.sweptAnalytic.Load(),
-		SweptItemsDES:      s.sweptDES.Load(),
-		Engine:             s.eng.Stats(),
+		Shard:               s.cfg.Shard,
+		Hits:                s.hits.Load(),
+		Misses:              s.misses.Load(),
+		Collapsed:           s.collapsed.Load(),
+		Tunes:               s.tunes.Load(),
+		EncodedHits:         s.encodedHits.Load(),
+		WarmEncoded:         s.encodedLen(),
+		SnapshotRestored:    s.snapshotRestored.Load(),
+		SnapshotRejects:     s.snapshotRejects.Load(),
+		SweptItemsAnalytic:  s.sweptAnalytic.Load(),
+		SweptItemsDES:       s.sweptDES.Load(),
+		CancelledQueries:    s.cancelledQueries.Load(),
+		CancelledSweepItems: s.cancelledSweep.Load(),
+		DeadlineExceeded:    s.deadlineExceeded.Load(),
+		Engine:              s.eng.Stats(),
 	}
 	s.mu.RLock()
 	for p, tn := range s.tuners {

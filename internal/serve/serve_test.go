@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -28,7 +29,7 @@ var warmShapes = []gemm.Shape{
 // plan compilation — the cache counters prove it.
 func TestWarmQueryAnswersFromCache(t *testing.T) {
 	s := testService(t)
-	if err := s.Warm([]hw.Primitive{hw.AllReduce}, warmShapes, 0); err != nil {
+	if err := s.Warm(context.Background(), []hw.Primitive{hw.AllReduce}, warmShapes, 0); err != nil {
 		t.Fatal(err)
 	}
 	warm := s.Stats()
@@ -43,7 +44,7 @@ func TestWarmQueryAnswersFromCache(t *testing.T) {
 	}
 
 	for _, shape := range warmShapes {
-		ans, err := s.Query(Query{Shape: shape, Prim: hw.AllReduce})
+		ans, err := s.Query(context.Background(), Query{Shape: shape, Prim: hw.AllReduce})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -70,14 +71,14 @@ func TestWarmQueryAnswersFromCache(t *testing.T) {
 func TestColdQueryTunesThenCaches(t *testing.T) {
 	s := testService(t)
 	shape := gemm.Shape{M: 4096, N: 8192, K: 4096}
-	ans, err := s.Query(Query{Shape: shape, Prim: hw.AllReduce})
+	ans, err := s.Query(context.Background(), Query{Shape: shape, Prim: hw.AllReduce})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ans.Source != SourceTuned {
 		t.Fatalf("cold query source = %q, want %q", ans.Source, SourceTuned)
 	}
-	again, err := s.Query(Query{Shape: shape, Prim: hw.AllReduce})
+	again, err := s.Query(context.Background(), Query{Shape: shape, Prim: hw.AllReduce})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +110,7 @@ func TestSingleflightCollapsesDuplicateMisses(t *testing.T) {
 	s := testService(t)
 	q := Query{Shape: gemm.Shape{M: 2048, N: 8192, K: 8192}, Prim: hw.AllReduce}
 	// Pre-build the tuner so the queries below race only on the tune.
-	if _, err := s.tunerFor(q.Prim); err != nil {
+	if _, err := s.tunerFor(context.Background(), q.Prim); err != nil {
 		t.Fatal(err)
 	}
 
@@ -124,7 +125,7 @@ func TestSingleflightCollapsesDuplicateMisses(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			answers[i], errs[i] = s.Query(q)
+			answers[i], errs[i] = s.Query(context.Background(), q)
 		}(i)
 	}
 	// Hold the first search open until every duplicate is parked on it,
@@ -164,11 +165,11 @@ func TestSingleflightCollapsesDuplicateMisses(t *testing.T) {
 func TestLookupWaveMismatchFallsBackToTune(t *testing.T) {
 	s := testService(t)
 	seed := gemm.Shape{M: 2048, N: 8192, K: 8192}
-	if err := s.Warm([]hw.Primitive{hw.AllReduce}, []gemm.Shape{seed}, 0); err != nil {
+	if err := s.Warm(context.Background(), []hw.Primitive{hw.AllReduce}, []gemm.Shape{seed}, 0); err != nil {
 		t.Fatal(err)
 	}
 	// Same M*N, nearby K: same wave count, transfers from the cache.
-	near, err := s.Query(Query{Shape: gemm.Shape{M: 2048, N: 8192, K: 6144}, Prim: hw.AllReduce})
+	near, err := s.Query(context.Background(), Query{Shape: gemm.Shape{M: 2048, N: 8192, K: 6144}, Prim: hw.AllReduce})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestLookupWaveMismatchFallsBackToTune(t *testing.T) {
 	}
 	// Much larger M: different wave count; the cached partition must not
 	// transfer, and the answer must cover the query's own wave count.
-	far, err := s.Query(Query{Shape: gemm.Shape{M: 16384, N: 8192, K: 8192}, Prim: hw.AllReduce})
+	far, err := s.Query(context.Background(), Query{Shape: gemm.Shape{M: 16384, N: 8192, K: 8192}, Prim: hw.AllReduce})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,11 +195,11 @@ func TestLookupWaveMismatchFallsBackToTune(t *testing.T) {
 func TestQueryImbalanceSeparatesCacheEntries(t *testing.T) {
 	s := testService(t)
 	shape := gemm.Shape{M: 4096, N: 8192, K: 4096}
-	balanced, err := s.Query(Query{Shape: shape, Prim: hw.AllToAll, Imbalance: 1})
+	balanced, err := s.Query(context.Background(), Query{Shape: shape, Prim: hw.AllToAll, Imbalance: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	skewed, err := s.Query(Query{Shape: shape, Prim: hw.AllToAll, Imbalance: 8})
+	skewed, err := s.Query(context.Background(), Query{Shape: shape, Prim: hw.AllToAll, Imbalance: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestQueryImbalanceSeparatesCacheEntries(t *testing.T) {
 	}
 	// Each imbalance now hits its own entry.
 	for _, imb := range []float64{1, 8} {
-		ans, err := s.Query(Query{Shape: shape, Prim: hw.AllToAll, Imbalance: imb})
+		ans, err := s.Query(context.Background(), Query{Shape: shape, Prim: hw.AllToAll, Imbalance: imb})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -227,10 +228,10 @@ func TestQueryImbalanceSeparatesCacheEntries(t *testing.T) {
 // Unsupported primitives and malformed shapes fail loudly.
 func TestQueryValidation(t *testing.T) {
 	s := testService(t)
-	if _, err := s.Query(Query{Shape: gemm.Shape{M: 0, N: 8192, K: 4096}, Prim: hw.AllReduce}); err == nil {
+	if _, err := s.Query(context.Background(), Query{Shape: gemm.Shape{M: 0, N: 8192, K: 4096}, Prim: hw.AllReduce}); err == nil {
 		t.Error("zero-dimension shape accepted")
 	}
-	if _, err := s.Query(Query{Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllGather}); err == nil {
+	if _, err := s.Query(context.Background(), Query{Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllGather}); err == nil {
 		t.Error("AllGather accepted but the engine cannot execute it")
 	}
 	if _, err := New(Config{Plat: hw.RTX4090PCIe(), NGPUs: 1}); err == nil {
@@ -243,7 +244,7 @@ func TestQueryValidation(t *testing.T) {
 // runs this under -race.
 func TestConcurrentMixedQueries(t *testing.T) {
 	s := testService(t)
-	if err := s.Warm([]hw.Primitive{hw.AllReduce}, warmShapes, 0); err != nil {
+	if err := s.Warm(context.Background(), []hw.Primitive{hw.AllReduce}, warmShapes, 0); err != nil {
 		t.Fatal(err)
 	}
 	shapes := append([]gemm.Shape{}, warmShapes...)
@@ -262,7 +263,7 @@ func TestConcurrentMixedQueries(t *testing.T) {
 					Shape: shapes[(w+i)%len(shapes)],
 					Prim:  prims[(w+i)%len(prims)],
 				}
-				ans, err := s.Query(q)
+				ans, err := s.Query(context.Background(), q)
 				if err != nil {
 					t.Error(err)
 					return

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -16,19 +17,27 @@ type flightGroup struct {
 }
 
 type flightCall struct {
-	wg      sync.WaitGroup
-	val     any
-	err     error
-	dups    int
-	panicry any // non-nil when fn panicked; re-raised in the executor
+	done chan struct{} // closed when fn has returned and the key is released
+	val  any
+	err  error
+	dups int
 }
 
 // do executes fn once per key among concurrent callers. shared reports
-// whether this caller received another caller's result instead of running fn
-// itself. A panic in fn is re-raised in the executing caller after the key
-// is released; waiters receive it as an error, so one poisoned request can
-// never wedge its key forever in a long-lived server.
-func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+// whether this caller received another caller's result instead of
+// initiating fn itself.
+//
+// fn runs in its own goroutine under a context detached from the caller's
+// (context.WithoutCancel): cancelling any waiter — including the one that
+// initiated the flight — abandons only that waiter, which gets its own
+// ctx.Err() immediately. The flight itself always runs to completion and
+// delivers its result to the remaining waiters, so a cancelled request can
+// never poison the shared result or evict work other requests are waiting
+// on. A panic in fn is converted to an error for every waiter (the
+// executing goroutine is detached, so re-raising would kill the process);
+// the key is always released, so one poisoned request can never wedge its
+// key forever in a long-lived server.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (val any, err error, shared bool) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[string]*flightCall)
@@ -36,30 +45,35 @@ func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error
 	if c, ok := g.m[key]; ok {
 		c.dups++
 		g.mu.Unlock()
-		c.wg.Wait()
-		return c.val, c.err, true
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
 	}
-	c := new(flightCall)
-	c.wg.Add(1)
+	c := &flightCall{done: make(chan struct{})}
 	g.m[key] = c
 	g.mu.Unlock()
 
-	func() {
+	fctx := context.WithoutCancel(ctx)
+	go func() {
 		defer func() {
 			if r := recover(); r != nil {
-				c.panicry = r
 				c.err = fmt.Errorf("serve: in-flight call for %q panicked: %v", key, r)
 			}
+			g.mu.Lock()
+			delete(g.m, key)
+			g.mu.Unlock()
+			close(c.done)
 		}()
-		c.val, c.err = fn()
+		c.val, c.err = fn(fctx)
 	}()
 
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	c.wg.Done()
-	if c.panicry != nil {
-		panic(c.panicry)
+	select {
+	case <-c.done:
+		return c.val, c.err, false
+	case <-ctx.Done():
+		return nil, ctx.Err(), false
 	}
-	return c.val, c.err, false
 }

@@ -1,12 +1,15 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestFlightGroupCollapsesOneKey(t *testing.T) {
@@ -22,7 +25,7 @@ func TestFlightGroupCollapsesOneKey(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err, shared := g.do("k", func() (any, error) {
+			v, err, shared := g.do(context.Background(), "k", func(context.Context) (any, error) {
 				<-release
 				return calls.Add(1), nil
 			})
@@ -63,7 +66,7 @@ func TestFlightGroupSeparatesKeys(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if _, err, _ := g.do(fmt.Sprintf("k%d", i), func() (any, error) {
+			if _, err, _ := g.do(context.Background(), fmt.Sprintf("k%d", i), func(context.Context) (any, error) {
 				calls.Add(1)
 				return nil, nil
 			}); err != nil {
@@ -80,31 +83,32 @@ func TestFlightGroupSeparatesKeys(t *testing.T) {
 func TestFlightGroupPropagatesErrors(t *testing.T) {
 	var g flightGroup
 	wantErr := fmt.Errorf("tune failed")
-	if _, err, _ := g.do("k", func() (any, error) { return nil, wantErr }); err != wantErr {
+	if _, err, _ := g.do(context.Background(), "k", func(context.Context) (any, error) { return nil, wantErr }); err != wantErr {
 		t.Fatalf("err = %v, want %v", err, wantErr)
 	}
 	// The failed call must not stick: a retry runs fn again.
-	v, err, shared := g.do("k", func() (any, error) { return 42, nil })
+	v, err, shared := g.do(context.Background(), "k", func(context.Context) (any, error) { return 42, nil })
 	if err != nil || shared || v.(int) != 42 {
 		t.Fatalf("retry after failure: %v, %v, %v", v, err, shared)
 	}
 }
 
-// A panicking fn must release its key: the executor re-panics, waiters get
-// an error, and the key works again afterwards — a poisoned request cannot
+// A panicking fn must release its key: fn runs on a detached goroutine, so
+// the panic is converted to an error every waiter (initiator included)
+// receives, and the key works again afterwards — a poisoned request cannot
 // wedge a long-lived server.
 func TestFlightGroupSurvivesPanic(t *testing.T) {
 	var g flightGroup
 	release := make(chan struct{})
 	waiterErr := make(chan error, 1)
-	executorPanicked := make(chan any, 1)
+	initiatorErr := make(chan error, 1)
 
 	go func() {
-		defer func() { executorPanicked <- recover() }()
-		g.do("k", func() (any, error) {
+		_, err, _ := g.do(context.Background(), "k", func(context.Context) (any, error) {
 			<-release
 			panic("tune exploded")
 		})
+		initiatorErr <- err
 	}()
 	inFlight := func() bool {
 		g.mu.Lock()
@@ -116,28 +120,136 @@ func TestFlightGroupSurvivesPanic(t *testing.T) {
 		for !inFlight() {
 			runtime.Gosched()
 		}
-		_, err, _ := g.do("k", func() (any, error) { return nil, nil })
+		_, err, _ := g.do(context.Background(), "k", func(context.Context) (any, error) { return nil, nil })
 		waiterErr <- err
 	}()
-	// Wait for the waiter to park, then let the executor blow up. The
-	// waiter's closure must never run: if it did, err would be nil.
+	// Wait for the waiter to park, then let the executing goroutine blow
+	// up. The waiter's closure must never run: if it did, err would be nil.
 	for waiters(&g, "k") < 1 {
 		runtime.Gosched()
 	}
 	close(release)
 
-	if r := <-executorPanicked; r == nil {
-		t.Fatal("executor's panic was swallowed")
+	if err := <-initiatorErr; err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("initiator error = %v, want a panic report", err)
 	}
 	if err := <-waiterErr; err == nil || !strings.Contains(err.Error(), "panicked") {
 		t.Fatalf("waiter error = %v, want a panic report", err)
 	}
 	// The key must be free again.
-	v, err, shared := g.do("k", func() (any, error) { return 7, nil })
+	v, err, shared := g.do(context.Background(), "k", func(context.Context) (any, error) { return 7, nil })
 	if err != nil || shared || v.(int) != 7 {
 		t.Fatalf("key still poisoned: %v, %v, %v", v, err, shared)
 	}
 	if n := waiters(&g, "k"); n != 0 {
 		t.Fatalf("stale flight left behind (%d waiters)", n)
+	}
+}
+
+// A cancelled waiter abandons only itself: it gets its own ctx.Err()
+// immediately (not the flight's eventual result), while the flight runs to
+// completion and delivers to the remaining waiters — cancellation can
+// neither poison the shared result nor evict the in-flight entry.
+func TestFlightGroupCancelledWaiterDoesNotPoisonFlight(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int64
+	release := make(chan struct{})
+
+	patientVal := make(chan any, 1)
+	go func() {
+		v, err, _ := g.do(context.Background(), "k", func(context.Context) (any, error) {
+			<-release
+			return calls.Add(1), nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		patientVal <- v
+	}()
+	for !func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		_, ok := g.m["k"]
+		return ok
+	}() {
+		runtime.Gosched()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	v, err, shared := g.do(ctx, "k", func(context.Context) (any, error) {
+		t.Error("cancelled waiter's closure ran; the flight was already in-flight")
+		return nil, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter: v=%v err=%v, want context.Canceled", v, err)
+	}
+	if !shared {
+		t.Fatal("cancelled waiter reported shared=false; it joined an in-flight call")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("cancelled waiter blocked %v; must return promptly", waited)
+	}
+
+	// The flight must still be alive and deliver to the patient waiter.
+	close(release)
+	if got := <-patientVal; got.(int64) != 1 {
+		t.Fatalf("patient waiter got %v, want 1", got)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1 (cancellation must not re-run or evict the flight)", calls.Load())
+	}
+}
+
+// Cancelling the initiating caller must not kill the flight: fn executes on
+// a context detached from the initiator's, completes, and fills the group's
+// result for concurrent waiters.
+func TestFlightGroupInitiatorCancelDetachesExecution(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	fnCtxErr := make(chan error, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	initiatorErr := make(chan error, 1)
+	go func() {
+		_, err, _ := g.do(ctx, "k", func(fctx context.Context) (any, error) {
+			<-release
+			fnCtxErr <- fctx.Err()
+			return "done", nil
+		})
+		initiatorErr <- err
+	}()
+	for waiters(&g, "k") >= 0 {
+		g.mu.Lock()
+		_, ok := g.m["k"]
+		g.mu.Unlock()
+		if ok {
+			break
+		}
+		runtime.Gosched()
+	}
+	cancel()
+	if err := <-initiatorErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled initiator error = %v, want context.Canceled", err)
+	}
+	// The detached execution must still observe a live context and finish.
+	close(release)
+	if err := <-fnCtxErr; err != nil {
+		t.Fatalf("fn's detached context was cancelled: %v", err)
+	}
+	// The key drains once the flight completes.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		_, ok := g.m["k"]
+		g.mu.Unlock()
+		if !ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flight never released its key after completing")
+		}
+		runtime.Gosched()
 	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -41,7 +42,7 @@ func dropAllEncoded(s *Service) {
 func TestQueryFastPathBytesMatchSlowPath(t *testing.T) {
 	s := testService(t)
 	shape := gemm.Shape{M: 2048, N: 8192, K: 4096}
-	if err := s.Warm([]hw.Primitive{hw.AllReduce}, []gemm.Shape{shape}, 0); err != nil {
+	if err := s.Warm(context.Background(), []hw.Primitive{hw.AllReduce}, []gemm.Shape{shape}, 0); err != nil {
 		t.Fatal(err)
 	}
 	srv := httptest.NewServer(Handler(s))
@@ -91,7 +92,7 @@ func TestTunedQueryPreEncodesNextHit(t *testing.T) {
 func TestRetuneDropsStaleEncoding(t *testing.T) {
 	s := testService(t)
 	shape := gemm.Shape{M: 2048, N: 8192, K: 4096}
-	if err := s.Warm([]hw.Primitive{hw.AllReduce}, []gemm.Shape{shape}, 0); err != nil {
+	if err := s.Warm(context.Background(), []hw.Primitive{hw.AllReduce}, []gemm.Shape{shape}, 0); err != nil {
 		t.Fatal(err)
 	}
 	if n := s.encodedLen(); n != 1 {
@@ -99,7 +100,7 @@ func TestRetuneDropsStaleEncoding(t *testing.T) {
 	}
 	// Warm again: the tuner replaces the entry, OnEvict fires, and the
 	// encoding is re-stored afterwards — never left stale in between.
-	if err := s.Warm([]hw.Primitive{hw.AllReduce}, []gemm.Shape{shape}, 0); err != nil {
+	if err := s.Warm(context.Background(), []hw.Primitive{hw.AllReduce}, []gemm.Shape{shape}, 0); err != nil {
 		t.Fatal(err)
 	}
 	if n := s.encodedLen(); n != 1 {
@@ -112,7 +113,7 @@ func TestRetuneDropsStaleEncoding(t *testing.T) {
 func TestWarmQueryEncodedAllocs(t *testing.T) {
 	s := testService(t)
 	shape := gemm.Shape{M: 2048, N: 8192, K: 4096}
-	if err := s.Warm([]hw.Primitive{hw.AllReduce}, []gemm.Shape{shape}, 0); err != nil {
+	if err := s.Warm(context.Background(), []hw.Primitive{hw.AllReduce}, []gemm.Shape{shape}, 0); err != nil {
 		t.Fatal(err)
 	}
 	q := Query{Shape: shape, Prim: hw.AllReduce}
@@ -132,12 +133,12 @@ func TestWarmQueryEncodedAllocs(t *testing.T) {
 func TestSnapshotRestoreBytesIdentical(t *testing.T) {
 	a := testService(t)
 	warm := []gemm.Shape{{M: 2048, N: 8192, K: 4096}, {M: 4096, N: 8192, K: 4096}}
-	if err := a.Warm([]hw.Primitive{hw.AllReduce}, warm, 0); err != nil {
+	if err := a.Warm(context.Background(), []hw.Primitive{hw.AllReduce}, warm, 0); err != nil {
 		t.Fatal(err)
 	}
 	// One shape arrives through live traffic rather than warming, on a
 	// second primitive with a skewed imbalance.
-	if _, err := a.Query(Query{Shape: gemm.Shape{M: 4096, N: 8192, K: 8192}, Prim: hw.AllToAll, Imbalance: 4}); err != nil {
+	if _, err := a.Query(context.Background(), Query{Shape: gemm.Shape{M: 4096, N: 8192, K: 8192}, Prim: hw.AllToAll, Imbalance: 4}); err != nil {
 		t.Fatal(err)
 	}
 
@@ -191,7 +192,7 @@ func TestSnapshotRestoreBytesIdentical(t *testing.T) {
 // answers queries.
 func TestSnapshotRejectsLoadCold(t *testing.T) {
 	src := testService(t)
-	if err := src.Warm([]hw.Primitive{hw.AllReduce}, []gemm.Shape{{M: 2048, N: 8192, K: 4096}}, 0); err != nil {
+	if err := src.Warm(context.Background(), []hw.Primitive{hw.AllReduce}, []gemm.Shape{{M: 2048, N: 8192, K: 4096}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
@@ -234,7 +235,7 @@ func TestSnapshotRejectsLoadCold(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if err := other.Warm([]hw.Primitive{hw.AllReduce}, []gemm.Shape{{M: 2048, N: 8192, K: 4096}}, 0); err != nil {
+			if err := other.Warm(context.Background(), []hw.Primitive{hw.AllReduce}, []gemm.Shape{{M: 2048, N: 8192, K: 4096}}, 0); err != nil {
 				t.Fatal(err)
 			}
 			p := filepath.Join(dir, "h100.json")
@@ -284,7 +285,7 @@ func TestSnapshotRejectsLoadCold(t *testing.T) {
 				t.Fatalf("rejected snapshot left partial state: %+v", st)
 			}
 			// Cold fallback still serves.
-			if _, err := s.Query(Query{Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllReduce}); err != nil {
+			if _, err := s.Query(context.Background(), Query{Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllReduce}); err != nil {
 				t.Fatalf("service cannot answer after a rejected snapshot: %v", err)
 			}
 		})
@@ -294,7 +295,7 @@ func TestSnapshotRejectsLoadCold(t *testing.T) {
 // Version skew is detected from the envelope before the payload is trusted.
 func TestSnapshotVersionMismatchRejected(t *testing.T) {
 	src := testService(t)
-	if err := src.Warm([]hw.Primitive{hw.AllReduce}, []gemm.Shape{{M: 2048, N: 8192, K: 4096}}, 0); err != nil {
+	if err := src.Warm(context.Background(), []hw.Primitive{hw.AllReduce}, []gemm.Shape{{M: 2048, N: 8192, K: 4096}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "warm.json")
@@ -322,7 +323,7 @@ func TestSnapshotVersionMismatchRejected(t *testing.T) {
 // and a save into a fresh directory leaves no temp litter.
 func TestSaveSnapshotFileAtomic(t *testing.T) {
 	s := testService(t)
-	if err := s.Warm([]hw.Primitive{hw.AllReduce}, []gemm.Shape{{M: 2048, N: 8192, K: 4096}}, 0); err != nil {
+	if err := s.Warm(context.Background(), []hw.Primitive{hw.AllReduce}, []gemm.Shape{{M: 2048, N: 8192, K: 4096}}, 0); err != nil {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -94,7 +95,7 @@ func TestHandlerSweepStreamsV2Frames(t *testing.T) {
 	}
 
 	// v1 and v2 must be the same results on the wire, byte for byte.
-	ref, err := s.CollectSweep(SweepRequest{Items: items})
+	ref, err := s.CollectSweep(context.Background(), SweepRequest{Items: items})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestHandlerSweepStreamsMixedFidelity(t *testing.T) {
 	if nDES == 0 || nAnalytic == 0 {
 		t.Fatalf("mixed stream carried %d des and %d analytic frames; both tiers must appear", nDES, nAnalytic)
 	}
-	ref, err := s.CollectSweep(SweepRequest{SweepSpec: SweepSpec{Fidelity: FidelityMixed}, Items: items})
+	ref, err := s.CollectSweep(context.Background(), SweepRequest{SweepSpec: SweepSpec{Fidelity: FidelityMixed}, Items: items})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -202,12 +203,48 @@ type SweepSink func(index int, res SweepResult) error
 // configured fleet executes the chunk — the property that lets a
 // coordinator re-dispatch chunks through the failover ring without
 // perturbing the merged sweep.
-func (s *Service) SweepChunk(req SweepRequest, sink SweepSink) error {
+//
+// ctx cancellation stops the chunk between items (an in-flight DES item
+// aborts between simulator events): the emitted prefix is the salvage, the
+// chunk returns a *ChunkError wrapping the ctx error at the first
+// unanswered index, and the unanswered remainder counts into
+// cancelled_sweep_items (plus deadline_exceeded when the deadline caused
+// it).
+func (s *Service) SweepChunk(ctx context.Context, req SweepRequest, sink SweepSink) error {
+	emitted := 0
+	counted := func(i int, res SweepResult) error {
+		if err := sink(i, res); err != nil {
+			return err
+		}
+		emitted++
+		return nil
+	}
+	err := s.sweepChunk(ctx, req, counted)
+	if err != nil {
+		// Count via ctx.Err() as well as the returned error: a sink write
+		// failure caused by the client hanging up races the loop's own ctx
+		// check, and both must attribute the unanswered remainder.
+		ctxErr := ctx.Err()
+		if ctxErr != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if rest := len(req.Items) - emitted; rest > 0 {
+				s.cancelledSweep.Add(uint64(rest))
+			}
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(ctxErr, context.DeadlineExceeded) {
+				s.deadlineExceeded.Add(1)
+			}
+		}
+	}
+	return err
+}
+
+// sweepChunk dispatches on the request-level fidelity; SweepChunk wraps it
+// to attribute cancelled items.
+func (s *Service) sweepChunk(ctx context.Context, req SweepRequest, sink SweepSink) error {
 	switch req.Fidelity {
 	case "", FidelityDES, FidelityAnalytic:
-		return s.sweepChunkFlat(req, sink)
+		return s.sweepChunkFlat(ctx, req, sink)
 	case FidelityMixed:
-		return s.sweepChunkMixed(req, sink)
+		return s.sweepChunkMixed(ctx, req, sink)
 	}
 	return &ChunkError{Index: 0, Err: badQueryf("serve: unknown sweep fidelity %q (want %q, %q, or %q)", req.Fidelity, FidelityDES, FidelityAnalytic, FidelityMixed)}
 }
@@ -215,9 +252,9 @@ func (s *Service) SweepChunk(req SweepRequest, sink SweepSink) error {
 // CollectSweep runs SweepChunk into a slice: the buffered (v1) form. On
 // failure the completed prefix rides along with the error, preserving the
 // partial-chunk salvage for callers that still materialize replies.
-func (s *Service) CollectSweep(req SweepRequest) ([]SweepResult, error) {
+func (s *Service) CollectSweep(ctx context.Context, req SweepRequest) ([]SweepResult, error) {
 	out := make([]SweepResult, 0, len(req.Items))
-	err := s.SweepChunk(req, func(_ int, res SweepResult) error {
+	err := s.SweepChunk(ctx, req, func(_ int, res SweepResult) error {
 		out = append(out, res)
 		return nil
 	})
@@ -226,8 +263,11 @@ func (s *Service) CollectSweep(req SweepRequest) ([]SweepResult, error) {
 
 // sweepChunkFlat is the single-tier chunk loop: every item executes at its
 // own resolved fidelity and is emitted as soon as it completes.
-func (s *Service) sweepChunkFlat(req SweepRequest, sink SweepSink) error {
+func (s *Service) sweepChunkFlat(ctx context.Context, req SweepRequest, sink SweepSink) error {
 	for i, it := range req.Items {
+		if err := ctx.Err(); err != nil {
+			return &ChunkError{Index: i, Err: err}
+		}
 		q, err := it.Query()
 		if err != nil {
 			return &ChunkError{Index: i, Err: &BadQueryError{Err: err}}
@@ -246,7 +286,7 @@ func (s *Service) sweepChunkFlat(req SweepRequest, sink SweepSink) error {
 		}
 		res := SweepResult{Shape: q.Shape.String(), Primitive: q.Prim.String()}
 		if req.Tune {
-			ans, err := s.Query(q)
+			ans, err := s.Query(ctx, q)
 			if err != nil {
 				return &ChunkError{Index: i, Err: err}
 			}
@@ -254,7 +294,7 @@ func (s *Service) sweepChunkFlat(req SweepRequest, sink SweepSink) error {
 			res.PredictedNs = int64(ans.Predicted)
 			res.Source = ans.Source
 		}
-		r, err := s.eng.Exec(opts)
+		r, err := s.eng.Exec(ctx, opts)
 		if err != nil {
 			return &ChunkError{Index: i, Err: err}
 		}
@@ -272,9 +312,9 @@ func (s *Service) sweepChunkFlat(req SweepRequest, sink SweepSink) error {
 
 // collectFlat buffers a flat sub-chunk — the mixed orchestration needs the
 // whole analytic tier in hand before it can rank.
-func (s *Service) collectFlat(req SweepRequest) ([]SweepResult, error) {
+func (s *Service) collectFlat(ctx context.Context, req SweepRequest) ([]SweepResult, error) {
 	out := make([]SweepResult, 0, len(req.Items))
-	err := s.sweepChunkFlat(req, func(_ int, res SweepResult) error {
+	err := s.sweepChunkFlat(ctx, req, func(_ int, res SweepResult) error {
 		out = append(out, res)
 		return nil
 	})
@@ -289,7 +329,7 @@ func (s *Service) collectFlat(req SweepRequest) ([]SweepResult, error) {
 // Ranking is global over the posted grid, so the mixed path inherently
 // buffers O(grid) before emitting — the streaming bound applies to the
 // flat tiers a coordinator dispatches.
-func (s *Service) sweepChunkMixed(req SweepRequest, sink SweepSink) error {
+func (s *Service) sweepChunkMixed(ctx context.Context, req SweepRequest, sink SweepSink) error {
 	for i, it := range req.Items {
 		if it.Fidelity != "" {
 			return &ChunkError{Index: i, Err: badQueryf("serve: mixed sweep item carries fidelity %q; the mixed policy assigns fidelities itself", it.Fidelity)}
@@ -299,7 +339,7 @@ func (s *Service) sweepChunkMixed(req SweepRequest, sink SweepSink) error {
 	analytic.Fidelity = FidelityAnalytic
 	// A failure drops the partial prefix: the mixed reply interleaves
 	// tiers, so an analytic prefix is not a final prefix of the answer.
-	out, err := s.collectFlat(analytic)
+	out, err := s.collectFlat(ctx, analytic)
 	if err != nil {
 		return err
 	}
@@ -318,7 +358,7 @@ func (s *Service) sweepChunkMixed(req SweepRequest, sink SweepSink) error {
 	for j, gi := range refined {
 		des.Items[j] = req.Items[gi]
 	}
-	desOut, err := s.collectFlat(des)
+	desOut, err := s.collectFlat(ctx, des)
 	if err != nil {
 		var ce *ChunkError
 		if errors.As(err, &ce) && ce.Index >= 0 && ce.Index < len(refined) {

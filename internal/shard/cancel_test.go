@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/serve"
+)
+
+// The tentpole acceptance property: cancelling a coordinator-driven sweep
+// mid-flight stops dispatching, surfaces the context error, and leaves
+// every replica healthy and answerable — no false benching, no orphaned
+// ownership state — so a follow-up full sweep over the same grid is still
+// byte-identical to single-process engine.Batch.
+func TestCancelledSweepLeavesFleetHealthy(t *testing.T) {
+	items := coordItems()
+	refJSON := coordReference(t, items)
+	r, _, _ := testFleet(t, 2)
+	co := NewCoordinator(r)
+	co.Spec.Chunk = 1 // one item per chunk: plenty of dispatches to cancel between
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var emitted atomic.Int64
+	co.OnChunk = func(ChunkResult) {
+		if emitted.Add(1) == 1 {
+			cancel() // the caller walks away after the first chunk lands
+		}
+	}
+	start := time.Now()
+	_, err := co.Sweep(ctx, items)
+	if err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep error = %v, want to wrap context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancelled sweep took %v to unwind", elapsed)
+	}
+
+	// Cancellation must not have benched anyone: a replica whose chunk was
+	// aborted by the caller's own context is healthy, not dead.
+	for k := 0; k < 2; k++ {
+		if !r.Health().Allow(k) {
+			t.Fatalf("replica %d benched by the caller's own cancellation", k)
+		}
+	}
+	st := r.Stats(context.Background())
+	for k, rs := range st.PerShard {
+		if rs.Health != "healthy" {
+			t.Fatalf("replica %d is %q after a cancelled sweep, want healthy", k, rs.Health)
+		}
+		if rs.Error != "" {
+			t.Fatalf("replica %d unreachable after a cancelled sweep: %s", k, rs.Error)
+		}
+	}
+
+	// The fleet is still fully answerable and deterministic: a fresh
+	// uncancelled sweep merges byte-identically to engine.Batch.
+	co.OnChunk = nil
+	results, err := co.Sweep(context.Background(), items)
+	if err != nil {
+		t.Fatalf("follow-up sweep after cancellation: %v", err)
+	}
+	if !bytes.Equal(mergedJSON(t, results), refJSON) {
+		t.Fatal("post-cancellation sweep diverges from single-process engine.Batch")
+	}
+}
+
+// A sweep that starts with its context already cancelled dispatches nothing
+// and touches no health state.
+func TestSweepWithDeadContextDispatchesNothing(t *testing.T) {
+	r := localFleet(t, 2)
+	co := NewCoordinator(r)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	co.OnChunk = func(ChunkResult) { t.Error("chunk dispatched under a dead context") }
+	_, err := co.Sweep(ctx, coordItems())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for k := 0; k < 2; k++ {
+		if !r.Health().Allow(k) {
+			t.Fatalf("replica %d benched by a sweep that never dispatched", k)
+		}
+	}
+}
+
+// A cancelled Router.Query must not mark the target replica failed: the
+// transport error was the caller's own doing.
+func TestCancelledQueryDoesNotBenchReplica(t *testing.T) {
+	r, _, _ := testFleet(t, 2)
+	q := serve.Query{Shape: routerShapes[0], Prim: hw.AllReduce}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Query(ctx, q); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for k := 0; k < 2; k++ {
+		if !r.Health().Allow(k) {
+			t.Fatalf("replica %d benched by the caller's own cancelled query", k)
+		}
+	}
+	// The fleet answers the same query normally afterwards.
+	if _, err := r.Query(context.Background(), q); err != nil {
+		t.Fatalf("query after cancellation: %v", err)
+	}
+}
+
+// sleepCtx wakes immediately on cancellation and otherwise sleeps the full
+// duration — the primitive behind the dispatch cooldown waits.
+func TestSleepCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- sleepCtx(ctx, time.Hour) }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("sleepCtx did not wake on cancellation")
+	}
+	if err := sleepCtx(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("uncancelled sleepCtx = %v, want nil", err)
+	}
+}

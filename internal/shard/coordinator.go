@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -155,9 +156,9 @@ func (c *Coordinator) request(items []serve.SweepItem) serve.SweepRequest {
 // per-shard results back into input order: results[i] answers items[i], the
 // same deterministic global order SweepBatch and engine.Batch return — the
 // buffered form of Stream, for callers that want the materialized grid.
-func (c *Coordinator) Sweep(items []serve.SweepItem) ([]SweepResult, error) {
+func (c *Coordinator) Sweep(ctx context.Context, items []serve.SweepItem) ([]SweepResult, error) {
 	out := make([]SweepResult, len(items))
-	err := c.Stream(items, func(i int, res SweepResult) error {
+	err := c.Stream(ctx, items, func(i int, res SweepResult) error {
 		out[i] = res
 		return nil
 	})
@@ -184,7 +185,14 @@ func (c *Coordinator) Sweep(items []serve.SweepItem) ([]SweepResult, error) {
 // is buffered O(grid) inside the coordinator before any emission (inherent
 // to the policy); analytic keepers emit as soon as ranking resolves and DES
 // refinements stream as they complete.
-func (c *Coordinator) Stream(items []serve.SweepItem, sink StreamSink) error {
+//
+// Cancelling ctx tears the whole sweep down: every in-flight shard chunk's
+// HTTP request is aborted (replicas observe the closed request body and
+// abandon the chunk's remaining items), failover waits wake immediately,
+// and the sweep returns ctx.Err() wrapped in the usual lowest-index
+// attribution. Results already emitted stay emitted — a caller retrying
+// after a deadline may keep the salvaged subset.
+func (c *Coordinator) Stream(ctx context.Context, items []serve.SweepItem, sink StreamSink) error {
 	// Apply the driver-local health windows before the prober starts (a
 	// zero probe interval inherits the cooldown).
 	if c.Spec.HealthCooldown > 0 {
@@ -197,7 +205,7 @@ func (c *Coordinator) Stream(items []serve.SweepItem, sink StreamSink) error {
 	// concurrent sweeps (and cmd/route's process-lifetime holder) share
 	// one goroutine, and it outlives this sweep if anyone else still
 	// holds it.
-	stopProber := c.router.StartProber(c.Spec.ProbeInterval)
+	stopProber := c.router.StartProber(ctx, c.Spec.ProbeInterval)
 	defer stopProber()
 
 	// Serialize the sink: per-shard goroutines emit concurrently, and the
@@ -211,9 +219,9 @@ func (c *Coordinator) Stream(items []serve.SweepItem, sink StreamSink) error {
 	var err error
 	switch c.Spec.Fidelity {
 	case "", serve.FidelityDES, serve.FidelityAnalytic:
-		err = c.sweepGrid(stampItems(items, c.Spec.Fidelity), locked)
+		err = c.sweepGrid(ctx, stampItems(items, c.Spec.Fidelity), locked)
 	case serve.FidelityMixed:
-		err = c.sweepMixed(items, locked)
+		err = c.sweepMixed(ctx, items, locked)
 	default:
 		return &QueryError{Err: fmt.Errorf("shard: unknown sweep fidelity %q (want %q, %q, or %q)", c.Spec.Fidelity, serve.FidelityDES, serve.FidelityAnalytic, serve.FidelityMixed)}
 	}
@@ -246,7 +254,7 @@ func stampItems(items []serve.SweepItem, f string) []serve.SweepItem {
 // ranking unrefined emit as soon as the ranking resolves; DES refinements
 // emit as their chunks complete, overwriting nothing (each index emits
 // exactly once).
-func (c *Coordinator) sweepMixed(items []serve.SweepItem, sink StreamSink) error {
+func (c *Coordinator) sweepMixed(ctx context.Context, items []serve.SweepItem, sink StreamSink) error {
 	for i, it := range items {
 		if it.Fidelity != "" {
 			return &fanError{At: i, Err: &QueryError{Err: fmt.Errorf("shard: mixed sweep item carries fidelity %q; the mixed policy assigns fidelities itself", it.Fidelity)}}
@@ -256,7 +264,7 @@ func (c *Coordinator) sweepMixed(items []serve.SweepItem, sink StreamSink) error
 	// mixed policy's coordinator footprint is inherently O(grid) — the
 	// O(chunk) streaming bound applies to the flat tiers it dispatches.
 	out := make([]SweepResult, len(items))
-	err := c.sweepGrid(stampItems(items, serve.FidelityAnalytic), func(i int, res SweepResult) error {
+	err := c.sweepGrid(ctx, stampItems(items, serve.FidelityAnalytic), func(i int, res SweepResult) error {
 		out[i] = res
 		return nil
 	})
@@ -285,7 +293,7 @@ func (c *Coordinator) sweepMixed(items []serve.SweepItem, sink StreamSink) error
 	for j, gi := range refined {
 		des[j] = items[gi]
 	}
-	err = c.sweepGrid(stampItems(des, serve.FidelityDES), func(j int, res SweepResult) error {
+	err = c.sweepGrid(ctx, stampItems(des, serve.FidelityDES), func(j int, res SweepResult) error {
 		return sink(refined[j], res)
 	})
 	if err != nil {
@@ -308,7 +316,7 @@ func (c *Coordinator) sweepMixed(items []serve.SweepItem, sink StreamSink) error
 // instead of waiting for the next one. Failures surface as the raw
 // *fanError (lowest failing global index) so callers can translate
 // sub-grid indices before the user-facing wrap.
-func (c *Coordinator) sweepGrid(items []serve.SweepItem, sink StreamSink) error {
+func (c *Coordinator) sweepGrid(ctx context.Context, items []serve.SweepItem, sink StreamSink) error {
 	byOwner := make([][]int, len(c.router.clients))
 	for i, it := range items {
 		k := c.router.Owner(it.Shape())
@@ -318,6 +326,12 @@ func (c *Coordinator) sweepGrid(items []serve.SweepItem, sink StreamSink) error 
 	return fanShards(byOwner, func(k int, list []int) (int, error) {
 		for start := 0; start < len(list); start += size {
 			chunk := list[start:min(start+size, len(list))]
+			// Check between chunks, not mid-chunk: a cancelled sweep
+			// stops dispatching new work here, while chunks already on
+			// the wire are torn down by their own request contexts.
+			if err := ctx.Err(); err != nil {
+				return chunk[0], err
+			}
 			sub := make([]serve.SweepItem, len(chunk))
 			for j, gi := range chunk {
 				sub[j] = items[gi]
@@ -328,7 +342,7 @@ func (c *Coordinator) sweepGrid(items []serve.SweepItem, sink StreamSink) error 
 			// (dispatch hands the cells straight back), the change takes
 			// effect mid-sweep.
 			origin := c.router.Owner(items[chunk[0]].Shape())
-			results, replicas, err := c.dispatch(origin, sub)
+			results, replicas, err := c.dispatch(ctx, origin, sub)
 			if err != nil {
 				// Attribute the failure to the item the replica
 				// named, translated to the global grid; a chunk-level
@@ -403,7 +417,7 @@ func translateChunkError(err error, remainIdx []int) error {
 // return immediately. The error after an exhausted budget is the earliest
 // failure still naming an unanswered item — the most diagnostic one — with
 // the budget noted.
-func (c *Coordinator) dispatch(origin int, items []serve.SweepItem) ([]serve.SweepResult, []int, error) {
+func (c *Coordinator) dispatch(ctx context.Context, origin int, items []serve.SweepItem) ([]serve.SweepResult, []int, error) {
 	n := len(c.router.clients)
 	budget := c.attempts()
 	results := make([]serve.SweepResult, len(items))
@@ -420,6 +434,11 @@ func (c *Coordinator) dispatch(origin int, items []serve.SweepItem) ([]serve.Swe
 	firstErrSeen := 0 // answered count when firstErr was recorded
 	attempts, pos, skipped := 0, 0, 0
 	for attempts < budget {
+		// A cancelled sweep stops walking the ring: no new attempt, no
+		// cooldown wait, no health-plane mutation.
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		replica := (origin + pos) % n
 		pos++
 		if !c.router.health.Allow(replica) {
@@ -445,7 +464,9 @@ func (c *Coordinator) dispatch(origin int, items []serve.SweepItem) ([]serve.Swe
 				// so the wait neither claims slots nor inflates the
 				// avoided-attempt counter.
 				for c.router.health.anySuspect() && !c.router.health.anyDue() {
-					time.Sleep(healthWaitStep(c.router.health.Cooldown()))
+					if err := sleepCtx(ctx, healthWaitStep(c.router.health.Cooldown())); err != nil {
+						return nil, nil, err
+					}
 				}
 				skipped = 0
 				continue
@@ -458,7 +479,9 @@ func (c *Coordinator) dispatch(origin int, items []serve.SweepItem) ([]serve.Swe
 			// peek: waiting must neither claim trial slots it may not
 			// use nor inflate the avoided-attempt counter.
 			for !c.router.health.anyDue() {
-				time.Sleep(healthWaitStep(c.router.health.Cooldown()))
+				if err := sleepCtx(ctx, healthWaitStep(c.router.health.Cooldown())); err != nil {
+					return nil, nil, err
+				}
 			}
 			skipped = 0
 			continue
@@ -471,7 +494,7 @@ func (c *Coordinator) dispatch(origin int, items []serve.SweepItem) ([]serve.Swe
 		}
 		got := 0
 		var malformed error
-		err := c.router.clients[replica].Sweep(c.request(sub), func(j int, res serve.SweepResult) error {
+		err := c.router.clients[replica].Sweep(ctx, c.request(sub), func(j int, res serve.SweepResult) error {
 			if j < 0 || j >= len(remainIdx) {
 				malformed = fmt.Errorf("shard: replica %d answered item %d of a %d-item chunk", replica, j, len(sub))
 				return malformed
@@ -511,6 +534,14 @@ func (c *Coordinator) dispatch(origin int, items []serve.SweepItem) ([]serve.Swe
 			return results, replicas, nil
 		}
 		err = translateChunkError(err, remainIdx)
+		// Our own cancellation surfaces as a transport failure from the
+		// replica's point of view (request body closed mid-stream). Return
+		// it without touching the health plane: the replica is fine; the
+		// caller gave up. Benching here would black out a healthy replica
+		// for a full cooldown after every client-side deadline.
+		if ctx.Err() != nil {
+			return nil, nil, err
+		}
 		if !retryable(err) {
 			// A deterministic rejection is still an answer: the replica
 			// is provably alive, so a suspect trial resolves healthy
@@ -580,6 +611,21 @@ func (c *Coordinator) dispatch(origin int, items []serve.SweepItem) ([]serve.Swe
 // would have thrown away.
 type salvageCredit struct {
 	replica, items int
+}
+
+// sleepCtx waits for d or until ctx is done, whichever comes first,
+// returning ctx.Err() in the latter case. Unlike a bare time.Sleep it wakes
+// a cancelled sweep immediately, and unlike time.After it never leaks a
+// timer into the runtime's heap when cancellation wins the race.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // healthWaitStep bounds how often a dispatch waiting on a fully cooled-down

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -38,7 +39,7 @@ func coordReference(t *testing.T, items []serve.SweepItem) []byte {
 	for i, it := range items {
 		runs[i] = core.Options{Plat: hw.RTX4090PCIe(), NGPUs: 2, Shape: it.Shape(), Prim: hw.AllReduce}
 	}
-	ref, err := engine.New(0, 0).Batch(runs)
+	ref, err := engine.New(0, 0).Batch(context.Background(), runs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestCoordinatorSweepMatchesEngineBatchByteForByte(t *testing.T) {
 		r, _, _ := testFleet(t, n)
 		co := NewCoordinator(r)
 		co.Spec.Chunk = 2 // several chunks per shard, exercising the chunk loop
-		results, err := co.Sweep(items)
+		results, err := co.Sweep(context.Background(), items)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -131,7 +132,7 @@ func TestCoordinatorSweepSurvivesChurnMidSweep(t *testing.T) {
 			kill.Do(func() { servers[victim].Close() })
 		}
 	}
-	results, err := co.Sweep(items)
+	results, err := co.Sweep(context.Background(), items)
 	if err != nil {
 		t.Fatalf("sweep with replica %d killed mid-sweep: %v", victim, err)
 	}
@@ -158,7 +159,7 @@ func TestCoordinatorSweepSurvivesChurnMidSweep(t *testing.T) {
 	if redirected != counts[victim]-1 {
 		t.Fatalf("%d items attributed to a failover replica, want %d", redirected, counts[victim]-1)
 	}
-	if st := r.Stats(); st.Failovers == 0 {
+	if st := r.Stats(context.Background()); st.Failovers == 0 {
 		t.Fatal("router stats did not record the re-dispatches")
 	}
 }
@@ -300,7 +301,7 @@ func TestCoordinatorSweepReadmitsRestartedReplicaMidSweep(t *testing.T) {
 		})
 	}
 
-	results, err := co.Sweep(items)
+	results, err := co.Sweep(context.Background(), items)
 	if err != nil {
 		t.Fatalf("sweep across kill+restart of replica %d: %v", victim, err)
 	}
@@ -321,7 +322,7 @@ func TestCoordinatorSweepReadmitsRestartedReplicaMidSweep(t *testing.T) {
 	if co.Redispatches() == 0 {
 		t.Fatal("no chunk left the victim while it was down")
 	}
-	st := r.Stats()
+	st := r.Stats(context.Background())
 	if st.Readmissions == 0 {
 		t.Fatal("router stats recorded no re-admission")
 	}
@@ -340,7 +341,7 @@ func coordMixedReference(t *testing.T, items []serve.SweepItem) ([]byte, []int) 
 	for i, it := range items {
 		runs[i] = core.Options{Plat: hw.RTX4090PCIe(), NGPUs: 2, Shape: it.Shape(), Prim: hw.AllReduce}
 	}
-	ref, refined, err := engine.New(0, 0).MixedBatch(runs, 0, 0)
+	ref, refined, err := engine.New(0, 0).MixedBatch(context.Background(), runs, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -387,7 +388,7 @@ func TestCoordinatorMixedSweepMatchesMixedBatchByteForByte(t *testing.T) {
 		co := NewCoordinator(r)
 		co.Spec.Chunk = 2
 		co.Spec.Fidelity = serve.FidelityMixed
-		results, err := co.Sweep(items)
+		results, err := co.Sweep(context.Background(), items)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -395,7 +396,7 @@ func TestCoordinatorMixedSweepMatchesMixedBatchByteForByte(t *testing.T) {
 			t.Fatalf("n=%d: mixed sweep diverges from single-process engine.MixedBatch", n)
 		}
 		checkMixedLabels(t, results, refined)
-		st := r.Stats()
+		st := r.Stats(context.Background())
 		if got, want := int(st.Merged.SweptItemsAnalytic), len(items); got != want {
 			t.Fatalf("n=%d: merged swept_items_analytic = %d, want %d", n, got, want)
 		}
@@ -414,7 +415,7 @@ func TestCoordinatorMixedRefineTierMatchesFullDES(t *testing.T) {
 	r, _, _ := testFleet(t, 2)
 	co := NewCoordinator(r)
 	co.Spec.Fidelity = serve.FidelityMixed
-	mixed, err := co.Sweep(items)
+	mixed, err := co.Sweep(context.Background(), items)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +425,7 @@ func TestCoordinatorMixedRefineTierMatchesFullDES(t *testing.T) {
 	}
 	des := NewCoordinator(r)
 	des.Spec.Fidelity = serve.FidelityDES
-	full, err := des.Sweep(desItems)
+	full, err := des.Sweep(context.Background(), desItems)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -446,7 +447,7 @@ func TestCoordinatorMixedSweepRejectsPreLabeledItems(t *testing.T) {
 	r, _, _ := testFleet(t, 2)
 	co := NewCoordinator(r)
 	co.Spec.Fidelity = serve.FidelityMixed
-	_, err := co.Sweep(items)
+	_, err := co.Sweep(context.Background(), items)
 	if err == nil {
 		t.Fatal("pre-labeled item accepted under a mixed sweep")
 	}
@@ -461,7 +462,7 @@ func TestCoordinatorMixedSweepRejectsPreLabeledItems(t *testing.T) {
 	}
 	bad := NewCoordinator(r)
 	bad.Spec.Fidelity = "nope"
-	if _, err := bad.Sweep(coordItems()); err == nil {
+	if _, err := bad.Sweep(context.Background(), coordItems()); err == nil {
 		t.Fatal("unknown coordinator fidelity accepted")
 	} else if retryable(err) {
 		t.Fatalf("unknown-fidelity failure classified retryable: %v", err)
@@ -503,7 +504,7 @@ func TestCoordinatorMixedSweepSurvivesChurnMidSweep(t *testing.T) {
 			kill.Do(func() { servers[victim].Close() })
 		}
 	}
-	results, err := co.Sweep(items)
+	results, err := co.Sweep(context.Background(), items)
 	if err != nil {
 		t.Fatalf("mixed sweep with replica %d killed mid-sweep: %v", victim, err)
 	}
@@ -533,7 +534,7 @@ func TestCoordinatorSweepExhaustsBudget(t *testing.T) {
 		srv.Close()
 	}
 	co := NewCoordinator(r)
-	_, err := co.Sweep(coordItems())
+	_, err := co.Sweep(context.Background(), coordItems())
 	if err == nil {
 		t.Fatal("sweep over a dead fleet succeeded")
 	}
@@ -555,7 +556,7 @@ func TestCoordinatorSweepBadItemKeepsGlobalIndex(t *testing.T) {
 	r, _, _ := testFleet(t, 2)
 	co := NewCoordinator(r)
 	co.Spec.Chunk = 2
-	_, err := co.Sweep(items)
+	_, err := co.Sweep(context.Background(), items)
 	if err == nil {
 		t.Fatal("invalid item accepted")
 	}
@@ -565,7 +566,7 @@ func TestCoordinatorSweepBadItemKeepsGlobalIndex(t *testing.T) {
 	if retryable(err) {
 		t.Fatalf("bad-item failure classified retryable: %v", err)
 	}
-	if co.Redispatches() != 0 || r.Stats().Failovers != 0 {
+	if co.Redispatches() != 0 || r.Stats(context.Background()).Failovers != 0 {
 		t.Fatal("deterministic rejection burned failover retries")
 	}
 }
@@ -618,7 +619,7 @@ func TestRouterFailsOverBlackHoledReplica(t *testing.T) {
 	}
 
 	start := time.Now()
-	ans, err := r.Query(serve.Query{Shape: shape, Prim: hw.AllReduce})
+	ans, err := r.Query(context.Background(), serve.Query{Shape: shape, Prim: hw.AllReduce})
 	if err != nil {
 		t.Fatalf("query with black-holed owner: %v", err)
 	}
@@ -628,8 +629,8 @@ func TestRouterFailsOverBlackHoledReplica(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("failover took %v; timeout did not bound the black hole", elapsed)
 	}
-	if r.Stats().Failovers != 1 {
-		t.Fatalf("failovers = %d, want 1", r.Stats().Failovers)
+	if r.Stats(context.Background()).Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", r.Stats(context.Background()).Failovers)
 	}
 }
 
@@ -709,7 +710,7 @@ func TestRouterHandlerProxiesSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, err := NewCoordinator(outer).Sweep(items)
+	results, err := NewCoordinator(outer).Sweep(context.Background(), items)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -723,7 +724,7 @@ func TestRouterHandlerProxiesSweep(t *testing.T) {
 	badItems := append([]serve.SweepItem(nil), items...)
 	bad := 4
 	badItems[bad].Prim = "NOPE"
-	if _, err := NewCoordinator(outer).Sweep(badItems); err == nil {
+	if _, err := NewCoordinator(outer).Sweep(context.Background(), badItems); err == nil {
 		t.Fatal("bad item accepted through the router proxy")
 	} else if want := fmt.Sprintf("sweep item %d:", bad); !strings.Contains(err.Error(), want) {
 		t.Fatalf("proxied error %q does not name %q", err, want)

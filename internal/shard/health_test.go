@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -25,7 +26,7 @@ type stubClient struct {
 	healthz func() error
 }
 
-func (c *stubClient) Query(q serve.Query) (serve.Answer, error) {
+func (c *stubClient) Query(_ context.Context, q serve.Query) (serve.Answer, error) {
 	if c.query == nil {
 		return serve.Answer{}, errors.New("stub: no query hook")
 	}
@@ -35,7 +36,7 @@ func (c *stubClient) Query(q serve.Query) (serve.Answer, error) {
 // Sweep adapts the buffered scripting hook to the streaming interface:
 // whatever prefix the hook returns is delivered through the sink before the
 // hook's error — exactly the salvage semantics a real replica streams.
-func (c *stubClient) Sweep(req serve.SweepRequest, sink serve.SweepSink) error {
+func (c *stubClient) Sweep(_ context.Context, req serve.SweepRequest, sink serve.SweepSink) error {
 	if c.sweep == nil {
 		return errors.New("stub: no sweep hook")
 	}
@@ -48,9 +49,9 @@ func (c *stubClient) Sweep(req serve.SweepRequest, sink serve.SweepSink) error {
 	return err
 }
 
-func (c *stubClient) Stats() (serve.Stats, error) { return serve.Stats{}, nil }
+func (c *stubClient) Stats(context.Context) (serve.Stats, error) { return serve.Stats{}, nil }
 
-func (c *stubClient) Healthz() error {
+func (c *stubClient) Healthz(context.Context) error {
 	if c.healthz == nil {
 		return nil
 	}
@@ -62,7 +63,7 @@ func (c *stubClient) Healthz() error {
 // append preserves chunk-local indexing.
 func collectClient(c Client, req serve.SweepRequest) ([]serve.SweepResult, error) {
 	var res []serve.SweepResult
-	err := c.Sweep(req, func(_ int, r serve.SweepResult) error {
+	err := c.Sweep(context.Background(), req, func(_ int, r serve.SweepResult) error {
 		res = append(res, r)
 		return nil
 	})
@@ -176,7 +177,7 @@ func TestSweepOverPreDeadReplicaPaysOneProbeTimeout(t *testing.T) {
 
 	co := NewCoordinator(r)
 	co.Spec.Chunk = 1 // one chunk per item: every owned item is a chance to stall
-	results, err := co.Sweep(items)
+	results, err := co.Sweep(context.Background(), items)
 	if err != nil {
 		t.Fatalf("sweep with a pre-dead replica: %v", err)
 	}
@@ -222,7 +223,7 @@ func TestRouterQuerySkipsKnownDeadReplica(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		ans, err := r.Query(serve.Query{Shape: shape, Prim: hw.AllReduce})
+		ans, err := r.Query(context.Background(), serve.Query{Shape: shape, Prim: hw.AllReduce})
 		if err != nil {
 			t.Fatalf("query %d: %v", i, err)
 		}
@@ -251,14 +252,14 @@ func TestProbeRespectsCooldownForZombies(t *testing.T) {
 	h.now = func() time.Time { return now }
 
 	h.MarkFailed(0)
-	if n := r.Probe(); n != 0 {
+	if n := r.Probe(context.Background()); n != 0 {
 		t.Fatalf("freshly dead zombie re-admitted (%d replicas) before its cooldown", n)
 	}
 	if h.State(0) != Dead {
 		t.Fatalf("state after rejected probe = %v, want dead", h.State(0))
 	}
 	now = now.Add(time.Minute + time.Second)
-	if n := r.Probe(); n != 1 {
+	if n := r.Probe(context.Background()); n != 1 {
 		t.Fatalf("cooled-down replica not re-admitted by the probe (%d replicas)", n)
 	}
 	if h.State(0) != Healthy {
@@ -281,8 +282,8 @@ func TestProberSurvivesUntilLastHolderStops(t *testing.T) {
 	}
 	r.Health().SetCooldown(time.Millisecond) // trial-due almost immediately
 	r.Health().MarkFailed(0)                 // give the prober something to probe
-	stop1 := r.StartProber(5 * time.Millisecond)
-	stop2 := r.StartProber(5 * time.Millisecond)
+	stop1 := r.StartProber(context.Background(), 5*time.Millisecond)
+	stop2 := r.StartProber(context.Background(), 5*time.Millisecond)
 	stop1()
 	before := probes.Load()
 	deadline := time.Now().Add(2 * time.Second)
@@ -348,7 +349,7 @@ func TestDispatchWaitsOutCooldownWhenBudgetExceedsFleet(t *testing.T) {
 	co.Spec.Chunk = len(owned) // a single chunk owned by the dead replica
 	co.Spec.Attempts = 6       // > fleet size: opt into wrap-around retries
 
-	results, err := co.Sweep(owned)
+	results, err := co.Sweep(context.Background(), owned)
 	if err != nil {
 		t.Fatalf("sweep across a transient blip with budget > fleet size: %v", err)
 	}
@@ -380,7 +381,7 @@ func TestPoisonQueryDoesNotBenchFleet(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		_, err := r.Query(serve.Query{Shape: shape, Prim: hw.AllReduce})
+		_, err := r.Query(context.Background(), serve.Query{Shape: shape, Prim: hw.AllReduce})
 		if err == nil {
 			t.Fatal("poison query succeeded")
 		}
@@ -415,7 +416,7 @@ func TestBadQueryTrialResolvesSuspectHealthy(t *testing.T) {
 	r.Health().SetCooldown(20 * time.Millisecond)
 	r.Health().MarkFailed(owner)
 	time.Sleep(30 * time.Millisecond) // cooldown elapses: next request is the trial
-	if _, err := r.Query(serve.Query{Shape: shape, Prim: hw.AllReduce}); err == nil {
+	if _, err := r.Query(context.Background(), serve.Query{Shape: shape, Prim: hw.AllReduce}); err == nil {
 		t.Fatal("rejected query accepted")
 	}
 	if got := r.Health().State(owner); got != Healthy {
@@ -484,7 +485,7 @@ func TestCoordinatorSalvagesPartialChunk(t *testing.T) {
 	var segments []ChunkResult
 	co.OnChunk = func(cr ChunkResult) { segments = append(segments, cr) }
 
-	results, err := co.Sweep(items)
+	results, err := co.Sweep(context.Background(), items)
 	if err != nil {
 		t.Fatalf("sweep with a partial chunk failure: %v", err)
 	}
@@ -560,7 +561,7 @@ func TestExhaustedBudgetNamesUnansweredItemAfterSalvage(t *testing.T) {
 	}
 	co := NewCoordinator(r)
 	co.Spec.Chunk = len(items) // budget 2 (fleet size): A salvages 0-2, B 3-5, exhausted at 6
-	_, err = co.Sweep(items)
+	_, err = co.Sweep(context.Background(), items)
 	if err == nil {
 		t.Fatal("sweep succeeded with every attempt failing partway")
 	}
@@ -594,7 +595,7 @@ func TestExhaustedBudgetNamesUnansweredItemAfterSalvage(t *testing.T) {
 	}
 	co2 := NewCoordinator(r2)
 	co2.Spec.Chunk = len(items)
-	_, err = co2.Sweep(items)
+	_, err = co2.Sweep(context.Background(), items)
 	if err == nil {
 		t.Fatal("sweep succeeded with every attempt failing")
 	}

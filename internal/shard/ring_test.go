@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -201,7 +202,7 @@ func TestRouterOwnerRebalancesAroundEvictedReplica(t *testing.T) {
 			t.Fatalf("%v moved %d -> %d though its owner is alive", s, base[i], got)
 		}
 	}
-	st := r.Stats()
+	st := r.Stats(context.Background())
 	if st.Evictions != 1 {
 		t.Fatalf("stats evictions = %d, want 1", st.Evictions)
 	}
@@ -215,7 +216,7 @@ func TestRouterOwnerRebalancesAroundEvictedReplica(t *testing.T) {
 			t.Fatalf("after hand-back %v owned by %d, want %d", s, got, base[i])
 		}
 	}
-	if st := r.Stats(); st.Handbacks != 1 {
+	if st := r.Stats(context.Background()); st.Handbacks != 1 {
 		t.Fatalf("stats handbacks = %d, want 1", st.Handbacks)
 	}
 }

@@ -26,13 +26,18 @@ import (
 // otherwise. Items already delivered before a failure are salvage — final
 // results the caller may keep (deterministic on any replica) while
 // re-dispatching the rest; a failed chunk never redelivers them.
+//
+// Every method takes the caller's request context: over HTTP the context
+// rides the request, so cancelling a coordinator sweep tears down its
+// in-flight chunk requests and the replicas abandon the unexecuted
+// remainder.
 type Client interface {
-	Query(q serve.Query) (serve.Answer, error)
-	Sweep(req serve.SweepRequest, sink serve.SweepSink) error
-	Stats() (serve.Stats, error)
+	Query(ctx context.Context, q serve.Query) (serve.Answer, error)
+	Sweep(ctx context.Context, req serve.SweepRequest, sink serve.SweepSink) error
+	Stats(ctx context.Context) (serve.Stats, error)
 	// Healthz is the lightweight liveness probe behind dead-replica
 	// re-admission: nil means the replica is up and serving.
-	Healthz() error
+	Healthz(ctx context.Context) error
 }
 
 // QueryError marks an error the query itself caused (a malformed request, an
@@ -96,7 +101,10 @@ var defaultClient = &http.Client{Timeout: DefaultTimeout}
 
 // HTTPClient speaks the cmd/serve HTTP/JSON protocol against a base URL like
 // "http://10.0.0.7:8080". A nil HTTP field uses the package's bounded
-// default client (DefaultTimeout per request).
+// default client (DefaultTimeout per request). Per-request deadlines derive
+// from the caller's context as well as the client-wide timeout: every
+// request carries its ctx, and net/http applies whichever bound — the ctx
+// deadline or the client's Timeout — expires sooner.
 type HTTPClient struct {
 	Base string
 	HTTP *http.Client
@@ -159,8 +167,12 @@ func decodeWireError(r io.Reader) serve.ErrorBody {
 	return body
 }
 
-func (c *HTTPClient) get(path string, out any) error {
-	resp, err := c.client().Get(c.Base + path)
+func (c *HTTPClient) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return fmt.Errorf("shard: %s: %w", c.Base, err)
+	}
+	resp, err := c.client().Do(req)
 	if err != nil {
 		return fmt.Errorf("shard: %s: %w", c.Base, err)
 	}
@@ -186,7 +198,7 @@ func (c *HTTPClient) get(path string, out any) error {
 }
 
 // Query forwards one query over /query.
-func (c *HTTPClient) Query(q serve.Query) (serve.Answer, error) {
+func (c *HTTPClient) Query(ctx context.Context, q serve.Query) (serve.Answer, error) {
 	v := url.Values{}
 	v.Set("m", fmt.Sprint(q.Shape.M))
 	v.Set("n", fmt.Sprint(q.Shape.N))
@@ -196,7 +208,7 @@ func (c *HTTPClient) Query(q serve.Query) (serve.Answer, error) {
 		v.Set("imbalance", fmt.Sprint(q.Imbalance))
 	}
 	var qr serve.QueryResponse
-	if err := c.get("/query?"+v.Encode(), &qr); err != nil {
+	if err := c.get(ctx, "/query?"+v.Encode(), &qr); err != nil {
 		return serve.Answer{}, err
 	}
 	return serve.Answer{
@@ -216,12 +228,12 @@ func (c *HTTPClient) Query(q serve.Query) (serve.Answer, error) {
 // Failures carrying a chunk-local item index are rebuilt as
 // *serve.ChunkError, so coordinators attribute remote failures exactly like
 // local ones.
-func (c *HTTPClient) Sweep(req serve.SweepRequest, sink serve.SweepSink) error {
+func (c *HTTPClient) Sweep(ctx context.Context, req serve.SweepRequest, sink serve.SweepSink) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("shard: encoding sweep chunk: %w", err)
 	}
-	hreq, err := http.NewRequest(http.MethodPost, c.Base+"/sweep", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+"/sweep", bytes.NewReader(body))
 	if err != nil {
 		return fmt.Errorf("shard: %s: %w", c.Base, err)
 	}
@@ -326,9 +338,9 @@ func (c *HTTPClient) sweepFrames(body io.Reader, sink serve.SweepSink) error {
 }
 
 // Stats fetches the replica's /stats snapshot.
-func (c *HTTPClient) Stats() (serve.Stats, error) {
+func (c *HTTPClient) Stats(ctx context.Context) (serve.Stats, error) {
 	var st serve.Stats
-	if err := c.get("/stats", &st); err != nil {
+	if err := c.get(ctx, "/stats", &st); err != nil {
 		return serve.Stats{}, err
 	}
 	return st, nil
@@ -342,10 +354,11 @@ func (c *HTTPClient) Stats() (serve.Stats, error) {
 const HealthzTimeout = 2 * time.Second
 
 // Healthz probes the replica's GET /healthz liveness endpoint. Any
-// transport error, timeout (HealthzTimeout), or non-200 status means the
-// replica is not (yet) ready to be re-admitted.
-func (c *HTTPClient) Healthz() error {
-	ctx, cancel := context.WithTimeout(context.Background(), HealthzTimeout)
+// transport error, timeout (the sooner of HealthzTimeout and the caller's
+// ctx deadline), or non-200 status means the replica is not (yet) ready to
+// be re-admitted.
+func (c *HTTPClient) Healthz(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, HealthzTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/healthz", nil)
 	if err != nil {
@@ -373,11 +386,16 @@ type LocalClient struct {
 	Svc *serve.Service
 }
 
-func (c *LocalClient) Query(q serve.Query) (serve.Answer, error) {
-	ans, err := c.Svc.Query(q)
+func (c *LocalClient) Query(ctx context.Context, q serve.Query) (serve.Answer, error) {
+	ans, err := c.Svc.Query(ctx, q)
 	if err != nil {
 		if serve.IsBadQuery(err) {
 			return serve.Answer{}, &QueryError{Err: err}
+		}
+		// A cancelled caller surfaces its own ctx error unwrapped, like an
+		// HTTP client whose request context ends mid-call.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return serve.Answer{}, err
 		}
 		// An in-process service cannot have transport failures: every
 		// error is the replica answering, mirroring the HTTP 5xx path.
@@ -389,18 +407,18 @@ func (c *LocalClient) Query(q serve.Query) (serve.Answer, error) {
 // Sweep processes one sweep chunk on the in-process service, streaming each
 // item into sink as it completes — items delivered before a failure are
 // salvage, like the HTTP path's result frames.
-func (c *LocalClient) Sweep(req serve.SweepRequest, sink serve.SweepSink) error {
-	err := c.Svc.SweepChunk(req, sink)
+func (c *LocalClient) Sweep(ctx context.Context, req serve.SweepRequest, sink serve.SweepSink) error {
+	err := c.Svc.SweepChunk(ctx, req, sink)
 	if err != nil && serve.IsBadQuery(err) {
 		return &QueryError{Err: err}
 	}
 	return err
 }
 
-func (c *LocalClient) Stats() (serve.Stats, error) { return c.Svc.Stats(), nil }
+func (c *LocalClient) Stats(context.Context) (serve.Stats, error) { return c.Svc.Stats(), nil }
 
 // Healthz reports an in-process service as always alive.
-func (c *LocalClient) Healthz() error { return nil }
+func (c *LocalClient) Healthz(context.Context) error { return nil }
 
 // Answer is a routed reply: the replica's answer plus where it came from.
 type Answer struct {
@@ -470,17 +488,25 @@ func (r *Router) Owner(s gemm.Shape) int {
 // being the owner at all: their cells route straight to the ring survivors,
 // no failover hop, until re-admission hands them back. The error after
 // exhausting the fleet is the owner's (or the first attempted replica's).
-func (r *Router) Query(q serve.Query) (Answer, error) {
+//
+// ctx cancellation stops the ring walk: the in-flight hop's request is torn
+// down, no further hops are attempted, and — critically — a transport error
+// caused by the caller's own cancellation never benches the replica, so a
+// client hanging up cannot mark a healthy fleet dead.
+func (r *Router) Query(ctx context.Context, q serve.Query) (Answer, error) {
 	owner := r.Owner(q.Shape)
 	var firstErr error
 	attempted := 0
 	for hop := 0; hop < len(r.clients); hop++ {
+		if err := ctx.Err(); err != nil {
+			return Answer{}, err
+		}
 		replica := (owner + hop) % len(r.clients)
 		if !r.health.Allow(replica) {
 			continue
 		}
 		attempted++
-		ans, err := r.clients[replica].Query(q)
+		ans, err := r.clients[replica].Query(ctx, q)
 		if err == nil {
 			r.health.MarkHealthy(replica)
 			r.routedQueries[replica].Add(1)
@@ -488,6 +514,12 @@ func (r *Router) Query(q serve.Query) (Answer, error) {
 				r.failovers.Add(1)
 			}
 			return Answer{Answer: ans, Owner: owner, Replica: replica}, nil
+		}
+		// A failure under a cancelled context is evidence about this
+		// request, not the replica: return without touching the health
+		// plane or walking further.
+		if ctx.Err() != nil {
+			return Answer{}, err
 		}
 		if firstErr == nil {
 			firstErr = err
@@ -523,7 +555,9 @@ func (r *Router) Query(q serve.Query) (Answer, error) {
 // cooldown only once per window, so in-band trials and later probes keep
 // getting their turn. It returns the number of replicas re-admitted. k
 // dead replicas cost one bounded HealthzTimeout, not k stacked ones.
-func (r *Router) Probe() int {
+// Probes target only already-dead replicas, so a probe aborted by ctx can
+// at worst restamp a dead replica's cooldown — never bench a healthy one.
+func (r *Router) Probe(ctx context.Context) int {
 	var wg sync.WaitGroup
 	var readmitted atomic.Int64
 	for i, c := range r.clients {
@@ -535,7 +569,7 @@ func (r *Router) Probe() int {
 		wg.Add(1)
 		go func(i int, c Client) {
 			defer wg.Done()
-			if err := c.Healthz(); err == nil {
+			if err := c.Healthz(ctx); err == nil {
 				r.health.MarkHealthy(i)
 				readmitted.Add(1)
 			} else {
@@ -556,7 +590,14 @@ func (r *Router) Probe() int {
 // cmd/route holds it for the process lifetime; Coordinator.Stream holds it
 // per sweep, so a replica restarted mid-sweep is re-admitted and reclaims
 // its owned shard before the sweep ends.
-func (r *Router) StartProber(interval time.Duration) (stop func()) {
+//
+// ctx scopes the acquisition, not the goroutine: the prober outlives any
+// one holder's request (it runs detached, under context.WithoutCancel of
+// the first holder's ctx), but releasing the last hold — which every
+// holder's defer does, cancelled or not — stops the goroutine and its
+// in-flight probes. No timer or goroutine leaks when a sweep is cancelled
+// mid-retry: the ticker dies with the goroutine.
+func (r *Router) StartProber(ctx context.Context, interval time.Duration) (stop func()) {
 	if interval <= 0 {
 		interval = r.health.Cooldown()
 	}
@@ -565,7 +606,13 @@ func (r *Router) StartProber(interval time.Duration) (stop func()) {
 	if r.proberRefs == 1 {
 		done := make(chan struct{})
 		r.proberStop = done
+		// The shared goroutine must not die with whichever holder happened
+		// to start it — later holders rely on it — so its probe context
+		// detaches from the first holder's cancellation and ends only when
+		// the last hold is released.
+		pctx, pcancel := context.WithCancel(context.WithoutCancel(ctx))
 		go func() {
+			defer pcancel()
 			t := time.NewTicker(interval)
 			defer t.Stop()
 			for {
@@ -573,7 +620,7 @@ func (r *Router) StartProber(interval time.Duration) (stop func()) {
 				case <-done:
 					return
 				case <-t.C:
-					r.Probe()
+					r.Probe(pctx)
 				}
 			}
 		}()
@@ -639,8 +686,8 @@ type RouterStats struct {
 // snapshots. A down replica appears in PerShard with its error instead of
 // failing the whole snapshot — a router must report on a degraded fleet, not
 // mirror it — and the parallel poll means k unreachable replicas cost one
-// client timeout, not k stacked ones.
-func (r *Router) Stats() RouterStats {
+// client timeout, not k stacked ones. ctx bounds the poll.
+func (r *Router) Stats(ctx context.Context) RouterStats {
 	st := RouterStats{
 		Replicas:     len(r.clients),
 		Failovers:    r.failovers.Load(),
@@ -663,7 +710,7 @@ func (r *Router) Stats() RouterStats {
 				RoutedQueries:    r.routedQueries[i].Load(),
 				RoutedSweepItems: r.routedSweepItems[i].Load(),
 			}
-			s, err := c.Stats()
+			s, err := c.Stats(ctx)
 			if err != nil {
 				rs.Error = err.Error()
 			} else {
@@ -725,7 +772,25 @@ type routedFrame struct {
 // out across the real one — and a v2 client streaming from the router gets
 // result frames as the fleet's chunks complete, proxied without buffering
 // the grid.
-func (r *Router) Handler() http.Handler {
+//
+// Every request executes under a context derived from the client's
+// (req.Context()), so a client hanging up on the router tears down the
+// router's in-flight requests to the fleet in turn. Handler applies no
+// additional deadline; HandlerWithTimeout adds one.
+func (r *Router) Handler() http.Handler { return r.HandlerWithTimeout(0) }
+
+// HandlerWithTimeout is Handler with a per-request execution deadline
+// (cmd/route's -request-timeout): each request's context is the client's
+// plus, when timeout > 0, a deadline of that duration. The deadline rides
+// the proxied fleet requests, so a timed-out sweep cancels every in-flight
+// shard chunk.
+func (r *Router) HandlerWithTimeout(timeout time.Duration) http.Handler {
+	reqCtx := func(req *http.Request) (context.Context, context.CancelFunc) {
+		if timeout <= 0 {
+			return req.Context(), func() {}
+		}
+		return context.WithTimeout(req.Context(), timeout)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, req *http.Request) {
 		q, err := serve.ParseQuery(req)
@@ -733,7 +798,9 @@ func (r *Router) Handler() http.Handler {
 			serve.WriteError(w, http.StatusBadRequest, err)
 			return
 		}
-		ans, err := r.Query(q)
+		ctx, cancel := reqCtx(req)
+		defer cancel()
+		ans, err := r.Query(ctx, q)
 		if err != nil {
 			status := http.StatusBadGateway
 			var qe *QueryError
@@ -788,11 +855,13 @@ func (r *Router) Handler() http.Handler {
 		co := NewCoordinator(r)
 		co.Spec = sr.SweepSpec
 		co.Spec.Attempts = min(sr.Attempts, 2*len(r.clients))
+		ctx, cancel := reqCtx(req)
+		defer cancel()
 		if serve.StreamRequested(req, sr) {
-			r.streamSweep(w, co, sr.Items)
+			r.streamSweep(ctx, w, co, sr.Items)
 			return
 		}
-		results, err := co.Sweep(sr.Items)
+		results, err := co.Sweep(ctx, sr.Items)
 		if err != nil {
 			status := http.StatusBadGateway
 			var qe *QueryError
@@ -822,7 +891,7 @@ func (r *Router) Handler() http.Handler {
 		writeJSON(w, RoutedSweepResponse{Results: results, Redispatches: co.Redispatches()})
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
-		writeJSON(w, r.Stats())
+		writeJSON(w, r.Stats(req.Context()))
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
 		// The router's own liveness: an outer coordinator driving this
@@ -840,13 +909,13 @@ func (r *Router) Handler() http.Handler {
 // failures surface as an error frame whose retryable bit carries the
 // 4xx/5xx classification and whose salvaged count tells the client how many
 // result frames preceded it.
-func (r *Router) streamSweep(w http.ResponseWriter, co *Coordinator, items []serve.SweepItem) {
+func (r *Router) streamSweep(ctx context.Context, w http.ResponseWriter, co *Coordinator, items []serve.SweepItem) {
 	w.Header().Set("Content-Type", serve.ContentTypeNDJSON)
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	count := 0
-	err := co.Stream(items, func(i int, res SweepResult) error {
+	err := co.Stream(ctx, items, func(i int, res SweepResult) error {
 		if err := enc.Encode(routedFrame{Frame: serve.FrameResult, Index: i, Fidelity: res.Fidelity, Result: &res}); err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -75,7 +76,7 @@ func TestRouterRoutesToOwner(t *testing.T) {
 	r, _, services := testFleet(t, 3)
 	owned := make([]uint64, 3)
 	for _, shape := range routerShapes {
-		ans, err := r.Query(serve.Query{Shape: shape, Prim: hw.AllReduce})
+		ans, err := r.Query(context.Background(), serve.Query{Shape: shape, Prim: hw.AllReduce})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,7 +87,7 @@ func TestRouterRoutesToOwner(t *testing.T) {
 		}
 		owned[owner]++
 	}
-	st := r.Stats()
+	st := r.Stats(context.Background())
 	if st.Failovers != 0 {
 		t.Fatalf("failovers = %d on a healthy fleet", st.Failovers)
 	}
@@ -135,7 +136,7 @@ func TestRouterFailsOverWhenReplicaDown(t *testing.T) {
 	}
 	servers[1].Close()
 
-	ans, err := r.Query(serve.Query{Shape: victim, Prim: hw.AllReduce})
+	ans, err := r.Query(context.Background(), serve.Query{Shape: victim, Prim: hw.AllReduce})
 	if err != nil {
 		t.Fatalf("query with one replica down: %v", err)
 	}
@@ -148,7 +149,7 @@ func TestRouterFailsOverWhenReplicaDown(t *testing.T) {
 	if ans.Waves != ans.Partition.TotalWaves() || ans.Predicted <= 0 {
 		t.Fatalf("malformed failover answer %+v", ans)
 	}
-	st := r.Stats()
+	st := r.Stats(context.Background())
 	if st.Failovers != 1 {
 		t.Fatalf("failovers = %d, want 1", st.Failovers)
 	}
@@ -165,7 +166,7 @@ func TestRouterFailsOverWhenReplicaDown(t *testing.T) {
 // how routers melt down.
 func TestRouterDoesNotFailOverBadQueries(t *testing.T) {
 	r, _, services := testFleet(t, 2)
-	_, err := r.Query(serve.Query{Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllGather})
+	_, err := r.Query(context.Background(), serve.Query{Shape: gemm.Shape{M: 2048, N: 8192, K: 4096}, Prim: hw.AllGather})
 	if err == nil {
 		t.Fatal("unsupported primitive accepted")
 	}
@@ -239,7 +240,7 @@ func TestShardedWarmKeepsCachesDisjoint(t *testing.T) {
 	_, _, services := testFleet(t, 3)
 	p := NewPartitioner(3)
 	for _, svc := range services {
-		if err := svc.Warm([]hw.Primitive{hw.AllReduce}, routerShapes, 0); err != nil {
+		if err := svc.Warm(context.Background(), []hw.Primitive{hw.AllReduce}, routerShapes, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -299,21 +300,21 @@ func TestRouterFailsOverOnInternalServerError(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ans, err := r.Query(serve.Query{Shape: shape, Prim: hw.AllReduce})
+	ans, err := r.Query(context.Background(), serve.Query{Shape: shape, Prim: hw.AllReduce})
 	if err != nil {
 		t.Fatalf("query with owner failing internally: %v", err)
 	}
 	if ans.Replica != 1-owner {
 		t.Fatalf("answered by replica %d, want failover to %d", ans.Replica, 1-owner)
 	}
-	if r.Stats().Failovers != 1 {
-		t.Fatalf("failovers = %d, want 1", r.Stats().Failovers)
+	if r.Stats(context.Background()).Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", r.Stats(context.Background()).Failovers)
 	}
 
 	// The same classification must hold for sweep chunks: a 500 from the
 	// owner re-dispatches the chunk instead of failing the sweep.
 	co := NewCoordinator(r)
-	results, err := co.Sweep([]serve.SweepItem{{M: shape.M, N: shape.N, K: shape.K, Prim: "AR"}})
+	results, err := co.Sweep(context.Background(), []serve.SweepItem{{M: shape.M, N: shape.N, K: shape.K, Prim: "AR"}})
 	if err != nil {
 		t.Fatalf("sweep with owner failing internally: %v", err)
 	}

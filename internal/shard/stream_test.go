@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -41,7 +42,7 @@ func TestCoordinatorStreamEmitsIncrementally(t *testing.T) {
 	co.Spec.Chunk = 1
 	items := coordItems()
 	emitted := 0
-	err = co.Stream(items, func(i int, res SweepResult) error {
+	err = co.Stream(context.Background(), items, func(i int, res SweepResult) error {
 		if i != emitted {
 			t.Fatalf("emission %d carries index %d; single-shard chunks stream in order", emitted, i)
 		}
@@ -67,7 +68,7 @@ func TestCoordinatorStreamSinkErrorAborts(t *testing.T) {
 	co := NewCoordinator(r)
 	co.Spec.Chunk = 1
 	calls := 0
-	err := co.Stream(coordItems(), func(int, SweepResult) error {
+	err := co.Stream(context.Background(), coordItems(), func(int, SweepResult) error {
 		calls++
 		return io.ErrClosedPipe
 	})
@@ -245,7 +246,7 @@ func TestRouterStreamSweepAcrossKillRebalanceAndHandback(t *testing.T) {
 	}
 	r.Health().SetCooldown(150 * time.Millisecond)
 	r.Health().SetEvictAfter(1)
-	stopProber := r.StartProber(10 * time.Millisecond)
+	stopProber := r.StartProber(context.Background(), 10*time.Millisecond)
 	defer stopProber()
 	front := httptest.NewServer(r.Handler())
 	defer front.Close()
@@ -274,19 +275,19 @@ func TestRouterStreamSweepAcrossKillRebalanceAndHandback(t *testing.T) {
 	if !sawVictimKeeper {
 		t.Fatal("victim answered no analytic keeper; the kill preceded its participation")
 	}
-	if st := r.Stats(); st.Failovers == 0 {
+	if st := r.Stats(context.Background()); st.Failovers == 0 {
 		t.Fatal("router stats recorded no failover for the victim's refine chunks")
 	}
 
 	// The victim stays dead past the eviction window: its cells rebalance.
 	deadline := time.Now().Add(5 * time.Second)
-	for r.Stats().Evictions == 0 {
+	for r.Stats(context.Background()).Evictions == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("victim not evicted within 5s of dying (window = 1×150ms)")
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if st := r.Stats(); !st.PerShard[victim].Evicted {
+	if st := r.Stats(context.Background()); !st.PerShard[victim].Evicted {
 		t.Fatal("stats do not flag the victim evicted")
 	}
 
@@ -298,7 +299,7 @@ func TestRouterStreamSweepAcrossKillRebalanceAndHandback(t *testing.T) {
 			victimItems = append(victimItems, it)
 		}
 	}
-	failoversBefore := r.Stats().Failovers
+	failoversBefore := r.Stats(context.Background()).Failovers
 	resultsB := streamResults(t,
 		postStream(t, front.URL, false, serve.SweepRequest{Items: victimItems}),
 		len(victimItems))
@@ -310,14 +311,14 @@ func TestRouterStreamSweepAcrossKillRebalanceAndHandback(t *testing.T) {
 			t.Fatalf("item %d took a failover hop (%d -> %d) though ownership rebalanced", i, res.Owner, res.Replica)
 		}
 	}
-	if got := r.Stats().Failovers; got != failoversBefore {
+	if got := r.Stats(context.Background()).Failovers; got != failoversBefore {
 		t.Fatalf("rebalanced sweep burned %d failovers; survivors own the cells directly", got-failoversBefore)
 	}
 
 	// Restart: the prober re-admits the victim and hands its cells back.
 	down.Store(false)
 	deadline = time.Now().Add(10 * time.Second)
-	for r.Stats().Handbacks == 0 {
+	for r.Stats(context.Background()).Handbacks == 0 {
 		if time.Now().After(deadline) {
 			t.Fatal("victim not handed its cells back within 10s of restarting")
 		}

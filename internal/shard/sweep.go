@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -34,7 +35,7 @@ func Engines(n, workers, cacheSize int) []*engine.Engine {
 //
 // On failure the error with the lowest global run index is returned, like
 // engine.Batch; len(engines) must equal p.Shards.
-func SweepBatch(p Partitioner, engines []*engine.Engine, runs []core.Options) ([]*core.Result, error) {
+func SweepBatch(ctx context.Context, p Partitioner, engines []*engine.Engine, runs []core.Options) ([]*core.Result, error) {
 	if len(engines) != p.Shards {
 		return nil, fmt.Errorf("shard: %d engines for %d shards", len(engines), p.Shards)
 	}
@@ -49,7 +50,7 @@ func SweepBatch(p Partitioner, engines []*engine.Engine, runs []core.Options) ([
 		for j, gi := range list {
 			sub[j] = runs[gi]
 		}
-		res, err := engines[k].Batch(sub)
+		res, err := engines[k].Batch(ctx, sub)
 		if err != nil {
 			// Batch reports the lowest failing local index; translate
 			// it back to the global grid.
@@ -80,7 +81,7 @@ func SweepBatch(p Partitioner, engines []*engine.Engine, runs []core.Options) ([
 // ranking runs over the merged global order, the output is byte-identical
 // to the unsharded MixedBatch at any shard count, and the DES tier is
 // byte-identical to a full-DES sweep restricted to the same candidates.
-func SweepBatchMixed(p Partitioner, engines []*engine.Engine, runs []core.Options, topK int, quantum float64) (results []*core.Result, refined []int, err error) {
+func SweepBatchMixed(ctx context.Context, p Partitioner, engines []*engine.Engine, runs []core.Options, topK int, quantum float64) (results []*core.Result, refined []int, err error) {
 	for i, o := range runs {
 		if o.Fidelity != "" {
 			return nil, nil, fmt.Errorf("shard: global run %d: mixed sweep run carries fidelity %q; the mixed policy assigns fidelities itself", i, o.Fidelity)
@@ -91,7 +92,7 @@ func SweepBatchMixed(p Partitioner, engines []*engine.Engine, runs []core.Option
 		o.Fidelity = core.FidelityAnalytic
 		analytic[i] = o
 	}
-	results, err = SweepBatch(p, engines, analytic)
+	results, err = SweepBatch(ctx, p, engines, analytic)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -108,7 +109,7 @@ func SweepBatchMixed(p Partitioner, engines []*engine.Engine, runs []core.Option
 		o.Fidelity = core.FidelityDES
 		des[j] = o
 	}
-	desResults, err := SweepBatch(p, engines, des)
+	desResults, err := SweepBatch(ctx, p, engines, des)
 	if err != nil {
 		// SweepBatch named an index into the refined sub-grid; translate
 		// it back to the caller's grid.
@@ -173,7 +174,7 @@ func fanShards(idxs [][]int, worker func(k int, list []int) (int, error)) error 
 // Within one shard queries run serially in input order, preserving the
 // cache-warming locality a single replica would see. On failure the error
 // with the lowest global query index is returned.
-func (r *Router) SweepQueries(qs []serve.Query) ([]Answer, error) {
+func (r *Router) SweepQueries(ctx context.Context, qs []serve.Query) ([]Answer, error) {
 	byOwner := make([][]int, len(r.clients))
 	for i, q := range qs {
 		k := r.part.Owner(q.Shape)
@@ -182,7 +183,7 @@ func (r *Router) SweepQueries(qs []serve.Query) ([]Answer, error) {
 	answers := make([]Answer, len(qs))
 	err := fanShards(byOwner, func(k int, list []int) (int, error) {
 		for _, gi := range list {
-			ans, err := r.Query(qs[gi])
+			ans, err := r.Query(ctx, qs[gi])
 			if err != nil {
 				return gi, err
 			}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,7 +39,7 @@ func quickGridRuns() []core.Options {
 // reproduces the unsharded engine.Batch output byte for byte.
 func TestSweepBatchMatchesUnshardedByteForByte(t *testing.T) {
 	runs := quickGridRuns()
-	reference, err := engine.New(0, 0).Batch(runs)
+	reference, err := engine.New(0, 0).Batch(context.Background(), runs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestSweepBatchMatchesUnshardedByteForByte(t *testing.T) {
 	}
 	for n := 1; n <= 5; n++ {
 		p := NewPartitioner(n)
-		got, err := SweepBatch(p, Engines(n, 0, 0), runs)
+		got, err := SweepBatch(context.Background(), p, Engines(n, 0, 0), runs)
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -80,7 +81,7 @@ func TestSweepBatchCompilesEachPlanOncePerShard(t *testing.T) {
 	runs = append(runs, quickGridRuns()...)
 	const n = 3
 	engines := Engines(n, 0, 0)
-	if _, err := SweepBatch(NewPartitioner(n), engines, runs); err != nil {
+	if _, err := SweepBatch(context.Background(), NewPartitioner(n), engines, runs); err != nil {
 		t.Fatal(err)
 	}
 	var misses uint64
@@ -104,7 +105,7 @@ func TestSweepBatchErrorKeepsGlobalIndex(t *testing.T) {
 	bad := 7
 	runs[bad].Shape = gemm.Shape{M: 0, N: 8192, K: 4096}
 
-	_, refErr := engine.New(0, 0).Batch(runs)
+	_, refErr := engine.New(0, 0).Batch(context.Background(), runs)
 	if refErr == nil {
 		t.Fatal("unsharded batch accepted the invalid run")
 	}
@@ -114,7 +115,7 @@ func TestSweepBatchErrorKeepsGlobalIndex(t *testing.T) {
 	}
 
 	for n := 1; n <= 4; n++ {
-		_, err := SweepBatch(NewPartitioner(n), Engines(n, 0, 0), runs)
+		_, err := SweepBatch(context.Background(), NewPartitioner(n), Engines(n, 0, 0), runs)
 		if err == nil {
 			t.Fatalf("n=%d: sharded sweep accepted the invalid run", n)
 		}
@@ -127,7 +128,7 @@ func TestSweepBatchErrorKeepsGlobalIndex(t *testing.T) {
 func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }
 
 func TestSweepBatchRejectsEngineCountMismatch(t *testing.T) {
-	if _, err := SweepBatch(NewPartitioner(3), Engines(2, 0, 0), quickGridRuns()); err == nil {
+	if _, err := SweepBatch(context.Background(), NewPartitioner(3), Engines(2, 0, 0), quickGridRuns()); err == nil {
 		t.Fatal("engine/shard count mismatch accepted")
 	}
 }
@@ -166,11 +167,11 @@ func TestSweepQueriesDeterministicAcrossFleets(t *testing.T) {
 	for _, s := range quickGridShapes() {
 		qs = append(qs, serve.Query{Shape: s, Prim: hw.AllReduce})
 	}
-	first, err := localFleet(t, 3).SweepQueries(qs)
+	first, err := localFleet(t, 3).SweepQueries(context.Background(), qs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := localFleet(t, 3).SweepQueries(qs)
+	second, err := localFleet(t, 3).SweepQueries(context.Background(), qs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +197,7 @@ func TestSweepQueriesErrorKeepsGlobalIndex(t *testing.T) {
 		{Shape: gemm.Shape{M: 4096, N: 8192, K: 4096}, Prim: hw.AllGather}, // unsupported
 		{Shape: gemm.Shape{M: 4096, N: 8192, K: 8192}, Prim: hw.AllReduce},
 	}
-	_, err := localFleet(t, 2).SweepQueries(qs)
+	_, err := localFleet(t, 2).SweepQueries(context.Background(), qs)
 	if err == nil {
 		t.Fatal("unsupported primitive accepted")
 	}

@@ -13,6 +13,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 )
 
@@ -151,6 +152,45 @@ func (s *Simulator) Run() {
 		}
 		e.fn()
 	}
+}
+
+// interruptStride is how many events RunCtx executes between context polls.
+// Polling ctx.Err() takes a lock, so a per-event check would tax the hottest
+// loop in the repository; a stride of 64 keeps the overhead unmeasurable
+// while still stopping a cancelled simulation within a few kernel
+// boundaries. The stride is phase-locked to the deterministic step counter,
+// so whether a run is cancelled at step N never depends on scheduling.
+const interruptStride = 64
+
+// RunCtx executes events like Run but polls ctx every interruptStride
+// events, stopping early with ctx.Err() when the context is cancelled or
+// its deadline passes. Events execute at their scheduled boundaries — a
+// closure mid-execution is never interrupted, so models observe
+// cancellation only between events (for the GEMM models, between wave
+// retirements and kernel completions, never mid-kernel). A cancelled run
+// leaves the remaining queue intact; callers discard the simulator, as
+// every execution in this repository builds a fresh one.
+func (s *Simulator) RunCtx(ctx context.Context) error {
+	if s.running {
+		panic("sim: Run called reentrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for len(s.queue) > 0 {
+		if s.steps%interruptStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		e := heap.Pop(&s.queue).(event)
+		s.now = e.at
+		s.steps++
+		if s.MaxSteps != 0 && s.steps > s.MaxSteps {
+			panic(fmt.Sprintf("sim: exceeded MaxSteps=%d at t=%v", s.MaxSteps, s.now))
+		}
+		e.fn()
+	}
+	return nil
 }
 
 // RunUntil executes events with timestamps <= deadline, leaving later events

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -40,7 +41,7 @@ func TestAnalyticBackendAgreesWithPredictorExactly(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					res, err := eng.Exec(core.Options{
+					res, err := eng.Exec(context.Background(), core.Options{
 						Plat:      plat,
 						NGPUs:     n,
 						Shape:     shape,
@@ -75,12 +76,12 @@ func TestAnalyticLazyCurveMatchesSeeded(t *testing.T) {
 
 	seeded := engine.New(1, 0)
 	seeded.SeedCurve(plat, 2, hw.AllReduce, SampleBandwidthCurve(plat, 2, hw.AllReduce, nil))
-	want, err := seeded.Exec(opts)
+	want, err := seeded.Exec(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	lazy := engine.New(1, 0)
-	got, err := lazy.Exec(opts)
+	got, err := lazy.Exec(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestCacheSnapshotSeedRoundTrip(t *testing.T) {
 		{M: 4096, N: 8192, K: 8192},
 	}
 	for _, s := range shapes {
-		if _, err := tn.Tune(s, 0); err != nil {
+		if _, err := tn.Tune(context.Background(), s, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -107,7 +108,7 @@ func TestOnEvictObservesEvictionAndReplacement(t *testing.T) {
 		{M: 4096, N: 8192, K: 8192},
 	}
 	for _, s := range shapes {
-		if _, err := tn.Tune(s, 0); err != nil {
+		if _, err := tn.Tune(context.Background(), s, 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -116,7 +117,7 @@ func TestOnEvictObservesEvictionAndReplacement(t *testing.T) {
 		t.Fatalf("eviction events %v, want exactly one for %v", events, shapes[0])
 	}
 	// Re-tuning a cached shape replaces its entry and must notify too.
-	if _, err := tn.Tune(shapes[2], 0); err != nil {
+	if _, err := tn.Tune(context.Background(), shapes[2], 0); err != nil {
 		t.Fatal(err)
 	}
 	if len(events) != 2 || events[1] != (evt{shapes[2], 1}) {

@@ -7,6 +7,7 @@
 package tuner
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -250,12 +251,19 @@ type SearchResult struct {
 }
 
 // PredictiveSearch returns the candidate with the minimum predicted latency.
-func PredictiveSearch(p *Predictor, cands []gemm.Partition) (SearchResult, error) {
+// ctx cancellation stops the scan between candidates (checked every 256, as
+// one prediction is sub-microsecond arithmetic) and returns ctx.Err().
+func PredictiveSearch(ctx context.Context, p *Predictor, cands []gemm.Partition) (SearchResult, error) {
 	if len(cands) == 0 {
 		return SearchResult{}, fmt.Errorf("tuner: no candidates")
 	}
 	best := SearchResult{Latency: sim.MaxTime, Candidates: len(cands)}
-	for _, c := range cands {
+	for i, c := range cands {
+		if i&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return SearchResult{}, err
+			}
+		}
 		t, err := p.Predict(c)
 		if err != nil {
 			return SearchResult{}, err
@@ -272,8 +280,9 @@ func PredictiveSearch(p *Predictor, cands []gemm.Partition) (SearchResult, error
 // online-profiling oracle, >100x slower than prediction) and returns the
 // measured optimum. Candidates execute through the batch engine: one run per
 // partition, fanned across the worker pool, with the same winner a serial
-// scan would pick (ties break toward the earlier candidate).
-func ExhaustiveSearch(o core.Options, cands []gemm.Partition) (SearchResult, error) {
+// scan would pick (ties break toward the earlier candidate). ctx
+// cancellation stops the batch between candidate runs.
+func ExhaustiveSearch(ctx context.Context, o core.Options, cands []gemm.Partition) (SearchResult, error) {
 	if len(cands) == 0 {
 		return SearchResult{}, fmt.Errorf("tuner: no candidates")
 	}
@@ -283,7 +292,7 @@ func ExhaustiveSearch(o core.Options, cands []gemm.Partition) (SearchResult, err
 		run.Partition = c.Clone()
 		runs[i] = run
 	}
-	results, err := engine.Default().Batch(runs)
+	results, err := engine.Default().Batch(ctx, runs)
 	if err != nil {
 		return SearchResult{}, err
 	}
@@ -415,13 +424,15 @@ func (t *Tuner) SeedCache(entries []CacheEntry) error {
 
 // Tune runs the online stage for one GEMM size and caches the result.
 // Re-tuning a shape replaces its cache entry rather than growing the cache.
-func (t *Tuner) Tune(shape gemm.Shape, imbalance float64) (gemm.Partition, error) {
+// A cancelled ctx aborts the search before any cache write, so a cancelled
+// Tune never installs a partial result.
+func (t *Tuner) Tune(ctx context.Context, shape gemm.Shape, imbalance float64) (gemm.Partition, error) {
 	pred, err := NewPredictor(t.Plat, shape, gemm.Config{}, t.Curve, imbalance)
 	if err != nil {
 		return nil, err
 	}
 	cands := Candidates(pred.Waves, DefaultS1, DefaultSP, t.CandidateLimit)
-	res, err := PredictiveSearch(pred, cands)
+	res, err := PredictiveSearch(ctx, pred, cands)
 	if err != nil {
 		return nil, err
 	}
@@ -433,7 +444,9 @@ func (t *Tuner) Tune(shape gemm.Shape, imbalance float64) (gemm.Partition, error
 // bounded worker pool sized like engine.Batch's (the engine's worker width).
 // results[i] answers shapes[i] regardless of scheduling; the lowest-index
 // error is returned, matching a serial loop that stops at the first failure.
-func (t *Tuner) TuneGrid(shapes []gemm.Shape, imbalance float64) ([]gemm.Partition, error) {
+// ctx cancellation stops the grid between shapes (workers check before each
+// claim) and returns the bare ctx.Err(); shapes already tuned stay cached.
+func (t *Tuner) TuneGrid(ctx context.Context, shapes []gemm.Shape, imbalance float64) ([]gemm.Partition, error) {
 	results := make([]gemm.Partition, len(shapes))
 	errs := make([]error, len(shapes))
 	workers := t.Workers
@@ -445,7 +458,13 @@ func (t *Tuner) TuneGrid(shapes []gemm.Shape, imbalance float64) ([]gemm.Partiti
 	}
 	if workers <= 1 {
 		for i, s := range shapes {
-			if results[i], errs[i] = t.Tune(s, imbalance); errs[i] != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if results[i], errs[i] = t.Tune(ctx, s, imbalance); errs[i] != nil {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return nil, ctxErr
+				}
 				return nil, fmt.Errorf("tuner: shape %v: %w", s, errs[i])
 			}
 		}
@@ -460,26 +479,29 @@ func (t *Tuner) TuneGrid(shapes []gemm.Shape, imbalance float64) ([]gemm.Partiti
 		go func() {
 			defer wg.Done()
 			for {
-				// Fail fast, like engine.Batch: once any shape errors,
-				// stop claiming new indices. A claimed index always
-				// executes, and claims are issued in increasing order, so
-				// every index below a failing one records its result —
-				// the lowest-index error stays deterministic and the
-				// cache does not keep filling.
-				if failed.Load() {
+				// Fail fast, like engine.Batch: once any shape errors
+				// (or the context is done), stop claiming new indices. A
+				// claimed index always executes, and claims are issued
+				// in increasing order, so every index below a failing
+				// one records its result — the lowest-index error stays
+				// deterministic and the cache does not keep filling.
+				if failed.Load() || ctx.Err() != nil {
 					return
 				}
 				i := int(next.Add(1))
 				if i >= len(shapes) {
 					return
 				}
-				if results[i], errs[i] = t.Tune(shapes[i], imbalance); errs[i] != nil {
+				if results[i], errs[i] = t.Tune(ctx, shapes[i], imbalance); errs[i] != nil {
 					failed.Store(true)
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("tuner: shape %v: %w", shapes[i], err)

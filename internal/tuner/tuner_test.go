@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"context"
 	"math"
 	"sync"
 	"testing"
@@ -115,7 +116,7 @@ func TestPredictorAgainstSimulator(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := core.Run(core.Options{Plat: plat, NGPUs: 2, Shape: shape, Prim: hw.AllReduce, Partition: c})
+		res, err := core.Run(context.Background(), core.Options{Plat: plat, NGPUs: 2, Shape: shape, Prim: hw.AllReduce, Partition: c})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,17 +158,17 @@ func TestPredictiveSearchNearOptimal(t *testing.T) {
 		cands := Candidates(pred.Waves, DefaultS1, DefaultSP, 256)
 		opts := core.Options{Plat: plat, NGPUs: 4, Shape: shape, Prim: hw.AllReduce}
 
-		predRes, err := PredictiveSearch(pred, cands)
+		predRes, err := PredictiveSearch(context.Background(), pred, cands)
 		if err != nil {
 			t.Fatal(err)
 		}
-		oracle, err := ExhaustiveSearch(opts, cands)
+		oracle, err := ExhaustiveSearch(context.Background(), opts, cands)
 		if err != nil {
 			t.Fatal(err)
 		}
 		run := opts
 		run.Partition = predRes.Partition
-		actual, err := core.Run(run)
+		actual, err := core.Run(context.Background(), run)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,7 +196,7 @@ func TestTunerCacheAndLookup(t *testing.T) {
 	tn := NewTuner(hw.RTX4090PCIe(), 2, hw.AllReduce)
 	tn.CandidateLimit = 128
 	shape := gemm.Shape{M: 2048, N: 8192, K: 8192}
-	part, err := tn.Tune(shape, 1)
+	part, err := tn.Tune(context.Background(), shape, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +236,7 @@ func TestTunerConcurrentTune(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < len(shapes); i += 8 {
-				if _, err := tn.Tune(shapes[i], 1); err != nil {
+				if _, err := tn.Tune(context.Background(), shapes[i], 1); err != nil {
 					t.Error(err)
 					return
 				}
@@ -264,14 +265,14 @@ func TestTuneGridMatchesSerial(t *testing.T) {
 	serial.CandidateLimit = 64
 	want := make([]gemm.Partition, len(shapes))
 	for i, s := range shapes {
-		p, err := serial.Tune(s, 1)
+		p, err := serial.Tune(context.Background(), s, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
 		want[i] = p
 	}
 	grid := &Tuner{Plat: plat, NGPUs: 2, Prim: hw.AllReduce, Curve: serial.Curve, CandidateLimit: 64}
-	got, err := grid.TuneGrid(shapes, 1)
+	got, err := grid.TuneGrid(context.Background(), shapes, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,7 +293,7 @@ func TestTunerCacheBounded(t *testing.T) {
 	tn.CandidateLimit = 64
 	shape := gemm.Shape{M: 2048, N: 8192, K: 8192}
 	for i := 0; i < 3; i++ {
-		if _, err := tn.Tune(shape, 1); err != nil {
+		if _, err := tn.Tune(context.Background(), shape, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -306,7 +307,7 @@ func TestTunerCacheBounded(t *testing.T) {
 	b := gemm.Shape{M: 4096, N: 8192, K: 4096}
 	c := gemm.Shape{M: 8192, N: 8192, K: 4096}
 	for _, s := range []gemm.Shape{a, b} {
-		if _, err := bounded.Tune(s, 1); err != nil {
+		if _, err := bounded.Tune(context.Background(), s, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -314,7 +315,7 @@ func TestTunerCacheBounded(t *testing.T) {
 	if _, ok := bounded.Lookup(a); !ok {
 		t.Fatal("lookup of tuned shape a missed")
 	}
-	if _, err := bounded.Tune(c, 1); err != nil {
+	if _, err := bounded.Tune(context.Background(), c, 1); err != nil {
 		t.Fatal(err)
 	}
 	if got := bounded.CacheSize(); got != 2 {
@@ -336,11 +337,11 @@ func TestLookupAtSeparatesImbalance(t *testing.T) {
 	tn := NewTuner(hw.RTX4090PCIe(), 4, hw.AllToAll)
 	tn.CandidateLimit = 128
 	shape := gemm.Shape{M: 4096, N: 8192, K: 4096}
-	balanced, err := tn.Tune(shape, 1)
+	balanced, err := tn.Tune(context.Background(), shape, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	skewed, err := tn.Tune(shape, 8)
+	skewed, err := tn.Tune(context.Background(), shape, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -383,18 +384,18 @@ func TestTunedBeatsPerWaveBaseline(t *testing.T) {
 	shape := gemm.Shape{M: 4096, N: 8192, K: 4096}
 	tn := NewTuner(plat, 4, hw.AllReduce)
 	tn.CandidateLimit = 256
-	part, err := tn.Tune(shape, 1)
+	part, err := tn.Tune(context.Background(), shape, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts := core.Options{Plat: plat, NGPUs: 4, Shape: shape, Prim: hw.AllReduce}
 	tuned := opts
 	tuned.Partition = part
-	tunedRes, err := core.Run(tuned)
+	tunedRes, err := core.Run(context.Background(), tuned)
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := core.Run(opts) // nil partition = per-wave
+	base, err := core.Run(context.Background(), opts) // nil partition = per-wave
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,7 +423,7 @@ func TestPredictionErrorDistribution(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			res, err := core.Run(core.Options{Plat: plat, NGPUs: 4, Shape: shape, Prim: hw.ReduceScatter, Partition: c})
+			res, err := core.Run(context.Background(), core.Options{Plat: plat, NGPUs: 4, Shape: shape, Prim: hw.ReduceScatter, Partition: c})
 			if err != nil {
 				t.Fatal(err)
 			}

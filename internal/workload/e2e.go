@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -35,8 +36,9 @@ type E2EResult struct {
 // EndToEnd evaluates the model with every GEMM+collective pair replaced by
 // the tuned FlashOverlap operator (the paper swaps the linear layer and the
 // subsequent primitive in vLLM/Megatron-LM/xDiT, §6.1.3); all other ops are
-// unchanged. candLimit bounds the tuner's search space.
-func EndToEnd(m Model, plat hw.Platform, candLimit int) (E2EResult, error) {
+// unchanged. candLimit bounds the tuner's search space. Cancelling ctx
+// aborts between tunes or engine waves with ctx.Err().
+func EndToEnd(ctx context.Context, m Model, plat hw.Platform, candLimit int) (E2EResult, error) {
 	if err := m.Validate(); err != nil {
 		return E2EResult{}, err
 	}
@@ -80,7 +82,7 @@ func EndToEnd(m Model, plat hw.Platform, candLimit int) (E2EResult, error) {
 			res.Overlap += sim.Time(int64(seq) * scale)
 			continue
 		}
-		part, err := getTuner(op.Prim).Tune(op.Shape, op.Imbalance)
+		part, err := getTuner(op.Prim).Tune(ctx, op.Shape, op.Imbalance)
 		if err != nil {
 			return E2EResult{}, fmt.Errorf("tuning %s/%s: %w", m.Name, op.Name, err)
 		}
@@ -94,7 +96,7 @@ func EndToEnd(m Model, plat hw.Platform, candLimit int) (E2EResult, error) {
 			Imbalance: op.Imbalance,
 		})
 	}
-	results, err := engine.Default().Batch(runs)
+	results, err := engine.Default().Batch(ctx, runs)
 	if err != nil {
 		return E2EResult{}, fmt.Errorf("overlapping %s: %w", m.Name, err)
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/hw"
@@ -104,7 +105,7 @@ func TestEndToEndSpeedups(t *testing.T) {
 	}
 	plat := hw.A800NVLink()
 	for _, m := range Table4Models() {
-		res, err := EndToEnd(m, plat, 96)
+		res, err := EndToEnd(context.Background(), m, plat, 96)
 		if err != nil {
 			t.Fatalf("%s: %v", m.Name, err)
 		}
@@ -131,7 +132,7 @@ func TestEndToEndBaselineMatchesBreakdown(t *testing.T) {
 	}
 	plat := hw.A800NVLink()
 	m := StepVideoT2V(4, 33792)
-	res, err := EndToEnd(m, plat, 64)
+	res, err := EndToEnd(context.Background(), m, plat, 64)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -42,11 +43,11 @@ func TestMixedRankingContainsDESOptimumPerCell(t *testing.T) {
 			o.Fidelity = core.FidelityAnalytic
 			analytic[i] = o
 		}
-		aRes, err := eng.Batch(analytic)
+		aRes, err := eng.Batch(context.Background(), analytic)
 		if err != nil {
 			t.Fatalf("%s/%s: %v", grid.Plat.Name, grid.Prim, err)
 		}
-		dRes, err := eng.Batch(runs)
+		dRes, err := eng.Batch(context.Background(), runs)
 		if err != nil {
 			t.Fatalf("%s/%s: %v", grid.Plat.Name, grid.Prim, err)
 		}
@@ -115,7 +116,7 @@ func quickMixedGrid() []core.Options {
 // unsharded MixedBatch, and every result carries its tier's fidelity label.
 func TestSweepBatchMixedMatchesMixedBatchByteForByte(t *testing.T) {
 	runs := quickMixedGrid()
-	refRes, refRefined, err := engine.New(0, 0).MixedBatch(runs, 0, 0)
+	refRes, refRefined, err := engine.New(0, 0).MixedBatch(context.Background(), runs, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestSweepBatchMixedMatchesMixedBatchByteForByte(t *testing.T) {
 	refJSON := marshalResults(t, refRes)
 	for shards := 1; shards <= 4; shards++ {
 		part := shard.NewPartitioner(shards)
-		res, refined, err := shard.SweepBatchMixed(part, shard.Engines(shards, 0, 0), runs, 0, 0)
+		res, refined, err := shard.SweepBatchMixed(context.Background(), part, shard.Engines(shards, 0, 0), runs, 0, 0)
 		if err != nil {
 			t.Fatalf("shards=%d: %v", shards, err)
 		}
@@ -161,7 +162,7 @@ func TestSweepBatchMixedMatchesMixedBatchByteForByte(t *testing.T) {
 // acceptance criterion that mixed fidelity only skips work, never alters it.
 func TestMixedRefineTierMatchesFullDESByteForByte(t *testing.T) {
 	runs := quickMixedGrid()
-	res, refined, err := engine.New(0, 0).MixedBatch(runs, 0, 0)
+	res, refined, err := engine.New(0, 0).MixedBatch(context.Background(), runs, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +172,7 @@ func TestMixedRefineTierMatchesFullDESByteForByte(t *testing.T) {
 		desRuns[j] = runs[gi]
 		refinedRes[j] = res[gi]
 	}
-	full, err := engine.New(0, 0).Batch(desRuns)
+	full, err := engine.New(0, 0).Batch(context.Background(), desRuns)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,10 +186,10 @@ func TestMixedRefineTierMatchesFullDESByteForByte(t *testing.T) {
 func TestMixedBatchRejectsPreStampedFidelity(t *testing.T) {
 	runs := quickMixedGrid()
 	runs[3].Fidelity = core.FidelityDES
-	if _, _, err := engine.New(0, 0).MixedBatch(runs, 0, 0); err == nil {
+	if _, _, err := engine.New(0, 0).MixedBatch(context.Background(), runs, 0, 0); err == nil {
 		t.Fatal("engine.MixedBatch accepted a pre-stamped run")
 	}
-	if _, _, err := shard.SweepBatchMixed(shard.NewPartitioner(2), shard.Engines(2, 0, 0), runs, 0, 0); err == nil {
+	if _, _, err := shard.SweepBatchMixed(context.Background(), shard.NewPartitioner(2), shard.Engines(2, 0, 0), runs, 0, 0); err == nil {
 		t.Fatal("shard.SweepBatchMixed accepted a pre-stamped run")
 	}
 }
