@@ -37,6 +37,8 @@ var headlines = []headline{
 	{Bench: "BenchmarkStreamingSweep", Metric: "stream-sweep-bytes/item", HigherBetter: false, Label: "streaming sweep allocation"},
 	{Bench: "BenchmarkServeWarmQueryEncoded", Metric: "warm-allocs/query", HigherBetter: false, Label: "warm encoded-query allocations"},
 	{Bench: "BenchmarkSnapshotRestart", Metric: "cold-restart-to-warm-ms", HigherBetter: false, Label: "snapshot restart-to-warm time"},
+	{Bench: "BenchmarkLoadgenReplay", Metric: "loadgen-p99-ms", HigherBetter: false, Label: "loadgen replay p99 latency"},
+	{Bench: "BenchmarkLoadgenReplay", Metric: "loadgen-qps", HigherBetter: true, Label: "loadgen replay throughput"},
 }
 
 func loadReport(path string) (Report, error) {

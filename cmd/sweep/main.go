@@ -71,6 +71,7 @@ func main() {
 		fidelity  = flag.String("fidelity", "des", "execution fidelity: des (event simulator), analytic (Algorithm 1 predictor, no simulation), or mixed (analytic grid + DES re-run of the top -topk per shape bucket)")
 		topK      = flag.Int("topk", 0, "mixed fidelity only: DES confirmations per rank bucket (0 = engine default)")
 		rankQ     = flag.Float64("rank-quantum", 0, "mixed fidelity only: log2 cell edge of the rank buckets (0 = engine default)")
+		tenant    = flag.String("tenant", "", "optional tenant accounting label: executed items count into the tenant's swept_items on every replica's /stats (letters, digits, . _ -)")
 		chunk     = flag.Int("chunk", 0, "items per dispatched chunk (0 = shard.DefaultChunkSize)")
 		attempts  = flag.Int("attempts", 0, "re-dispatch budget per chunk across the failover ring (0 = fleet size); a budget beyond the fleet size does not hammer dead replicas back-to-back — wrap-around retries wait out -health-cooldown, so extra budget helps only when a replica recovers mid-dispatch")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-chunk replica timeout (covers a chunk of tunes + simulations)")
@@ -110,12 +111,14 @@ func main() {
 	fatal(err)
 	router.Health().SetEvictAfter(*rebalance)
 	co := shard.NewCoordinator(router)
+	fatal(serve.ValidateTenant(*tenant))
 	co.Spec = shard.SweepSpec{
 		Tune:           *tune,
 		Chunk:          *chunk,
 		Attempts:       *attempts,
 		TopK:           *topK,
 		RankQuantum:    *rankQ,
+		Tenant:         *tenant,
 		HealthCooldown: *cooldown,
 		ProbeInterval:  *probe,
 	}

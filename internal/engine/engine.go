@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gemm"
 	"repro/internal/hw"
+	"repro/internal/metrics"
 )
 
 // Key identifies a compiled plan: every Options field that shapes the plan
@@ -125,7 +126,10 @@ type Engine struct {
 	// bandwidth curve per (platform, group size, primitive).
 	curves curveCache
 
-	hits, misses atomic.Uint64
+	// reg registers the plan-cache counters under the exact keys the Stats
+	// snapshot exports them as.
+	reg          *metrics.Registry
+	hits, misses *metrics.Counter
 }
 
 // New builds an engine with the given worker-pool width and plan-cache
@@ -138,7 +142,14 @@ func New(workers, cacheSize int) *Engine {
 	if cacheSize <= 0 {
 		cacheSize = DefaultCacheSize
 	}
-	return &Engine{workers: workers, cache: newPlanCache(cacheSize)}
+	reg := metrics.NewRegistry()
+	return &Engine{
+		workers: workers,
+		cache:   newPlanCache(cacheSize),
+		reg:     reg,
+		hits:    reg.Counter("hits"),
+		misses:  reg.Counter("misses"),
+	}
 }
 
 var (
@@ -301,14 +312,10 @@ type Stats struct {
 // Add accumulates another engine's snapshot into this one — the merge a
 // shard router performs when it aggregates replica /stats. Size, Capacity,
 // and Workers sum too: across disjoint replicas they read as fleet totals.
+// The snapshot is plain mergeable state, so the generic snapshot merge
+// applies: every numeric field sums, including any added later.
 func (s Stats) Add(o Stats) Stats {
-	return Stats{
-		Hits:     s.Hits + o.Hits,
-		Misses:   s.Misses + o.Misses,
-		Size:     s.Size + o.Size,
-		Capacity: s.Capacity + o.Capacity,
-		Workers:  s.Workers + o.Workers,
-	}
+	return metrics.MergeSnapshots(s, o)
 }
 
 // Stats snapshots the plan-cache counters. Hits and misses are read

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+type tenantSnap struct {
+	Queries uint64
+	Latency HistogramSnapshot
+}
+
+type statsSnap struct {
+	Shard      string
+	Hits       uint64
+	Cached     int
+	Rate       float64
+	Degraded   bool
+	Primitives []string
+	Buckets    []uint64
+	Latency    *HistogramSnapshot
+	Tenants    map[string]tenantSnap
+	Nested     struct{ Size int }
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a := statsSnap{
+		Shard:      "0/2",
+		Hits:       3,
+		Cached:     5,
+		Rate:       0.25,
+		Primitives: []string{"AllReduce", "AllToAll"},
+		Buckets:    []uint64{1, 2},
+		Latency:    &HistogramSnapshot{Count: 2, SumNs: 100, Buckets: []uint64{2}},
+		Tenants: map[string]tenantSnap{
+			"a": {Queries: 1, Latency: HistogramSnapshot{Count: 1, SumNs: 7, Buckets: []uint64{1}}},
+			"b": {Queries: 4},
+		},
+	}
+	a.Nested.Size = 7
+	b := statsSnap{
+		Shard:      "1/2",
+		Hits:       10,
+		Cached:     1,
+		Rate:       0.5,
+		Degraded:   true,
+		Primitives: []string{"AllReduce", "ReduceScatter"},
+		Buckets:    []uint64{0, 1, 5},
+		Tenants: map[string]tenantSnap{
+			"b": {Queries: 6, Latency: HistogramSnapshot{Count: 3, SumNs: 30, Buckets: []uint64{0, 3}}},
+			"c": {Queries: 9},
+		},
+	}
+	b.Nested.Size = 2
+
+	got := MergeSnapshots(a, b)
+	want := statsSnap{
+		Shard:      "", // per-replica label dropped in the merged view
+		Hits:       13,
+		Cached:     6,
+		Rate:       0.75,
+		Degraded:   true,
+		Primitives: []string{"AllReduce", "AllToAll", "ReduceScatter"},
+		Buckets:    []uint64{1, 3, 5},
+		Latency:    &HistogramSnapshot{Count: 2, SumNs: 100, Buckets: []uint64{2}},
+		Tenants: map[string]tenantSnap{
+			"a": {Queries: 1, Latency: HistogramSnapshot{Count: 1, SumNs: 7, Buckets: []uint64{1}}},
+			"b": {Queries: 10, Latency: HistogramSnapshot{Count: 3, SumNs: 30, Buckets: []uint64{0, 3}}},
+			"c": {Queries: 9},
+		},
+	}
+	want.Nested.Size = 9
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MergeSnapshots:\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+func TestMergeSnapshotsZeroIdentity(t *testing.T) {
+	a := statsSnap{
+		Hits:       3,
+		Primitives: []string{"AllReduce"},
+		Tenants:    map[string]tenantSnap{"a": {Queries: 2}},
+		Latency:    &HistogramSnapshot{Count: 1, Buckets: []uint64{1}},
+	}
+	got := MergeSnapshots(a, statsSnap{})
+	if !reflect.DeepEqual(got, a) {
+		t.Fatalf("merging with the zero snapshot changed the value:\ngot:  %+v\nwant: %+v", got, a)
+	}
+	zero := MergeSnapshots(statsSnap{}, statsSnap{})
+	if !reflect.DeepEqual(zero, statsSnap{}) {
+		t.Fatalf("zero merge not zero: %+v", zero)
+	}
+	if zero.Primitives != nil || zero.Tenants != nil || zero.Latency != nil {
+		t.Fatalf("zero merge materialized empty collections: %+v", zero)
+	}
+}
+
+func TestMergeSnapshotsCommutesOnNumbers(t *testing.T) {
+	a := statsSnap{Hits: 3, Buckets: []uint64{1}, Primitives: []string{"B", "A"}}
+	b := statsSnap{Hits: 4, Buckets: []uint64{0, 2}, Primitives: []string{"A", "C"}}
+	ab := MergeSnapshots(a, b)
+	ba := MergeSnapshots(b, a)
+	if !reflect.DeepEqual(ab, ba) {
+		t.Fatalf("merge not commutative:\na+b: %+v\nb+a: %+v", ab, ba)
+	}
+}

@@ -1,0 +1,157 @@
+// Package metrics is the one stats plane every layer of the system counts
+// through: a registry of named counters, gauges, and mergeable log-bucketed
+// latency histograms. Before it, serve.Stats, engine.Stats, and
+// shard.RouterStats each carried their own field-by-field Merge/Add code
+// that had to be edited in lockstep whenever a counter was added — the
+// "forgot to merge the new counter" failure mode. Now a snapshot struct is
+// plain data and MergeSnapshots folds two of them by reflection: numeric
+// fields sum, string sets union, histograms add bucket-wise, maps merge by
+// key union. A field added to a snapshot struct participates in every merge
+// automatically.
+//
+// Histograms use fixed bucket boundaries (see histogram.go), so two
+// replicas' histograms merge by bucket-wise sum into exactly the histogram
+// a single process observing both streams would have built — shard-merged
+// percentiles are exact at bucket resolution, not an approximation of an
+// approximation.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; Add and Load are lock-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.v.Add(delta) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a value that can move both ways (queue depths, cache sizes).
+// The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (negative deltas allowed).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Registry is a get-or-create namespace of named instruments. Layers
+// register each instrument under the JSON key it reports as (serve
+// registers "hits", "misses", ... — the exact /stats keys), so the
+// registry doubles as the explicit inventory of what a layer exports.
+// All methods are safe for concurrent use; two calls with one name return
+// the same instrument, and a name registered as one kind cannot be
+// re-registered as another.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+func (r *Registry) taken(name string, self map[string]bool) bool {
+	if !self["counter"] {
+		if _, ok := r.counters[name]; ok {
+			return true
+		}
+	}
+	if !self["gauge"] {
+		if _, ok := r.gauges[name]; ok {
+			return true
+		}
+	}
+	if !self["histogram"] {
+		if _, ok := r.histograms[name]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Counter returns the named counter, creating it on first use. It panics if
+// the name is already registered as a different kind: a name collision is a
+// programming error that would silently split one /stats key across two
+// instruments.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	if r.taken(name, map[string]bool{"counter": true}) {
+		panic("metrics: " + name + " already registered as a different kind")
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use; same collision
+// rule as Counter.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	if r.taken(name, map[string]bool{"gauge": true}) {
+		panic("metrics: " + name + " already registered as a different kind")
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use; same
+// collision rule as Counter.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.histograms[name]; ok {
+		return h
+	}
+	if r.taken(name, map[string]bool{"histogram": true}) {
+		panic("metrics: " + name + " already registered as a different kind")
+	}
+	h := &Histogram{}
+	r.histograms[name] = h
+	return h
+}
+
+// Names lists every registered instrument name, sorted — the registry's
+// inventory, for tests asserting a layer exports what it claims.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	for n := range r.histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

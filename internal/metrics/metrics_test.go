@@ -1,0 +1,44 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("hits")
+	c1.Add(3)
+	if c2 := r.Counter("hits"); c2 != c1 {
+		t.Fatal("second Counter(hits) returned a different instrument")
+	}
+	if got := r.Counter("hits").Load(); got != 3 {
+		t.Fatalf("counter = %d; want 3", got)
+	}
+	g := r.Gauge("depth")
+	g.Set(5)
+	g.Add(-2)
+	if got := r.Gauge("depth").Load(); got != 3 {
+		t.Fatalf("gauge = %d; want 3", got)
+	}
+	h := r.Histogram("latency")
+	h.Observe(1)
+	if got := r.Histogram("latency").Count(); got != 1 {
+		t.Fatalf("histogram count = %d; want 1", got)
+	}
+	want := []string{"depth", "hits", "latency"}
+	if got := r.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v; want %v", got, want)
+	}
+}
+
+func TestRegistryKindCollisionPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as two kinds should panic")
+		}
+	}()
+	r.Histogram("hits")
+}

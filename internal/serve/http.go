@@ -168,6 +168,7 @@ func HandlerWithTimeout(s *Service, timeout time.Duration) http.Handler {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
 		q, err := ParseQuery(r)
 		if err != nil {
 			WriteError(w, http.StatusBadRequest, err)
@@ -177,9 +178,14 @@ func HandlerWithTimeout(s *Service, timeout time.Duration) http.Handler {
 		// answered from the pre-encoded reply bytes — no predictor, no
 		// partition clone, no JSON encoder, and no context derivation. The
 		// bytes are byte-identical to what the full path below would write.
+		// The latency observation is an atomic bucket add (plus per-tenant
+		// adds for an already-seen tenant), so recording here keeps the
+		// path's zero-allocation contract — warm hits used to be invisible
+		// to /stats latency, which skewed every percentile upward.
 		if buf, ok := s.QueryEncoded(q); ok {
 			w.Header().Set("Content-Type", "application/json")
 			_, _ = w.Write(buf)
+			s.ObserveQuery(q.Tenant, time.Since(start), true)
 			return
 		}
 		ctx, cancel := reqCtx(r)
@@ -197,6 +203,7 @@ func HandlerWithTimeout(s *Service, timeout time.Duration) http.Handler {
 			PredictedNs: int64(ans.Predicted),
 			Source:      ans.Source,
 		})
+		s.ObserveQuery(q.Tenant, time.Since(start), ans.Source == SourceCache)
 	})
 	mux.HandleFunc("/sweep", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -345,7 +352,11 @@ func ParseQuery(r *http.Request) (Query, error) {
 			return Query{}, fmt.Errorf("serve: parameter \"imbalance\" must be a finite number >= 1, got %q", raw)
 		}
 	}
-	return Query{Shape: gemm.Shape{M: m, N: n, K: k}, Prim: prim, Imbalance: imbalance}, nil
+	tenant := vals.Get("tenant")
+	if err := ValidateTenant(tenant); err != nil {
+		return Query{}, err
+	}
+	return Query{Shape: gemm.Shape{M: m, N: n, K: k}, Prim: prim, Imbalance: imbalance, Tenant: tenant}, nil
 }
 
 // bufPool recycles the per-request encode buffers of writeJSON and

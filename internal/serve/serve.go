@@ -14,6 +14,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -21,12 +22,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/gemm"
 	"repro/internal/hw"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tuner"
@@ -107,6 +108,12 @@ type Query struct {
 	Prim  hw.Primitive
 	// Imbalance is the All-to-All max/mean load factor (0 or >= 1).
 	Imbalance float64
+	// Tenant is an optional accounting label (/query's tenant parameter):
+	// it selects which per-tenant latency histogram and hit counter the
+	// answer records into, and nothing else. Deliberately excluded from the
+	// cache, singleflight, and pre-encoded answer keys — two tenants asking
+	// for the same shape share one tuned entry and identical reply bytes.
+	Tenant string
 }
 
 // Answer is the service's reply: the wave-group partition to launch with and
@@ -159,40 +166,73 @@ type Stats struct {
 	DeadlineExceeded    uint64       `json:"deadline_exceeded"`
 	Primitives          []string     `json:"primitives"`
 	Engine              engine.Stats `json:"engine"`
+	// Latency is the query-latency histogram over every answered /query —
+	// warm fast-path hits included — from which the JSON form derives
+	// p50/p95/p99. The fixed bucket boundaries make router-merged
+	// percentiles exact. Nil until the first answered query, so a fresh
+	// replica's /stats is byte-identical to the pre-histogram wire form.
+	Latency *metrics.HistogramSnapshot `json:"latency,omitempty"`
+	// Tenants breaks queries down by the optional tenant label (/query's
+	// tenant parameter, SweepSpec.Tenant): per-tenant latency percentiles,
+	// hit rate, and swept-item counts. Empty (and omitted) until a labeled
+	// request arrives.
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
 }
 
-// Merge accumulates another replica's snapshot: counters sum, primitive sets
-// union, and the shard label is dropped (a merged view spans shards).
+// TenantStats is one tenant's slice of the service counters. Its fields are
+// plain mergeable state (the derived hit rate is computed on marshal), so
+// a router merging replica snapshots sums them like any other counter.
+type TenantStats struct {
+	// Queries counts answered /query requests carrying this tenant label;
+	// Hits is the subset answered from the tuned-shape cache (pre-encoded
+	// fast path included).
+	Queries uint64 `json:"queries"`
+	Hits    uint64 `json:"hits"`
+	// SweptItems counts sweep items executed under this tenant label.
+	SweptItems uint64 `json:"swept_items"`
+	// Latency is the tenant's query-latency histogram.
+	Latency metrics.HistogramSnapshot `json:"latency"`
+}
+
+// tenantWire is TenantStats' JSON schema: the mergeable state plus the
+// derived hit rate.
+type tenantWire struct {
+	Queries    uint64                    `json:"queries"`
+	Hits       uint64                    `json:"hits"`
+	SweptItems uint64                    `json:"swept_items"`
+	HitRate    float64                   `json:"hit_rate"`
+	Latency    metrics.HistogramSnapshot `json:"latency"`
+}
+
+// MarshalJSON appends the derived hit_rate. Recomputed from the counters on
+// every marshal, it stays correct across merges and decode/encode round
+// trips without ever being merged itself.
+func (t TenantStats) MarshalJSON() ([]byte, error) {
+	w := tenantWire{Queries: t.Queries, Hits: t.Hits, SweptItems: t.SweptItems, Latency: t.Latency}
+	if t.Queries > 0 {
+		w.HitRate = float64(t.Hits) / float64(t.Queries)
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON restores the mergeable state, dropping the derived rate.
+func (t *TenantStats) UnmarshalJSON(data []byte) error {
+	var w tenantWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*t = TenantStats{Queries: w.Queries, Hits: w.Hits, SweptItems: w.SweptItems, Latency: w.Latency}
+	return nil
+}
+
+// Merge accumulates another replica's snapshot through the generic metrics
+// merge: counters sum, primitive sets union, histograms add bucket-wise,
+// tenant maps union by key, and the shard label is dropped (a merged view
+// spans shards). Every field — including any added later — participates
+// automatically; the hand-written per-field merge this replaces silently
+// dropped counters its author forgot to thread through.
 func (s Stats) Merge(o Stats) Stats {
-	prims := make(map[string]bool, len(s.Primitives)+len(o.Primitives))
-	for _, p := range s.Primitives {
-		prims[p] = true
-	}
-	for _, p := range o.Primitives {
-		prims[p] = true
-	}
-	merged := Stats{
-		Hits:                s.Hits + o.Hits,
-		Misses:              s.Misses + o.Misses,
-		Collapsed:           s.Collapsed + o.Collapsed,
-		Tunes:               s.Tunes + o.Tunes,
-		ShapesCached:        s.ShapesCached + o.ShapesCached,
-		EncodedHits:         s.EncodedHits + o.EncodedHits,
-		WarmEncoded:         s.WarmEncoded + o.WarmEncoded,
-		SnapshotRestored:    s.SnapshotRestored + o.SnapshotRestored,
-		SnapshotRejects:     s.SnapshotRejects + o.SnapshotRejects,
-		SweptItemsAnalytic:  s.SweptItemsAnalytic + o.SweptItemsAnalytic,
-		SweptItemsDES:       s.SweptItemsDES + o.SweptItemsDES,
-		CancelledQueries:    s.CancelledQueries + o.CancelledQueries,
-		CancelledSweepItems: s.CancelledSweepItems + o.CancelledSweepItems,
-		DeadlineExceeded:    s.DeadlineExceeded + o.DeadlineExceeded,
-		Engine:              s.Engine.Add(o.Engine),
-	}
-	for p := range prims {
-		merged.Primitives = append(merged.Primitives, p)
-	}
-	sort.Strings(merged.Primitives)
-	return merged
+	return metrics.MergeSnapshots(s, o)
 }
 
 // Service is a long-lived, concurrency-safe tuning server. Construct with
@@ -218,14 +258,25 @@ type Service struct {
 	ansMu   sync.RWMutex
 	answers map[encodedKey][]byte
 
-	hits, misses, collapsed, tunes atomic.Uint64
-	encodedHits                    atomic.Uint64
-	snapshotRestored               atomic.Uint64
-	snapshotRejects                atomic.Uint64
-	sweptAnalytic, sweptDES        atomic.Uint64
-	cancelledQueries               atomic.Uint64
-	cancelledSweep                 atomic.Uint64
-	deadlineExceeded               atomic.Uint64
+	// reg is the service's metrics registry; each counter registers under
+	// the exact /stats JSON key it reports as, so the registry doubles as
+	// the explicit inventory of the wire format.
+	reg                            *metrics.Registry
+	hits, misses, collapsed, tunes *metrics.Counter
+	encodedHits                    *metrics.Counter
+	snapshotRestored               *metrics.Counter
+	snapshotRejects                *metrics.Counter
+	sweptAnalytic, sweptDES        *metrics.Counter
+	cancelledQueries               *metrics.Counter
+	cancelledSweep                 *metrics.Counter
+	deadlineExceeded               *metrics.Counter
+	// latency is the all-queries histogram behind Stats.Latency; tenants
+	// holds each tenant's counters, created once on the tenant's first
+	// labeled request and read lock-free-ish (RLock + atomic adds) after,
+	// so recording stays allocation-free on the warm fast path.
+	latency   *metrics.Histogram
+	tenantsMu sync.RWMutex
+	tenants   map[string]*tenantMetrics
 
 	// tuneHook, when set (tests only), runs inside the singleflight'd
 	// search, letting a test hold the flight open while more queries pile
@@ -253,11 +304,28 @@ func New(cfg Config) (*Service, error) {
 	for p, curve := range cfg.Curves {
 		eng.SeedCurve(cfg.Plat, cfg.NGPUs, p, curve)
 	}
+	reg := metrics.NewRegistry()
 	return &Service{
 		cfg:     cfg,
 		eng:     eng,
 		tuners:  make(map[hw.Primitive]*tuner.Tuner),
 		answers: make(map[encodedKey][]byte),
+
+		reg:              reg,
+		hits:             reg.Counter("hits"),
+		misses:           reg.Counter("misses"),
+		collapsed:        reg.Counter("collapsed"),
+		tunes:            reg.Counter("tunes"),
+		encodedHits:      reg.Counter("hits_encoded"),
+		snapshotRestored: reg.Counter("snapshot_restored"),
+		snapshotRejects:  reg.Counter("snapshot_rejects"),
+		sweptAnalytic:    reg.Counter("swept_items_analytic"),
+		sweptDES:         reg.Counter("swept_items_des"),
+		cancelledQueries: reg.Counter("cancelled_queries"),
+		cancelledSweep:   reg.Counter("cancelled_sweep_items"),
+		deadlineExceeded: reg.Counter("deadline_exceeded"),
+		latency:          reg.Histogram("latency"),
+		tenants:          make(map[string]*tenantMetrics),
 	}, nil
 }
 
@@ -411,7 +479,7 @@ func validateQuery(q Query) error {
 	if q.Imbalance != 0 && (!(q.Imbalance >= 1) || math.IsInf(q.Imbalance, 1)) {
 		return badQueryf("serve: imbalance %v must be a finite factor >= 1 (or 0 for balanced)", q.Imbalance)
 	}
-	return nil
+	return ValidateTenant(q.Tenant)
 }
 
 // Query answers one (shape, primitive, imbalance) request. A warm query —
@@ -549,12 +617,15 @@ func (s *Service) Warm(ctx context.Context, prims []hw.Primitive, shapes []gemm.
 }
 
 // countSwept attributes one successfully executed sweep item to its
-// fidelity tier.
-func (s *Service) countSwept(f core.Fidelity) {
+// fidelity tier and, when the sweep carries a tenant label, to the tenant.
+func (s *Service) countSwept(tenant string, f core.Fidelity) {
 	if f == core.FidelityAnalytic {
 		s.sweptAnalytic.Add(1)
 	} else {
 		s.sweptDES.Add(1)
+	}
+	if tenant != "" {
+		s.tenantFor(tenant).swept.Add(1)
 	}
 }
 
@@ -578,6 +649,11 @@ func (s *Service) Stats() Stats {
 		DeadlineExceeded:    s.deadlineExceeded.Load(),
 		Engine:              s.eng.Stats(),
 	}
+	if s.latency.Count() > 0 {
+		snap := s.latency.Snapshot()
+		st.Latency = &snap
+	}
+	st.Tenants = s.tenantSnapshots()
 	s.mu.RLock()
 	for p, tn := range s.tuners {
 		st.ShapesCached += tn.CacheSize()

@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/metrics"
+)
+
+// statsGoldenJSON is the exact /stats encoding (writeJSON's two-space
+// indent) of a fully populated pre-metrics-refactor Stats, captured before
+// the stats plane moved onto internal/metrics. The refactor's wire contract
+// is byte-for-byte compatibility for every pre-existing key: the new
+// latency/tenants keys appear only once a query or labeled request has
+// been observed, so this snapshot — which has neither — must still encode
+// to these bytes exactly.
+const statsGoldenJSON = `{
+  "shard": "1/4",
+  "hits": 1,
+  "misses": 2,
+  "collapsed": 3,
+  "tunes": 4,
+  "shapes_cached": 5,
+  "hits_encoded": 6,
+  "warm_encoded": 7,
+  "snapshot_restored": 8,
+  "snapshot_rejects": 9,
+  "swept_items_analytic": 10,
+  "swept_items_des": 11,
+  "cancelled_queries": 12,
+  "cancelled_sweep_items": 13,
+  "deadline_exceeded": 14,
+  "primitives": [
+    "AllReduce",
+    "AllToAll"
+  ],
+  "engine": {
+    "hits": 15,
+    "misses": 16,
+    "size": 17,
+    "capacity": 18,
+    "workers": 19
+  }
+}
+`
+
+func goldenStats() Stats {
+	return Stats{
+		Shard: "1/4", Hits: 1, Misses: 2, Collapsed: 3, Tunes: 4, ShapesCached: 5,
+		EncodedHits: 6, WarmEncoded: 7, SnapshotRestored: 8, SnapshotRejects: 9,
+		SweptItemsAnalytic: 10, SweptItemsDES: 11,
+		CancelledQueries: 12, CancelledSweepItems: 13, DeadlineExceeded: 14,
+		Primitives: []string{"AllReduce", "AllToAll"},
+		Engine:     engine.Stats{Hits: 15, Misses: 16, Size: 17, Capacity: 18, Workers: 19},
+	}
+}
+
+func TestStatsWireGolden(t *testing.T) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(goldenStats()); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != statsGoldenJSON {
+		t.Fatalf("/stats wire format changed for pre-existing keys:\ngot:\n%s\nwant:\n%s", got, statsGoldenJSON)
+	}
+}
+
+func TestStatsWireGoldenSurvivesMerge(t *testing.T) {
+	// Merging with a zero snapshot must not disturb the wire form either —
+	// no materialized empty latency/tenants, no reordered primitives.
+	merged := goldenStats().Merge(Stats{})
+	merged.Shard = "1/4" // the merge drops per-replica labels by design
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(merged); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != statsGoldenJSON {
+		t.Fatalf("zero-merge changed the wire form:\ngot:\n%s\nwant:\n%s", got, statsGoldenJSON)
+	}
+}
+
+// fillNumeric walks v setting every settable numeric field to a distinct
+// nonzero value, materializing one entry in maps and one element in numeric
+// slices so nested numeric fields get visited too.
+func fillNumeric(v reflect.Value, next *uint64) {
+	switch v.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		*next++
+		v.SetInt(int64(*next))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		*next++
+		v.SetUint(*next)
+	case reflect.Float32, reflect.Float64:
+		*next++
+		v.SetFloat(float64(*next))
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			fillNumeric(v.Field(i), next)
+		}
+	case reflect.Pointer:
+		v.Set(reflect.New(v.Type().Elem()))
+		fillNumeric(v.Elem(), next)
+	case reflect.Map:
+		elem := reflect.New(v.Type().Elem()).Elem()
+		fillNumeric(elem, next)
+		m := reflect.MakeMap(v.Type())
+		m.SetMapIndex(reflect.ValueOf("tenant-a"), elem)
+		v.Set(m)
+	case reflect.Slice:
+		if v.Type().Elem().Kind() == reflect.String {
+			v.Set(reflect.ValueOf([]string{"AllReduce"}))
+			return
+		}
+		elem := reflect.New(v.Type().Elem()).Elem()
+		fillNumeric(elem, next)
+		s := reflect.MakeSlice(v.Type(), 1, 1)
+		s.Index(0).Set(elem)
+		v.Set(s)
+	}
+}
+
+// checkDoubled asserts every numeric field of got equals twice the matching
+// field of orig, reporting the offending field path — the test that catches
+// the historical "added a counter, forgot the merge" failure mode for any
+// future hand-added Stats field.
+func checkDoubled(t *testing.T, path string, orig, got reflect.Value) {
+	t.Helper()
+	switch orig.Kind() {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if got.Int() != 2*orig.Int() {
+			t.Errorf("%s: merged value %d != 2 x %d — field does not participate in Merge", path, got.Int(), orig.Int())
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if got.Uint() != 2*orig.Uint() {
+			t.Errorf("%s: merged value %d != 2 x %d — field does not participate in Merge", path, got.Uint(), orig.Uint())
+		}
+	case reflect.Float32, reflect.Float64:
+		if got.Float() != 2*orig.Float() {
+			t.Errorf("%s: merged value %v != 2 x %v — field does not participate in Merge", path, got.Float(), orig.Float())
+		}
+	case reflect.Struct:
+		for i := 0; i < orig.NumField(); i++ {
+			checkDoubled(t, path+"."+orig.Type().Field(i).Name, orig.Field(i), got.Field(i))
+		}
+	case reflect.Pointer:
+		if orig.IsNil() {
+			return
+		}
+		if got.IsNil() {
+			t.Errorf("%s: merged pointer is nil", path)
+			return
+		}
+		checkDoubled(t, path, orig.Elem(), got.Elem())
+	case reflect.Map:
+		for _, k := range orig.MapKeys() {
+			gv := got.MapIndex(k)
+			if !gv.IsValid() {
+				t.Errorf("%s[%v]: key missing after merge", path, k)
+				continue
+			}
+			checkDoubled(t, fmt.Sprintf("%s[%v]", path, k), orig.MapIndex(k), gv)
+		}
+	case reflect.Slice:
+		if orig.Type().Elem().Kind() == reflect.String {
+			return // string sets union, not sum
+		}
+		if got.Len() < orig.Len() {
+			t.Errorf("%s: merged slice shorter (%d) than original (%d)", path, got.Len(), orig.Len())
+			return
+		}
+		for i := 0; i < orig.Len(); i++ {
+			checkDoubled(t, fmt.Sprintf("%s[%d]", path, i), orig.Index(i), got.Index(i))
+		}
+	}
+}
+
+// TestEveryNumericStatsFieldMerges pins the refactor's core guarantee:
+// every numeric field of Stats — counters, the embedded engine stats,
+// histogram buckets, per-tenant maps, fields added next year — participates
+// in Merge. Self-merge must double every one of them; a field the merge
+// forgot would come back unchanged and fail with its full path.
+func TestEveryNumericStatsFieldMerges(t *testing.T) {
+	var st Stats
+	next := uint64(0)
+	fillNumeric(reflect.ValueOf(&st).Elem(), &next)
+	if next < 20 {
+		t.Fatalf("filler visited only %d numeric fields; Stats should have at least 20", next)
+	}
+	merged := st.Merge(st)
+	checkDoubled(t, "Stats", reflect.ValueOf(st), reflect.ValueOf(merged))
+}
+
+// TestTenantMergeAcrossReplicas checks the per-tenant plane merges the way
+// a router does: disjoint tenants union, shared tenants sum counters and
+// add histograms bucket-wise — so fleet-level per-tenant percentiles are
+// exactly what one process would have measured.
+func TestTenantMergeAcrossReplicas(t *testing.T) {
+	var h1, h2, both metrics.Histogram
+	for i := 0; i < 60; i++ {
+		h1.Observe(50_000) // 50µs
+		both.Observe(50_000)
+	}
+	for i := 0; i < 40; i++ {
+		h2.Observe(3_000_000) // 3ms
+		both.Observe(3_000_000)
+	}
+	a := Stats{Tenants: map[string]TenantStats{
+		"t0": {Queries: 60, Hits: 50, Latency: h1.Snapshot()},
+		"t1": {Queries: 1},
+	}}
+	b := Stats{Tenants: map[string]TenantStats{
+		"t0": {Queries: 40, Hits: 10, Latency: h2.Snapshot()},
+		"t2": {Queries: 2},
+	}}
+	m := a.Merge(b)
+	if len(m.Tenants) != 3 {
+		t.Fatalf("merged tenant set = %v; want t0, t1, t2", m.Tenants)
+	}
+	t0 := m.Tenants["t0"]
+	if t0.Queries != 100 || t0.Hits != 60 {
+		t.Fatalf("t0 counters = %d queries, %d hits; want 100, 60", t0.Queries, t0.Hits)
+	}
+	if !reflect.DeepEqual(t0.Latency, both.Snapshot()) {
+		t.Fatalf("t0 merged histogram differs from the single-process histogram:\nmerged: %+v\nsingle: %+v", t0.Latency, both.Snapshot())
+	}
+	wire, err := json.Marshal(t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal(wire, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if string(decoded["hit_rate"]) != "0.6" {
+		t.Fatalf("merged hit_rate = %s; want 0.6", decoded["hit_rate"])
+	}
+}
+
+// TestStatsJSONRoundTripStable pins the derived-field design: percentiles
+// and hit rates recompute from mergeable state on marshal, so a /stats body
+// decoded by a router and re-encoded (the per_shard passthrough) is
+// byte-identical.
+func TestStatsJSONRoundTripStable(t *testing.T) {
+	var h metrics.Histogram
+	for _, ns := range []int64{40_000, 90_000, 2_000_000, 45_000_000} {
+		h.Observe(time.Duration(ns))
+	}
+	snap := h.Snapshot()
+	st := goldenStats()
+	st.Latency = &snap
+	st.Tenants = map[string]TenantStats{"t0": {Queries: 4, Hits: 3, Latency: h.Snapshot()}}
+	first, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stats
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("stats round trip not byte-stable:\nfirst:  %s\nsecond: %s", first, second)
+	}
+}

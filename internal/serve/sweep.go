@@ -115,6 +115,12 @@ type SweepSpec struct {
 	// RankQuantum is the mixed sweep's rank-cell edge in log2 units; <= 0
 	// selects engine.DefaultRankQuantum.
 	RankQuantum float64 `json:"rank_quantum,omitempty"`
+	// Tenant is the sweep's optional accounting label, the /sweep analogue
+	// of /query's tenant parameter: executed items count into the tenant's
+	// swept_items in /stats. Purely attributive — it never affects what
+	// executes — and forwarded hop by hop like every other spec field, so a
+	// router proxy and the coordinator behind it attribute identically.
+	Tenant string `json:"tenant,omitempty"`
 	// HealthCooldown and ProbeInterval tune the driving coordinator's
 	// health plane: how long a failed replica is benched, and how often
 	// the background /healthz prober runs. Never serialized — a router
@@ -211,6 +217,9 @@ type SweepSink func(index int, res SweepResult) error
 // cancelled_sweep_items (plus deadline_exceeded when the deadline caused
 // it).
 func (s *Service) SweepChunk(ctx context.Context, req SweepRequest, sink SweepSink) error {
+	if err := ValidateTenant(req.Tenant); err != nil {
+		return &ChunkError{Index: 0, Err: err}
+	}
 	emitted := 0
 	counted := func(i int, res SweepResult) error {
 		if err := sink(i, res); err != nil {
@@ -298,7 +307,7 @@ func (s *Service) sweepChunkFlat(ctx context.Context, req SweepRequest, sink Swe
 		if err != nil {
 			return &ChunkError{Index: i, Err: err}
 		}
-		s.countSwept(r.Fidelity)
+		s.countSwept(req.Tenant, r.Fidelity)
 		res.Partition = r.Partition
 		res.Waves = r.Waves
 		res.Fidelity = string(r.Fidelity)
@@ -354,7 +363,7 @@ func (s *Service) sweepChunkMixed(ctx context.Context, req SweepRequest, sink Sw
 		quantum = engine.DefaultRankQuantum
 	}
 	refined := engine.RankTopK(shapes, latencies, req.TopK, quantum)
-	des := SweepRequest{SweepSpec: SweepSpec{Tune: req.Tune, Fidelity: FidelityDES}, Items: make([]SweepItem, len(refined))}
+	des := SweepRequest{SweepSpec: SweepSpec{Tune: req.Tune, Fidelity: FidelityDES, Tenant: req.Tenant}, Items: make([]SweepItem, len(refined))}
 	for j, gi := range refined {
 		des.Items[j] = req.Items[gi]
 	}

@@ -147,7 +147,7 @@ func (c *Coordinator) attempts() int {
 // re-rank a sub-grid the coordinator has already ranked globally.
 func (c *Coordinator) request(items []serve.SweepItem) serve.SweepRequest {
 	return serve.SweepRequest{
-		SweepSpec: serve.SweepSpec{Tune: c.Spec.Tune, Chunk: c.Spec.Chunk, Attempts: c.Spec.Attempts},
+		SweepSpec: serve.SweepSpec{Tune: c.Spec.Tune, Chunk: c.Spec.Chunk, Attempts: c.Spec.Attempts, Tenant: c.Spec.Tenant},
 		Items:     items,
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/gemm"
+	"repro/internal/metrics"
 	"repro/internal/serve"
 	"repro/internal/sim"
 )
@@ -206,6 +207,9 @@ func (c *HTTPClient) Query(ctx context.Context, q serve.Query) (serve.Answer, er
 	v.Set("prim", q.Prim.Short())
 	if q.Imbalance != 0 {
 		v.Set("imbalance", fmt.Sprint(q.Imbalance))
+	}
+	if q.Tenant != "" {
+		v.Set("tenant", q.Tenant)
 	}
 	var qr serve.QueryResponse
 	if err := c.get(ctx, "/query?"+v.Encode(), &qr); err != nil {
@@ -436,9 +440,13 @@ type Router struct {
 	clients []Client
 	health  *Health
 
-	routedQueries    []atomic.Uint64 // per-replica answered /query requests
-	routedSweepItems []atomic.Uint64 // per-replica answered sweep items
-	failovers        atomic.Uint64
+	// reg names the router's own counters (the replica-side counters live
+	// in each replica's serve registry); per-replica counters register as
+	// replica/<i>/<name>, mirroring the per_shard JSON breakdown.
+	reg              *metrics.Registry
+	routedQueries    []*metrics.Counter // per-replica answered /query requests
+	routedSweepItems []*metrics.Counter // per-replica answered sweep items
+	failovers        *metrics.Counter
 
 	proberMu   sync.Mutex // guards the shared prober's refcount lifecycle
 	proberRefs int
@@ -452,13 +460,21 @@ func NewRouter(clients []Client) (*Router, error) {
 	if len(clients) == 0 {
 		return nil, fmt.Errorf("shard: router needs at least one replica")
 	}
-	return &Router{
+	reg := metrics.NewRegistry()
+	r := &Router{
 		part:             NewPartitioner(len(clients)),
 		clients:          clients,
 		health:           NewHealth(len(clients)),
-		routedQueries:    make([]atomic.Uint64, len(clients)),
-		routedSweepItems: make([]atomic.Uint64, len(clients)),
-	}, nil
+		reg:              reg,
+		routedQueries:    make([]*metrics.Counter, len(clients)),
+		routedSweepItems: make([]*metrics.Counter, len(clients)),
+		failovers:        reg.Counter("failovers"),
+	}
+	for i := range clients {
+		r.routedQueries[i] = reg.Counter(fmt.Sprintf("replica/%d/routed_queries", i))
+		r.routedSweepItems[i] = reg.Counter(fmt.Sprintf("replica/%d/routed_sweep_items", i))
+	}
+	return r, nil
 }
 
 // Partitioner exposes the ownership mapping the router fans out with.

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ReplayOptions configures Replay. Target is required; everything else has
+// a usable zero value.
+type ReplayOptions struct {
+	// Target is the base URL of a cmd/serve replica or cmd/route router
+	// (e.g. "http://localhost:8080"). Both speak the same /query.
+	Target string
+	// Client issues the requests. Default http.DefaultClient; benchmarks
+	// substitute a client with an in-process Transport so replay overhead
+	// is measured without a TCP stack.
+	Client *http.Client
+	// Speedup divides trace time: 2 replays a 10s trace in 5s. Values <= 0
+	// disable pacing entirely — events are issued as fast as MaxInflight
+	// allows, which turns the replay into a saturation test.
+	Speedup float64
+	// Rate, when > 0, overrides the trace's timing with a fixed open-loop
+	// arrival rate in requests per second (Speedup is then ignored).
+	Rate float64
+	// MaxInflight bounds concurrent requests. The loop stays open-loop —
+	// send times come from the trace, not from responses — until the bound
+	// is hit, at which point arrivals queue rather than pile up without
+	// limit. Default 16.
+	MaxInflight int
+}
+
+// TenantReport is one tenant's slice of a replay.
+type TenantReport struct {
+	Sent   uint64
+	Errors uint64
+}
+
+// Report summarizes a replay. Hit rates and latency percentiles
+// deliberately do not appear here: the server's /stats measures them
+// (mergeably, across the whole fleet), and a client-side shadow measurement
+// would disagree with it under failover. Replay reports what it controls —
+// what was offered and what failed.
+type Report struct {
+	Sent      uint64
+	Errors    uint64
+	Elapsed   time.Duration
+	PerTenant map[string]TenantReport
+}
+
+// Replay offers the trace to the target, open-loop: each event is sent at
+// its trace offset (scaled by Speedup) whether or not earlier requests have
+// answered, the way real tenants keep arriving during a latency spike.
+// Cancelling ctx stops the replay after in-flight requests drain; the
+// partial Report and ctx's error are both returned.
+func Replay(ctx context.Context, opts ReplayOptions, t Trace) (Report, error) {
+	if opts.Target == "" {
+		return Report{}, fmt.Errorf("workload: replay target is required")
+	}
+	base, err := url.Parse(opts.Target)
+	if err != nil {
+		return Report{}, fmt.Errorf("workload: replay target: %w", err)
+	}
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	inflight := opts.MaxInflight
+	if inflight <= 0 {
+		inflight = 16
+	}
+
+	// Per-tenant slots are allocated up front so the hot loop only ever
+	// touches atomics — no lock, no map writes while requests are in
+	// flight.
+	type slot struct{ sent, errors atomic.Uint64 }
+	slots := map[string]*slot{}
+	for _, ev := range t.Events {
+		if _, ok := slots[ev.Tenant]; !ok {
+			slots[ev.Tenant] = &slot{}
+		}
+	}
+
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+
+	start := time.Now()
+	var replayErr error
+loop:
+	for i, ev := range t.Events {
+		var due time.Duration
+		switch {
+		case opts.Rate > 0:
+			due = time.Duration(float64(i) / opts.Rate * float64(time.Second))
+		case opts.Speedup > 0:
+			due = time.Duration(float64(ev.OffsetMs)/opts.Speedup) * time.Millisecond
+		}
+		if wait := due - time.Since(start); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-ctx.Done():
+				replayErr = ctx.Err()
+				break loop
+			case <-timer.C:
+			}
+		}
+		select {
+		case <-ctx.Done():
+			replayErr = ctx.Err()
+			break loop
+		case sem <- struct{}{}:
+		}
+		s := slots[ev.Tenant]
+		u := queryURL(base, ev)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s.sent.Add(1)
+			if err := doQuery(ctx, client, u); err != nil {
+				s.errors.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	rep := Report{Elapsed: time.Since(start), PerTenant: map[string]TenantReport{}}
+	for tenant, s := range slots {
+		tr := TenantReport{Sent: s.sent.Load(), Errors: s.errors.Load()}
+		if tr.Sent == 0 {
+			continue
+		}
+		rep.PerTenant[tenant] = tr
+		rep.Sent += tr.Sent
+		rep.Errors += tr.Errors
+	}
+	return rep, replayErr
+}
+
+// queryURL renders one event as a /query URL against base.
+func queryURL(base *url.URL, ev TraceEvent) string {
+	v := url.Values{}
+	v.Set("m", strconv.Itoa(ev.M))
+	v.Set("n", strconv.Itoa(ev.N))
+	v.Set("k", strconv.Itoa(ev.K))
+	v.Set("prim", ev.Prim)
+	if ev.Imbalance != 0 {
+		v.Set("imbalance", strconv.FormatFloat(ev.Imbalance, 'g', -1, 64))
+	}
+	if ev.Tenant != "" {
+		v.Set("tenant", ev.Tenant)
+	}
+	u := *base
+	u.Path = "/query"
+	u.RawQuery = v.Encode()
+	return u.String()
+}
+
+func doQuery(ctx context.Context, client *http.Client, u string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	// Drain so the transport reuses the connection; the decoded answer is
+	// not replay's concern.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("workload: /query status %d", resp.StatusCode)
+	}
+	return nil
+}

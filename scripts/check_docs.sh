@@ -5,9 +5,9 @@
 #   1. Every relative markdown link in README.md and docs/*.md points at a
 #      file that exists (anchors are stripped; absolute http(s) links are
 #      not fetched — CI must not depend on external availability).
-#   2. Every flag defined by cmd/serve, cmd/route, and cmd/sweep appears as
-#      -flagname in docs/OPERATIONS.md, so a new flag cannot land without
-#      operator documentation.
+#   2. Every flag defined by cmd/serve, cmd/route, cmd/sweep, and
+#      cmd/loadgen appears as -flagname in docs/OPERATIONS.md, so a new
+#      flag cannot land without operator documentation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,7 +30,7 @@ while IFS=: read -r file link; do
 done < <(grep -oH '\[[^]]*\]([^)]*)' README.md docs/*.md | sed 's/^\([^:]*\):.*(\([^)]*\))$/\1:\2/')
 
 # --- 2. every binary flag is documented in docs/OPERATIONS.md -----------
-for cmd in serve route sweep; do
+for cmd in serve route sweep loadgen; do
   while read -r name; do
     if ! grep -q -- "-${name}\b" docs/OPERATIONS.md; then
       echo "UNDOCUMENTED FLAG: cmd/$cmd -$name missing from docs/OPERATIONS.md" >&2
